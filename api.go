@@ -1,0 +1,199 @@
+package getm
+
+import (
+	"fmt"
+	"sort"
+
+	"getm/internal/area"
+	"getm/internal/gpu"
+	"getm/internal/harness"
+	"getm/internal/workloads"
+)
+
+// Protocol names accepted by Options.Protocol.
+const (
+	GETM     = "getm"      // the paper's contribution: eager conflict detection
+	WarpTM   = "warptm"    // lazy-lazy baseline with value-based validation
+	WarpTMEL = "warptm-el" // idealized eager-lazy WarpTM variant
+	EAPG     = "eapg"      // idealized EarlyAbort/Pause-n-Go baseline
+	FGLock   = "fglock"    // hand-tuned fine-grained locks
+)
+
+// Protocols lists the supported synchronization mechanisms.
+func Protocols() []string {
+	return []string{GETM, WarpTM, WarpTMEL, EAPG, FGLock}
+}
+
+// Benchmarks lists the TM workloads from the paper's Table III.
+func Benchmarks() []string { return workloads.Names() }
+
+// Options configures one simulation run.
+type Options struct {
+	// Protocol is one of the Protocol constants (default GETM).
+	Protocol string
+	// Benchmark is one of Benchmarks() (default "atm").
+	Benchmark string
+	// Concurrency limits transactional warps per core; 0 means unlimited.
+	Concurrency int
+	// Cores selects the machine: 15 (default, the paper's GTX480-like
+	// setup) or 56 (the scalability configuration).
+	Cores int
+	// Scale multiplies workload sizes (default 1.0).
+	Scale float64
+	// Seed drives workload generation (default 42).
+	Seed uint64
+	// MetadataEntries and GranularityBytes override GETM's metadata table
+	// (0 = paper defaults: 4096 entries, 32-byte granules).
+	MetadataEntries  int
+	GranularityBytes int
+}
+
+func (o Options) normalize() Options {
+	if o.Protocol == "" {
+		o.Protocol = GETM
+	}
+	if o.Benchmark == "" {
+		o.Benchmark = "atm"
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Metrics summarizes a run. Cycle quantities are in interconnect cycles.
+type Metrics struct {
+	// TotalCycles is the kernel's wall-clock length.
+	TotalCycles uint64
+	// TxExecCycles and TxWaitCycles split per-warp transactional time into
+	// execution (including retries) and waiting (throttle, commit round
+	// trips, backoff), summed across warps.
+	TxExecCycles uint64
+	TxWaitCycles uint64
+	// Commits and Aborts count thread-level transactions.
+	Commits uint64
+	Aborts  uint64
+	// AbortsByCause breaks down Aborts ("war", "waw-raw", "validation",
+	// "intra-warp", "stall-full", "early-abort").
+	AbortsByCause map[string]uint64
+	// InterconnectBytes is total crossbar payload traffic.
+	InterconnectBytes uint64
+	// SilentCommits counts WarpTM's TCD read-only silent commits.
+	SilentCommits uint64
+	// MetaAccessCycles is GETM's mean metadata-table latency per request.
+	MetaAccessCycles float64
+	// MaxStalledRequests is the peak GETM stall-buffer occupancy.
+	MaxStalledRequests uint64
+	// Counters carries additional protocol-specific counters.
+	Counters map[string]uint64
+}
+
+// AbortsPer1KCommits returns the paper's Table IV abort metric.
+func (m Metrics) AbortsPer1KCommits() float64 {
+	if m.Commits == 0 {
+		return 0
+	}
+	return float64(m.Aborts) * 1000 / float64(m.Commits)
+}
+
+// Run simulates one benchmark under one protocol and returns its metrics.
+// The run is deterministic for fixed Options.
+func Run(o Options) (Metrics, error) {
+	o = o.normalize()
+	valid := false
+	for _, p := range Protocols() {
+		if o.Protocol == p {
+			valid = true
+		}
+	}
+	if !valid {
+		return Metrics{}, fmt.Errorf("getm: unknown protocol %q (want one of %v)", o.Protocol, Protocols())
+	}
+
+	var cfg gpu.Config
+	if o.Cores == 56 {
+		cfg = gpu.ScaledConfig(gpu.Protocol(o.Protocol))
+	} else {
+		cfg = gpu.DefaultConfig(gpu.Protocol(o.Protocol))
+		if o.Cores > 0 {
+			cfg.Cores = o.Cores
+		}
+	}
+	cfg.Core.MaxTxWarps = o.Concurrency
+	if o.MetadataEntries > 0 {
+		cfg.GETM.PreciseEntries = o.MetadataEntries
+	}
+	if o.GranularityBytes > 0 {
+		cfg.GETM.GranularityBytes = o.GranularityBytes
+	}
+
+	variant := workloads.TM
+	if o.Protocol == FGLock {
+		variant = workloads.FGLock
+	}
+	k, err := workloads.Build(o.Benchmark, variant, workloads.Params{Scale: o.Scale, Seed: o.Seed})
+	if err != nil {
+		return Metrics{}, err
+	}
+	res, err := gpu.Run(cfg, k)
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	m := res.Metrics
+	out := Metrics{
+		TotalCycles:        m.TotalCycles,
+		TxExecCycles:       m.TxExecCycles,
+		TxWaitCycles:       m.TxWaitCycles,
+		Commits:            m.Commits,
+		Aborts:             m.Aborts,
+		AbortsByCause:      map[string]uint64{},
+		InterconnectBytes:  m.XbarBytes(),
+		SilentCommits:      m.SilentCommits,
+		MetaAccessCycles:   m.MetaAccessCycles.Mean(),
+		MaxStalledRequests: m.StallBufMaxOccupancy,
+		Counters:           map[string]uint64{},
+	}
+	for k, v := range m.AbortsByCause {
+		out.AbortsByCause[k] = v
+	}
+	for k, v := range m.Extra {
+		out.Counters[k] = v
+	}
+	return out, nil
+}
+
+// Experiments lists the reproduction experiment ids (fig3..fig17, table4,
+// table5) with their titles, in the paper's order.
+func Experiments() []struct{ ID, Title string } {
+	var out []struct{ ID, Title string }
+	for _, e := range harness.All() {
+		out = append(out, struct{ ID, Title string }{e.ID, e.Title})
+	}
+	return out
+}
+
+// RunExperiment regenerates one of the paper's figures or tables at the
+// given workload scale (1.0 = full) and returns the rendered report.
+func RunExperiment(id string, scale float64) (string, error) {
+	e, ok := harness.ByID(id)
+	if !ok {
+		var ids []string
+		for _, x := range harness.All() {
+			ids = append(ids, x.ID)
+		}
+		sort.Strings(ids)
+		return "", fmt.Errorf("getm: unknown experiment %q (want one of %v)", id, ids)
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	return e.Run(harness.NewRunner(scale)).String(), nil
+}
+
+// TableV returns the silicon area and power comparison (paper Table V) from
+// the CACTI-calibrated model.
+func TableV() string { return area.TableV() }

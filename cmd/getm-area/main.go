@@ -1,0 +1,13 @@
+// getm-area prints the Table V silicon area and power comparison for the
+// WarpTM, EAPG, and GETM hardware structures.
+package main
+
+import (
+	"fmt"
+
+	"getm/internal/area"
+)
+
+func main() {
+	fmt.Print(area.TableV())
+}

@@ -1,0 +1,77 @@
+// getm-bench regenerates the paper's evaluation figures and tables.
+//
+// Usage:
+//
+//	getm-bench                 # run every experiment
+//	getm-bench fig11 table4    # run specific ones
+//	getm-bench -scale 0.25 all # quick pass at reduced workload scale
+//	getm-bench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"getm/internal/harness"
+	"getm/internal/report"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full reproduction scale)")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	verbose := flag.Bool("v", false, "log each simulation run")
+	format := flag.String("format", "text", "output format: text, markdown, csv")
+	chart := flag.Bool("chart", false, "append an ASCII bar chart of each table's last column")
+	par := flag.Int("par", 1, "precompute the full run grid with this many workers (0 = all CPUs, 1 = lazy sequential)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		ids = nil
+		for _, e := range harness.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	r := harness.NewRunner(*scale)
+	r.Seed = *seed
+	if *verbose {
+		r.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	if *par != 1 {
+		// Fill the cache with a worker pool; each simulation is
+		// deterministic and independent, so only wall-clock time changes.
+		harness.Precompute(r, *par)
+	}
+
+	for _, id := range ids {
+		e, ok := harness.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		rep := e.Run(r)
+		fmt.Print(rep.Render(report.Format(*format)))
+		if *chart {
+			for _, t := range rep.Tables {
+				if len(t.Columns) > 1 {
+					fmt.Print(t.BarChart(t.Columns[len(t.Columns)-1], 40))
+				}
+			}
+		}
+		if *format == "text" {
+			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// getm-sim runs one benchmark on one protocol and prints its metrics.
+//
+// Usage:
+//
+//	getm-sim -bench ht-h -proto getm [-conc 8] [-scale 1.0] [-cores 15] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"getm/internal/gpu"
+	"getm/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "ht-h", "benchmark name ("+fmt.Sprint(workloads.Names())+")")
+	proto := flag.String("proto", "getm", "protocol: getm, warptm, warptm-el, eapg, fglock")
+	conc := flag.Int("conc", 0, "max concurrent tx warps per core (0 = unlimited)")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	cores := flag.Int("cores", 15, "SIMT core count (15 or 56 for the paper's configs)")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	verbose := flag.Bool("verbose", false, "print extra counters")
+	flag.Parse()
+
+	var cfg gpu.Config
+	if *cores == 56 {
+		cfg = gpu.ScaledConfig(gpu.Protocol(*proto))
+	} else {
+		cfg = gpu.DefaultConfig(gpu.Protocol(*proto))
+		cfg.Cores = *cores
+	}
+	cfg.Core.MaxTxWarps = *conc
+
+	params := workloads.Params{Scale: *scale, Seed: *seed}
+	variant := workloads.TM
+	if gpu.Protocol(*proto) == gpu.ProtoFGLock {
+		variant = workloads.FGLock
+	}
+	k, err := workloads.Build(*bench, variant, params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	res, err := gpu.Run(cfg, k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	m := res.Metrics
+	fmt.Printf("benchmark        %s (%s, %d cores, conc %s)\n", *bench, *proto, cfg.Cores, concStr(*conc))
+	fmt.Printf("total cycles     %d\n", m.TotalCycles)
+	fmt.Printf("tx exec cycles   %d\n", m.TxExecCycles)
+	fmt.Printf("tx wait cycles   %d\n", m.TxWaitCycles)
+	fmt.Printf("commits          %d\n", m.Commits)
+	fmt.Printf("aborts           %d (%.0f per 1K commits)\n", m.Aborts, m.AbortsPer1KCommits())
+	fmt.Printf("xbar traffic     %d B up, %d B down\n", m.XbarUpBytes, m.XbarDownBytes)
+	if m.SilentCommits > 0 {
+		fmt.Printf("silent commits   %d\n", m.SilentCommits)
+	}
+	if m.MetaAccessCycles.Total() > 0 {
+		fmt.Printf("meta access      %.3f cycles/request\n", m.MetaAccessCycles.Mean())
+		fmt.Printf("stall buffer     max %d queued, %.2f reqs/addr\n",
+			m.StallBufMaxOccupancy, m.StallBufPerAddr.Mean())
+	}
+	if len(m.AbortsByCause) > 0 {
+		fmt.Printf("abort causes     %v\n", m.AbortsByCause)
+	}
+	if *verbose {
+		keys := make([]string, 0, len(m.Extra))
+		for k := range m.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-24s %d\n", k, m.Extra[k])
+		}
+	}
+}
+
+func concStr(c int) string {
+	if c == 0 {
+		return "NL"
+	}
+	return fmt.Sprint(c)
+}

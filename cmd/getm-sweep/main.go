@@ -1,0 +1,109 @@
+// getm-sweep runs a one-dimensional parameter sweep and prints a table (or
+// CSV) of the key metrics per setting — the quickest way to explore a design
+// knob beyond the paper's figures.
+//
+// Usage:
+//
+//	getm-sweep -bench ht-h -proto getm -knob conc -values 1,2,4,8,16
+//	getm-sweep -bench atm  -proto getm -knob gran -values 16,32,64,128 -format csv
+//	getm-sweep -bench ht-m -proto warptm -knob inflight -values 1,2,4,8
+//
+// Knobs: conc (tx warps/core), gran (GETM conflict granularity, bytes),
+// meta (GETM precise metadata entries), stall (GETM stall-buffer lines),
+// backoff (retry backoff cap, cycles), inflight (WarpTM commit pipelining
+// depth), cores (SIMT core count).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"getm/internal/gpu"
+	"getm/internal/report"
+	"getm/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "ht-h", "benchmark to sweep")
+	proto := flag.String("proto", "getm", "protocol: getm, warptm, warptm-el, eapg, fglock")
+	knob := flag.String("knob", "conc", "parameter to sweep: conc, gran, meta, stall, backoff, inflight, cores")
+	values := flag.String("values", "1,2,4,8,16", "comma-separated knob values")
+	scale := flag.Float64("scale", 1.0, "workload scale")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	conc := flag.Int("conc", 8, "tx warps/core when not the swept knob")
+	format := flag.String("format", "text", "output format: text, markdown, csv")
+	flag.Parse()
+
+	var vals []int
+	for _, s := range strings.Split(*values, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad value %q: %v\n", s, err)
+			os.Exit(1)
+		}
+		vals = append(vals, v)
+	}
+
+	tab := report.NewTable("sweep",
+		fmt.Sprintf("%s on %s, sweeping %s", *proto, *bench, *knob),
+		*knob, "cycles", "tx exec", "tx wait", "commits", "aborts/1K", "xbar MB")
+
+	variant := workloads.TM
+	if gpu.Protocol(*proto) == gpu.ProtoFGLock {
+		variant = workloads.FGLock
+	}
+
+	for _, v := range vals {
+		cfg := gpu.DefaultConfig(gpu.Protocol(*proto))
+		cfg.Core.MaxTxWarps = *conc
+		switch *knob {
+		case "conc":
+			cfg.Core.MaxTxWarps = v
+		case "gran":
+			cfg.GETM.GranularityBytes = v
+		case "meta":
+			cfg.GETM.PreciseEntries = v
+		case "stall":
+			cfg.GETM.StallLines = v
+		case "backoff":
+			cfg.Core.BackoffCap = uint64(v)
+		case "inflight":
+			cfg.WarpTM.MaxInFlight = v
+		case "cores":
+			cfg.Cores = v
+		default:
+			fmt.Fprintf(os.Stderr, "unknown knob %q\n", *knob)
+			os.Exit(1)
+		}
+
+		k, err := workloads.Build(*bench, variant, workloads.Params{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		res, err := gpu.Run(cfg, k)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		m := res.Metrics
+		tab.AddRow(
+			report.Int(uint64(v)),
+			report.Int(m.TotalCycles),
+			report.Int(m.TxExecCycles),
+			report.Int(m.TxWaitCycles),
+			report.Int(m.Commits),
+			report.Num(m.AbortsPer1KCommits(), 0),
+			report.Num(float64(m.XbarBytes())/(1<<20), 2),
+		)
+	}
+
+	fmt.Print(tab.Render(report.Format(*format)))
+	if *format == "text" {
+		fmt.Println()
+		fmt.Print(tab.BarChart("cycles", 40))
+	}
+}

@@ -1,0 +1,18 @@
+// Package getm is a from-scratch Go reproduction of "High-Performance GPU
+// Transactional Memory via Eager Conflict Detection" (Ren & Lis, HPCA 2018).
+//
+// The library implements GETM — a GPU hardware transactional memory with
+// eager conflict detection via distributed logical timestamps and
+// encounter-time write reservations — together with the full substrate the
+// paper's evaluation depends on: an event-driven GPU timing simulator (SIMT
+// cores, crossbars, LLC partitions, DRAM), the WarpTM, WarpTM-EL, and EAPG
+// baselines, fine-grained-lock workload variants, the TM benchmark suite,
+// a CACTI-calibrated area/power model, and a harness regenerating every
+// figure and table of the paper's evaluation.
+//
+// See README.md for a quickstart, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmark entry points
+// live in bench_test.go (one per paper figure/table):
+//
+//	go test -bench=Fig11 -benchtime=1x .
+package getm

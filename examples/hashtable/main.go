@@ -1,0 +1,46 @@
+// Hashtable contention study: sweep the three HT contention levels and the
+// per-core transactional concurrency limit, reproducing the paper's central
+// observation — lazy validation (WarpTM) stops scaling with concurrency
+// while eager detection (GETM) keeps improving.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"getm"
+)
+
+func main() {
+	const scale = 0.25
+	concLevels := []int{1, 2, 4, 8, 16}
+
+	for _, bench := range []string{"ht-h", "ht-m", "ht-l"} {
+		fmt.Printf("== %s ==\n", bench)
+		fmt.Printf("%-10s", "conc")
+		for _, c := range concLevels {
+			fmt.Printf(" %9d", c)
+		}
+		fmt.Println()
+		for _, proto := range []string{getm.WarpTM, getm.GETM} {
+			fmt.Printf("%-10s", proto)
+			for _, conc := range concLevels {
+				m, err := getm.Run(getm.Options{
+					Protocol:    proto,
+					Benchmark:   bench,
+					Concurrency: conc,
+					Scale:       scale,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf(" %9d", m.TotalCycles)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("WarpTM's best point sits at low concurrency (commit-queue backup);")
+	fmt.Println("GETM keeps gaining from added warps because commits are off the")
+	fmt.Println("critical path — the effect the paper's Fig 3 isolates.")
+}

@@ -1,0 +1,3 @@
+module getm
+
+go 1.22

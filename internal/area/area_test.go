@@ -1,0 +1,99 @@
+package area
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// within checks got against the paper's published value with a tolerance.
+func within(t *testing.T, name string, got, want, tolFrac float64) {
+	t.Helper()
+	if want == 0 {
+		return
+	}
+	if math.Abs(got-want)/want > tolFrac {
+		t.Errorf("%s = %.4f, paper says %.4f (off by %.0f%%)",
+			name, got, want, 100*math.Abs(got-want)/want)
+	}
+}
+
+func TestTableVTotalsMatchPaper(t *testing.T) {
+	m := defaultMachine()
+	wtm := WarpTMInventory(m)
+	ea := EAPGInventory(m)
+	g := GETMInventory(m)
+	within(t, "WarpTM area", wtm.Area(), 2.68, 0.05)
+	within(t, "WarpTM power", wtm.Power(), 390.05, 0.05)
+	within(t, "EAPG area", ea.Area(), 3.574, 0.05)
+	within(t, "EAPG power", ea.Power(), 618.95, 0.05)
+	within(t, "GETM area", g.Area(), 0.736, 0.05)
+	within(t, "GETM power", g.Power(), 176.98, 0.05)
+}
+
+func TestHeadlineRatios(t *testing.T) {
+	m := defaultMachine()
+	areaRatio := WarpTMInventory(m).Area() / GETMInventory(m).Area()
+	powerRatio := WarpTMInventory(m).Power() / GETMInventory(m).Power()
+	within(t, "area ratio", areaRatio, 3.6, 0.08)
+	within(t, "power ratio", powerRatio, 2.2, 0.08)
+	eaArea := EAPGInventory(m).Area() / GETMInventory(m).Area()
+	eaPower := EAPGInventory(m).Power() / GETMInventory(m).Power()
+	within(t, "EAPG area ratio", eaArea, 4.9, 0.08)
+	within(t, "EAPG power ratio", eaPower, 3.6, 0.08)
+}
+
+func TestPerStructureValues(t *testing.T) {
+	m := defaultMachine()
+	wants := map[string][2]float64{ // name -> {area, power}
+		"CU: LWHR tables":        {0.108, 21.84},
+		"CU: LWHR filters":       {0.03, 12.00},
+		"CU: entry arrays":       {0.402, 100.62},
+		"CU: read-write buffers": {1.734, 132.48},
+		"TCD: first-read tables": {0.375, 113.25},
+		"TCD: last-write buffer": {0.031, 9.86},
+		"CU: write buffers":      {0.522, 85.56},
+		"VU: precise tables":     {0.181, 69.59},
+		"VU: approximate tables": {0.018, 8.51},
+		"warpts tables":          {0.015, 10.65},
+		"stall buffers":          {0.0004, 2.67},
+	}
+	check := func(inv Inventory) {
+		for _, s := range inv.Structures {
+			if w, ok := wants[s.Name]; ok {
+				within(t, s.Name+" area", s.Area(), w[0], 0.10)
+				within(t, s.Name+" power", s.Power(), w[1], 0.10)
+			}
+		}
+	}
+	check(WarpTMInventory(m))
+	check(GETMInventory(m))
+}
+
+func TestInventoryScalesWithConfig(t *testing.T) {
+	m := defaultMachine()
+	m.GETM.PreciseEntries *= 2
+	g2 := GETMInventory(m)
+	m.GETM.PreciseEntries /= 2
+	g1 := GETMInventory(m)
+	if g2.Area() <= g1.Area() {
+		t.Fatal("doubling the precise table should grow GETM's area")
+	}
+	m.Cores = 56
+	m.Partitions = 8
+	wtm56 := WarpTMInventory(m)
+	m.Cores, m.Partitions = 15, 6
+	wtm15 := WarpTMInventory(m)
+	if wtm56.Area() <= wtm15.Area() {
+		t.Fatal("56-core config should grow WarpTM's area")
+	}
+}
+
+func TestTableVRenders(t *testing.T) {
+	out := TableV()
+	for _, want := range []string{"total WarpTM", "total EAPG", "total GETM", "lower area"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"getm/internal/mem"
+	"getm/internal/sim"
+)
+
+// Micro-benchmarks for GETM's hardware structures (simulation-host
+// throughput, not simulated cycles): these bound how fast the simulator can
+// process validation traffic.
+
+func BenchmarkMetaTableLookupHit(b *testing.B) {
+	tab := NewMetaTable(DefaultConfig(), 1024, 256, sim.NewRNG(1))
+	for g := uint64(0); g < 512; g++ {
+		tab.Lookup(g)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Lookup(uint64(i) % 512)
+	}
+}
+
+func BenchmarkMetaTableInsertChurn(b *testing.B) {
+	tab := NewMetaTable(DefaultConfig(), 256, 128, sim.NewRNG(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _, _ := tab.Lookup(uint64(i) % 4096)
+		if e.WTS < uint64(i) {
+			e.WTS = uint64(i)
+		}
+	}
+}
+
+func BenchmarkApproxTable(b *testing.B) {
+	a := NewApproxTable(4, 256, sim.NewRNG(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Insert(uint64(i)%1024, uint64(i), uint64(i))
+		a.Lookup(uint64(i) % 2048)
+	}
+}
+
+func BenchmarkStallBuffer(b *testing.B) {
+	sb := NewStallBuffer(16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := uint64(i % 8)
+		if !sb.Enqueue(&StalledReq{Granule: g, Warpts: uint64(i)}) {
+			sb.Release(g)
+		}
+	}
+}
+
+func BenchmarkVURequestThroughput(b *testing.B) {
+	eng := sim.NewEngine()
+	pcfg := mem.DefaultPartitionConfig()
+	part := mem.NewPartition(0, eng, mem.NewImage(), pcfg)
+	vu := NewVU(DefaultConfig(), eng, part, 1024, 256, sim.NewRNG(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		i := i
+		eng.Schedule(0, func() {
+			vu.Submit(&Request{
+				GWID:    i % 64,
+				Warpts:  uint64(i / 64),
+				Addr:    uint64((i % 4096) * 8),
+				IsWrite: i%3 == 0,
+				Reply:   func(Reply) {},
+			})
+		})
+		if i%256 == 0 {
+			eng.Run(0)
+		}
+	}
+	eng.Run(0)
+}

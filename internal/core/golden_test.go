@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"getm/internal/mem"
+	"getm/internal/sim"
+	"getm/internal/tm"
+)
+
+// Golden-model property test: the validation unit's decisions must match a
+// direct transliteration of the paper's Fig 6 flowchart under arbitrary
+// request sequences against a single granule.
+
+// refEntry mirrors the tracked metadata.
+type refEntry struct {
+	wts, rts uint64
+	writes   int
+	owner    int
+}
+
+// refOutcome is the spec's decision.
+type refOutcome struct {
+	result  string // "success", "abort", "queue"
+	cause   tm.AbortCause
+	abortTS uint64
+}
+
+// refDecide is the Fig 6 flowchart, written independently of the VU code.
+func refDecide(e *refEntry, gwid int, warpts uint64, isWrite bool) refOutcome {
+	owner := e.writes > 0 && e.owner == gwid
+	if isWrite {
+		switch {
+		case owner:
+			e.writes++
+			return refOutcome{result: "success"}
+		case warpts >= e.wts && warpts >= e.rts:
+			if e.writes > 0 {
+				return refOutcome{result: "queue"}
+			}
+			e.wts = warpts + 1
+			e.owner = gwid
+			e.writes = 1
+			return refOutcome{result: "success"}
+		default:
+			ts := e.wts
+			if e.rts > ts {
+				ts = e.rts
+			}
+			return refOutcome{result: "abort", cause: tm.CauseWAWRAW, abortTS: ts}
+		}
+	}
+	switch {
+	case owner:
+		if warpts > e.rts {
+			e.rts = warpts
+		}
+		return refOutcome{result: "success"}
+	case warpts >= e.wts:
+		if e.writes > 0 {
+			return refOutcome{result: "queue"}
+		}
+		if warpts > e.rts {
+			e.rts = warpts
+		}
+		return refOutcome{result: "success"}
+	default:
+		return refOutcome{result: "abort", cause: tm.CauseWAR, abortTS: e.wts}
+	}
+}
+
+// specTracer records VU decisions for comparison.
+type specTracer struct {
+	outcomes []string
+	entries  []Entry
+}
+
+func (s *specTracer) OnRequest(int, *Request) {}
+func (s *specTracer) OnOutcome(_ int, _ *Request, outcome string, _ tm.AbortCause, e Entry) {
+	s.outcomes = append(s.outcomes, outcome)
+	s.entries = append(s.entries, e)
+}
+func (s *specTracer) OnRelease(int, uint64, int, bool) {}
+
+// step is one generated protocol action.
+type step struct {
+	GWID    uint8
+	Warpts  uint16
+	IsWrite bool
+	Release bool // instead of an access, release one reservation count
+}
+
+func TestVUMatchesFlowchartSpec(t *testing.T) {
+	const addr = uint64(0x100)
+	prop := func(steps []step) bool {
+		eng := sim.NewEngine()
+		pcfg := mem.DefaultPartitionConfig()
+		pcfg.LLCBytes = 8 << 10
+		part := mem.NewPartition(0, eng, mem.NewImage(), pcfg)
+		cfg := DefaultConfig()
+		// Disable queueing-side effects that the spec doesn't model: a
+		// 0-line stall buffer turns queue outcomes into immediate aborts at
+		// the VU, but the traced outcome for the *decision* is still
+		// "abort" with stall-full — so instead keep a large buffer and
+		// never release while queued entries exist (see below).
+		vu := NewVU(cfg, eng, part, 64, 32, sim.NewRNG(5))
+		tr := &specTracer{}
+		vu.SetTracer(tr)
+
+		ref := &refEntry{}
+		var want []refOutcome
+		queued := 0
+
+		for _, st := range steps {
+			if st.Release {
+				if ref.writes == 0 || queued > 0 {
+					// Releasing with queued requests wakes them in an order
+					// the flat spec doesn't model; skip those schedules.
+					continue
+				}
+				eng.Schedule(0, func() {
+					vu.ReleaseGranule(cfg.GranuleOf(addr), 1, true)
+				})
+				eng.Run(0)
+				ref.writes--
+				continue
+			}
+			gwid := int(st.GWID % 8)
+			ts := uint64(st.Warpts % 64)
+			out := refDecide(ref, gwid, ts, st.IsWrite)
+			if out.result == "queue" {
+				if queued >= cfg.StallEntriesPerLine {
+					// The stall buffer line is full: the VU aborts instead.
+					out = refOutcome{result: "abort", cause: tm.CauseStallFull}
+				} else {
+					queued++
+				}
+			}
+			want = append(want, out)
+			eng.Schedule(0, func() {
+				vu.Submit(&Request{GWID: gwid, Warpts: ts, Addr: addr, IsWrite: st.IsWrite,
+					Reply: func(Reply) {}})
+			})
+			eng.Run(0)
+		}
+
+		if len(tr.outcomes) != len(want) {
+			return false
+		}
+		for i := range want {
+			if tr.outcomes[i] != want[i].result {
+				t.Logf("step %d: vu=%s spec=%s", i, tr.outcomes[i], want[i].result)
+				return false
+			}
+			// On success/abort the spec's metadata must match the VU's.
+			e := tr.entries[i]
+			if want[i].result != "queue" {
+				if e.WTS != ref.wts && i == len(want)-1 {
+					t.Logf("step %d: wts vu=%d spec=%d", i, e.WTS, ref.wts)
+					return false
+				}
+			}
+		}
+		// Final metadata state must agree exactly (queued requests mutate
+		// nothing until released).
+		fin, _, _ := vu.Meta.Lookup(cfg.GranuleOf(addr))
+		if fin.WTS != ref.wts || fin.RTS != ref.rts || fin.Writes != ref.writes {
+			t.Logf("final: vu={wts %d rts %d w %d} spec={wts %d rts %d w %d} queued=%d",
+				fin.WTS, fin.RTS, fin.Writes, ref.wts, ref.rts, ref.writes, queued)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"getm/internal/isa"
+	"getm/internal/mem"
+	"getm/internal/sim"
+	"getm/internal/tm"
+)
+
+// Protocol is GETM's SIMT-core-side driver. It owns the per-warp logical
+// timestamps (warpts), turns warp memory instructions into validation-unit
+// requests, transmits commit/cleanup logs off the critical path, and records
+// committed transactions for the serializability checker.
+type Protocol struct {
+	cfg   Config
+	eng   *sim.Engine
+	amap  mem.AddressMap
+	trans tm.Transport
+	vus   []*VU
+	cus   []*CU
+
+	warpts      map[int]uint64
+	pendAbortTS map[int]uint64
+	activeTx    int
+	pendingLogs int
+	draining    bool
+	epoch       uint64
+	seq         uint64
+
+	// Committed accumulates thread-level transaction records for the
+	// serializability replay checker (nil disables recording).
+	Committed []tm.CommittedTx
+	Record    bool
+
+	// Rollovers counts completed rollover rounds.
+	Rollovers uint64
+	rollover  *rolloverState
+}
+
+var _ tm.Protocol = (*Protocol)(nil)
+
+// NewProtocol wires a GETM protocol instance over the given validation and
+// commit units (one per partition).
+func NewProtocol(cfg Config, eng *sim.Engine, amap mem.AddressMap, trans tm.Transport, vus []*VU, cus []*CU) *Protocol {
+	p := &Protocol{
+		cfg:         cfg,
+		eng:         eng,
+		amap:        amap,
+		trans:       trans,
+		vus:         vus,
+		cus:         cus,
+		warpts:      make(map[int]uint64),
+		pendAbortTS: make(map[int]uint64),
+	}
+	for _, vu := range vus {
+		vu.SetHighWaterHook(p.triggerRollover)
+	}
+	return p
+}
+
+// Name implements tm.Protocol.
+func (p *Protocol) Name() string { return "getm" }
+
+// EagerIntraWarp reports that GETM checks same-warp conflicts at access time.
+func (p *Protocol) EagerIntraWarp() bool { return true }
+
+// CanBegin gates new transactions during a rollover drain.
+func (p *Protocol) CanBegin() bool { return !p.draining }
+
+// Begin implements tm.Protocol.
+func (p *Protocol) Begin(w *tm.WarpTx) {
+	p.activeTx++
+	if _, ok := p.warpts[w.GWID]; !ok {
+		p.warpts[w.GWID] = 0
+	}
+}
+
+// WarptsOf exposes a warp's current logical time (tests, stats).
+func (p *Protocol) WarptsOf(gwid int) uint64 { return p.warpts[gwid] }
+
+// Access implements tm.Protocol: every lane's access is sent to its home
+// partition's validation unit for eager conflict detection.
+func (p *Protocol) Access(w *tm.WarpTx, isWrite bool, lanes []tm.LaneAccess, done func([]tm.AccessResult)) {
+	results := make([]tm.AccessResult, len(lanes))
+	remaining := len(lanes)
+	if remaining == 0 {
+		done(results)
+		return
+	}
+	ts := p.warpts[w.GWID]
+
+	// Coalesce loads: lanes reading the same word share one request.
+	type share struct{ first, count int }
+	loadShare := map[uint64]*share{}
+
+	finishLane := func(i int, r tm.AccessResult) {
+		results[i] = r
+		remaining--
+		if remaining == 0 {
+			done(results)
+		}
+	}
+
+	for i, la := range lanes {
+		i, la := i, la
+		if !isWrite {
+			if s, ok := loadShare[la.Addr]; ok {
+				s.count++
+				results[i].Lane = la.Lane
+				continue // resolved when the shared request replies
+			}
+			loadShare[la.Addr] = &share{first: i, count: 1}
+		}
+		part := p.amap.Partition(la.Addr)
+		req := &Request{
+			GWID:    w.GWID,
+			Warpts:  ts,
+			Addr:    la.Addr,
+			IsWrite: isWrite,
+			Reply: func(rep Reply) {
+				// Reply travels back over the down crossbar.
+				bytes := tm.ReplyBytes
+				if rep.Status == StatusAbort {
+					bytes = tm.AbortReplyBytes
+				}
+				p.trans.ToCore(part, w.Core, bytes, func() {
+					res := tm.AccessResult{
+						Lane:    la.Lane,
+						Value:   rep.Value,
+						Abort:   rep.Status == StatusAbort,
+						Cause:   rep.Cause,
+						AbortTS: rep.AbortTS,
+					}
+					if res.Abort {
+						if rep.AbortTS > p.pendAbortTS[w.GWID] {
+							p.pendAbortTS[w.GWID] = rep.AbortTS
+						}
+					}
+					if !isWrite {
+						// Resolve all lanes sharing this word.
+						s := loadShare[la.Addr]
+						for j := 0; j < len(lanes) && s.count > 0; j++ {
+							if lanes[j].Addr == la.Addr {
+								r := res
+								r.Lane = lanes[j].Lane
+								finishLane(j, r)
+								s.count--
+							}
+						}
+						return
+					}
+					finishLane(i, res)
+				})
+			},
+		}
+		vu := p.vus[part]
+		p.trans.ToPartition(w.Core, part, tm.ReqBytes, func() { vu.Submit(req) })
+	}
+}
+
+// Commit implements tm.Protocol. The core serializes the warp's write log
+// (one entry per cycle), transmits per-partition commit/cleanup messages,
+// and resumes the warp immediately: eager detection guarantees the commit
+// succeeds, so nothing waits for acknowledgements.
+func (p *Protocol) Commit(w *tm.WarpTx, commitMask, abortMask isa.LaneMask, resume func(tm.CommitOutcome)) {
+	entriesByPart := make(map[int][]CommitEntry)
+	total := 0
+	for _, e := range w.Log.Writes {
+		inCommit := commitMask.Bit(e.Lane)
+		if !inCommit && !abortMask.Bit(e.Lane) {
+			continue
+		}
+		part := p.amap.Partition(e.Addr)
+		entriesByPart[part] = append(entriesByPart[part], CommitEntry{
+			Addr:   e.Addr,
+			Data:   e.Value,
+			Writes: e.Writes,
+			Commit: inCommit,
+		})
+		total++
+	}
+
+	ts := p.warpts[w.GWID]
+	// Record committed lanes for the replay checker before the log resets.
+	if p.Record {
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if !commitMask.Bit(lane) {
+				continue
+			}
+			reads, writes := w.Log.LaneEntries(lane)
+			p.seq++
+			p.Committed = append(p.Committed, tm.CommittedTx{
+				GWID:     w.GWID,
+				Lane:     lane,
+				SerialTS: (p.epoch << 48) | ts,
+				Seq:      p.seq,
+				Reads:    reads,
+				Writes:   writes,
+			})
+		}
+	}
+
+	// Advance warpts past every conflict observed by aborted lanes.
+	if abortMask != 0 {
+		next := ts
+		if pend := p.pendAbortTS[w.GWID]; pend > next {
+			next = pend
+		}
+		p.warpts[w.GWID] = next + 1
+	}
+	delete(p.pendAbortTS, w.GWID)
+
+	// Serialize the write log at one entry per cycle, then transmit. The
+	// warp resumes right after serialization — commits are off the critical
+	// path (no validation, no acks).
+	p.eng.Schedule(sim.Cycle(total), func() {
+		// Deterministic partition order (map iteration would randomize
+		// crossbar contention and thus timing between identical runs).
+		for part := 0; part < len(p.cus); part++ {
+			entries := entriesByPart[part]
+			if len(entries) == 0 {
+				continue
+			}
+			part, entries := part, entries
+			bytes := tm.HeaderBytes
+			for _, e := range entries {
+				if e.Commit {
+					bytes += tm.CommitEntryBytes
+				} else {
+					bytes += tm.CleanupEntryBytes
+				}
+			}
+			cu := p.cus[part]
+			p.pendingLogs++
+			p.trans.ToPartition(w.Core, part, bytes, func() {
+				cu.Submit(entries, func() {
+					p.pendingLogs--
+					p.maybeFinishDrain()
+				})
+			})
+		}
+		p.activeTx--
+		p.maybeFinishDrain()
+		resume(tm.CommitOutcome{})
+	})
+}
+
+// LockedGranules sums live write reservations across all partitions; it must
+// be zero after a run (invariant check used by integration tests).
+func (p *Protocol) LockedGranules() int {
+	n := 0
+	for _, vu := range p.vus {
+		n += vu.Meta.LockedEntries()
+	}
+	return n
+}
+
+// StallOccupancy returns the current total stall-buffer occupancy.
+func (p *Protocol) StallOccupancy() int {
+	n := 0
+	for _, vu := range p.vus {
+		n += vu.Stall.Occupancy()
+	}
+	return n
+}

@@ -1,0 +1,75 @@
+package core
+
+// Logical-timestamp rollover (§V-B1). Logical clocks advance only on aborts,
+// so rollover is rare (the paper measures one increment per 1,265–15,836
+// cycles; 32-bit timestamps roll over less than once per 1.5 hours). When a
+// validation unit sees a timestamp cross the high-water mark it starts the
+// rollover protocol:
+//
+//  1. a message circulates on the single-wire ring connecting the validation
+//     units, stalling each one; a second circuit commands the rollover;
+//  2. the SIMT cores stop starting new transactions and drain the ones in
+//     flight (this implementation drains instead of aborting: the paper only
+//     requires that no requests be in flight when the tables flush);
+//  3. every metadata table, approximate filter and stall buffer is flushed,
+//     all warpts reset to zero, and execution resumes.
+//
+// Correctness after the flush: committed data is already durable in the LLC
+// and flushed metadata reads as wts = rts = 0, so every post-rollover
+// transaction (warpts 0) passes the timestamp checks — exactly the state of
+// a fresh machine. Serializability across the boundary is preserved because
+// nothing is in flight; the replay checker accounts for it by folding a
+// rollover epoch into the serialization key.
+
+import "getm/internal/sim"
+
+// ringHopLatency is the per-hop delay of the VU ring (cycles).
+const ringHopLatency sim.Cycle = 10
+
+type rolloverState struct {
+	phase int // 1 = ring stall circuit, 2 = draining, 3 = flushing
+}
+
+// triggerRollover starts the protocol (idempotent while one is running).
+func (p *Protocol) triggerRollover() {
+	if p.rollover != nil {
+		return
+	}
+	p.rollover = &rolloverState{phase: 1}
+	// Two full circuits of the VU ring: stall, then command rollover.
+	ringDelay := sim.Cycle(2*len(p.vus)) * ringHopLatency
+	p.eng.Schedule(ringDelay, func() {
+		p.rollover.phase = 2
+		p.draining = true
+		p.maybeFinishDrain()
+	})
+}
+
+// maybeFinishDrain completes the rollover once no transactions or commit
+// logs are in flight. It is called whenever activeTx or pendingLogs drops.
+func (p *Protocol) maybeFinishDrain() {
+	if p.rollover == nil || p.rollover.phase != 2 {
+		return
+	}
+	if p.activeTx > 0 || p.pendingLogs > 0 {
+		return
+	}
+	p.rollover.phase = 3
+	// Cores ack over the interconnect; charge one ring circuit for the
+	// resume command as well.
+	p.eng.Schedule(sim.Cycle(len(p.vus))*ringHopLatency, func() {
+		for _, vu := range p.vus {
+			if vu.Stall.Occupancy() != 0 {
+				panic("core: rollover flush with occupied stall buffer")
+			}
+			vu.Meta.Flush()
+		}
+		for gwid := range p.warpts {
+			p.warpts[gwid] = 0
+		}
+		p.epoch++
+		p.Rollovers++
+		p.draining = false
+		p.rollover = nil
+	})
+}

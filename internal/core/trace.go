@@ -1,0 +1,38 @@
+package core
+
+import "getm/internal/tm"
+
+// Tracer receives protocol events from a validation unit. It exists for
+// observability tooling (cmd/getm-trace reproduces the paper's Fig 7
+// walkthrough with it) and for tests that assert on protocol behaviour; a
+// nil tracer costs nothing on the hot path.
+type Tracer interface {
+	// OnRequest fires when the VU starts processing an access.
+	OnRequest(partition int, req *Request)
+	// OnOutcome fires with the decision for an access: "success",
+	// "abort", or "queue".
+	OnOutcome(partition int, req *Request, outcome string, cause tm.AbortCause, entry Entry)
+	// OnRelease fires when a commit/cleanup entry releases a reservation.
+	OnRelease(partition int, granule uint64, remaining int, committed bool)
+}
+
+// SetTracer attaches a tracer to the VU (nil detaches).
+func (v *VU) SetTracer(t Tracer) { v.tracer = t }
+
+func (v *VU) traceRequest(req *Request) {
+	if v.tracer != nil {
+		v.tracer.OnRequest(v.part.ID, req)
+	}
+}
+
+func (v *VU) traceOutcome(req *Request, outcome string, cause tm.AbortCause, e *Entry) {
+	if v.tracer != nil {
+		v.tracer.OnOutcome(v.part.ID, req, outcome, cause, *e)
+	}
+}
+
+func (v *VU) traceRelease(granule uint64, remaining int, committed bool) {
+	if v.tracer != nil {
+		v.tracer.OnRelease(v.part.ID, granule, remaining, committed)
+	}
+}

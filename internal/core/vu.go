@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+
+	"getm/internal/mem"
+	"getm/internal/sim"
+	"getm/internal/stats"
+	"getm/internal/tm"
+)
+
+// Status is a validation unit's decision for one access.
+type Status uint8
+
+// VU decisions.
+const (
+	StatusSuccess Status = iota
+	StatusAbort
+)
+
+// Request is one transactional access arriving at a validation unit.
+type Request struct {
+	GWID    int
+	Warpts  uint64
+	Addr    uint64 // word-aligned data address
+	IsWrite bool
+	// Reply receives the decision. Queued requests reply only after they
+	// are released and re-validated.
+	Reply func(Reply)
+}
+
+// Reply is the VU's answer.
+type Reply struct {
+	Status  Status
+	Value   uint64 // load data on success
+	Cause   tm.AbortCause
+	AbortTS uint64 // newest timestamp observed; the core advances warpts past it
+}
+
+// VU is a GETM validation unit, colocated with one LLC partition (Fig 5).
+// It owns the partition's metadata table and stall buffer and carries out
+// the Fig 6 flowchart for every transactional access at a service rate of
+// one request per cycle.
+type VU struct {
+	cfg   Config
+	eng   *sim.Engine
+	part  *mem.Partition
+	Meta  *MetaTable
+	Stall *StallBuffer
+
+	nextService sim.Cycle
+
+	// AccessCycles records per-request metadata latency (Fig 13).
+	AccessCycles stats.Hist
+	Requests     uint64
+	Queued       uint64
+	AbortsWAR    uint64
+	AbortsWAWRAW uint64
+	AbortsFull   uint64
+	Overflows    uint64
+
+	// onTimestampHighWater is invoked when a timestamp crosses the rollover
+	// threshold (wired by the rollover coordinator).
+	onTimestampHighWater func()
+	rolloverArmed        bool
+	tracer               Tracer
+}
+
+// NewVU builds a validation unit for one partition. preciseEntries and
+// approxEntries are this partition's share of the GPU-wide budgets.
+func NewVU(cfg Config, eng *sim.Engine, part *mem.Partition, preciseEntries, approxEntries int, rng *sim.RNG) *VU {
+	return &VU{
+		cfg:           cfg,
+		eng:           eng,
+		part:          part,
+		Meta:          NewMetaTable(cfg, preciseEntries, approxEntries, rng),
+		Stall:         NewStallBuffer(cfg.StallLines, cfg.StallEntriesPerLine),
+		AccessCycles:  stats.Hist{Buckets: make([]uint64, 64)},
+		rolloverArmed: cfg.TSBits < 64,
+	}
+}
+
+// SetHighWaterHook registers the rollover trigger callback.
+func (v *VU) SetHighWaterHook(fn func()) { v.onTimestampHighWater = fn }
+
+// Submit delivers a request to the VU (called when the up-crossbar message
+// arrives). Service is serialized at one request per cycle.
+func (v *VU) Submit(req *Request) {
+	start := v.eng.Now()
+	if v.nextService > start {
+		start = v.nextService
+	}
+	v.nextService = start + 1
+	v.eng.At(start, func() { v.process(req, false) })
+}
+
+// process runs the Fig 6 flowchart for req. retried marks stall-buffer
+// re-entries (they have already been counted as queued).
+func (v *VU) process(req *Request, retried bool) {
+	v.Requests++
+	v.traceRequest(req)
+	granule := v.cfg.GranuleOf(req.Addr)
+	e, metaCycles, overflowed := v.Meta.Lookup(granule)
+	if overflowed {
+		v.Overflows++
+	}
+	v.AccessCycles.Add(int(metaCycles))
+	// The metadata access occupies the VU for its extra cycles.
+	if metaCycles > 1 {
+		v.nextService += metaCycles - 1
+	}
+	decide := func(fn func()) { v.eng.Schedule(metaCycles, fn) }
+
+	if req.IsWrite {
+		v.processStore(req, e, decide)
+	} else {
+		v.processLoad(req, e, decide)
+	}
+	// If the request finished (any outcome) leaving the granule unlocked,
+	// wake the next waiter: a retried load that succeeds takes no lock, so
+	// without this the remaining queued requests would never be released.
+	if e.Writes == 0 {
+		v.wakeNext(granule)
+	}
+}
+
+// wakeNext retries the oldest request stalled on granule, if any.
+func (v *VU) wakeNext(granule uint64) {
+	if r := v.Stall.Release(granule); r != nil {
+		v.eng.Schedule(1, r.Retry)
+	}
+}
+
+// processLoad: owner check ①, timestamp check ③, lock check ⑤ (Fig 6 left).
+func (v *VU) processLoad(req *Request, e *Entry, decide func(func())) {
+	switch {
+	case e.Writes > 0 && e.Owner == req.GWID:
+		// ② Owner bypass: the line is locked by this transaction.
+		if req.Warpts > e.RTS {
+			e.RTS = req.Warpts
+		}
+		v.bumpTS(e.RTS)
+		v.traceOutcome(req, "success", tm.CauseNone, e)
+		v.replyLoad(req, decide)
+	case req.Warpts >= e.WTS:
+		if e.Writes > 0 {
+			// ⑦ Queue (RAW): locked by a logically older transaction.
+			v.queue(req, e, decide)
+			return
+		}
+		// ⑥ Success: update rts.
+		if req.Warpts > e.RTS {
+			e.RTS = req.Warpts
+		}
+		v.bumpTS(e.RTS)
+		v.traceOutcome(req, "success", tm.CauseNone, e)
+		v.replyLoad(req, decide)
+	default:
+		// ④ Abort (WAR): written by a logically later transaction.
+		v.AbortsWAR++
+		v.traceOutcome(req, "abort", tm.CauseWAR, e)
+		ts := e.WTS
+		decide(func() {
+			req.Reply(Reply{Status: StatusAbort, Cause: tm.CauseWAR, AbortTS: ts})
+		})
+	}
+}
+
+// processStore: owner check ①, timestamp check ③, lock check ⑤ (Fig 6 right).
+func (v *VU) processStore(req *Request, e *Entry, decide func(func())) {
+	switch {
+	case e.Writes > 0 && e.Owner == req.GWID:
+		// ② Owner bypass: wts was set by the previous write; just count.
+		e.Writes++
+		v.traceOutcome(req, "success", tm.CauseNone, e)
+		decide(func() { req.Reply(Reply{Status: StatusSuccess}) })
+	case req.Warpts >= e.WTS && req.Warpts >= e.RTS:
+		if e.Writes > 0 {
+			// ⑦ Queue (WAW): reserved by a logically older transaction.
+			v.queue(req, e, decide)
+			return
+		}
+		// ⑥ Success: reserve the granule.
+		e.WTS = req.Warpts + 1
+		e.Owner = req.GWID
+		e.Writes = 1
+		v.bumpTS(e.WTS)
+		v.traceOutcome(req, "success", tm.CauseNone, e)
+		decide(func() { req.Reply(Reply{Status: StatusSuccess}) })
+	default:
+		// ④ Abort (WAW or RAW): written or observed by a later transaction.
+		v.AbortsWAWRAW++
+		v.traceOutcome(req, "abort", tm.CauseWAWRAW, e)
+		ts := maxU64(e.WTS, e.RTS)
+		decide(func() {
+			req.Reply(Reply{Status: StatusAbort, Cause: tm.CauseWAWRAW, AbortTS: ts})
+		})
+	}
+}
+
+// queue places a request in the stall buffer (aborting it if full). The
+// request must be logically younger than the reservation owner — the
+// invariant that makes the wait-for graph acyclic (see DESIGN.md).
+func (v *VU) queue(req *Request, e *Entry, decide func(func())) {
+	if req.Warpts+1 < e.WTS {
+		panic(fmt.Sprintf("core: queued request (ts %d) not younger than reservation (wts %d)", req.Warpts, e.WTS))
+	}
+	granule := v.cfg.GranuleOf(req.Addr)
+	ok := v.Stall.Enqueue(&StalledReq{
+		Granule: granule,
+		Warpts:  req.Warpts,
+		Retry:   func() { v.process(req, true) },
+	})
+	if !ok {
+		v.AbortsFull++
+		v.traceOutcome(req, "abort", tm.CauseStallFull, e)
+		ts := maxU64(e.WTS, e.RTS)
+		decide(func() {
+			req.Reply(Reply{Status: StatusAbort, Cause: tm.CauseStallFull, AbortTS: ts})
+		})
+		return
+	}
+	v.traceOutcome(req, "queue", tm.CauseNone, e)
+	v.Queued++
+}
+
+// replyLoad returns the data word for a load that passed the checks. The
+// value is captured at the decision instant — the check and the data access
+// are one pipelined operation in the validation unit, so a commit-unit write
+// arriving during the access latency must not be observable by a load that
+// was already ordered before it (its rts was taken at the check). The
+// partition's access latency is still charged before the reply leaves.
+func (v *VU) replyLoad(req *Request, decide func(func())) {
+	val := v.part.ReadNow(req.Addr)
+	delay := v.part.AccessDelay(req.Addr)
+	decide(func() {
+		v.eng.Schedule(delay, func() {
+			req.Reply(Reply{Status: StatusSuccess, Value: val})
+		})
+	})
+}
+
+// ReleaseGranule decrements the write reservation after a commit/cleanup
+// entry is processed; when it reaches zero, the oldest stalled request for
+// the granule is retried. committed distinguishes commit data writes from
+// abort cleanups (tracing only).
+func (v *VU) ReleaseGranule(granule uint64, n int, committed bool) {
+	remaining := v.Meta.Release(granule, n)
+	v.traceRelease(granule, remaining, committed)
+	if remaining == 0 {
+		if r := v.Stall.Release(granule); r != nil {
+			// Re-entry consumes a fresh VU slot.
+			v.eng.Schedule(1, r.Retry)
+		}
+	}
+}
+
+// bumpTS checks the rollover high-water mark.
+func (v *VU) bumpTS(ts uint64) {
+	if v.rolloverArmed && ts >= v.cfg.RolloverThreshold() && v.onTimestampHighWater != nil {
+		v.onTimestampHighWater()
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CommitEntry is one element of a commit/cleanup log.
+type CommitEntry struct {
+	Addr   uint64 // word address
+	Data   uint64
+	Writes int
+	// Commit is true for committing lanes (write the data) and false for
+	// aborted lanes (cleanup only).
+	Commit bool
+}
+
+// CU is a GETM commit unit: it receives write logs from SIMT cores,
+// coalesces entries into 32-byte regions, writes data to the LLC at the
+// configured bandwidth, and releases write reservations. There are no acks —
+// GETM commits are off the critical path.
+type CU struct {
+	cfg  Config
+	eng  *sim.Engine
+	part *mem.Partition
+	vu   *VU
+
+	nextFree sim.Cycle
+
+	CommitsProcessed uint64
+	EntriesWritten   uint64
+	BytesWritten     uint64
+}
+
+// NewCU builds the commit unit colocated with vu.
+func NewCU(cfg Config, eng *sim.Engine, part *mem.Partition, vu *VU) *CU {
+	return &CU{cfg: cfg, eng: eng, part: part, vu: vu}
+}
+
+// Submit hands a commit/cleanup log to the CU (on up-crossbar delivery).
+// Entries from one message are processed as a unit: data writes coalesced
+// to 32-byte regions and drained at CommitBytesPerCycle. done (optional)
+// fires after the message's releases have taken effect — the rollover drain
+// uses it to know no cleanup is still in flight.
+//
+// The CU shares the metadata table and LLC port with its VU, so processing
+// a commit occupies the VU's service timeline: an access delivered after a
+// commit message cannot be checked before the commit's releases and data
+// writes have taken effect. (Without this ordering point, a warp's next
+// transaction could owner-bypass-read a granule whose previous commit is
+// still draining through the commit unit and observe pre-commit data.)
+func (c *CU) Submit(entries []CommitEntry, done func()) {
+	start := c.eng.Now()
+	if c.nextFree > start {
+		start = c.nextFree
+	}
+	if c.vu.nextService > start {
+		start = c.vu.nextService
+	}
+	// Coalesce committed writes into 32-byte regions for bandwidth cost.
+	regions := map[uint64]bool{}
+	for _, e := range entries {
+		if e.Commit {
+			regions[e.Addr/32] = true
+		}
+	}
+	bytes := uint64(len(regions) * 32)
+	cycles := sim.Cycle((bytes + uint64(c.cfg.CommitBytesPerCycle) - 1) / uint64(c.cfg.CommitBytesPerCycle))
+	if cycles == 0 {
+		cycles = 1
+	}
+	c.nextFree = start + cycles
+	c.vu.nextService = start + cycles
+	c.BytesWritten += bytes
+	c.CommitsProcessed++
+
+	c.eng.At(start+cycles, func() {
+		for _, e := range entries {
+			if e.Commit {
+				c.part.WriteNow(e.Addr, e.Data)
+				c.EntriesWritten++
+			}
+			c.vu.ReleaseGranule(c.cfg.GranuleOf(e.Addr), e.Writes, e.Commit)
+		}
+		if done != nil {
+			done()
+		}
+	})
+}

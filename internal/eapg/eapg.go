@@ -1,0 +1,188 @@
+// Package eapg implements the idealized EarlyAbort/Pause-n-Go baseline
+// (Chen & Peng, HPCA 2016) the paper compares against: WarpTM's lazy
+// value-based commit machinery, plus global broadcasts of committing
+// transactions' write signatures that (a) abort doomed running transactions
+// early and (b) pause accesses that would conflict with an in-flight commit
+// until it completes.
+//
+// Following the paper's footnote 3, the broadcasts are idealized as 64-bit
+// messages, the LLC-side refcount updates are free, and the early conflict
+// check is instant.
+package eapg
+
+import (
+	"sort"
+
+	"getm/internal/isa"
+	"getm/internal/mem"
+	"getm/internal/sim"
+	"getm/internal/tm"
+	"getm/internal/warptm"
+)
+
+// Signature is a 64-bit bloom filter over word addresses.
+type Signature uint64
+
+// AddWord folds a word address into the signature.
+func (s Signature) AddWord(addr uint64) Signature {
+	return s | 1<<(sim.Mix64(addr/uint64(mem.WordBytes))%64)
+}
+
+// MayContain reports whether addr may be in the signature (false positives
+// possible, false negatives not).
+func (s Signature) MayContain(addr uint64) bool {
+	return s&(1<<(sim.Mix64(addr/uint64(mem.WordBytes))%64)) != 0
+}
+
+type activeSig struct {
+	sig Signature
+	// words is the precise write set: the broadcast message is idealized to
+	// 64 bits (footnote 3), but the conflict checks use the cores'
+	// conflict-address tables, which track precise addresses.
+	words   map[uint64]bool
+	waiters []func()
+}
+
+// Protocol wraps WarpTM with early-abort and pause-n-go.
+type Protocol struct {
+	inner *warptm.Protocol
+	eng   *sim.Engine
+	trans tm.Transport
+	cores int
+
+	active     map[int]*tm.WarpTx // running (pre-commit) transactions
+	committing map[int]*activeSig // gwid -> in-flight commit signature
+	abortSink  func(tm.AbortNotice)
+
+	EarlyAborts uint64
+	Pauses      uint64
+	Broadcasts  uint64
+}
+
+var (
+	_ tm.Protocol     = (*Protocol)(nil)
+	_ tm.AsyncAborter = (*Protocol)(nil)
+)
+
+// New wraps a WarpTM protocol instance (cfg.Eager must be false).
+func New(inner *warptm.Protocol, eng *sim.Engine, trans tm.Transport, cores int) *Protocol {
+	return &Protocol{
+		inner:      inner,
+		eng:        eng,
+		trans:      trans,
+		cores:      cores,
+		active:     make(map[int]*tm.WarpTx),
+		committing: make(map[int]*activeSig),
+	}
+}
+
+// Name implements tm.Protocol.
+func (p *Protocol) Name() string { return "eapg" }
+
+// EagerIntraWarp matches WarpTM (commit-time intra-warp resolution).
+func (p *Protocol) EagerIntraWarp() bool { return false }
+
+// SetAbortSink implements tm.AsyncAborter.
+func (p *Protocol) SetAbortSink(fn func(tm.AbortNotice)) { p.abortSink = fn }
+
+// Inner exposes the wrapped WarpTM protocol (stats).
+func (p *Protocol) Inner() *warptm.Protocol { return p.inner }
+
+// Begin implements tm.Protocol.
+func (p *Protocol) Begin(w *tm.WarpTx) {
+	p.active[w.GWID] = w
+	p.inner.Begin(w)
+}
+
+// pauseTarget returns a committing signature that the access would conflict
+// with, if any (pause-n-go). Owners are scanned in sorted order so the
+// choice among several matches is deterministic.
+func (p *Protocol) pauseTarget(gwid int, lanes []tm.LaneAccess) *activeSig {
+	owners := make([]int, 0, len(p.committing))
+	for owner := range p.committing {
+		if owner != gwid {
+			owners = append(owners, owner)
+		}
+	}
+	sort.Ints(owners)
+	for _, owner := range owners {
+		as := p.committing[owner]
+		for _, la := range lanes {
+			if as.words[la.Addr] {
+				return as
+			}
+		}
+	}
+	return nil
+}
+
+// Access implements tm.Protocol: conflicting accesses pause until the
+// in-flight commit finishes, then proceed through WarpTM's access path.
+func (p *Protocol) Access(w *tm.WarpTx, isWrite bool, lanes []tm.LaneAccess, done func([]tm.AccessResult)) {
+	if as := p.pauseTarget(w.GWID, lanes); as != nil {
+		p.Pauses++
+		as.waiters = append(as.waiters, func() { p.Access(w, isWrite, lanes, done) })
+		return
+	}
+	p.inner.Access(w, isWrite, lanes, done)
+}
+
+// Commit implements tm.Protocol: broadcast the write signature (idealized as
+// one 64-bit message per core), early-abort doomed transactions, then run
+// WarpTM's two-round-trip commit.
+func (p *Protocol) Commit(w *tm.WarpTx, commitMask, abortMask isa.LaneMask, resume func(tm.CommitOutcome)) {
+	delete(p.active, w.GWID)
+
+	var sig Signature
+	words := map[uint64]bool{}
+	for _, e := range w.Log.Writes {
+		if commitMask.Bit(e.Lane) {
+			sig = sig.AddWord(e.Addr)
+			words[e.Addr] = true
+		}
+	}
+
+	if len(words) > 0 {
+		as := &activeSig{sig: sig, words: words}
+		p.committing[w.GWID] = as
+		p.Broadcasts++
+		// The LLC-side broadcast to every core (64-bit flits).
+		p.trans.BroadcastToCores(0, tm.SignatureBytes, func(core int) {
+			p.earlyAbortDoomed(core, w.GWID, words)
+		})
+	}
+
+	p.inner.Commit(w, commitMask, abortMask, func(out tm.CommitOutcome) {
+		if as, ok := p.committing[w.GWID]; ok {
+			delete(p.committing, w.GWID)
+			for _, retry := range as.waiters {
+				p.eng.Schedule(1, retry)
+			}
+		}
+		resume(out)
+	})
+}
+
+// earlyAbortDoomed aborts running transactions on core whose read sets
+// intersect the committing write set: their commit-time validation would
+// fail anyway, so aborting now saves the round trips.
+func (p *Protocol) earlyAbortDoomed(core, committer int, words map[uint64]bool) {
+	if p.abortSink == nil {
+		return
+	}
+	for gwid, w := range p.active {
+		if gwid == committer || w.Core != core {
+			continue
+		}
+		var doomed isa.LaneMask
+		for _, e := range w.Log.Reads {
+			if words[e.Addr] {
+				doomed = doomed.Set(e.Lane)
+			}
+		}
+		if doomed != 0 {
+			p.EarlyAborts += uint64(doomed.Count())
+			p.abortSink(tm.AbortNotice{GWID: gwid, Lanes: doomed, Cause: tm.CauseEarlyAbort})
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package gpu assembles the full simulated machine — SIMT cores, crossbars,
+// memory partitions, and a transactional-memory protocol — and runs a
+// workload kernel on it, producing the metrics the experiment harness
+// consumes.
+package gpu
+
+import (
+	"fmt"
+	"strings"
+
+	"getm/internal/core"
+	"getm/internal/isa"
+	"getm/internal/mem"
+	"getm/internal/sim"
+	"getm/internal/simt"
+	"getm/internal/stats"
+	"getm/internal/tm"
+	"getm/internal/warptm"
+	"getm/internal/xbar"
+)
+
+// Protocol selects the synchronization mechanism for a run.
+type Protocol string
+
+// Supported protocols.
+const (
+	// ProtoGETM is the paper's contribution: eager conflict detection with
+	// lazy versioning.
+	ProtoGETM Protocol = "getm"
+	// ProtoWarpTM is the lazy-lazy baseline with value-based validation.
+	ProtoWarpTM Protocol = "warptm"
+	// ProtoWarpTMEL is the idealized eager-lazy WarpTM variant (§III).
+	ProtoWarpTMEL Protocol = "warptm-el"
+	// ProtoEAPG is the idealized EarlyAbort/Pause-n-Go baseline.
+	ProtoEAPG Protocol = "eapg"
+	// ProtoFGLock runs the hand-tuned fine-grained lock version.
+	ProtoFGLock Protocol = "fglock"
+)
+
+// Config describes one machine configuration.
+type Config struct {
+	Protocol   Protocol
+	Cores      int
+	Partitions int
+	Core       simt.Config
+	Xbar       xbar.Config
+	Partition  mem.PartitionConfig
+	GETM       core.Config
+	WarpTM     warptm.Config
+	LineBytes  int
+	Seed       uint64
+	// Record enables committed-transaction recording for the
+	// serializability checker (integration tests).
+	Record bool
+	// MaxCycles aborts a run that exceeds this simulated length (0 = none).
+	MaxCycles sim.Cycle
+}
+
+// DefaultConfig mirrors Table II's 15-core GTX480-like setup.
+func DefaultConfig(p Protocol) Config {
+	return Config{
+		Protocol:   p,
+		Cores:      15,
+		Partitions: 6,
+		Core:       simt.DefaultConfig(),
+		Xbar:       xbar.DefaultConfig(0, 0),
+		Partition:  mem.DefaultPartitionConfig(),
+		GETM:       core.DefaultConfig(),
+		WarpTM:     warptm.DefaultConfig(),
+		LineBytes:  128,
+		Seed:       1,
+		MaxCycles:  200_000_000,
+	}
+}
+
+// ScaledConfig returns the 56-core, 8-partition, 4MB-LLC configuration used
+// by the paper's scalability study (Fig 17). Following §VI-A, WarpTM's
+// recency (TCD) filter and GETM's precise metadata table are doubled.
+func ScaledConfig(p Protocol) Config {
+	cfg := DefaultConfig(p)
+	cfg.Cores = 56
+	cfg.Partitions = 8
+	cfg.Partition.LLCBytes = (4 << 20) / 8 // 4MB total across 8 partitions
+	cfg.WarpTM.TCDEntries *= 2
+	cfg.GETM.PreciseEntries *= 2
+	return cfg
+}
+
+// Kernel is a runnable workload: one program per warp's worth of threads,
+// memory initialization, and a post-run semantic verifier.
+type Kernel struct {
+	Name     string
+	Programs []*isa.Program
+	Init     func(img *mem.Image)
+	Verify   func(img *mem.Image) error
+}
+
+// Result carries a run's outputs.
+type Result struct {
+	Metrics *stats.Metrics
+	// Committed and InitialImage are populated when cfg.Record is set.
+	Committed    []tm.CommittedTx
+	InitialImage *mem.Image
+	FinalImage   *mem.Image
+}
+
+// Run executes the kernel on the configured machine.
+func Run(cfg Config, k *Kernel) (*Result, error) {
+	if len(k.Programs) == 0 {
+		return nil, fmt.Errorf("gpu: kernel %q has no programs", k.Name)
+	}
+	eng := sim.NewEngine()
+	img := mem.NewImage()
+	if k.Init != nil {
+		k.Init(img)
+	}
+	var initial *mem.Image
+	if cfg.Record {
+		initial = img.Snapshot()
+	}
+
+	m := newMachine(eng, img, cfg)
+
+	// Round-robin program dispatch: each warp slot pulls the next pending
+	// program when it retires one.
+	nextProg := 0
+	dispatch := func(coreID, slot int) *isa.Program {
+		if nextProg >= len(k.Programs) {
+			return nil
+		}
+		p := k.Programs[nextProg]
+		nextProg++
+		return p
+	}
+
+	rng := sim.NewRNG(cfg.Seed)
+	cores := make([]*simt.Core, cfg.Cores)
+	for i := range cores {
+		cores[i] = simt.NewCore(i, eng, cfg.Core, m.protocol, m.memsys, rng.Fork(uint64(1000+i)), dispatch)
+	}
+	if aa, ok := m.protocol.(tm.AsyncAborter); ok {
+		aa.SetAbortSink(func(n tm.AbortNotice) {
+			c := n.GWID / cfg.Core.WarpsPerCore
+			if c >= 0 && c < len(cores) {
+				cores[c].AsyncAbort(n)
+			}
+		})
+	}
+
+	for _, c := range cores {
+		c.Start()
+	}
+	end := eng.Run(cfg.MaxCycles)
+	if cfg.MaxCycles != 0 && end >= cfg.MaxCycles {
+		return nil, fmt.Errorf("gpu: kernel %q exceeded %d cycles", k.Name, cfg.MaxCycles)
+	}
+	var stuck []string
+	for _, c := range cores {
+		if !c.AllDone() {
+			stuck = append(stuck, c.StuckWarps()...)
+		}
+	}
+	if len(stuck) > 0 {
+		return nil, fmt.Errorf("gpu: kernel %q deadlocked:\n%s", k.Name, strings.Join(stuck, "\n"))
+	}
+	if err := m.checkInvariants(); err != nil {
+		return nil, fmt.Errorf("gpu: kernel %q: %w", k.Name, err)
+	}
+	if k.Verify != nil {
+		if err := k.Verify(img); err != nil {
+			return nil, fmt.Errorf("gpu: kernel %q verification failed: %w", k.Name, err)
+		}
+	}
+
+	res := &Result{Metrics: m.collect(cores, end)}
+	if cfg.Record {
+		res.Committed = m.committed()
+		res.InitialImage = initial
+		res.FinalImage = img
+	}
+	return res, nil
+}

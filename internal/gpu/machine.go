@@ -1,0 +1,296 @@
+package gpu
+
+import (
+	"fmt"
+
+	"getm/internal/core"
+	"getm/internal/eapg"
+	"getm/internal/isa"
+	"getm/internal/mem"
+	"getm/internal/sim"
+	"getm/internal/simt"
+	"getm/internal/stats"
+	"getm/internal/tm"
+	"getm/internal/warptm"
+	"getm/internal/xbar"
+)
+
+// machine holds the assembled hardware components of one run.
+type machine struct {
+	cfg        Config
+	eng        *sim.Engine
+	img        *mem.Image
+	amap       mem.AddressMap
+	pair       *xbar.Pair
+	partitions []*mem.Partition
+	protocol   tm.Protocol
+
+	getm   *core.Protocol
+	getmVU []*core.VU
+	stall  *core.OccTracker
+	wtm    *warptm.Protocol
+	eapg   *eapg.Protocol
+	memsys simt.MemSystem
+}
+
+func newMachine(eng *sim.Engine, img *mem.Image, cfg Config) *machine {
+	m := &machine{
+		cfg:  cfg,
+		eng:  eng,
+		img:  img,
+		amap: mem.AddressMap{Partitions: cfg.Partitions, LineBytes: cfg.LineBytes},
+		pair: xbar.NewPair(eng, cfg.Cores, cfg.Partitions, cfg.Xbar),
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		m.partitions = append(m.partitions, mem.NewPartition(i, eng, img, cfg.Partition))
+	}
+	m.memsys = &memSystem{m: m}
+	trans := &transport{m: m}
+	rng := sim.NewRNG(cfg.Seed ^ 0xC0FFEE)
+
+	switch cfg.Protocol {
+	case ProtoGETM:
+		m.stall = &core.OccTracker{}
+		var vus []*core.VU
+		var cus []*core.CU
+		for i, p := range m.partitions {
+			vu := core.NewVU(cfg.GETM, eng, p,
+				cfg.GETM.PreciseEntries/cfg.Partitions, cfg.GETM.ApproxEntries/cfg.Partitions,
+				rng.Fork(uint64(i)))
+			vu.Stall.SetTracker(m.stall)
+			vus = append(vus, vu)
+			cus = append(cus, core.NewCU(cfg.GETM, eng, p, vu))
+		}
+		m.getmVU = vus
+		m.getm = core.NewProtocol(cfg.GETM, eng, m.amap, trans, vus, cus)
+		m.getm.Record = cfg.Record
+		m.protocol = m.getm
+	case ProtoWarpTM, ProtoWarpTMEL, ProtoEAPG:
+		wcfg := cfg.WarpTM
+		wcfg.Eager = cfg.Protocol == ProtoWarpTMEL
+		var vus []*warptm.VU
+		for i, p := range m.partitions {
+			vus = append(vus, warptm.NewVU(wcfg, eng, p, rng.Fork(uint64(100+i))))
+		}
+		m.wtm = warptm.NewProtocol(wcfg, eng, m.amap, trans, vus, img)
+		m.wtm.Record = cfg.Record
+		m.protocol = m.wtm
+		if cfg.Protocol == ProtoEAPG {
+			m.eapg = eapg.New(m.wtm, eng, trans, cfg.Cores)
+			m.protocol = m.eapg
+		}
+	case ProtoFGLock:
+		m.protocol = lockStub{}
+	default:
+		panic(fmt.Sprintf("gpu: unknown protocol %q", cfg.Protocol))
+	}
+	return m
+}
+
+// committed returns the recorded transactions for the replay checker.
+func (m *machine) committed() []tm.CommittedTx {
+	switch {
+	case m.getm != nil:
+		return m.getm.Committed
+	case m.wtm != nil:
+		return m.wtm.Committed
+	}
+	return nil
+}
+
+// checkInvariants verifies post-run protocol state (no leaked reservations,
+// empty stall buffers).
+func (m *machine) checkInvariants() error {
+	if m.getm != nil {
+		if n := m.getm.LockedGranules(); n != 0 {
+			return fmt.Errorf("%d write reservations leaked", n)
+		}
+		if n := m.getm.StallOccupancy(); n != 0 {
+			return fmt.Errorf("%d requests stuck in stall buffers", n)
+		}
+	}
+	return nil
+}
+
+// collect aggregates run metrics.
+func (m *machine) collect(cores []*simt.Core, end sim.Cycle) *stats.Metrics {
+	out := stats.NewMetrics()
+	out.TotalCycles = uint64(end)
+	for _, c := range cores {
+		out.TxExecCycles += c.Stats.TxExecCycles
+		out.TxWaitCycles += c.Stats.TxWaitCycles
+		out.Commits += c.Stats.Commits
+		out.Aborts += c.Stats.Aborts
+		out.AbortsByCause.Merge(c.Stats.AbortsByCause)
+		out.Extra.Inc("instructions", c.Stats.Instructions)
+		out.Extra.Inc("tx-attempts", c.Stats.TxAttempts)
+	}
+	out.XbarUpBytes, out.XbarDownBytes = m.pair.TrafficBytes()
+	for _, p := range m.partitions {
+		out.Extra.Inc("llc-hits", p.LLC.Hits)
+		out.Extra.Inc("llc-misses", p.LLC.Misses)
+		out.Extra.Inc("atomics", p.AtomicsServed)
+	}
+	if m.getm != nil {
+		out.StallBufMaxOccupancy = uint64(m.stall.Max)
+		out.Extra.Inc("rollovers", m.getm.Rollovers)
+		for _, vu := range m.getmVU {
+			for b, n := range vu.AccessCycles.Buckets {
+				out.MetaAccessCycles.Buckets[minInt(b, len(out.MetaAccessCycles.Buckets)-1)] += n
+			}
+			out.Extra.Inc("vu-requests", vu.Requests)
+			out.Extra.Inc("vu-queued", vu.Queued)
+			out.Extra.Inc("meta-overflows", vu.Overflows)
+			out.Extra.Inc("meta-evictions", vu.Meta.Evictions)
+			out.Extra.Inc("meta-stashed", vu.Meta.StashedEntries)
+			out.Extra.Inc("stall-enqueues", vu.Stall.EnqueueCount)
+			out.Extra.Inc("stall-rejects", vu.Stall.RejectedFull)
+			out.Extra.Inc("stall-depth-total", vu.Stall.PerAddrTotal)
+			out.Extra.Inc("stall-depth-count", vu.Stall.PerAddrCount)
+		}
+		if c := out.Extra["stall-depth-count"]; c > 0 {
+			out.StallBufPerAddr.Count = c
+			out.StallBufPerAddr.Sum = float64(out.Extra["stall-depth-total"])
+		}
+	}
+	if m.wtm != nil {
+		out.SilentCommits = m.wtm.SilentCommits
+		out.Extra.Inc("el-early-aborts", m.wtm.EarlyAborts)
+	}
+	if m.eapg != nil {
+		out.Extra.Inc("eapg-early-aborts", m.eapg.EarlyAborts)
+		out.Extra.Inc("eapg-pauses", m.eapg.Pauses)
+		out.Extra.Inc("eapg-broadcasts", m.eapg.Broadcasts)
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// transport adapts the crossbar pair to tm.Transport.
+type transport struct{ m *machine }
+
+func (t *transport) ToPartition(core, partition, bytes int, deliver func()) {
+	t.m.pair.Up.Send(core, partition, bytes, deliver)
+}
+
+func (t *transport) ToCore(partition, core, bytes int, deliver func()) {
+	t.m.pair.Down.Send(partition, core, bytes, deliver)
+}
+
+func (t *transport) BroadcastToCores(partition, bytes int, deliver func(core int)) {
+	t.m.pair.Down.Broadcast(partition, bytes, deliver)
+}
+
+// memSystem adapts the crossbars + partitions to simt.MemSystem with
+// per-line coalescing.
+type memSystem struct{ m *machine }
+
+func (ms *memSystem) Access(coreID int, isWrite bool, addrs, vals []uint64, done func([]uint64)) {
+	m := ms.m
+	loadVals := make([]uint64, len(addrs))
+	type lineGroup struct {
+		part    int
+		indices []int
+	}
+	groups := map[uint64]*lineGroup{}
+	var order []uint64 // deterministic issue order (first touch)
+	for i, a := range addrs {
+		line := m.amap.Line(a)
+		g, ok := groups[line]
+		if !ok {
+			g = &lineGroup{part: m.amap.Partition(a)}
+			groups[line] = g
+			order = append(order, line)
+		}
+		g.indices = append(g.indices, i)
+	}
+	remaining := len(groups)
+	for _, line := range order {
+		line, g := line, groups[line]
+		part := m.partitions[g.part]
+		upBytes := tm.HeaderBytes + tm.AddrBytes
+		downBytes := tm.HeaderBytes
+		if isWrite {
+			upBytes += len(g.indices) * tm.WordBytes
+		} else {
+			downBytes += len(g.indices) * tm.WordBytes
+		}
+		m.pair.Up.Send(coreID, g.part, upBytes, func() {
+			delay := part.AccessDelay(line)
+			m.eng.Schedule(delay, func() {
+				for _, i := range g.indices {
+					if isWrite {
+						m.img.Write(addrs[i], vals[i])
+					} else {
+						loadVals[i] = m.img.Read(addrs[i])
+					}
+				}
+				m.pair.Down.Send(g.part, coreID, downBytes, func() {
+					remaining--
+					if remaining == 0 {
+						done(loadVals)
+					}
+				})
+			})
+		})
+	}
+}
+
+func (ms *memSystem) AtomicCAS(coreID int, addr, compare, swap uint64, done func(old uint64, ok bool)) {
+	m := ms.m
+	partID := m.amap.Partition(addr)
+	part := m.partitions[partID]
+	m.pair.Up.Send(coreID, partID, tm.HeaderBytes+tm.AddrBytes+2*tm.WordBytes, func() {
+		part.AtomicCAS(addr, compare, swap, func(old uint64, ok bool) {
+			m.pair.Down.Send(partID, coreID, tm.HeaderBytes+tm.WordBytes, func() {
+				done(old, ok)
+			})
+		})
+	})
+}
+
+func (ms *memSystem) AtomicExch(coreID int, addr, val uint64, done func(old uint64)) {
+	m := ms.m
+	partID := m.amap.Partition(addr)
+	part := m.partitions[partID]
+	m.pair.Up.Send(coreID, partID, tm.HeaderBytes+tm.AddrBytes+tm.WordBytes, func() {
+		part.AtomicExch(addr, val, func(old uint64) {
+			m.pair.Down.Send(partID, coreID, tm.HeaderBytes+tm.WordBytes, func() {
+				done(old)
+			})
+		})
+	})
+}
+
+func (ms *memSystem) AtomicAdd(coreID int, addr, delta uint64, done func(old uint64)) {
+	m := ms.m
+	partID := m.amap.Partition(addr)
+	part := m.partitions[partID]
+	m.pair.Up.Send(coreID, partID, tm.HeaderBytes+tm.AddrBytes+tm.WordBytes, func() {
+		part.AtomicAdd(addr, delta, func(old uint64) {
+			m.pair.Down.Send(partID, coreID, tm.HeaderBytes+tm.WordBytes, func() {
+				done(old)
+			})
+		})
+	})
+}
+
+// lockStub is the protocol placeholder for pure-lock runs; lock kernels
+// contain no transactional ops.
+type lockStub struct{}
+
+func (lockStub) Name() string         { return "fglock" }
+func (lockStub) EagerIntraWarp() bool { return false }
+func (lockStub) Begin(*tm.WarpTx)     { panic("fglock: transactional op in lock kernel") }
+func (lockStub) Access(*tm.WarpTx, bool, []tm.LaneAccess, func([]tm.AccessResult)) {
+	panic("fglock: transactional op in lock kernel")
+}
+func (lockStub) Commit(*tm.WarpTx, isa.LaneMask, isa.LaneMask, func(tm.CommitOutcome)) {
+	panic("fglock: transactional op in lock kernel")
+}

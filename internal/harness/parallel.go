@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"getm/internal/gpu"
+	"getm/internal/stats"
+	"getm/internal/workloads"
+)
+
+// Precompute fills the runner's cache for the standard experiment grid —
+// every (protocol, benchmark, concurrency) triple plus the Fig 14 and Fig 17
+// variations — using a worker pool. Each simulation is single-threaded and
+// fully deterministic, so running them on parallel workers changes nothing
+// except wall-clock time; the experiments then assemble their tables from
+// cache hits.
+func Precompute(r *Runner, workers int) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	var jobs []Job
+	for _, b := range Benchmarks() {
+		for _, p := range []gpu.Protocol{gpu.ProtoWarpTM, gpu.ProtoWarpTMEL, gpu.ProtoEAPG, gpu.ProtoGETM} {
+			for _, c := range ConcLevels {
+				jobs = append(jobs, Job{Proto: p, Bench: b, Conc: c})
+			}
+		}
+		jobs = append(jobs, Job{Proto: gpu.ProtoFGLock, Bench: b})
+	}
+
+	r.runParallel(jobs, workers)
+
+	// Second wave: jobs that depend on the optimal concurrency (now cached).
+	var wave2 []Job
+	for _, b := range Benchmarks() {
+		getmConc := r.OptimalConc(gpu.ProtoGETM, b)
+		for _, entries := range []int{2048, 4096, 8192} {
+			wave2 = append(wave2, Job{Proto: gpu.ProtoGETM, Bench: b, Conc: getmConc, MetaEntries: entries})
+		}
+		for _, g := range []int{16, 32, 64, 128} {
+			wave2 = append(wave2, Job{Proto: gpu.ProtoGETM, Bench: b, Conc: getmConc, Granularity: g})
+		}
+		for _, p := range []gpu.Protocol{gpu.ProtoWarpTM, gpu.ProtoEAPG, gpu.ProtoGETM} {
+			wave2 = append(wave2, Job{Proto: p, Bench: b, Conc: r.OptimalConc(p, b), Cores: 56})
+		}
+	}
+	r.runParallel(wave2, workers)
+}
+
+// runParallel executes the uncached jobs on a worker pool and installs the
+// results in the cache.
+func (r *Runner) runParallel(jobs []Job, workers int) {
+	var pending []Job
+	for _, j := range jobs {
+		if _, ok := r.cache[j.key()]; !ok {
+			pending = append(pending, j)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+
+	type result struct {
+		key string
+		m   *stats.Metrics
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	ch := make(chan Job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				m := runJob(j, r.Scale, r.Seed)
+				mu.Lock()
+				r.cache[j.key()] = m
+				if r.Verbose != nil {
+					r.Verbose("ran " + j.key())
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range pending {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// runJob executes one simulation without touching shared state.
+func runJob(j Job, scale float64, seed uint64) *stats.Metrics {
+	variant := workloads.TM
+	if j.Proto == gpu.ProtoFGLock {
+		variant = workloads.FGLock
+	}
+	k := workloads.MustBuild(j.Bench, variant, workloads.Params{Scale: scale, Seed: seed})
+	res, err := gpu.Run(j.config(), k)
+	if err != nil {
+		panic("harness: " + j.key() + ": " + err.Error())
+	}
+	return res.Metrics
+}

@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"testing"
+
+	"getm/internal/gpu"
+)
+
+func TestPrecomputeMatchesSequential(t *testing.T) {
+	seq := NewRunner(0.03)
+	par := NewRunner(0.03)
+	Precompute(par, 4)
+
+	// Every standard-grid job must be cached and identical to a fresh
+	// sequential run.
+	for _, b := range []string{"ht-h", "atm"} {
+		for _, p := range []gpu.Protocol{gpu.ProtoWarpTM, gpu.ProtoGETM} {
+			for _, c := range []int{1, 8} {
+				j := Job{Proto: p, Bench: b, Conc: c}
+				if _, ok := par.cache[j.key()]; !ok {
+					t.Fatalf("job %s not precomputed", j.key())
+				}
+				a := seq.Run(j)
+				bm := par.Run(j)
+				if a.TotalCycles != bm.TotalCycles || a.Commits != bm.Commits || a.Aborts != bm.Aborts {
+					t.Fatalf("parallel result differs for %s: (%d,%d,%d) vs (%d,%d,%d)",
+						j.key(), a.TotalCycles, a.Commits, a.Aborts,
+						bm.TotalCycles, bm.Commits, bm.Aborts)
+				}
+			}
+		}
+	}
+}
+
+func TestPrecomputeIdempotent(t *testing.T) {
+	r := NewRunner(0.03)
+	Precompute(r, 2)
+	n := len(r.cache)
+	Precompute(r, 2)
+	if len(r.cache) != n {
+		t.Fatalf("second precompute grew the cache: %d -> %d", n, len(r.cache))
+	}
+}

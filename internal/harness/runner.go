@@ -1,0 +1,192 @@
+// Package harness defines the reproduction experiments: one entry per figure
+// and table of the paper's evaluation (Figs 3-17, Tables IV-V), built on a
+// caching runner so shared configurations (e.g. each protocol at its optimal
+// concurrency) simulate once per process.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"getm/internal/gpu"
+	"getm/internal/report"
+	"getm/internal/stats"
+	"getm/internal/workloads"
+)
+
+// ConcLevels are the paper's transactional-concurrency settings (0 = NL).
+var ConcLevels = []int{1, 2, 4, 8, 16, 0}
+
+// Runner executes and caches simulation runs.
+type Runner struct {
+	// Scale shrinks workloads for quick runs (1.0 = full reproduction
+	// scale).
+	Scale float64
+	// Seed drives workload generation.
+	Seed uint64
+	// Verbose, if set, receives progress lines.
+	Verbose func(string)
+
+	cache map[string]*stats.Metrics
+	optC  map[string]int
+}
+
+// NewRunner returns a runner at the given scale.
+func NewRunner(scale float64) *Runner {
+	return &Runner{
+		Scale: scale,
+		Seed:  42,
+		cache: make(map[string]*stats.Metrics),
+		optC:  make(map[string]int),
+	}
+}
+
+// Job describes one simulation.
+type Job struct {
+	Proto gpu.Protocol
+	Bench string
+	Conc  int
+	// Cores: 0 means the default 15-core machine; 56 selects the scaled one.
+	Cores int
+	// GETM metadata overrides for the Fig 14 sweeps (0 = default).
+	MetaEntries int
+	Granularity int
+}
+
+func (j Job) key() string {
+	return fmt.Sprintf("%s|%s|c%d|n%d|m%d|g%d", j.Proto, j.Bench, j.Conc, j.Cores, j.MetaEntries, j.Granularity)
+}
+
+func (j Job) config() gpu.Config {
+	var cfg gpu.Config
+	if j.Cores == 56 {
+		cfg = gpu.ScaledConfig(j.Proto)
+	} else {
+		cfg = gpu.DefaultConfig(j.Proto)
+		if j.Cores > 0 {
+			cfg.Cores = j.Cores
+		}
+	}
+	cfg.Core.MaxTxWarps = j.Conc
+	if j.MetaEntries > 0 {
+		cfg.GETM.PreciseEntries = j.MetaEntries
+	}
+	if j.Granularity > 0 {
+		cfg.GETM.GranularityBytes = j.Granularity
+	}
+	return cfg
+}
+
+// Run simulates the job (cached).
+func (r *Runner) Run(j Job) *stats.Metrics {
+	if m, ok := r.cache[j.key()]; ok {
+		return m
+	}
+	m := runJob(j, r.Scale, r.Seed)
+	if r.Verbose != nil {
+		r.Verbose(fmt.Sprintf("ran %-40s %12d cycles", j.key(), m.TotalCycles))
+	}
+	r.cache[j.key()] = m
+	return m
+}
+
+// OptimalConc searches ConcLevels for the setting minimizing total runtime
+// (the paper tunes concurrency per protocol and benchmark, Table IV).
+func (r *Runner) OptimalConc(proto gpu.Protocol, bench string) int {
+	key := string(proto) + "|" + bench
+	if c, ok := r.optC[key]; ok {
+		return c
+	}
+	best, bestCycles := ConcLevels[0], ^uint64(0)
+	for _, c := range ConcLevels {
+		m := r.Run(Job{Proto: proto, Bench: bench, Conc: c})
+		if m.TotalCycles < bestCycles {
+			best, bestCycles = c, m.TotalCycles
+		}
+	}
+	r.optC[key] = best
+	return best
+}
+
+// RunOptimal simulates proto on bench at its optimal concurrency.
+func (r *Runner) RunOptimal(proto gpu.Protocol, bench string) *stats.Metrics {
+	if proto == gpu.ProtoFGLock {
+		return r.Run(Job{Proto: proto, Bench: bench})
+	}
+	return r.Run(Job{Proto: proto, Bench: bench, Conc: r.OptimalConc(proto, bench)})
+}
+
+// Report is a structured experiment result: one or more tables.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*report.Table
+}
+
+func newReport(id, title string, tables ...*report.Table) *Report {
+	return &Report{ID: id, Title: title, Tables: tables}
+}
+
+// String renders the report as aligned text.
+func (rep *Report) String() string { return rep.Render(report.FormatText) }
+
+// Render renders every table in the requested format.
+func (rep *Report) Render(f report.Format) string {
+	out := ""
+	for _, t := range rep.Tables {
+		out += t.Render(f) + "\n"
+	}
+	return out
+}
+
+// Experiment pairs an id with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(r *Runner) *Report
+}
+
+// All returns the experiment registry in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig3", "WarpTM-LL vs WarpTM-EL tx cycles vs concurrency (HT-H)", Fig3},
+		{"fig4", "Lazy vs eager WarpTM vs fine-grained locks", Fig4},
+		{"fig10", "Transaction-only exec+wait time, normalized to WarpTM", Fig10},
+		{"fig11", "Total execution time normalized to FGLock", Fig11},
+		{"fig12", "Crossbar traffic normalized to WarpTM", Fig12},
+		{"fig13", "GETM metadata-table mean access cycles", Fig13},
+		{"fig14", "GETM sensitivity to metadata table size and granularity", Fig14},
+		{"fig15", "Maximum stall-buffer occupancy", Fig15},
+		{"fig16", "Mean stalled requests per address", Fig16},
+		{"fig17", "Scalability: 15-core vs 56-core", Fig17},
+		{"table4", "Optimal concurrency and abort rates", Table4},
+		{"table5", "Area and power overheads (CACTI model)", Table5},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Benchmarks returns the benchmark list (paper order).
+func Benchmarks() []string { return workloads.Names() }
+
+// gmean of a map's values in benchmark order.
+func gmeanOf(vals map[string]float64) float64 {
+	var vs []float64
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		vs = append(vs, vals[k])
+	}
+	return stats.GMean(vs)
+}

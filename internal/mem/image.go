@@ -1,0 +1,75 @@
+// Package mem models the GPU memory system: the global memory image (actual
+// data values, so WarpTM's value-based validation compares real contents),
+// the line-interleaved partition address map, a set-associative LLC tag
+// array, and a DRAM timing model with per-bank occupancy.
+package mem
+
+// WordBytes is the data word size; all workload values are 64-bit words.
+const WordBytes = 8
+
+// Image holds the architectural memory contents at word granularity.
+// It is shared by all partitions (each partition owns a disjoint address
+// slice, so no two partitions touch the same word).
+type Image struct {
+	words map[uint64]uint64
+}
+
+// NewImage returns an empty (all-zero) memory image.
+func NewImage() *Image { return &Image{words: make(map[uint64]uint64)} }
+
+// Read returns the word at the (word-aligned) byte address.
+func (im *Image) Read(addr uint64) uint64 {
+	return im.words[addr&^uint64(WordBytes-1)]
+}
+
+// Write stores val at the (word-aligned) byte address.
+func (im *Image) Write(addr, val uint64) {
+	im.words[addr&^uint64(WordBytes-1)] = val
+}
+
+// Len returns the number of words ever written.
+func (im *Image) Len() int { return len(im.words) }
+
+// Snapshot copies the image (used by the serializability replay checker).
+func (im *Image) Snapshot() *Image {
+	c := NewImage()
+	for k, v := range im.words {
+		c.words[k] = v
+	}
+	return c
+}
+
+// Equal reports whether two images hold identical contents (treating absent
+// words as zero).
+func (im *Image) Equal(other *Image) bool {
+	for k, v := range im.words {
+		if other.Read(k) != v {
+			return false
+		}
+	}
+	for k, v := range other.words {
+		if im.Read(k) != v {
+			return false
+		}
+	}
+	return true
+}
+
+// AddressMap assigns addresses to memory partitions by interleaving LLC
+// lines across partitions, as GPUs do.
+type AddressMap struct {
+	Partitions int
+	LineBytes  int
+}
+
+// Partition returns the home partition of a byte address.
+func (am AddressMap) Partition(addr uint64) int {
+	line := addr / uint64(am.LineBytes)
+	// Mix the line number so that power-of-two strides spread evenly.
+	return int((line ^ (line >> 7) ^ (line >> 15)) % uint64(am.Partitions))
+}
+
+// Line returns the address of the LLC line containing addr.
+func (am AddressMap) Line(addr uint64) uint64 {
+	return addr &^ uint64(am.LineBytes-1)
+}

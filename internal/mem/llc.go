@@ -1,0 +1,109 @@
+package mem
+
+// LLC is a set-associative last-level-cache tag array with LRU replacement.
+// Data values live in the shared Image; the tag array only determines hit or
+// miss timing at the partition. One LLC instance models one partition's bank.
+type LLC struct {
+	sets      int
+	ways      int
+	lineBytes int
+	tags      []uint64 // sets*ways entries; 0 means invalid (line 0 never cached: offset by +1)
+	lru       []uint32 // per entry, lower = older
+	clock     uint32
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewLLC builds a cache of capacityBytes with the given associativity and
+// line size. Capacity must divide evenly into sets.
+func NewLLC(capacityBytes, ways, lineBytes int) *LLC {
+	lines := capacityBytes / lineBytes
+	if lines == 0 || ways <= 0 || lines%ways != 0 {
+		panic("mem: invalid LLC geometry")
+	}
+	sets := lines / ways
+	return &LLC{
+		sets:      sets,
+		ways:      ways,
+		lineBytes: lineBytes,
+		tags:      make([]uint64, sets*ways),
+		lru:       make([]uint32, sets*ways),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *LLC) Sets() int { return c.sets }
+
+func (c *LLC) setOf(line uint64) int {
+	return int((line ^ (line >> 11)) % uint64(c.sets))
+}
+
+// Access looks up the line containing addr, filling on miss. It returns true
+// on hit.
+func (c *LLC) Access(addr uint64) bool {
+	line := addr/uint64(c.lineBytes) + 1 // +1 so tag 0 means invalid
+	set := c.setOf(line)
+	base := set * c.ways
+	c.clock++
+	victim, victimLRU := base, c.lru[base]
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == line {
+			c.lru[i] = c.clock
+			c.Hits++
+			return true
+		}
+		if c.lru[i] < victimLRU {
+			victim, victimLRU = i, c.lru[i]
+		}
+	}
+	c.Misses++
+	c.tags[victim] = line
+	c.lru[victim] = c.clock
+	return false
+}
+
+// Contains reports whether the line holding addr is currently cached, without
+// updating replacement state.
+func (c *LLC) Contains(addr uint64) bool {
+	line := addr/uint64(c.lineBytes) + 1
+	base := c.setOf(line) * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// DRAM models an off-chip channel with a fixed access latency plus per-bank
+// occupancy (a request to a busy bank waits for the bank to free).
+type DRAM struct {
+	Banks     int
+	AccessLat uint64 // cycles per access once the bank is free
+	BankBusy  uint64 // cycles the bank stays occupied per access
+	bankFree  []uint64
+
+	Accesses uint64
+}
+
+// NewDRAM builds a channel model.
+func NewDRAM(banks int, accessLat, bankBusy uint64) *DRAM {
+	if banks <= 0 {
+		panic("mem: DRAM needs at least one bank")
+	}
+	return &DRAM{Banks: banks, AccessLat: accessLat, BankBusy: bankBusy, bankFree: make([]uint64, banks)}
+}
+
+// Latency returns the completion delay for an access to addr issued at cycle
+// now, updating bank occupancy.
+func (d *DRAM) Latency(addr, now uint64) uint64 {
+	bank := int((addr >> 10) % uint64(d.Banks))
+	start := now
+	if d.bankFree[bank] > start {
+		start = d.bankFree[bank]
+	}
+	d.bankFree[bank] = start + d.BankBusy
+	d.Accesses++
+	return start + d.AccessLat - now
+}

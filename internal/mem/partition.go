@@ -1,0 +1,167 @@
+package mem
+
+import "getm/internal/sim"
+
+// PartitionConfig sets the timing of one memory partition's data path.
+type PartitionConfig struct {
+	LLCBytes     int
+	LLCWays      int
+	LineBytes    int
+	LLCLatency   sim.Cycle // pipelined hit latency
+	DRAMBanks    int
+	DRAMLatency  uint64 // additional latency on LLC miss
+	DRAMBankBusy uint64
+	// ServiceRate is the number of requests the partition can start per
+	// cycle (1 in Table II).
+	ServiceRate int
+}
+
+// DefaultPartitionConfig mirrors Table II: 128 KB 8-way LLC with 128 B lines;
+// DRAM ~200 cycles.
+func DefaultPartitionConfig() PartitionConfig {
+	return PartitionConfig{
+		LLCBytes:     128 << 10,
+		LLCWays:      8,
+		LineBytes:    128,
+		LLCLatency:   60,
+		DRAMBanks:    8,
+		DRAMLatency:  200,
+		DRAMBankBusy: 36,
+		ServiceRate:  1,
+	}
+}
+
+// Partition models one memory partition's data path: a service queue in
+// front of the LLC bank, and a DRAM channel behind it. Protocol units
+// (validation/commit units) are layered on top by their packages and call
+// Access for their LLC data operations.
+type Partition struct {
+	ID    int
+	Cfg   PartitionConfig
+	Eng   *sim.Engine
+	Image *Image
+	LLC   *LLC
+	DRAM  *DRAM
+
+	nextService sim.Cycle
+	atomicNext  sim.Cycle
+	// AtomicsServed counts atomic operations (lock traffic).
+	AtomicsServed uint64
+}
+
+// NewPartition builds a partition over a shared memory image.
+func NewPartition(id int, eng *sim.Engine, img *Image, cfg PartitionConfig) *Partition {
+	return &Partition{
+		ID:    id,
+		Cfg:   cfg,
+		Eng:   eng,
+		Image: img,
+		LLC:   NewLLC(cfg.LLCBytes, cfg.LLCWays, cfg.LineBytes),
+		DRAM:  NewDRAM(cfg.DRAMBanks, cfg.DRAMLatency, cfg.DRAMBankBusy),
+	}
+}
+
+// serviceSlot reserves the next issue slot at the partition's service rate
+// and returns its cycle.
+func (p *Partition) serviceSlot() sim.Cycle {
+	now := p.Eng.Now()
+	start := now
+	if p.nextService > start {
+		start = p.nextService
+	}
+	p.nextService = start + sim.Cycle(1/maxInt(p.Cfg.ServiceRate, 1))
+	return start
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AccessDelay computes the completion delay for a data access to addr
+// starting now, accounting for queueing, LLC hit/miss, and DRAM. It advances
+// the tag and bank state.
+func (p *Partition) AccessDelay(addr uint64) sim.Cycle {
+	start := p.serviceSlot()
+	done := start + p.Cfg.LLCLatency
+	if !p.LLC.Access(addr) {
+		done += sim.Cycle(p.DRAM.Latency(addr, uint64(start)))
+	}
+	return done - p.Eng.Now()
+}
+
+// Read performs a timed read; done receives the value.
+func (p *Partition) Read(addr uint64, done func(val uint64)) {
+	d := p.AccessDelay(addr)
+	p.Eng.Schedule(d, func() { done(p.Image.Read(addr)) })
+}
+
+// Write performs a timed write.
+func (p *Partition) Write(addr, val uint64, done func()) {
+	d := p.AccessDelay(addr)
+	p.Eng.Schedule(d, func() {
+		p.Image.Write(addr, val)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// WriteNow updates the image immediately (used by commit units that already
+// charged their own timing) while still touching the LLC tags.
+func (p *Partition) WriteNow(addr, val uint64) {
+	p.LLC.Access(addr)
+	p.Image.Write(addr, val)
+}
+
+// ReadNow returns the current value without timing (protocol-internal reads
+// whose latency the caller models, e.g. value validation pipelines).
+func (p *Partition) ReadNow(addr uint64) uint64 { return p.Image.Read(addr) }
+
+// atomicSlot returns the delay until this atomic's read-modify-write takes
+// effect. The partition's atomic unit applies effects strictly in arrival
+// order (as the ROP units in real GPUs do), so a later-arriving atomic can
+// never observe memory from before an earlier one.
+func (p *Partition) atomicSlot(addr uint64) sim.Cycle {
+	effect := p.Eng.Now() + p.AccessDelay(addr)
+	if p.atomicNext > effect {
+		effect = p.atomicNext
+	}
+	p.atomicNext = effect + 1
+	p.AtomicsServed++
+	return effect - p.Eng.Now()
+}
+
+// AtomicCAS performs a timed compare-and-swap; done receives the old value
+// and whether the swap happened. GPU atomics execute at the partition, so
+// contended CAS traffic serializes here.
+func (p *Partition) AtomicCAS(addr, compare, swap uint64, done func(old uint64, ok bool)) {
+	p.Eng.Schedule(p.atomicSlot(addr), func() {
+		old := p.Image.Read(addr)
+		ok := old == compare
+		if ok {
+			p.Image.Write(addr, swap)
+		}
+		done(old, ok)
+	})
+}
+
+// AtomicExch performs a timed atomic exchange; done receives the old value.
+func (p *Partition) AtomicExch(addr, val uint64, done func(old uint64)) {
+	p.Eng.Schedule(p.atomicSlot(addr), func() {
+		old := p.Image.Read(addr)
+		p.Image.Write(addr, val)
+		done(old)
+	})
+}
+
+// AtomicAdd performs a timed atomic add; done receives the old value.
+func (p *Partition) AtomicAdd(addr, delta uint64, done func(old uint64)) {
+	p.Eng.Schedule(p.atomicSlot(addr), func() {
+		old := p.Image.Read(addr)
+		p.Image.Write(addr, old+delta)
+		done(old)
+	})
+}

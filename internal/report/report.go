@@ -1,0 +1,225 @@
+// Package report provides structured experiment output: typed tables that
+// render as aligned text, Markdown, or CSV, plus simple ASCII bar charts for
+// quick visual comparison of normalized results. The harness builds its
+// figure/table reproductions as report.Table values so cmd/getm-bench can
+// offer machine-readable output alongside the human-readable default.
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Cell is one table value.
+type Cell struct {
+	S string
+	F float64
+	// IsNum marks F as the value (rendered with Prec decimals).
+	IsNum bool
+	Prec  int
+}
+
+// Str makes a text cell.
+func Str(s string) Cell { return Cell{S: s} }
+
+// Num makes a numeric cell with the given precision.
+func Num(v float64, prec int) Cell { return Cell{F: v, IsNum: true, Prec: prec} }
+
+// Int makes an integer cell.
+func Int(v uint64) Cell { return Cell{F: float64(v), IsNum: true, Prec: 0} }
+
+// String renders the cell.
+func (c Cell) String() string {
+	if c.IsNum {
+		return strconv.FormatFloat(c.F, 'f', c.Prec, 64)
+	}
+	return c.S
+}
+
+// Table is a structured experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]Cell
+	// Notes are free-form commentary lines (paper expectations etc.).
+	Notes []string
+}
+
+// NewTable starts a table.
+func NewTable(id, title string, columns ...string) *Table {
+	return &Table{ID: id, Title: title, Columns: columns}
+}
+
+// AddRow appends a row; it must match the column count.
+func (t *Table) AddRow(cells ...Cell) *Table {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("report: row has %d cells, table %q has %d columns", len(cells), t.ID, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+	return t
+}
+
+// AddNote appends a commentary line.
+func (t *Table) AddNote(format string, args ...interface{}) *Table {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+	return t
+}
+
+// colWidths computes per-column display widths.
+func (t *Table) colWidths() []int {
+	w := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		w[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if n := len(c.String()); n > w[i] {
+				w[i] = n
+			}
+		}
+	}
+	return w
+}
+
+// Text renders an aligned plain-text table.
+func (t *Table) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", t.ID, t.Title)
+	w := t.colWidths()
+	writeRow := func(get func(i int) string) {
+		for i := range t.Columns {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			s := get(i)
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", w[i], s)
+			} else {
+				fmt.Fprintf(&b, "%*s", w[i], s)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(func(i int) string { return t.Columns[i] })
+	for _, row := range t.Rows {
+		row := row
+		writeRow(func(i int) string { return row[i].String() })
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "%s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders a GitHub-flavored Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = c.String()
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	if len(t.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range t.Notes {
+			fmt.Fprintf(&b, "> %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (first line: columns).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = esc(c)
+	}
+	b.WriteString(strings.Join(cols, ",") + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c.String())
+		}
+		b.WriteString(strings.Join(cells, ",") + "\n")
+	}
+	return b.String()
+}
+
+// BarChart renders an ASCII horizontal bar chart of one numeric column,
+// labeled by the first column. width is the maximum bar length in runes.
+func (t *Table) BarChart(column string, width int) string {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == column {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return fmt.Sprintf("(no column %q)\n", column)
+	}
+	if width <= 0 {
+		width = 40
+	}
+	var max float64
+	for _, row := range t.Rows {
+		if row[ci].IsNum && row[ci].F > max {
+			max = row[ci].F
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.Title, column)
+	lw := 0
+	for _, row := range t.Rows {
+		if n := len(row[0].String()); n > lw {
+			lw = n
+		}
+	}
+	for _, row := range t.Rows {
+		if !row[ci].IsNum {
+			continue
+		}
+		n := int(row[ci].F / max * float64(width))
+		fmt.Fprintf(&b, "%-*s %s %s\n", lw, row[0].String(),
+			strings.Repeat("█", n)+strings.Repeat(" ", width-n), row[ci].String())
+	}
+	return b.String()
+}
+
+// Format selects a rendering.
+type Format string
+
+// Supported formats.
+const (
+	FormatText     Format = "text"
+	FormatMarkdown Format = "markdown"
+	FormatCSV      Format = "csv"
+)
+
+// Render renders in the requested format (text on unknown formats).
+func (t *Table) Render(f Format) string {
+	switch f {
+	case FormatMarkdown:
+		return t.Markdown()
+	case FormatCSV:
+		return t.CSV()
+	default:
+		return t.Text()
+	}
+}

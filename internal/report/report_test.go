@@ -1,0 +1,103 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	return NewTable("fig0", "demo", "bench", "WTM", "GETM").
+		AddRow(Str("ht-h"), Num(2.10, 2), Num(1.37, 2)).
+		AddRow(Str("atm"), Num(0.77, 2), Num(0.77, 2)).
+		AddNote("lower is better")
+}
+
+func TestCellRendering(t *testing.T) {
+	if Str("x").String() != "x" {
+		t.Fatal("Str broken")
+	}
+	if Num(1.2345, 2).String() != "1.23" {
+		t.Fatal("Num broken")
+	}
+	if Int(42).String() != "42" {
+		t.Fatal("Int broken")
+	}
+}
+
+func TestTextAlignment(t *testing.T) {
+	out := sample().Text()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header banner, columns, 2 rows, note
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "=== fig0: demo") {
+		t.Fatalf("banner: %q", lines[0])
+	}
+	// Numeric columns right-aligned: both data lines end with the value.
+	if !strings.HasSuffix(lines[2], "1.37") || !strings.HasSuffix(lines[3], "0.77") {
+		t.Fatalf("alignment:\n%s", out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := sample().Markdown()
+	for _, want := range []string{"| bench | WTM | GETM |", "|---|---|---|", "| ht-h | 2.10 | 1.37 |", "> lower is better"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := sample().CSV()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "bench,WTM,GETM" || lines[1] != "ht-h,2.10,1.37" {
+		t.Fatalf("csv:\n%s", out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tab := NewTable("x", "t", "a").AddRow(Str(`va"l,ue`))
+	out := tab.CSV()
+	if !strings.Contains(out, `"va""l,ue"`) {
+		t.Fatalf("escaping broken: %s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := sample().BarChart("WTM", 20)
+	if !strings.Contains(out, "ht-h") || !strings.Contains(out, "█") {
+		t.Fatalf("chart:\n%s", out)
+	}
+	// Max row gets a full-width bar.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "ht-h") && strings.Count(line, "█") != 20 {
+			t.Fatalf("max bar not full width: %q", line)
+		}
+	}
+	if !strings.Contains(sample().BarChart("nope", 10), "no column") {
+		t.Fatal("unknown column not reported")
+	}
+}
+
+func TestRenderDispatch(t *testing.T) {
+	tab := sample()
+	if tab.Render(FormatCSV) != tab.CSV() {
+		t.Fatal("csv dispatch")
+	}
+	if tab.Render(FormatMarkdown) != tab.Markdown() {
+		t.Fatal("markdown dispatch")
+	}
+	if tab.Render("bogus") != tab.Text() {
+		t.Fatal("default dispatch")
+	}
+}
+
+func TestAddRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch accepted")
+		}
+	}()
+	NewTable("x", "t", "a", "b").AddRow(Str("only-one"))
+}

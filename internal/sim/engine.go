@@ -1,0 +1,100 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that underpins the GPU timing model.
+//
+// All components (SIMT cores, crossbars, memory partitions, validation and
+// commit units) advance simulated time exclusively by scheduling events on a
+// shared Engine. Events at the same cycle run in scheduling order, so a run
+// with a fixed seed is fully reproducible.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in interconnect-clock cycles.
+type Cycle uint64
+
+// Event is a callback scheduled to run at a particular cycle.
+type event struct {
+	when Cycle
+	seq  uint64 // tie-break: FIFO among events at the same cycle
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	pq      eventHeap
+	now     Cycle
+	seq     uint64
+	stopped bool
+	// Executed counts events run; useful for run-away detection in tests.
+	Executed uint64
+}
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Schedule runs fn after delay cycles (delay 0 means later this cycle, after
+// all events already scheduled for the current cycle).
+func (e *Engine) Schedule(delay Cycle, fn func()) {
+	e.seq++
+	heap.Push(&e.pq, event{when: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// At runs fn at the given absolute cycle, which must not be in the past.
+func (e *Engine) At(when Cycle, fn func()) {
+	if when < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	heap.Push(&e.pq, event{when: when, seq: e.seq, fn: fn})
+}
+
+// Stop aborts the current Run after the in-flight event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Run executes events until the queue empties, Stop is called, or the
+// simulated clock passes limit (0 means no limit). It returns the cycle at
+// which it stopped.
+func (e *Engine) Run(limit Cycle) Cycle {
+	e.stopped = false
+	for len(e.pq) > 0 && !e.stopped {
+		ev := heap.Pop(&e.pq).(event)
+		if limit != 0 && ev.when > limit {
+			// Put it back so a subsequent Run can resume.
+			heap.Push(&e.pq, ev)
+			e.now = limit
+			return e.now
+		}
+		if ev.when < e.now {
+			panic("sim: time moved backwards")
+		}
+		e.now = ev.when
+		e.Executed++
+		ev.fn()
+	}
+	return e.now
+}

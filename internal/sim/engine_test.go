@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(10, func() { order = append(order, 2) })
+	e.Schedule(5, func() { order = append(order, 1) })
+	e.Schedule(10, func() { order = append(order, 3) }) // same cycle, FIFO
+	e.Schedule(20, func() { order = append(order, 4) })
+	end := e.Run(0)
+	if end != 20 {
+		t.Fatalf("end cycle = %d, want 20", end)
+	}
+	want := []int{1, 2, 3, 4}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Cycle
+	e.Schedule(1, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(3, func() { hits = append(hits, e.Now()) })
+		e.Schedule(0, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run(0)
+	if len(hits) != 3 || hits[0] != 1 || hits[1] != 1 || hits[2] != 4 {
+		t.Fatalf("hits = %v, want [1 1 4]", hits)
+	}
+}
+
+func TestEngineRunLimitResumes(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(5, func() { ran++ })
+	e.Schedule(15, func() { ran++ })
+	e.Run(10)
+	if ran != 1 || e.Now() != 10 {
+		t.Fatalf("after limited run: ran=%d now=%d", ran, e.Now())
+	}
+	e.Run(0)
+	if ran != 2 || e.Now() != 15 {
+		t.Fatalf("after resume: ran=%d now=%d", ran, e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(1, func() { ran++; e.Stop() })
+	e.Schedule(2, func() { ran++ })
+	e.Run(0)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1 (Stop should halt)", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At() in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run(0)
+}
+
+// Property: events always execute in non-decreasing time order, regardless of
+// the insertion order of delays.
+func TestEngineMonotonicTimeProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		var times []Cycle
+		for _, d := range delays {
+			d := Cycle(d)
+			e.Schedule(d, func() { times = append(times, e.Now()) })
+		}
+		e.Run(0)
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	if NewRNG(42).Uint64() == NewRNG(43).Uint64() {
+		t.Fatal("different seeds produced identical first values")
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	f1 := parent.Fork(1)
+	f2 := parent.Fork(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if f1.Uint64() == f2.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("forked streams collided %d/64 times", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}

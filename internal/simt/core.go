@@ -1,0 +1,648 @@
+package simt
+
+import (
+	"fmt"
+
+	"getm/internal/isa"
+	"getm/internal/sim"
+	"getm/internal/stats"
+	"getm/internal/tm"
+)
+
+// csRetryDelay paces critical-section retry rounds (loop overhead of the
+// spin idiom in Fig 1).
+const csRetryDelay sim.Cycle = 10
+
+// Stats aggregates one core's execution counters.
+type Stats struct {
+	Commits       uint64
+	Aborts        uint64
+	AbortsByCause stats.Counters
+	TxExecCycles  uint64
+	TxWaitCycles  uint64
+	Instructions  uint64
+	TxAttempts    uint64
+}
+
+// Core models one SIMT core: warp contexts, the issue stage (one warp
+// instruction per cycle, greedy-then-oldest selection), and the
+// transactional execution machinery.
+type Core struct {
+	ID       int
+	cfg      Config
+	eng      *sim.Engine
+	protocol tm.Protocol
+	memsys   MemSystem
+	rng      *sim.RNG
+	dispatch func(core, slot int) *isa.Program
+
+	warps []*Warp
+
+	txActive int
+	txQueue  []*Warp
+
+	issuePending bool
+	nextIssue    sim.Cycle
+	lastWarp     int
+
+	Stats Stats
+}
+
+// NewCore builds a core. dispatch supplies warp programs; it is called again
+// whenever a warp finishes one (returning nil retires the warp).
+func NewCore(id int, eng *sim.Engine, cfg Config, protocol tm.Protocol, memsys MemSystem, rng *sim.RNG, dispatch func(core, slot int) *isa.Program) *Core {
+	c := &Core{
+		ID:       id,
+		cfg:      cfg,
+		eng:      eng,
+		protocol: protocol,
+		memsys:   memsys,
+		rng:      rng,
+		dispatch: dispatch,
+	}
+	c.Stats.AbortsByCause = stats.Counters{}
+	for slot := 0; slot < cfg.WarpsPerCore; slot++ {
+		c.warps = append(c.warps, newWarp(slot, id*cfg.WarpsPerCore+slot))
+	}
+	return c
+}
+
+// Start assigns initial programs and begins issuing.
+func (c *Core) Start() {
+	for _, w := range c.warps {
+		if p := c.dispatch(c.ID, w.slot); p != nil {
+			w.assign(p)
+		} else {
+			w.state = wDone
+		}
+	}
+	c.scheduleIssue()
+}
+
+// AllDone reports whether every warp has retired.
+func (c *Core) AllDone() bool {
+	for _, w := range c.warps {
+		if w.state != wDone {
+			return false
+		}
+	}
+	return true
+}
+
+// StuckWarps describes non-retired warps (deadlock diagnostics).
+func (c *Core) StuckWarps() []string {
+	var out []string
+	for _, w := range c.warps {
+		if w.state != wDone {
+			out = append(out, fmt.Sprintf("core %d warp %d state %d pc %d inTx %v live %032b",
+				c.ID, w.slot, w.state, w.top().pc, w.inTx, w.live()))
+		}
+	}
+	return out
+}
+
+// AsyncAbort applies an asynchronous abort notice (EAPG broadcasts) to the
+// matching warp's live lanes. Lanes already in the commit sequence are left
+// to value validation.
+func (c *Core) AsyncAbort(n tm.AbortNotice) {
+	slot := n.GWID - c.ID*c.cfg.WarpsPerCore
+	if slot < 0 || slot >= len(c.warps) {
+		return
+	}
+	w := c.warps[slot]
+	if !w.inTx || w.committing {
+		return
+	}
+	for lane := 0; lane < isa.WarpWidth; lane++ {
+		if n.Lanes.Bit(lane) && w.live().Bit(lane) {
+			c.abortLane(w, lane, n.Cause)
+		}
+	}
+	// If the whole warp is now dead and it sits between instructions, skip
+	// straight to the commit point for cleanup/retry.
+	if w.live() == 0 && w.state == wReady && len(w.frames) == 1 {
+		w.top().pc = w.commitPC
+	}
+}
+
+// --- scheduling ---
+
+func (c *Core) wake(w *Warp) {
+	if w.state == wBlocked {
+		w.state = wReady
+	}
+	c.scheduleIssue()
+}
+
+func (c *Core) anyReady() bool {
+	for _, w := range c.warps {
+		if w.state == wReady {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Core) scheduleIssue() {
+	if c.issuePending || !c.anyReady() {
+		return
+	}
+	c.issuePending = true
+	delay := sim.Cycle(0)
+	if now := c.eng.Now(); c.nextIssue > now {
+		delay = c.nextIssue - now
+	}
+	c.eng.Schedule(delay, c.issue)
+}
+
+// pickWarp implements greedy-then-oldest: keep issuing from the same warp
+// until it stalls, then fall back to the oldest (lowest slot) ready warp.
+func (c *Core) pickWarp() *Warp {
+	if w := c.warps[c.lastWarp]; w.state == wReady {
+		return w
+	}
+	for _, w := range c.warps {
+		if w.state == wReady {
+			c.lastWarp = w.slot
+			return w
+		}
+	}
+	return nil
+}
+
+func (c *Core) issue() {
+	c.issuePending = false
+	w := c.pickWarp()
+	if w == nil {
+		return
+	}
+	c.nextIssue = c.eng.Now() + 1
+	if w.curOp() != nil {
+		c.Stats.Instructions++
+	}
+	c.execStep(w)
+	c.scheduleIssue()
+}
+
+// --- op execution ---
+
+func (c *Core) execStep(w *Warp) {
+	op := w.curOp()
+	if op == nil {
+		c.frameDone(w)
+		return
+	}
+	switch op.Kind {
+	case isa.Compute:
+		w.top().pc++
+		w.state = wBlocked
+		c.eng.Schedule(sim.Cycle(op.Latency), func() { c.wake(w) })
+	case isa.MovImm:
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if w.effMask(op).Bit(lane) {
+				w.regs[lane][op.Dst] = uint64(op.LaneImm(lane))
+			}
+		}
+		w.top().pc++
+	case isa.AddImm:
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if w.effMask(op).Bit(lane) {
+				w.regs[lane][op.Dst] = w.regs[lane][op.Src] + uint64(op.LaneImm(lane))
+			}
+		}
+		w.top().pc++
+	case isa.Load, isa.Store:
+		if w.inTx && len(w.frames) == 1 {
+			c.execTxAccess(w, op, op.Kind == isa.Store)
+		} else {
+			c.execMemAccess(w, op, op.Kind == isa.Store)
+		}
+	case isa.TxBegin:
+		c.execTxBegin(w, op)
+	case isa.TxCommit:
+		c.execTxCommit(w)
+	case isa.CritSection:
+		c.execCritSection(w, op)
+	case isa.AtomicAdd:
+		c.execAtomicAdd(w, op)
+	default:
+		panic(fmt.Sprintf("simt: unknown op kind %v", op.Kind))
+	}
+}
+
+// execAtomicAdd issues per-lane atomic adds; the warp blocks until all lanes
+// receive their old values (atomics return a result, unlike plain stores).
+func (c *Core) execAtomicAdd(w *Warp, op *isa.Op) {
+	mask := w.effMask(op)
+	w.top().pc++
+	if mask == 0 {
+		return
+	}
+	outstanding := 0
+	w.state = wBlocked
+	dst := op.Dst
+	for lane := 0; lane < isa.WarpWidth; lane++ {
+		if !mask.Bit(lane) {
+			continue
+		}
+		lane := lane
+		outstanding++
+		c.memsys.AtomicAdd(c.ID, op.Addr[lane], uint64(op.LaneImm(lane)), func(old uint64) {
+			w.regs[lane][dst] = old
+			outstanding--
+			if outstanding == 0 {
+				c.wake(w)
+			}
+		})
+	}
+}
+
+// frameDone pops a finished frame (critical-section body) or retires /
+// redispatches the warp at main-program end.
+func (c *Core) frameDone(w *Warp) {
+	if len(w.frames) > 1 {
+		f := w.top()
+		w.frames = w.frames[:len(w.frames)-1]
+		w.state = wBlocked
+		f.onDone(w)
+		return
+	}
+	if w.pendingStores > 0 {
+		// Drain fire-and-forget stores before retiring the program.
+		w.state = wBlocked
+		w.fence(func() { c.wake(w) })
+		return
+	}
+	if p := c.dispatch(c.ID, w.slot); p != nil {
+		w.assign(p)
+		c.scheduleIssue()
+		return
+	}
+	w.state = wDone
+}
+
+// execMemAccess handles non-transactional coalesced loads/stores. Stores
+// are fire-and-forget (the warp continues immediately, as GPU global stores
+// do); loads block the warp, and a load of a word with an outstanding store
+// first drains the store queue (scoreboard).
+func (c *Core) execMemAccess(w *Warp, op *isa.Op, isWrite bool) {
+	mask := w.effMask(op)
+	if mask == 0 {
+		w.top().pc++
+		return
+	}
+	var lanes []int
+	var addrs, vals []uint64
+	for lane := 0; lane < isa.WarpWidth; lane++ {
+		if !mask.Bit(lane) {
+			continue
+		}
+		lanes = append(lanes, lane)
+		addrs = append(addrs, op.Addr[lane])
+		if isWrite {
+			vals = append(vals, w.storeValue(op, lane))
+		}
+	}
+
+	if isWrite {
+		for _, a := range addrs {
+			w.storeWords[a]++
+		}
+		w.pendingStores++
+		w.top().pc++
+		sb := w.storeWords // capture: assign() swaps in a fresh map
+		c.memsys.Access(c.ID, true, addrs, vals, func([]uint64) {
+			for _, a := range addrs {
+				if sb[a] > 0 {
+					sb[a]--
+				}
+			}
+			w.pendingStores--
+			c.drainFences(w)
+		})
+		return // warp stays ready
+	}
+
+	if w.storeConflict(addrs) {
+		// Read-after-write through memory: drain outstanding stores, then
+		// re-issue this load (pc has not advanced).
+		w.state = wBlocked
+		w.fence(func() { c.wake(w) })
+		return
+	}
+	w.top().pc++
+	w.state = wBlocked
+	dst := op.Dst
+	c.memsys.Access(c.ID, false, addrs, nil, func(loadVals []uint64) {
+		for i, lane := range lanes {
+			w.regs[lane][dst] = loadVals[i]
+		}
+		c.wake(w)
+	})
+}
+
+// drainFences fires fence callbacks once the warp's store queue is empty.
+func (c *Core) drainFences(w *Warp) {
+	if w.pendingStores != 0 || len(w.fenceFns) == 0 {
+		return
+	}
+	fns := w.fenceFns
+	w.fenceFns = nil
+	for _, f := range fns {
+		f()
+	}
+}
+
+// execTxBegin starts a transaction, subject to the per-core concurrency
+// throttle and any protocol gate (GETM's rollover drain).
+func (c *Core) execTxBegin(w *Warp, op *isa.Op) {
+	mask := op.EffMask(w.top().mask)
+	if mask == 0 {
+		w.top().pc++
+		return
+	}
+	w.pendingTxMask = mask
+	if !c.canBegin() {
+		w.state = wBlocked
+		w.waitStart = c.eng.Now()
+		c.txQueue = append(c.txQueue, w)
+		return
+	}
+	c.startTx(w)
+}
+
+func (c *Core) canBegin() bool {
+	if c.cfg.MaxTxWarps > 0 && c.txActive >= c.cfg.MaxTxWarps {
+		return false
+	}
+	if g, ok := c.protocol.(interface{ CanBegin() bool }); ok && !g.CanBegin() {
+		return false
+	}
+	return true
+}
+
+func (c *Core) startTx(w *Warp) {
+	c.txActive++
+	f := w.top()
+	w.inTx = true
+	w.committing = false
+	w.txBeginPC = f.pc
+	w.commitPC = findCommit(f.ops, f.pc)
+	w.txMask = w.pendingTxMask
+	w.deadMask = 0
+	w.attempts = 0
+	c.beginAttempt(w)
+	f.pc++
+	w.state = wReady
+}
+
+func findCommit(ops []isa.Op, from int) int {
+	for i := from; i < len(ops); i++ {
+		if ops[i].Kind == isa.TxCommit {
+			return i
+		}
+	}
+	panic("simt: transaction without commit")
+}
+
+func (c *Core) beginAttempt(w *Warp) {
+	c.Stats.TxAttempts++
+	w.txLog.Reset()
+	w.warpTx = &tm.WarpTx{GWID: w.gwid, Core: c.ID, Log: w.txLog, StartCycle: c.eng.Now()}
+	c.protocol.Begin(w.warpTx)
+	w.attemptStart = c.eng.Now()
+}
+
+func (c *Core) abortLane(w *Warp, lane int, cause tm.AbortCause) {
+	if w.deadMask.Bit(lane) {
+		return
+	}
+	w.deadMask = w.deadMask.Set(lane)
+	c.Stats.Aborts++
+	c.Stats.AbortsByCause.Inc(cause.String(), 1)
+}
+
+// execTxAccess drives a transactional warp memory instruction: redo-log
+// forwarding, (for eager protocols) access-time intra-warp conflict checks,
+// then the protocol's global access path.
+func (c *Core) execTxAccess(w *Warp, op *isa.Op, isWrite bool) {
+	mask := op.EffMask(w.live())
+	f := w.top()
+	if mask == 0 {
+		// Every lane this op concerns is dead; skip forward. If the whole
+		// warp is dead, jump to the commit point for cleanup.
+		if w.live() == 0 {
+			f.pc = w.commitPC
+		} else {
+			f.pc++
+		}
+		return
+	}
+
+	eager := c.protocol.EagerIntraWarp()
+	var send []tm.LaneAccess
+	opWriters := map[uint64]isa.LaneMask{}
+	dst := op.Dst
+
+	for lane := 0; lane < isa.WarpWidth; lane++ {
+		if !mask.Bit(lane) {
+			continue
+		}
+		addr := op.Addr[lane]
+		if isWrite {
+			val := w.storeValue(op, lane)
+			if eager {
+				conf := (w.txLog.Conflicts(lane, addr, true) | opWriters[addr]) & w.live()
+				if conf != 0 {
+					c.abortLane(w, lane, tm.CauseIntraWarp)
+					continue
+				}
+			}
+			opWriters[addr] = opWriters[addr].Set(lane)
+			send = append(send, tm.LaneAccess{Lane: lane, Addr: addr, Value: val})
+		} else {
+			if v, ok := w.txLog.Forward(lane, addr); ok {
+				w.regs[lane][dst] = v
+				continue
+			}
+			if v, ok := w.txLog.ForwardRead(lane, addr); ok {
+				w.regs[lane][dst] = v
+				continue
+			}
+			if eager {
+				conf := w.txLog.Conflicts(lane, addr, false) & w.live()
+				if conf != 0 {
+					c.abortLane(w, lane, tm.CauseIntraWarp)
+					continue
+				}
+			}
+			send = append(send, tm.LaneAccess{Lane: lane, Addr: addr})
+		}
+	}
+
+	if len(send) == 0 {
+		if w.live() == 0 {
+			f.pc = w.commitPC
+		} else {
+			f.pc++
+		}
+		return
+	}
+
+	f.pc++
+	w.state = wBlocked
+	attempt := w.warpTx
+	c.protocol.Access(attempt, isWrite, send, func(results []tm.AccessResult) {
+		byLane := map[int]tm.LaneAccess{}
+		for _, la := range send {
+			byLane[la.Lane] = la
+		}
+		for _, r := range results {
+			if w.warpTx != attempt {
+				return // stale completion after the attempt ended
+			}
+			la := byLane[r.Lane]
+			if r.Abort {
+				c.abortLane(w, r.Lane, r.Cause)
+				continue
+			}
+			if !w.live().Bit(r.Lane) {
+				continue // asynchronously aborted while in flight
+			}
+			if isWrite {
+				w.txLog.RecordWrite(r.Lane, la.Addr, la.Value)
+			} else {
+				w.txLog.RecordRead(r.Lane, la.Addr, r.Value)
+				w.regs[r.Lane][dst] = r.Value
+			}
+		}
+		if w.live() == 0 {
+			w.top().pc = w.commitPC
+		}
+		c.wake(w)
+	})
+}
+
+// resolveIntraWarp finds, at commit time, a maximal prefix-greedy set of
+// non-conflicting lanes; the rest abort (WarpTM's two-phase resolution).
+func resolveIntraWarp(log *tm.TxLog, live isa.LaneMask) (losers isa.LaneMask) {
+	var survivors isa.LaneMask
+	for lane := 0; lane < isa.WarpWidth; lane++ {
+		if !live.Bit(lane) {
+			continue
+		}
+		reads, writes := log.LaneEntries(lane)
+		conflict := false
+		for _, e := range writes {
+			if log.Conflicts(lane, e.Addr, true)&survivors != 0 {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			for _, e := range reads {
+				if log.Conflicts(lane, e.Addr, false)&survivors != 0 {
+					conflict = true
+					break
+				}
+			}
+		}
+		if conflict {
+			losers = losers.Set(lane)
+		} else {
+			survivors = survivors.Set(lane)
+		}
+	}
+	return losers
+}
+
+// execTxCommit finishes the warp's transaction: commit-time intra-warp
+// resolution for lazy protocols, the protocol commit, and retry of aborted
+// lanes with probabilistically increasing backoff.
+func (c *Core) execTxCommit(w *Warp) {
+	f := w.top()
+	live := w.live()
+
+	extra := sim.Cycle(0)
+	if !c.protocol.EagerIntraWarp() && live.Count() > 1 {
+		losers := resolveIntraWarp(w.txLog, live)
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if losers.Bit(lane) {
+				c.abortLane(w, lane, tm.CauseIntraWarp)
+			}
+		}
+		extra = sim.Cycle(c.cfg.IntraWarpCyclesPerEntry * (len(w.txLog.Reads) + len(w.txLog.Writes)))
+		live = w.live()
+	}
+
+	commitMask, abortMask := live, w.deadMask
+	w.state = wBlocked
+	w.committing = true
+	attempt := w.warpTx
+	c.eng.Schedule(extra, func() {
+		commitStart := c.eng.Now()
+		if commitStart > w.attemptStart {
+			c.Stats.TxExecCycles += uint64(commitStart - w.attemptStart)
+		}
+		c.protocol.Commit(attempt, commitMask, abortMask, func(out tm.CommitOutcome) {
+			c.Stats.TxWaitCycles += uint64(c.eng.Now() - commitStart)
+			failed := out.FailedLanes & commitMask
+			for lane := 0; lane < isa.WarpWidth; lane++ {
+				if failed.Bit(lane) {
+					c.Stats.Aborts++
+					c.Stats.AbortsByCause.Inc(out.Cause.String(), 1)
+				}
+			}
+			committed := commitMask &^ failed
+			c.Stats.Commits += uint64(committed.Count())
+
+			retry := abortMask | failed
+			if retry != 0 {
+				w.attempts++
+				backoff := c.backoff(w.attempts)
+				c.Stats.TxWaitCycles += uint64(backoff)
+				c.eng.Schedule(backoff, func() {
+					w.txMask = retry
+					w.deadMask = 0
+					w.committing = false
+					c.beginAttempt(w)
+					f.pc = w.txBeginPC + 1
+					c.wake(w)
+				})
+				return
+			}
+			c.endTx(w)
+			f.pc = w.commitPC + 1
+			c.wake(w)
+		})
+	})
+}
+
+// backoff returns a random delay in [0, min(base<<attempts, cap)).
+func (c *Core) backoff(attempts int) sim.Cycle {
+	limit := c.cfg.BackoffBase
+	for i := 1; i < attempts && limit < c.cfg.BackoffCap; i++ {
+		limit <<= 1
+	}
+	if limit > c.cfg.BackoffCap {
+		limit = c.cfg.BackoffCap
+	}
+	if limit == 0 {
+		return 0
+	}
+	return sim.Cycle(c.rng.Uint64n(limit))
+}
+
+// endTx releases the warp's transactional slot and admits a queued warp.
+func (c *Core) endTx(w *Warp) {
+	w.inTx = false
+	w.committing = false
+	c.txActive--
+	for len(c.txQueue) > 0 && c.canBegin() {
+		next := c.txQueue[0]
+		c.txQueue = c.txQueue[1:]
+		c.Stats.TxWaitCycles += uint64(c.eng.Now() - next.waitStart)
+		c.startTx(next)
+	}
+	c.scheduleIssue()
+}

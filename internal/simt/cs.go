@@ -1,0 +1,142 @@
+package simt
+
+import (
+	"sort"
+
+	"getm/internal/isa"
+)
+
+// Critical-section execution for the fine-grained-lock baselines.
+//
+// A CritSection op carries, per lane, the list of lock words the lane must
+// hold while running the body. The warp loops (as the Fig 1 idiom does in
+// lockstep SIMT code): every not-yet-done lane attempts to CAS-acquire its
+// locks in ascending address order; lanes that acquire everything execute
+// the body together under a lane mask; locks are then released with plain
+// stores, and the remaining lanes retry.
+
+// execCritSection starts the state machine.
+func (c *Core) execCritSection(w *Warp, op *isa.Op) {
+	mask := w.effMask(op)
+	w.top().pc++
+	if mask == 0 {
+		return
+	}
+	w.cs = &csState{op: op, remaining: mask}
+	w.state = wBlocked
+	c.csRound(w)
+}
+
+// sortedLocks returns the lane's lock list in ascending order (deadlock-free
+// acquisition order).
+func sortedLocks(locks []uint64) []uint64 {
+	if sort.SliceIsSorted(locks, func(i, j int) bool { return locks[i] < locks[j] }) {
+		return locks
+	}
+	s := append([]uint64(nil), locks...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+// csRound runs one acquire-execute-release iteration for the remaining lanes.
+func (c *Core) csRound(w *Warp) {
+	c.csAcquireLevel(w, w.cs.remaining, 0, 0)
+}
+
+// csAcquireLevel CASes the level-th lock of every contender; winners advance
+// to the next level, losers release what they hold and wait for the next
+// round. Lanes whose lock lists are exhausted become holders.
+func (c *Core) csAcquireLevel(w *Warp, contenders isa.LaneMask, level int, holders isa.LaneMask) {
+	cs := w.cs
+	var needs []int
+	for lane := 0; lane < isa.WarpWidth; lane++ {
+		if !contenders.Bit(lane) {
+			continue
+		}
+		if len(cs.op.Locks[lane]) <= level {
+			holders = holders.Set(lane)
+		} else {
+			needs = append(needs, lane)
+		}
+	}
+	if len(needs) == 0 {
+		c.csBody(w, holders)
+		return
+	}
+
+	outstanding := len(needs)
+	var winners, losers isa.LaneMask
+	for _, lane := range needs {
+		lane := lane
+		addr := sortedLocks(cs.op.Locks[lane])[level]
+		c.memsys.AtomicCAS(c.ID, addr, 0, uint64(w.gwid)+1, func(_ uint64, ok bool) {
+			if ok {
+				cs.held[lane]++
+				winners = winners.Set(lane)
+			} else {
+				losers = losers.Set(lane)
+			}
+			outstanding--
+			if outstanding == 0 {
+				c.csReleaseLocks(w, losers, func() {
+					c.csAcquireLevel(w, winners, level+1, holders)
+				})
+			}
+		})
+	}
+}
+
+// csReleaseLocks releases every lock held by the given lanes (plain stores,
+// as in the Fig 1 code) and resets their counts.
+func (c *Core) csReleaseLocks(w *Warp, lanes isa.LaneMask, done func()) {
+	cs := w.cs
+	var addrs, vals []uint64
+	for lane := 0; lane < isa.WarpWidth; lane++ {
+		if !lanes.Bit(lane) {
+			continue
+		}
+		locks := sortedLocks(cs.op.Locks[lane])
+		for i := 0; i < cs.held[lane]; i++ {
+			addrs = append(addrs, locks[i])
+			vals = append(vals, 0)
+		}
+		cs.held[lane] = 0
+	}
+	if len(addrs) == 0 {
+		done()
+		return
+	}
+	c.memsys.Access(c.ID, true, addrs, vals, func([]uint64) { done() })
+}
+
+// csBody runs the critical-section body for the lanes holding their locks.
+func (c *Core) csBody(w *Warp, holders isa.LaneMask) {
+	cs := w.cs
+	if holders == 0 {
+		// Everyone lost an acquisition race; spin and retry.
+		c.eng.Schedule(csRetryDelay, func() { c.csRound(w) })
+		return
+	}
+	w.frames = append(w.frames, frame{
+		ops:  cs.op.Body,
+		mask: holders,
+		onDone: func(w *Warp) {
+			// Memory fence: the body's fire-and-forget stores must be
+			// globally visible before the locks are released (the
+			// __threadfence a real GPU lock implementation issues here).
+			w.fence(func() {
+				c.csReleaseLocks(w, holders, func() {
+					cs.remaining &^= holders
+					if cs.remaining != 0 {
+						c.eng.Schedule(csRetryDelay, func() { c.csRound(w) })
+						return
+					}
+					w.cs = nil
+					c.wake(w)
+				})
+			})
+		},
+	})
+	w.state = wReady
+	c.scheduleIssue()
+}

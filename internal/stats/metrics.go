@@ -1,0 +1,69 @@
+package stats
+
+// Metrics is the per-run measurement snapshot consumed by the experiment
+// harness. All cycle quantities are in interconnect-clock cycles.
+type Metrics struct {
+	// TotalCycles is the wall-clock length of the run.
+	TotalCycles uint64
+
+	// TxExecCycles is the total time warps spent executing transactional
+	// code, including retried attempts, summed across all warps.
+	TxExecCycles uint64
+	// TxWaitCycles is the total time warps spent waiting to start or finish
+	// transactions: blocked on the concurrency throttle, waiting for the
+	// commit/validation round trips, waiting for diverged same-warp threads,
+	// and backoff after aborts.
+	TxWaitCycles uint64
+
+	// Commits and Aborts count thread-level transactions.
+	Commits uint64
+	Aborts  uint64
+	// AbortsByCause breaks Aborts down (war, waw-raw, intra-warp, stall-full,
+	// early-abort, validation).
+	AbortsByCause Counters
+
+	// XbarUpBytes/XbarDownBytes count interconnect payload traffic.
+	XbarUpBytes   uint64
+	XbarDownBytes uint64
+
+	// SilentCommits counts read-only transactions committed via the TCD
+	// filter (WarpTM) without validation round trips.
+	SilentCommits uint64
+
+	// MetaAccessCycles is the distribution of metadata-table access latency
+	// per request at GETM validation units (Fig 13).
+	MetaAccessCycles Hist
+
+	// StallBufMaxOccupancy is the maximum number of queued addresses across
+	// all stall buffers at any instant (Fig 15); StallBufPerAddr averages the
+	// number of requests queued per address (Fig 16).
+	StallBufMaxOccupancy uint64
+	StallBufPerAddr      Accum
+
+	// Extra holds protocol-specific counters (overflow insertions, rollovers,
+	// pauses, TCD hits, cuckoo evictions, ...).
+	Extra Counters
+}
+
+// NewMetrics returns an initialized Metrics.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		AbortsByCause:    Counters{},
+		Extra:            Counters{},
+		MetaAccessCycles: Hist{Buckets: make([]uint64, 64)},
+	}
+}
+
+// TxCycles returns exec + wait, the paper's "total tx cycles".
+func (m *Metrics) TxCycles() uint64 { return m.TxExecCycles + m.TxWaitCycles }
+
+// XbarBytes returns total crossbar traffic in both directions.
+func (m *Metrics) XbarBytes() uint64 { return m.XbarUpBytes + m.XbarDownBytes }
+
+// AbortsPer1KCommits returns the paper's Table IV abort metric.
+func (m *Metrics) AbortsPer1KCommits() float64 {
+	if m.Commits == 0 {
+		return 0
+	}
+	return float64(m.Aborts) * 1000 / float64(m.Commits)
+}

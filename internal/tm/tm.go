@@ -1,0 +1,326 @@
+// Package tm defines the abstractions shared by all transactional-memory
+// protocol implementations: per-warp transaction logs, abort causes, the
+// protocol interface the SIMT core drives, message size constants for
+// interconnect accounting, and a serializability checker used by the
+// integration tests.
+package tm
+
+import (
+	"fmt"
+
+	"getm/internal/isa"
+	"getm/internal/sim"
+)
+
+// AbortCause classifies why a thread-level transaction aborted.
+type AbortCause uint8
+
+// Abort causes. WAR means the transaction read a line written by a logically
+// later transaction; WAWRAW means it tried to write a line read or written by
+// a logically later transaction (GETM, Fig 6). Validation covers WarpTM's
+// value-based validation failures. IntraWarp is a conflict with another lane
+// of the same warp. StallFull means the GETM stall buffer had no space.
+// EarlyAbort is EAPG's broadcast-triggered abort.
+const (
+	CauseNone AbortCause = iota
+	CauseWAR
+	CauseWAWRAW
+	CauseValidation
+	CauseIntraWarp
+	CauseStallFull
+	CauseEarlyAbort
+)
+
+var causeNames = [...]string{
+	CauseNone: "none", CauseWAR: "war", CauseWAWRAW: "waw-raw",
+	CauseValidation: "validation", CauseIntraWarp: "intra-warp",
+	CauseStallFull: "stall-full", CauseEarlyAbort: "early-abort",
+}
+
+func (c AbortCause) String() string {
+	if int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return fmt.Sprintf("cause(%d)", uint8(c))
+}
+
+// Message payload sizes in bytes, used for crossbar traffic accounting.
+const (
+	AddrBytes   = 4 // 32-bit global addresses (Fermi generation)
+	WordBytes   = 8 // data word
+	TSBytes     = 8 // logical timestamp
+	HeaderBytes = 8 // control header / ack
+
+	// ReqBytes is a transactional access request (header + address + ts).
+	ReqBytes = HeaderBytes + AddrBytes + TSBytes
+	// ReplyBytes is an access reply carrying data.
+	ReplyBytes = HeaderBytes + WordBytes
+	// AbortReplyBytes carries the abort-cause timestamp back to the core.
+	AbortReplyBytes = HeaderBytes + TSBytes
+	// CommitEntryBytes is one write-log entry: address, data, write count.
+	CommitEntryBytes = AddrBytes + WordBytes + 1
+	// CleanupEntryBytes is one abort-log entry: address, write count.
+	CleanupEntryBytes = AddrBytes + 1
+	// ValidateEntryBytes is one WarpTM read-log entry: address + observed value.
+	ValidateEntryBytes = AddrBytes + WordBytes
+	// SignatureBytes is EAPG's idealized 64-bit broadcast signature.
+	SignatureBytes = 8
+)
+
+// LogEntry records one transactional access by one lane.
+type LogEntry struct {
+	Lane  int
+	Addr  uint64
+	Value uint64
+	// Writes counts coalesced writes to this address by this lane (GETM
+	// sends it in the commit/cleanup log to balance #writes).
+	Writes int
+}
+
+// TxLog is the per-warp redo log for one transaction attempt. Reads record
+// the observed value (for value-based validation and the replay checker);
+// writes record the new value. Lookup structures support read-own-write
+// forwarding and intra-warp conflict detection.
+type TxLog struct {
+	Reads  []LogEntry
+	Writes []LogEntry
+
+	// byAddr indexes log entries by word address for forwarding/conflicts.
+	readersByAddr map[uint64]isa.LaneMask
+	writersByAddr map[uint64]isa.LaneMask
+	writeVal      map[laneAddr]uint64
+	writeIdx      map[laneAddr]int
+	readSeen      map[laneAddr]bool
+	readVal       map[laneAddr]uint64
+}
+
+type laneAddr struct {
+	lane int
+	addr uint64
+}
+
+// NewTxLog returns an empty log.
+func NewTxLog() *TxLog {
+	return &TxLog{
+		readersByAddr: make(map[uint64]isa.LaneMask),
+		writersByAddr: make(map[uint64]isa.LaneMask),
+		writeVal:      make(map[laneAddr]uint64),
+		writeIdx:      make(map[laneAddr]int),
+		readSeen:      make(map[laneAddr]bool),
+		readVal:       make(map[laneAddr]uint64),
+	}
+}
+
+// Reset clears the log for a new transaction attempt.
+func (l *TxLog) Reset() {
+	l.Reads = l.Reads[:0]
+	l.Writes = l.Writes[:0]
+	clear(l.readersByAddr)
+	clear(l.writersByAddr)
+	clear(l.writeVal)
+	clear(l.writeIdx)
+	clear(l.readSeen)
+	clear(l.readVal)
+}
+
+// RecordRead logs a globally observed read (not a forwarded own-write read).
+func (l *TxLog) RecordRead(lane int, addr, value uint64) {
+	key := laneAddr{lane, addr}
+	if !l.readSeen[key] {
+		l.Reads = append(l.Reads, LogEntry{Lane: lane, Addr: addr, Value: value})
+		l.readSeen[key] = true
+		l.readVal[key] = value
+	}
+	l.readersByAddr[addr] = l.readersByAddr[addr].Set(lane)
+}
+
+// ForwardRead returns the value a lane's earlier read of addr observed, so
+// repeated reads hit the redo log instead of the interconnect.
+func (l *TxLog) ForwardRead(lane int, addr uint64) (uint64, bool) {
+	v, ok := l.readVal[laneAddr{lane, addr}]
+	return v, ok
+}
+
+// RecordWrite logs a write; repeated writes by the same lane to the same
+// address update the value and bump the coalesced write count.
+func (l *TxLog) RecordWrite(lane int, addr, value uint64) {
+	key := laneAddr{lane, addr}
+	if i, ok := l.writeIdx[key]; ok {
+		l.Writes[i].Value = value
+		l.Writes[i].Writes++
+	} else {
+		l.writeIdx[key] = len(l.Writes)
+		l.Writes = append(l.Writes, LogEntry{Lane: lane, Addr: addr, Value: value, Writes: 1})
+	}
+	l.writeVal[key] = value
+	l.writersByAddr[addr] = l.writersByAddr[addr].Set(lane)
+}
+
+// Forward returns the lane's own buffered write to addr, if any
+// (read-own-write forwarding from the redo log).
+func (l *TxLog) Forward(lane int, addr uint64) (uint64, bool) {
+	v, ok := l.writeVal[laneAddr{lane, addr}]
+	return v, ok
+}
+
+// HasRead reports whether the lane already has a logged read of addr.
+func (l *TxLog) HasRead(lane int, addr uint64) bool {
+	return l.readSeen[laneAddr{lane, addr}]
+}
+
+// Conflicts returns the other lanes whose logged accesses conflict with the
+// given access (same word, at least one side writing).
+func (l *TxLog) Conflicts(lane int, addr uint64, isWrite bool) isa.LaneMask {
+	var m isa.LaneMask
+	m |= l.writersByAddr[addr]
+	if isWrite {
+		m |= l.readersByAddr[addr]
+	}
+	return m.Clear(lane)
+}
+
+// DropLane removes a lane's entries (after an intra-warp or eager abort the
+// lane's accesses are replayed from scratch on retry). Write entries are
+// retained in the cleanup set by the caller before dropping.
+func (l *TxLog) DropLane(lane int) {
+	filter := func(entries []LogEntry) []LogEntry {
+		out := entries[:0]
+		for _, e := range entries {
+			if e.Lane != lane {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	l.Reads = filter(l.Reads)
+	l.Writes = filter(l.Writes)
+	for addr, m := range l.readersByAddr {
+		l.readersByAddr[addr] = m.Clear(lane)
+	}
+	for addr, m := range l.writersByAddr {
+		l.writersByAddr[addr] = m.Clear(lane)
+	}
+	for k := range l.writeVal {
+		if k.lane == lane {
+			delete(l.writeVal, k)
+		}
+	}
+	for k := range l.writeIdx {
+		if k.lane == lane {
+			delete(l.writeIdx, k)
+		}
+	}
+	for k := range l.readSeen {
+		if k.lane == lane {
+			delete(l.readSeen, k)
+		}
+	}
+	for k := range l.readVal {
+		if k.lane == lane {
+			delete(l.readVal, k)
+		}
+	}
+	// Reindex writes.
+	for i, e := range l.Writes {
+		l.writeIdx[laneAddr{e.Lane, e.Addr}] = i
+	}
+}
+
+// LaneEntries returns the lane's read and write entries.
+func (l *TxLog) LaneEntries(lane int) (reads, writes []LogEntry) {
+	for _, e := range l.Reads {
+		if e.Lane == lane {
+			reads = append(reads, e)
+		}
+	}
+	for _, e := range l.Writes {
+		if e.Lane == lane {
+			writes = append(writes, e)
+		}
+	}
+	return reads, writes
+}
+
+// WarpTx identifies one warp-level transaction attempt to a protocol.
+type WarpTx struct {
+	// GWID is the global warp id (unique across cores); it is the lock owner
+	// id in GETM.
+	GWID int
+	// Core is the SIMT core index (the down-crossbar port for replies).
+	Core int
+	// Log is the attempt's redo log.
+	Log *TxLog
+	// StartCycle is when this attempt began (WarpTM's TCD read-only check).
+	StartCycle sim.Cycle
+}
+
+// LaneAccess is one lane's slice of a warp memory instruction.
+type LaneAccess struct {
+	Lane  int
+	Addr  uint64
+	Value uint64 // store data (ignored for loads)
+}
+
+// AccessResult is the protocol's per-lane answer to a transactional access.
+type AccessResult struct {
+	Lane  int
+	Value uint64 // loaded data
+	Abort bool
+	Cause AbortCause
+	// AbortTS is the newest logical timestamp observed at the LLC, used by
+	// GETM to advance warpts past the conflict.
+	AbortTS uint64
+}
+
+// CommitOutcome reports per-lane commit results.
+type CommitOutcome struct {
+	// FailedLanes holds lanes whose transactions failed commit-time
+	// validation (empty for GETM: eager detection guarantees success).
+	FailedLanes isa.LaneMask
+	Cause       AbortCause
+	// AbortTS advances warpts for GETM aborts handled at commit.
+	AbortTS uint64
+}
+
+// Protocol is the SIMT-core-side interface to a TM implementation. All
+// methods are called from engine events; completions are delivered via
+// callbacks on later events.
+type Protocol interface {
+	// Name identifies the protocol ("getm", "warptm", "warptm-el", "eapg").
+	Name() string
+
+	// EagerIntraWarp reports whether intra-warp conflicts are checked at
+	// access time (GETM) rather than resolved at commit time (WarpTM).
+	EagerIntraWarp() bool
+
+	// Begin opens a transaction attempt for the warp.
+	Begin(w *WarpTx)
+
+	// Access performs a transactional load (isWrite false) or store for the
+	// given lanes. done is invoked once per call, after every lane has an
+	// outcome (including lanes that had to wait in a stall buffer).
+	Access(w *WarpTx, isWrite bool, lanes []LaneAccess, done func([]AccessResult))
+
+	// Commit finishes the warp's transaction: commits lanes in commitMask
+	// and cleans up after lanes in abortMask (their reservations/log
+	// entries). resume is invoked when the warp may continue executing —
+	// immediately after log transmission for GETM (off the critical path),
+	// or after the validation/commit round trips for WarpTM. For lazy
+	// protocols the outcome may fail lanes that eager protocols would have
+	// aborted earlier.
+	Commit(w *WarpTx, commitMask, abortMask isa.LaneMask, resume func(CommitOutcome))
+}
+
+// AbortNotice lets a protocol asynchronously abort lanes between accesses
+// (EAPG's broadcast early aborts). Cores register a sink per warp.
+type AbortNotice struct {
+	GWID  int
+	Lanes isa.LaneMask
+	Cause AbortCause
+}
+
+// AsyncAborter is implemented by protocols that can abort transactions
+// asynchronously; the core registers a callback to receive notices.
+type AsyncAborter interface {
+	SetAbortSink(func(AbortNotice))
+}

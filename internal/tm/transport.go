@@ -1,0 +1,15 @@
+package tm
+
+// Transport carries protocol messages between SIMT cores and memory
+// partitions. The gpu package implements it over the two crossbars; unit
+// tests use zero-latency fakes.
+type Transport interface {
+	// ToPartition sends bytes of payload from a core to a partition,
+	// invoking deliver when the tail flit arrives.
+	ToPartition(core, partition, bytes int, deliver func())
+	// ToCore sends a reply from a partition back to a core.
+	ToCore(partition, core, bytes int, deliver func())
+	// BroadcastToCores sends the same payload from a partition to every
+	// core (EAPG's signature broadcasts).
+	BroadcastToCores(partition, bytes int, deliver func(core int))
+}

@@ -1,0 +1,47 @@
+// Package tmtest provides shared test doubles for protocol unit tests.
+package tmtest
+
+import "getm/internal/sim"
+
+// Transport is a tm.Transport double with a fixed per-message latency. It
+// preserves the point-to-point FIFO property the real crossbar provides and
+// counts traffic per direction.
+type Transport struct {
+	Eng     *sim.Engine
+	Latency sim.Cycle
+	Cores   int
+
+	Up        uint64
+	Down      uint64
+	Delivered uint64
+}
+
+// NewTransport builds a transport over eng.
+func NewTransport(eng *sim.Engine, latency sim.Cycle, cores int) *Transport {
+	return &Transport{Eng: eng, Latency: latency, Cores: cores}
+}
+
+// ToPartition implements tm.Transport.
+func (f *Transport) ToPartition(core, partition, bytes int, deliver func()) {
+	f.Up += uint64(bytes)
+	f.Eng.Schedule(f.Latency, func() { f.Delivered++; deliver() })
+}
+
+// ToCore implements tm.Transport.
+func (f *Transport) ToCore(partition, core, bytes int, deliver func()) {
+	f.Down += uint64(bytes)
+	f.Eng.Schedule(f.Latency, func() { f.Delivered++; deliver() })
+}
+
+// BroadcastToCores implements tm.Transport.
+func (f *Transport) BroadcastToCores(partition, bytes int, deliver func(core int)) {
+	n := f.Cores
+	if n <= 0 {
+		n = 1
+	}
+	for c := 0; c < n; c++ {
+		c := c
+		f.Down += uint64(bytes)
+		f.Eng.Schedule(f.Latency, func() { deliver(c) })
+	}
+}

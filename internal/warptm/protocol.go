@@ -1,0 +1,340 @@
+package warptm
+
+import (
+	"getm/internal/isa"
+	"getm/internal/mem"
+	"getm/internal/sim"
+	"getm/internal/tm"
+)
+
+// Protocol is WarpTM's SIMT-core-side driver (and, with cfg.Eager, the
+// idealized WarpTM-EL variant).
+type Protocol struct {
+	cfg   Config
+	eng   *sim.Engine
+	amap  mem.AddressMap
+	trans tm.Transport
+	vus   []*VU
+	img   *mem.Image
+
+	nextCID uint64
+	// decided is the next commit id to retire. Commit decisions retire
+	// strictly in commit-id order (KiloTM's commit ids ARE the global
+	// serialization order): a transaction whose validations have all
+	// returned still waits for every earlier id to decide before its writes
+	// apply. This makes id order a valid serialization for the replay
+	// checker and gives TCD's read-only commits a sound horizon.
+	decided uint64
+	// waiting holds finished-validation transactions awaiting their in-order
+	// decision slot.
+	waiting map[uint64]func()
+	// tcdUnsafe marks lanes whose reads touched recently written lines and
+	// therefore cannot silently commit.
+	tcdUnsafe map[int]isa.LaneMask
+	// startHorizon records p.decided when each warp's attempt began; silent
+	// read-only commits serialize there (every decision before the horizon
+	// is visible to them, none after — later decisions on their read set
+	// would have tripped the TCD check).
+	startHorizon map[int]uint64
+
+	// Committed records transactions for the replay checker.
+	Committed []tm.CommittedTx
+	Record    bool
+	seq       uint64
+
+	SilentCommits uint64
+	EarlyAborts   uint64 // EL: access-time validation failures
+}
+
+var _ tm.Protocol = (*Protocol)(nil)
+
+// NewProtocol wires WarpTM over one VU per partition.
+func NewProtocol(cfg Config, eng *sim.Engine, amap mem.AddressMap, trans tm.Transport, vus []*VU, img *mem.Image) *Protocol {
+	return &Protocol{
+		cfg:          cfg,
+		eng:          eng,
+		amap:         amap,
+		trans:        trans,
+		vus:          vus,
+		img:          img,
+		tcdUnsafe:    make(map[int]isa.LaneMask),
+		startHorizon: make(map[int]uint64),
+		waiting:      make(map[uint64]func()),
+	}
+}
+
+// Name implements tm.Protocol.
+func (p *Protocol) Name() string {
+	if p.cfg.Eager {
+		return "warptm-el"
+	}
+	return "warptm"
+}
+
+// EagerIntraWarp: WarpTM resolves intra-warp conflicts at commit time.
+// The EL variant detects them at access time like GETM would.
+func (p *Protocol) EagerIntraWarp() bool { return p.cfg.Eager }
+
+// Begin implements tm.Protocol.
+func (p *Protocol) Begin(w *tm.WarpTx) {
+	p.tcdUnsafe[w.GWID] = 0
+	p.startHorizon[w.GWID] = p.decided
+}
+
+// revalidate is the EL variant's idealized zero-latency eager check: the
+// lane's logged reads are compared against current memory; a mismatch means
+// the transaction is doomed and aborts immediately.
+func (p *Protocol) revalidate(w *tm.WarpTx, lane int) bool {
+	reads, _ := w.Log.LaneEntries(lane)
+	for _, e := range reads {
+		if p.img.Read(e.Addr) != e.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Access implements tm.Protocol. Loads fetch data from the LLC and query the
+// TCD; stores are buffered locally in the redo log and complete immediately
+// (lazy versioning).
+func (p *Protocol) Access(w *tm.WarpTx, isWrite bool, lanes []tm.LaneAccess, done func([]tm.AccessResult)) {
+	results := make([]tm.AccessResult, len(lanes))
+	if len(lanes) == 0 {
+		done(results)
+		return
+	}
+
+	if isWrite {
+		// Local log write: one cycle, no interconnect traffic.
+		for i, la := range lanes {
+			results[i] = tm.AccessResult{Lane: la.Lane}
+			if p.cfg.Eager && !p.revalidate(w, la.Lane) {
+				p.EarlyAborts++
+				results[i].Abort = true
+				results[i].Cause = tm.CauseValidation
+			}
+		}
+		p.eng.Schedule(1, func() { done(results) })
+		return
+	}
+
+	remaining := 0
+	type share struct{ lanes []int }
+	byWord := map[uint64]*share{}
+	var order []uint64 // deterministic issue order (first touch)
+	for i, la := range lanes {
+		results[i] = tm.AccessResult{Lane: la.Lane}
+		s, ok := byWord[la.Addr]
+		if !ok {
+			s = &share{}
+			byWord[la.Addr] = s
+			order = append(order, la.Addr)
+			remaining++
+		}
+		s.lanes = append(s.lanes, i)
+	}
+
+	for _, addr := range order {
+		addr, s := addr, byWord[addr]
+		part := p.amap.Partition(addr)
+		vu := p.vus[part]
+		p.trans.ToPartition(w.Core, part, tm.ReqBytes, func() {
+			// Data read through the partition pipeline + TCD lookup.
+			vu.part.Read(addr, func(val uint64) {
+				lastWrite := vu.tcd.LastWrite(addr / uint64(mem.WordBytes))
+				p.trans.ToCore(part, w.Core, tm.ReplyBytes+tm.TSBytes, func() {
+					unsafe := lastWrite >= w.StartCycle
+					for _, i := range s.lanes {
+						results[i].Value = val
+						if unsafe {
+							p.tcdUnsafe[w.GWID] = p.tcdUnsafe[w.GWID].Set(results[i].Lane)
+						}
+						if p.cfg.Eager {
+							// Idealized eager check includes the value just
+							// read (the log entry is recorded by the caller
+							// after this returns, so check it directly).
+							if !p.revalidate(w, results[i].Lane) {
+								p.EarlyAborts++
+								results[i].Abort = true
+								results[i].Cause = tm.CauseValidation
+							}
+						}
+					}
+					remaining--
+					if remaining == 0 {
+						done(results)
+					}
+				})
+			})
+		})
+	}
+}
+
+// Commit implements tm.Protocol: the two-round-trip value-based validation
+// and commit sequence of Fig 2 (top), with TCD silent commits for read-only
+// lanes.
+func (p *Protocol) Commit(w *tm.WarpTx, commitMask, abortMask isa.LaneMask, resume func(tm.CommitOutcome)) {
+	unsafe := p.tcdUnsafe[w.GWID]
+
+	// Partition lanes into silent (read-only, TCD-safe) and validating.
+	var silent, validating isa.LaneMask
+	for lane := 0; lane < isa.WarpWidth; lane++ {
+		if !commitMask.Bit(lane) {
+			continue
+		}
+		_, writes := w.Log.LaneEntries(lane)
+		if len(writes) == 0 && !unsafe.Bit(lane) {
+			silent = silent.Set(lane)
+		} else {
+			validating = validating.Set(lane)
+		}
+	}
+
+	if p.Record {
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if !silent.Bit(lane) {
+				continue
+			}
+			reads, _ := w.Log.LaneEntries(lane)
+			p.seq++
+			// Read-only TCD commits serialize at transaction start: strictly
+			// after every commit id decided before the attempt began (those
+			// have keys 2*(cid+1) <= 2*horizon) and strictly before every
+			// later decision (keys >= 2*horizon+2).
+			p.Committed = append(p.Committed, tm.CommittedTx{
+				GWID: w.GWID, Lane: lane,
+				SerialTS: 2*p.startHorizon[w.GWID] + 1, Seq: p.seq, Reads: reads,
+			})
+		}
+	}
+	p.SilentCommits += uint64(silent.Count())
+
+	if validating == 0 {
+		// Nothing needs the commit units; the warp continues immediately.
+		p.eng.Schedule(1, func() { resume(tm.CommitOutcome{}) })
+		return
+	}
+
+	cid := p.nextCID
+	p.nextCID++
+
+	// Build per-partition entry lists for the validating lanes.
+	readsBy := make(map[int][]tm.LogEntry)
+	writesBy := make(map[int][]tm.LogEntry)
+	for _, e := range w.Log.Reads {
+		if validating.Bit(e.Lane) {
+			part := p.amap.Partition(e.Addr)
+			readsBy[part] = append(readsBy[part], e)
+		}
+	}
+	for _, e := range w.Log.Writes {
+		if validating.Bit(e.Lane) {
+			part := p.amap.Partition(e.Addr)
+			writesBy[part] = append(writesBy[part], e)
+		}
+	}
+
+	nParts := len(p.vus)
+	repliesLeft := nParts
+	var failed isa.LaneMask
+	var involved []int
+
+	// Round trip 1: validation at every partition. Partitions holding none
+	// of the footprint receive a header-only message that just keeps the
+	// commit-id sequence in lockstep and retires immediately.
+	for part := 0; part < nParts; part++ {
+		part := part
+		msg := &ValidationMsg{
+			CID:    cid,
+			Core:   w.Core,
+			Reads:  readsBy[part],
+			Writes: writesBy[part],
+		}
+		if len(msg.Reads)+len(msg.Writes) > 0 {
+			involved = append(involved, part)
+		}
+		bytes := tm.HeaderBytes + len(msg.Reads)*tm.ValidateEntryBytes + len(msg.Writes)*tm.CommitEntryBytes
+		msg.Reply = func(f isa.LaneMask) {
+			p.trans.ToCore(part, w.Core, tm.HeaderBytes+4, func() {
+				failed |= f
+				repliesLeft--
+				if repliesLeft == 0 {
+					p.finishCommit(w, cid, validating, failed, involved, resume)
+				}
+			})
+		}
+		vu := p.vus[part]
+		p.trans.ToPartition(w.Core, part, bytes, func() { vu.Submit(msg) })
+	}
+}
+
+// finishCommit runs the second round trip: confirmation to the commit units
+// and acknowledgement collection; only then does the warp resume.
+//
+// The commit's memory effect is applied here, atomically at the decision
+// instant (decisions fire in cid order because each VU serializes
+// validations): this is the transaction's serialization point. The confirm
+// messages and commit units then model the write bandwidth, hazard release
+// and acks. Making the data visible one confirmation-latency early is the
+// standard simulator simplification; the hazard window keeps overlapping
+// validations ordered either way.
+func (p *Protocol) finishCommit(w *tm.WarpTx, cid uint64, validating, failed isa.LaneMask, involved []int, resume func(tm.CommitOutcome)) {
+	p.waiting[cid] = func() { p.decide(w, cid, validating, failed, involved, resume) }
+	for {
+		fn, ok := p.waiting[p.decided]
+		if !ok {
+			return
+		}
+		delete(p.waiting, p.decided)
+		p.decided++
+		fn()
+	}
+}
+
+// decide retires one commit in id order: the atomic apply, checker record,
+// and the confirmation round trip to the involved commit units.
+func (p *Protocol) decide(w *tm.WarpTx, cid uint64, validating, failed isa.LaneMask, involved []int, resume func(tm.CommitOutcome)) {
+	committing := validating &^ failed
+
+	// Atomic apply: data and TCD last-write times for all partitions.
+	now := p.eng.Now()
+	for _, e := range w.Log.Writes {
+		if !committing.Bit(e.Lane) {
+			continue
+		}
+		part := p.amap.Partition(e.Addr)
+		p.vus[part].part.WriteNow(e.Addr, e.Value)
+		p.vus[part].tcd.RecordWrite(e.Addr/uint64(mem.WordBytes), now)
+	}
+
+	if p.Record {
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if !committing.Bit(lane) {
+				continue
+			}
+			reads, writes := w.Log.LaneEntries(lane)
+			p.seq++
+			p.Committed = append(p.Committed, tm.CommittedTx{
+				GWID: w.GWID, Lane: lane,
+				SerialTS: 2 * (cid + 1), Seq: p.seq, Reads: reads, Writes: writes,
+			})
+		}
+	}
+
+	// Round trip 2: confirmation and acks, only for the involved partitions.
+	acksLeft := len(involved)
+	for _, part := range involved {
+		part := part
+		vu := p.vus[part]
+		p.trans.ToPartition(w.Core, part, tm.HeaderBytes+4, func() {
+			vu.Confirm(cid, committing, func() {
+				p.trans.ToCore(part, w.Core, tm.HeaderBytes, func() {
+					acksLeft--
+					if acksLeft == 0 {
+						resume(tm.CommitOutcome{FailedLanes: failed, Cause: tm.CauseValidation})
+					}
+				})
+			})
+		})
+	}
+}

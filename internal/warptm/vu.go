@@ -1,0 +1,229 @@
+package warptm
+
+import (
+	"fmt"
+
+	"getm/internal/isa"
+	"getm/internal/mem"
+	"getm/internal/sim"
+	"getm/internal/tm"
+)
+
+// ValidationMsg is one transaction's slice of read/write log entries sent to
+// a partition's validation unit. Every global commit id is sent to every
+// partition — empty messages keep the id sequence so the VUs stay in
+// lockstep (as in KiloTM).
+type ValidationMsg struct {
+	CID    uint64
+	Core   int
+	Reads  []tm.LogEntry
+	Writes []tm.LogEntry
+	// Reply delivers the lanes whose reads failed value validation here.
+	Reply func(failed isa.LaneMask)
+}
+
+type txState struct {
+	msg       ValidationMsg
+	validated bool
+	confirm   *pendingConfirm
+	writeSet  map[uint64]bool
+}
+
+type pendingConfirm struct {
+	commitLanes isa.LaneMask
+	done        func()
+}
+
+// VU is a WarpTM validation/commit unit at one LLC partition. Transactions
+// validate in global commit-id order; a transaction whose footprint does not
+// overlap any validated-but-unconfirmed write set may start validating while
+// its predecessors await confirmation (KiloTM-style hazard pipelining).
+type VU struct {
+	cfg  Config
+	eng  *sim.Engine
+	part *mem.Partition
+	tcd  *TCD
+
+	nextID   uint64
+	pending  map[uint64]*ValidationMsg
+	inFlight map[uint64]*txState
+	busyTill sim.Cycle
+
+	Validations    uint64
+	FailedEntries  uint64
+	CommitsApplied uint64
+	HazardStalls   uint64
+}
+
+// NewVU builds a validation unit over one partition.
+func NewVU(cfg Config, eng *sim.Engine, part *mem.Partition, rng *sim.RNG) *VU {
+	return &VU{
+		cfg:      cfg,
+		eng:      eng,
+		part:     part,
+		tcd:      NewTCD(cfg.TCDWays, cfg.TCDEntries, rng),
+		pending:  make(map[uint64]*ValidationMsg),
+		inFlight: make(map[uint64]*txState),
+	}
+}
+
+// TCD exposes the partition's temporal-conflict filter (loads query it).
+func (v *VU) TCD() *TCD { return v.tcd }
+
+// Submit delivers a validation message (on up-crossbar arrival).
+func (v *VU) Submit(msg *ValidationMsg) {
+	if msg.CID < v.nextID {
+		panic(fmt.Sprintf("warptm: commit id %d arrived after id advanced to %d", msg.CID, v.nextID))
+	}
+	v.pending[msg.CID] = msg
+	v.tryStart()
+}
+
+// hazard reports whether msg's footprint overlaps any unconfirmed write set.
+func (v *VU) hazard(msg *ValidationMsg) bool {
+	for _, st := range v.inFlight {
+		for _, e := range msg.Reads {
+			if st.writeSet[e.Addr] {
+				return true
+			}
+		}
+		for _, e := range msg.Writes {
+			if st.writeSet[e.Addr] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tryStart begins validating transactions at the head of the id sequence.
+// Empty subcommits (this partition holds none of the transaction's
+// footprint) retire immediately after bumping the sequence, as in KiloTM —
+// they must keep the id order but need no validation, confirmation, or
+// commit-unit slot.
+func (v *VU) tryStart() {
+	for {
+		msg, ok := v.pending[v.nextID]
+		if !ok {
+			return
+		}
+		if len(msg.Reads) == 0 && len(msg.Writes) == 0 {
+			delete(v.pending, v.nextID)
+			v.nextID++
+			reply := msg.Reply
+			v.eng.Schedule(1, func() { reply(0) })
+			continue
+		}
+		if len(v.inFlight) >= v.cfg.MaxInFlight {
+			return
+		}
+		if v.hazard(msg) {
+			v.HazardStalls++
+			return
+		}
+		delete(v.pending, v.nextID)
+		v.nextID++
+		st := &txState{msg: *msg, writeSet: map[uint64]bool{}}
+		for _, e := range msg.Writes {
+			st.writeSet[e.Addr] = true
+		}
+		v.inFlight[msg.CID] = st
+		v.validate(st)
+	}
+}
+
+// validate charges the value-validation pipeline cost and compares logged
+// read values with current LLC contents at completion.
+func (v *VU) validate(st *txState) {
+	v.Validations++
+	start := v.eng.Now()
+	if v.busyTill > start {
+		start = v.busyTill
+	}
+	entries := len(st.msg.Reads)
+	rate := v.cfg.ValidateEntriesPerCycle
+	if rate <= 0 {
+		rate = 1
+	}
+	cycles := sim.Cycle((entries + rate - 1) / rate)
+	if cycles == 0 {
+		cycles = 1
+	}
+	// One pipelined LLC access latency for the batch, plus per-entry cycles.
+	var llc sim.Cycle
+	if entries > 0 {
+		llc = v.part.AccessDelay(st.msg.Reads[0].Addr)
+	}
+	v.busyTill = start + cycles
+	v.eng.At(start+cycles+llc, func() {
+		var failed isa.LaneMask
+		for _, e := range st.msg.Reads {
+			v.part.LLC.Access(e.Addr)
+			if v.part.ReadNow(e.Addr) != e.Value {
+				failed = failed.Set(e.Lane)
+				v.FailedEntries++
+			}
+		}
+		st.validated = true
+		st.msg.Reply(failed)
+		v.maybeApply(st)
+	})
+}
+
+// Confirm delivers the core's commit/abort decision for cid: lanes in
+// commitLanes commit their writes; everything else is dropped. done fires
+// after the data is written (the ack).
+func (v *VU) Confirm(cid uint64, commitLanes isa.LaneMask, done func()) {
+	st, ok := v.inFlight[cid]
+	if !ok {
+		panic(fmt.Sprintf("warptm: confirm for unknown commit id %d", cid))
+	}
+	st.confirm = &pendingConfirm{commitLanes: commitLanes, done: done}
+	v.maybeApply(st)
+}
+
+// maybeApply charges the commit unit's write bandwidth once both the
+// validation and the confirmation have arrived, then releases the hazard
+// window and acknowledges. (The data itself was applied atomically at the
+// core's decision instant — see Protocol.finishCommit.)
+func (v *VU) maybeApply(st *txState) {
+	if !st.validated || st.confirm == nil {
+		return
+	}
+	// Coalesce committed writes into 32-byte regions for bandwidth cost.
+	regions := map[uint64]bool{}
+	n := 0
+	for _, e := range st.msg.Writes {
+		if st.confirm.commitLanes.Bit(e.Lane) {
+			regions[e.Addr/32] = true
+			n++
+		}
+	}
+	bytes := len(regions) * 32
+	cycles := sim.Cycle((bytes + v.cfg.CommitBytesPerCycle - 1) / v.cfg.CommitBytesPerCycle)
+	if cycles == 0 {
+		cycles = 1
+	}
+	start := v.eng.Now()
+	if v.busyTill > start {
+		start = v.busyTill
+	}
+	v.busyTill = start + cycles
+	v.eng.At(start+cycles, func() {
+		for _, e := range st.msg.Writes {
+			if st.confirm.commitLanes.Bit(e.Lane) {
+				v.part.LLC.Access(e.Addr)
+			}
+		}
+		if n > 0 {
+			v.CommitsApplied++
+		}
+		done := st.confirm.done
+		delete(v.inFlight, st.msg.CID)
+		done()
+		v.tryStart()
+	})
+}
+
+// InFlight returns the number of unconfirmed transactions (tests).
+func (v *VU) InFlight() int { return len(v.inFlight) }

@@ -1,0 +1,101 @@
+package workloads
+
+import (
+	"fmt"
+
+	"getm/internal/gpu"
+	"getm/internal/isa"
+	"getm/internal/mem"
+)
+
+// buildApriori models the data-mining benchmark (RMS-TM's Apriori over 4000
+// records): threads scan private record data (non-transactional, the bulk of
+// the runtime) and transactionally bump shared candidate-itemset support
+// counters. The counter pool is tiny, so — as the paper observes for AP —
+// contention concentrates on a few memory locations and abort rates are
+// high, but transactions are a small fraction of total time.
+func buildApriori(name string, v Variant, p Params) *gpu.Kernel {
+	threads := padWarps(p.scaled(3840))
+	const counters = 64
+	const txPerThread = 3
+
+	// Candidate-itemset records are multi-word structures; counters sit at a
+	// 4-word stride so distinct counters occupy distinct conflict granules.
+	const ctrStride = 4
+	r := newRegion()
+	counterBase := r.array(counters * ctrStride)
+	lockBase := r.array(counters)
+	privBase := r.array(4 * threads)
+
+	rng := rngFor(p, 5)
+	lanes := make([]laneOperands, threads)
+	for t := 0; t < threads; t++ {
+		la := laneOperands{addrs: map[string]uint64{
+			"priv": privBase + uint64(4*t)*mem.WordBytes,
+		}}
+		for i := 0; i < txPerThread; i++ {
+			// Zipf-ish skew: half the bumps hit the first 8 counters.
+			c := rng.Intn(counters)
+			if rng.Float64() < 0.5 {
+				c = rng.Intn(8)
+			}
+			la.addrs[counterKey(i)] = counterBase + uint64(c*ctrStride)*mem.WordBytes
+			la.addrs[counterLockKey(i)] = lockBase + uint64(c)*mem.WordBytes
+		}
+		lanes[t] = la
+	}
+
+	var progs []*isa.Program
+	for w := 0; w < threads/isa.WarpWidth; w++ {
+		ls := lanes[w*isa.WarpWidth : (w+1)*isa.WarpWidth]
+		b := isa.NewBuilder()
+		for i := 0; i < txPerThread; i++ {
+			// Record scan: compute-heavy with private memory traffic. The
+			// scans dominate AP's runtime; the counter bumps are a sliver.
+			b.Compute(700).
+				Load(3, perLane(ls, "priv")).
+				AddImmScalar(3, 3, 1).
+				Store(3, perLane(ls, "priv")).
+				Compute(500).
+				Load(4, perLane(ls, "priv")).
+				Compute(300)
+			bump := func(nb *isa.Builder) *isa.Builder {
+				return nb.
+					Load(1, perLane(ls, counterKey(i))).
+					AddImmScalar(1, 1, 1).
+					Store(1, perLane(ls, counterKey(i)))
+			}
+			if v == TM {
+				b.TxBegin()
+				bump(b)
+				b.TxCommit()
+			} else {
+				locks := make([][]uint64, isa.WarpWidth)
+				for j := range ls {
+					locks[j] = []uint64{ls[j].addrs[counterLockKey(i)]}
+				}
+				b.CritSection(locks, bump(isa.NewBuilder()).Ops())
+			}
+		}
+		progs = append(progs, b.MustBuild())
+	}
+
+	return &gpu.Kernel{
+		Name:     name,
+		Programs: progs,
+		Verify: func(img *mem.Image) error {
+			var total uint64
+			for c := 0; c < counters; c++ {
+				total += img.Read(counterBase + uint64(c*ctrStride)*mem.WordBytes)
+			}
+			want := uint64(threads) * txPerThread
+			if total != want {
+				return fmt.Errorf("support-counter sum = %d, want %d", total, want)
+			}
+			return nil
+		},
+	}
+}
+
+func counterKey(i int) string     { return fmt.Sprintf("counter%d", i) }
+func counterLockKey(i int) string { return fmt.Sprintf("counterLock%d", i) }

@@ -1,0 +1,94 @@
+package workloads
+
+import (
+	"fmt"
+
+	"getm/internal/gpu"
+	"getm/internal/isa"
+	"getm/internal/mem"
+)
+
+// buildATM models the bank-transfer benchmark (Fig 1): each thread moves one
+// unit between two accounts. Most pairs are drawn from a large account pool
+// (the paper uses 1M accounts); a small fraction touch a hot subset, which
+// reproduces ATM's moderate abort rate.
+func buildATM(name string, v Variant, p Params) *gpu.Kernel {
+	threads := padWarps(p.scaled(7680))
+	accounts := p.scaled(131072)
+	const hotAccounts = 256
+	const initialBalance = 100
+
+	r := newRegion()
+	acctBase := r.array(accounts)
+	lockBase := r.array(accounts)
+
+	rng := rngFor(p, 2)
+	lanes := make([]laneOperands, threads)
+	for t := 0; t < threads; t++ {
+		pick := func() int {
+			if rng.Float64() < 0.03 {
+				return rng.Intn(hotAccounts)
+			}
+			return rng.Intn(accounts)
+		}
+		src := pick()
+		dst := pick()
+		for dst == src {
+			dst = pick()
+		}
+		lanes[t] = laneOperands{addrs: map[string]uint64{
+			"src":     acctBase + uint64(src)*mem.WordBytes,
+			"dst":     acctBase + uint64(dst)*mem.WordBytes,
+			"srcLock": lockBase + uint64(src)*mem.WordBytes,
+			"dstLock": lockBase + uint64(dst)*mem.WordBytes,
+		}}
+	}
+
+	var progs []*isa.Program
+	for w := 0; w < threads/isa.WarpWidth; w++ {
+		ls := lanes[w*isa.WarpWidth : (w+1)*isa.WarpWidth]
+		transfer := func(nb *isa.Builder) *isa.Builder {
+			return nb.
+				Load(1, perLane(ls, "src")).
+				AddImmScalar(2, 1, -1).
+				Store(2, perLane(ls, "src")).
+				Load(3, perLane(ls, "dst")).
+				AddImmScalar(4, 3, 1).
+				Store(4, perLane(ls, "dst"))
+		}
+		b := isa.NewBuilder().Compute(20)
+		if v == TM {
+			b.TxBegin()
+			transfer(b)
+			b.TxCommit()
+		} else {
+			locks := make([][]uint64, isa.WarpWidth)
+			for i := range ls {
+				locks[i] = sortedPair(ls[i].addrs["srcLock"], ls[i].addrs["dstLock"])
+			}
+			b.CritSection(locks, transfer(isa.NewBuilder()).Ops())
+		}
+		progs = append(progs, b.MustBuild())
+	}
+
+	return &gpu.Kernel{
+		Name:     name,
+		Programs: progs,
+		Init: func(img *mem.Image) {
+			for a := 0; a < accounts; a++ {
+				img.Write(acctBase+uint64(a)*mem.WordBytes, initialBalance)
+			}
+		},
+		Verify: func(img *mem.Image) error {
+			var total uint64
+			for a := 0; a < accounts; a++ {
+				total += img.Read(acctBase + uint64(a)*mem.WordBytes)
+			}
+			want := uint64(accounts) * initialBalance
+			if total != want {
+				return fmt.Errorf("balance sum = %d, want %d (atomicity violated)", total, want)
+			}
+			return nil
+		},
+	}
+}

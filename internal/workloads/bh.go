@@ -1,0 +1,131 @@
+package workloads
+
+import (
+	"fmt"
+
+	"getm/internal/gpu"
+	"getm/internal/isa"
+	"getm/internal/mem"
+)
+
+// buildBarnesHut models octree construction (the paper's 30K-body BH): each
+// thread walks a root-to-leaf path of internal nodes (reads — heavily shared
+// near the root) and inserts its body at the leaf by bumping the leaf's
+// occupancy counter (read-modify-write). Leaf collisions produce the
+// benchmark's conflicts; path depth varies per body, exercising divergent
+// lane masks.
+func buildBarnesHut(name string, v Variant, p Params) *gpu.Kernel {
+	bodies := padWarps(p.scaled(7680))
+	const maxDepth = 5 // internal levels 0..maxDepth-1, then the leaf
+
+	// Level k has min(4^k, 1024) internal nodes; leaves form a larger pool.
+	levelSize := make([]int, maxDepth)
+	for k := range levelSize {
+		s := 1
+		for i := 0; i < k; i++ {
+			s *= 4
+		}
+		if s > 1024 {
+			s = 1024
+		}
+		levelSize[k] = s
+	}
+	leaves := bodies / 4
+
+	// Octree nodes are multi-word structures (children pointers, center of
+	// mass, bounds); one node spans at least a 32-byte conflict granule, so
+	// leaves are laid out at a 4-word stride.
+	const nodeStride = 4
+	r := newRegion()
+	levelBase := make([]uint64, maxDepth)
+	for k, s := range levelSize {
+		levelBase[k] = r.array(s * nodeStride)
+	}
+	leafBase := r.array(leaves * nodeStride)
+	leafLockBase := r.array(leaves)
+
+	rng := rngFor(p, 4)
+	lanes := make([]laneOperands, bodies)
+	for t := 0; t < bodies; t++ {
+		depth := 2 + rng.Intn(maxDepth-1) // 2..maxDepth internal levels read
+		leaf := rng.Intn(leaves)
+		ops := laneOperands{
+			addrs: map[string]uint64{
+				"leaf":     leafBase + uint64(leaf*nodeStride)*mem.WordBytes,
+				"leafLock": leafLockBase + uint64(leaf)*mem.WordBytes,
+			},
+			depth: depth,
+		}
+		for k := 0; k < maxDepth; k++ {
+			idx := 0
+			if k < depth {
+				idx = int(rng.Uint64() % uint64(levelSize[k]))
+			}
+			ops.addrs[levelKey(k)] = levelBase[k] + uint64(idx*nodeStride)*mem.WordBytes
+		}
+		lanes[t] = ops
+	}
+
+	var progs []*isa.Program
+	for w := 0; w < bodies/isa.WarpWidth; w++ {
+		ls := lanes[w*isa.WarpWidth : (w+1)*isa.WarpWidth]
+		levelMask := func(k int) isa.LaneMask {
+			var m isa.LaneMask
+			for i := range ls {
+				if k < ls[i].depth {
+					m = m.Set(i)
+				}
+			}
+			return m
+		}
+		walk := func(nb *isa.Builder) *isa.Builder {
+			for k := 0; k < maxDepth; k++ {
+				if m := levelMask(k); m != 0 {
+					nb.LoadMasked(1, perLane(ls, levelKey(k)), m)
+				}
+			}
+			return nb
+		}
+		bump := func(nb *isa.Builder) *isa.Builder {
+			return nb.
+				Load(2, perLane(ls, "leaf")).
+				AddImmScalar(2, 2, 1).
+				Store(2, perLane(ls, "leaf"))
+		}
+		b := isa.NewBuilder().Compute(35)
+		if v == TM {
+			// The whole insert (path reads + leaf bump) is one transaction.
+			b.TxBegin()
+			walk(b)
+			bump(b)
+			b.TxCommit()
+		} else {
+			// The lock version reads the path unprotected and locks only the
+			// leaf, as the hand-tuned CUDA code does.
+			walk(b)
+			locks := make([][]uint64, isa.WarpWidth)
+			for i := range ls {
+				locks[i] = []uint64{ls[i].addrs["leafLock"]}
+			}
+			b.CritSection(locks, bump(isa.NewBuilder()).Ops())
+		}
+		progs = append(progs, b.MustBuild())
+	}
+
+	return &gpu.Kernel{
+		Name:     name,
+		Programs: progs,
+		Verify: func(img *mem.Image) error {
+			var total uint64
+			for l := 0; l < leaves; l++ {
+				total += img.Read(leafBase + uint64(l*nodeStride)*mem.WordBytes)
+			}
+			if total != uint64(bodies) {
+				return fmt.Errorf("leaf occupancy sum = %d, want %d bodies", total, bodies)
+			}
+			return nil
+		},
+	}
+}
+
+func levelKey(k int) string { return fmt.Sprintf("level%d", k) }

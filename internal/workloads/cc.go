@@ -1,0 +1,141 @@
+package workloads
+
+import (
+	"fmt"
+
+	"getm/internal/gpu"
+	"getm/internal/isa"
+	"getm/internal/mem"
+)
+
+// buildCudaCuts models the image-segmentation benchmark (push-relabel graph
+// cuts on a 200×150 image): one thread per pixel performs push operations
+// that move excess flow to grid neighbors. Transactions are short
+// read-modify-write pairs over adjacent pixels, and — as the paper notes for
+// CC — they account for a small fraction of the runtime, which is dominated
+// by the non-transactional relabel sweeps (modeled as compute + private
+// memory traffic).
+func buildCudaCuts(name string, v Variant, p Params) *gpu.Kernel {
+	w, h := 96, 64
+	if p.Scale != 1 {
+		w = padDim(int(float64(w) * p.Scale))
+		h = 64
+	}
+	pixels := padWarps(w * h)
+
+	// Pixel state in push-relabel is a multi-word struct (excess, height,
+	// four edge capacities), so pixels sit at a 4-word stride: neighboring
+	// pixels do not share a 32-byte conflict granule, as in the real layout.
+	const pixStride = 4
+	r := newRegion()
+	excessBase := r.array(pixels * pixStride)
+	lockBase := r.array(pixels)
+	privBase := r.array(4 * pixels)
+
+	lanes := make([]laneOperands, pixels)
+	for t := 0; t < pixels; t++ {
+		x, y := t%w, t/w
+		right := y*w + (x+1)%w
+		down := ((y+1)%h)*w + x
+		if down >= pixels {
+			down = t
+		}
+		if right >= pixels {
+			right = t
+		}
+		lanes[t] = laneOperands{addrs: map[string]uint64{
+			"self":      excessBase + uint64(t*pixStride)*mem.WordBytes,
+			"right":     excessBase + uint64(right*pixStride)*mem.WordBytes,
+			"down":      excessBase + uint64(down*pixStride)*mem.WordBytes,
+			"selfLock":  lockBase + uint64(t)*mem.WordBytes,
+			"rightLock": lockBase + uint64(right)*mem.WordBytes,
+			"downLock":  lockBase + uint64(down)*mem.WordBytes,
+			"priv0":     privBase + uint64(4*t)*mem.WordBytes,
+			"priv1":     privBase + uint64(4*t+1)*mem.WordBytes,
+		}}
+	}
+
+	// Push-relabel only pushes from *active* pixels (excess > 0 with an
+	// admissible edge); at any instant that set is sparse. Each direction's
+	// push runs for ~30% of the lanes, selected pseudo-randomly.
+	rng := rngFor(p, 6)
+	activeMask := func(ls []laneOperands) isa.LaneMask {
+		var m isa.LaneMask
+		for i := range ls {
+			if rng.Float64() < 0.30 {
+				m = m.Set(i)
+			}
+		}
+		return m
+	}
+
+	var progs []*isa.Program
+	for wi := 0; wi < pixels/isa.WarpWidth; wi++ {
+		ls := lanes[wi*isa.WarpWidth : (wi+1)*isa.WarpWidth]
+		push := func(nb *isa.Builder, to string) *isa.Builder {
+			return nb.
+				Load(1, perLane(ls, "self")).
+				AddImmScalar(1, 1, -1).
+				Store(1, perLane(ls, "self")).
+				Load(2, perLane(ls, to)).
+				AddImmScalar(2, 2, 1).
+				Store(2, perLane(ls, to))
+		}
+		b := isa.NewBuilder().
+			// Non-transactional relabel sweep: compute + private traffic.
+			Compute(150).
+			Load(3, perLane(ls, "priv0")).
+			AddImmScalar(3, 3, 1).
+			Store(3, perLane(ls, "priv0")).
+			Compute(100).
+			Store(3, perLane(ls, "priv1"))
+		for _, dir := range []string{"right", "down"} {
+			m := activeMask(ls)
+			if m == 0 {
+				continue
+			}
+			if v == TM {
+				b.TxBeginMasked(m)
+				push(b, dir)
+				b.TxCommit()
+			} else {
+				locks := make([][]uint64, isa.WarpWidth)
+				for i := range ls {
+					locks[i] = sortedPair(ls[i].addrs["selfLock"], ls[i].addrs[dir+"Lock"])
+				}
+				b.CritSectionMasked(locks, push(isa.NewBuilder(), dir).Ops(), m)
+			}
+			b.Compute(80)
+		}
+		progs = append(progs, b.MustBuild())
+	}
+
+	return &gpu.Kernel{
+		Name:     name,
+		Programs: progs,
+		Init: func(img *mem.Image) {
+			for t := 0; t < pixels; t++ {
+				img.Write(excessBase+uint64(t*pixStride)*mem.WordBytes, 16)
+			}
+		},
+		Verify: func(img *mem.Image) error {
+			var total uint64
+			for t := 0; t < pixels; t++ {
+				total += img.Read(excessBase + uint64(t*pixStride)*mem.WordBytes)
+			}
+			want := uint64(pixels) * 16
+			if total != want {
+				return fmt.Errorf("excess sum = %d, want %d", total, want)
+			}
+			return nil
+		},
+	}
+}
+
+// padDim rounds a grid dimension up to a multiple of 32.
+func padDim(n int) int {
+	if n < 32 {
+		return 32
+	}
+	return ((n + 31) / 32) * 32
+}

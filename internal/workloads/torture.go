@@ -1,0 +1,160 @@
+package workloads
+
+import (
+	"fmt"
+
+	"getm/internal/gpu"
+	"getm/internal/isa"
+	"getm/internal/mem"
+)
+
+// TortureConfig shapes the randomized stress workload.
+type TortureConfig struct {
+	// Threads is the total thread count (rounded up to warps).
+	Threads int
+	// Cells is the shared data pool size.
+	Cells int
+	// CellStrideWords controls granule sharing: 1 packs cells tightly
+	// (maximum false sharing at any conflict granularity), 4 isolates them.
+	CellStrideWords int
+	// TxPerThread is the number of transactions per thread.
+	TxPerThread int
+	// ReadOnlyPct is the percentage of transactions that only read
+	// (exercises WarpTM's TCD silent-commit path).
+	ReadOnlyPct int
+	// MaxCellsPerTx bounds a transaction's footprint (1..4).
+	MaxCellsPerTx int
+}
+
+// DefaultTortureConfig returns a contended mixed workload.
+func DefaultTortureConfig() TortureConfig {
+	return TortureConfig{
+		Threads:         1024,
+		Cells:           96,
+		CellStrideWords: 2,
+		TxPerThread:     3,
+		ReadOnlyPct:     25,
+		MaxCellsPerTx:   3,
+	}
+}
+
+const tortureInitial = 1 << 20 // large enough that -1 deltas never underflow
+
+// BuildTorture generates a randomized transactional stress kernel whose
+// invariant is conservation: every read-write transaction applies deltas
+// summing to zero across its footprint, so the pool's total is unchanged by
+// any serializable execution. It is the fuzzing complement to the paper
+// benchmarks: footprints, sharing, and read/write mixes are randomized per
+// seed, and the gpu runner's serializability checker validates every run.
+func BuildTorture(p Params, tc TortureConfig) *gpu.Kernel {
+	threads := padWarps(tc.Threads)
+	if tc.MaxCellsPerTx < 1 {
+		tc.MaxCellsPerTx = 1
+	}
+	if tc.MaxCellsPerTx > 4 {
+		tc.MaxCellsPerTx = 4
+	}
+
+	r := newRegion()
+	cellBase := r.array(tc.Cells * tc.CellStrideWords)
+	cellAddr := func(c int) uint64 {
+		return cellBase + uint64(c*tc.CellStrideWords)*mem.WordBytes
+	}
+
+	rng := rngFor(p, 7)
+	var progs []*isa.Program
+	for w := 0; w < threads/isa.WarpWidth; w++ {
+		b := isa.NewBuilder()
+		for t := 0; t < tc.TxPerThread; t++ {
+			// Per-lane footprints for this transaction slot.
+			type laneTx struct {
+				cells    []int
+				readOnly bool
+			}
+			lanes := make([]laneTx, isa.WarpWidth)
+			maxCells := 0
+			for l := range lanes {
+				n := 1 + rng.Intn(tc.MaxCellsPerTx)
+				seen := map[int]bool{}
+				for len(lanes[l].cells) < n {
+					c := rng.Intn(tc.Cells)
+					if !seen[c] {
+						seen[c] = true
+						lanes[l].cells = append(lanes[l].cells, c)
+					}
+				}
+				lanes[l].readOnly = rng.Intn(100) < tc.ReadOnlyPct
+				if n > maxCells {
+					maxCells = n
+				}
+			}
+
+			b.Compute(uint32(10 + rng.Intn(40)))
+			b.TxBegin()
+			// Read phase: load cell k into register k for lanes with >= k+1
+			// cells.
+			for k := 0; k < maxCells; k++ {
+				addrs := make([]uint64, isa.WarpWidth)
+				var mask isa.LaneMask
+				for l := range lanes {
+					if k < len(lanes[l].cells) {
+						mask = mask.Set(l)
+						addrs[l] = cellAddr(lanes[l].cells[k])
+					}
+				}
+				b.LoadMasked(isa.Reg(k), addrs, mask)
+			}
+			// Write phase: deltas +1 on cell 0, -1 on the last cell, for
+			// lanes with >= 2 cells that are not read-only. (With one cell,
+			// write back the read value unchanged — still a write lock.)
+			for k := 0; k < maxCells; k++ {
+				addrs := make([]uint64, isa.WarpWidth)
+				imms := make([]int64, isa.WarpWidth)
+				var mask isa.LaneMask
+				for l := range lanes {
+					if lanes[l].readOnly || k >= len(lanes[l].cells) {
+						continue
+					}
+					mask = mask.Set(l)
+					addrs[l] = cellAddr(lanes[l].cells[k])
+					switch {
+					case k == 0 && len(lanes[l].cells) > 1:
+						imms[l] = 1
+					case k == len(lanes[l].cells)-1 && len(lanes[l].cells) > 1:
+						imms[l] = -1
+					default:
+						imms[l] = 0
+					}
+				}
+				if mask == 0 {
+					continue
+				}
+				b.AddImm(isa.Reg(4+k%3), isa.Reg(k), imms)
+				b.StoreMasked(isa.Reg(4+k%3), addrs, mask)
+			}
+			b.TxCommit()
+		}
+		progs = append(progs, b.MustBuild())
+	}
+
+	return &gpu.Kernel{
+		Name:     "torture",
+		Programs: progs,
+		Init: func(img *mem.Image) {
+			for c := 0; c < tc.Cells; c++ {
+				img.Write(cellAddr(c), tortureInitial)
+			}
+		},
+		Verify: func(img *mem.Image) error {
+			var total uint64
+			for c := 0; c < tc.Cells; c++ {
+				total += img.Read(cellAddr(c))
+			}
+			want := uint64(tc.Cells) * tortureInitial
+			if total != want {
+				return fmt.Errorf("cell sum = %d, want %d (conservation violated)", total, want)
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,222 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"getm/internal/isa"
+	"getm/internal/mem"
+)
+
+func TestAllBenchmarksBuildBothVariants(t *testing.T) {
+	p := DefaultParams()
+	p.Scale = 0.05
+	for _, name := range Names() {
+		for _, v := range []Variant{TM, FGLock} {
+			k, err := Build(name, v, p)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(k.Programs) == 0 {
+				t.Fatalf("%s: no programs", name)
+			}
+			for i, prog := range k.Programs {
+				if err := prog.Validate(); err != nil {
+					t.Fatalf("%s program %d invalid: %v", name, i, err)
+				}
+			}
+		}
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	if _, err := Build("nope", TM, DefaultParams()); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestTMVariantHasTransactions(t *testing.T) {
+	p := DefaultParams()
+	p.Scale = 0.05
+	for _, name := range Names() {
+		k, _ := Build(name, TM, p)
+		found := false
+		for _, prog := range k.Programs {
+			if len(prog.TxBounds()) > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("%s TM variant has no transactions", name)
+		}
+	}
+}
+
+func TestLockVariantHasNoTransactions(t *testing.T) {
+	p := DefaultParams()
+	p.Scale = 0.05
+	for _, name := range Names() {
+		k, _ := Build(name, FGLock, p)
+		for _, prog := range k.Programs {
+			for _, op := range prog.Ops {
+				if op.Kind == isa.TxBegin || op.Kind == isa.TxCommit {
+					t.Fatalf("%s lock variant contains %v", name, op.Kind)
+				}
+			}
+		}
+	}
+}
+
+func TestLockListsSorted(t *testing.T) {
+	p := DefaultParams()
+	p.Scale = 0.05
+	for _, name := range Names() {
+		k, _ := Build(name, FGLock, p)
+		for _, prog := range k.Programs {
+			for _, op := range prog.Ops {
+				if op.Kind != isa.CritSection {
+					continue
+				}
+				for lane, locks := range op.Locks {
+					for i := 1; i < len(locks); i++ {
+						if locks[i] < locks[i-1] {
+							t.Fatalf("%s lane %d locks not ascending: %v", name, lane, locks)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVerifiersAcceptSerialExecution runs every program with a serial
+// reference executor (one lane at a time) and checks the verifier accepts
+// the result — proving the verifiers encode what a correct (serializable)
+// concurrent execution must produce.
+func TestVerifiersAcceptSerialExecution(t *testing.T) {
+	p := DefaultParams()
+	p.Scale = 0.05
+	for _, name := range Names() {
+		k, _ := Build(name, TM, p)
+		img := mem.NewImage()
+		if k.Init != nil {
+			k.Init(img)
+		}
+		regs := make([][isa.NumRegs]uint64, isa.WarpWidth)
+		var exec func(ops []isa.Op, mask isa.LaneMask)
+		exec = func(ops []isa.Op, mask isa.LaneMask) {
+			for _, op := range ops {
+				m := op.EffMask(mask)
+				for lane := 0; lane < isa.WarpWidth; lane++ {
+					if !m.Bit(lane) {
+						continue
+					}
+					switch op.Kind {
+					case isa.Load:
+						regs[lane][op.Dst] = img.Read(op.Addr[lane])
+					case isa.Store:
+						if op.UseImm {
+							img.Write(op.Addr[lane], uint64(op.LaneImm(lane)))
+						} else {
+							img.Write(op.Addr[lane], regs[lane][op.Src])
+						}
+					case isa.MovImm:
+						regs[lane][op.Dst] = uint64(op.LaneImm(lane))
+					case isa.AddImm:
+						regs[lane][op.Dst] = regs[lane][op.Src] + uint64(op.LaneImm(lane))
+					case isa.CritSection:
+						exec(op.Body, isa.LaneMask(1)<<uint(lane))
+					}
+				}
+			}
+		}
+		for _, prog := range k.Programs {
+			// Serial per-lane execution: lane order within warp, warp order
+			// across programs — a trivially valid serialization.
+			for lane := 0; lane < isa.WarpWidth; lane++ {
+				laneMask := isa.LaneMask(1) << uint(lane)
+				exec(prog.Ops, laneMask)
+			}
+		}
+		if err := k.Verify(img); err != nil {
+			t.Fatalf("%s verifier rejected serial execution: %v", name, err)
+		}
+	}
+}
+
+func TestVerifiersCatchCorruption(t *testing.T) {
+	p := DefaultParams()
+	p.Scale = 0.05
+	// ATM: break conservation.
+	k, _ := Build("atm", TM, p)
+	img := mem.NewImage()
+	k.Init(img)
+	img.Write(0x10000+128, 1) // clobber a balance
+	if err := k.Verify(img); err == nil {
+		t.Fatal("atm verifier accepted corrupted balances")
+	}
+	// HT: empty table with zero inserts reachable.
+	k2, _ := Build("ht-h", TM, p)
+	img2 := mem.NewImage()
+	if err := k2.Verify(img2); err == nil || !strings.Contains(err.Error(), "reachable") {
+		t.Fatalf("ht verifier accepted empty table: %v", err)
+	}
+}
+
+func TestScaleAffectsSize(t *testing.T) {
+	small, _ := Build("ht-h", TM, Params{Scale: 0.1, Seed: 1})
+	large, _ := Build("ht-h", TM, Params{Scale: 1, Seed: 1})
+	if len(small.Programs) >= len(large.Programs) {
+		t.Fatal("scale did not change program count")
+	}
+}
+
+func TestStridePermute(t *testing.T) {
+	xs := make([]int, 100)
+	for i := range xs {
+		xs[i] = i
+	}
+	out := stridePermute(xs)
+	seen := make([]bool, 100)
+	for _, v := range out {
+		if seen[v] {
+			t.Fatal("not a permutation")
+		}
+		seen[v] = true
+	}
+	// Adjacent outputs should not be adjacent inputs.
+	adjacent := 0
+	for i := 1; i < len(out); i++ {
+		if out[i] == out[i-1]+1 {
+			adjacent++
+		}
+	}
+	if adjacent > 5 {
+		t.Fatalf("%d adjacent pairs survived permutation", adjacent)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, _ := Build("atm", TM, DefaultParams())
+	b, _ := Build("atm", TM, DefaultParams())
+	if len(a.Programs) != len(b.Programs) {
+		t.Fatal("program counts differ")
+	}
+	for i := range a.Programs {
+		if len(a.Programs[i].Ops) != len(b.Programs[i].Ops) {
+			t.Fatalf("program %d op counts differ", i)
+		}
+		for j := range a.Programs[i].Ops {
+			oa, ob := a.Programs[i].Ops[j], b.Programs[i].Ops[j]
+			if oa.Kind != ob.Kind {
+				t.Fatalf("op kind mismatch at %d/%d", i, j)
+			}
+			for l := 0; l < len(oa.Addr); l++ {
+				if oa.Addr[l] != ob.Addr[l] {
+					t.Fatalf("operand mismatch at %d/%d lane %d", i, j, l)
+				}
+			}
+		}
+	}
+}

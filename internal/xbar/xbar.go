@@ -1,0 +1,124 @@
+// Package xbar models the GPU's core ↔ memory-partition interconnect: two
+// independent crossbars (one "up" toward the partitions, one "down" toward
+// the cores), as in the paper's Table II (2 xbars, 5-cycle latency).
+//
+// Each crossbar serializes flits at its input and output ports: a message of
+// n bytes occupies a port for ceil(n/flitBytes) cycles. Combined with the
+// fixed traversal latency, delivery order between any (source, destination)
+// pair matches send order — the point-to-point FIFO property that GETM's
+// cleanup-before-retry sequence relies on (see DESIGN.md §4.2).
+package xbar
+
+import "getm/internal/sim"
+
+// Config describes one crossbar.
+type Config struct {
+	// Ports is the number of input ports (sources) and output ports
+	// (destinations); the crossbar is full duplex between them.
+	SrcPorts, DstPorts int
+	// Latency is the fixed traversal time in cycles.
+	Latency sim.Cycle
+	// FlitBytes is the number of payload bytes transferred per cycle per
+	// port (link width).
+	FlitBytes int
+}
+
+// DefaultConfig mirrors Table II: 5-cycle latency; 288 GB/s at 1.4 GHz over 6
+// partition ports is ~32 B/cycle per port.
+func DefaultConfig(srcPorts, dstPorts int) Config {
+	return Config{SrcPorts: srcPorts, DstPorts: dstPorts, Latency: 5, FlitBytes: 32}
+}
+
+// Crossbar is a single-direction interconnect.
+type Crossbar struct {
+	cfg     Config
+	eng     *sim.Engine
+	srcFree []sim.Cycle
+	dstFree []sim.Cycle
+
+	// Bytes accumulates total payload traffic (Fig 12).
+	Bytes uint64
+	// Messages counts deliveries.
+	Messages uint64
+}
+
+// New creates a crossbar on the given engine.
+func New(eng *sim.Engine, cfg Config) *Crossbar {
+	if cfg.SrcPorts <= 0 || cfg.DstPorts <= 0 {
+		panic("xbar: need at least one port each way")
+	}
+	if cfg.FlitBytes <= 0 {
+		panic("xbar: FlitBytes must be positive")
+	}
+	return &Crossbar{
+		cfg:     cfg,
+		eng:     eng,
+		srcFree: make([]sim.Cycle, cfg.SrcPorts),
+		dstFree: make([]sim.Cycle, cfg.DstPorts),
+	}
+}
+
+// Occupancy returns the port-cycles a message of size bytes occupies.
+func (x *Crossbar) Occupancy(size int) sim.Cycle {
+	if size <= 0 {
+		return 1 // header-only flit
+	}
+	return sim.Cycle((size + x.cfg.FlitBytes - 1) / x.cfg.FlitBytes)
+}
+
+// Send transmits size payload bytes from src to dst and runs deliver when the
+// tail flit arrives. It returns the delivery cycle.
+func (x *Crossbar) Send(src, dst, size int, deliver func()) sim.Cycle {
+	if src < 0 || src >= x.cfg.SrcPorts || dst < 0 || dst >= x.cfg.DstPorts {
+		panic("xbar: port out of range")
+	}
+	now := x.eng.Now()
+	occ := x.Occupancy(size)
+
+	depart := now
+	if x.srcFree[src] > depart {
+		depart = x.srcFree[src]
+	}
+	x.srcFree[src] = depart + occ
+
+	arriveStart := depart + x.cfg.Latency
+	if x.dstFree[dst] > arriveStart {
+		arriveStart = x.dstFree[dst]
+	}
+	x.dstFree[dst] = arriveStart + occ
+	done := arriveStart + occ
+
+	x.Bytes += uint64(size)
+	x.Messages++
+	x.eng.At(done, deliver)
+	return done
+}
+
+// Broadcast sends the same payload from src to every destination port (used
+// by the idealized EAPG signature broadcasts); deliver is invoked once per
+// destination with its port id. Traffic is accounted per copy.
+func (x *Crossbar) Broadcast(src, size int, deliver func(dst int)) {
+	for d := 0; d < x.cfg.DstPorts; d++ {
+		dst := d
+		x.Send(src, dst, size, func() { deliver(dst) })
+	}
+}
+
+// Pair bundles the up (cores→partitions) and down (partitions→cores)
+// crossbars with traffic accounting helpers.
+type Pair struct {
+	Up   *Crossbar
+	Down *Crossbar
+}
+
+// NewPair builds both directions with the same flit width and latency.
+func NewPair(eng *sim.Engine, cores, partitions int, cfg Config) *Pair {
+	up := cfg
+	up.SrcPorts, up.DstPorts = cores, partitions
+	down := cfg
+	down.SrcPorts, down.DstPorts = partitions, cores
+	return &Pair{Up: New(eng, up), Down: New(eng, down)}
+}
+
+// TrafficBytes returns (up, down) payload totals.
+func (p *Pair) TrafficBytes() (uint64, uint64) { return p.Up.Bytes, p.Down.Bytes }
