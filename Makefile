@@ -1,0 +1,33 @@
+# Developer entry points. `make check` is the gate every change must pass:
+# it enforces the harness/engine race-safety guarantees (-race on the
+# packages with concurrent paths) on top of the tier-1 build+test suite.
+
+GO ?= go
+
+.PHONY: check vet build test race short bench
+
+check: vet build race short
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Race-detect the concurrent layers: the memoizing runner and the event
+# engine. Kept separate from `short` so the (slower) instrumented run only
+# covers the packages with goroutines.
+race:
+	$(GO) test -race ./internal/harness/ ./internal/sim/
+
+# The short-scale suite across every package.
+short:
+	$(GO) test -short ./...
+
+test:
+	$(GO) test ./...
+
+# Perf baselines (see BENCH_harness.json for recorded numbers).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem ./internal/sim/
+	$(GO) test -run xxx -bench 'BenchmarkSuite' -benchtime 1x .

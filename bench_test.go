@@ -12,6 +12,7 @@ package getm_test
 // runtimes, abort rates, access cycles) in addition to wall-clock ns/op.
 
 import (
+	"runtime"
 	"testing"
 
 	"getm/internal/gpu"
@@ -101,6 +102,37 @@ func BenchmarkTable4(b *testing.B) {
 }
 
 func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5") }
+
+// --- whole-suite precompute: the parallel-harness perf baseline ---
+// suiteScale is smaller than benchScale because each iteration runs the
+// entire standard grid (hundreds of simulations).
+
+const suiteScale = 0.03
+
+// BenchmarkSuiteSerial precomputes the full experiment grid on one worker —
+// the wall-clock floor every simulation of the suite must pass through.
+func BenchmarkSuiteSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(suiteScale)
+		if err := harness.Precompute(r, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteParallel runs the same grid on all CPUs through the
+// thread-safe deduplicating runner; the ns/op ratio to BenchmarkSuiteSerial
+// is the suite-level speedup recorded in BENCH_harness.json.
+func BenchmarkSuiteParallel(b *testing.B) {
+	workers := runtime.NumCPU()
+	b.ReportMetric(float64(workers), "workers")
+	for i := 0; i < b.N; i++ {
+		r := harness.NewRunner(suiteScale)
+		if err := harness.Precompute(r, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // --- ablations (design-choice studies beyond the paper's figures) ---
 

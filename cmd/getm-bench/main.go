@@ -2,16 +2,27 @@
 //
 // Usage:
 //
-//	getm-bench                 # run every experiment
-//	getm-bench fig11 table4    # run specific ones
-//	getm-bench -scale 0.25 all # quick pass at reduced workload scale
-//	getm-bench -list           # list experiment ids
+//	getm-bench                     # run every experiment
+//	getm-bench fig11 table4        # run specific ones
+//	getm-bench -scale 0.25 all     # quick pass at reduced workload scale
+//	getm-bench -workers 0 all      # parallel simulation on all CPUs
+//	getm-bench -list               # list experiment ids
+//	getm-bench -cpuprofile cpu.pb  # profile the run (also -memprofile)
+//
+// With -workers N the full run grid is precomputed on N parallel workers and
+// the experiments themselves execute concurrently; every simulation is
+// deterministic and deduplicated by the harness, so the report output on
+// stdout is byte-identical to a serial run (progress and timing go to
+// stderr).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 	"time"
 
 	"getm/internal/harness"
@@ -25,7 +36,9 @@ func main() {
 	verbose := flag.Bool("v", false, "log each simulation run")
 	format := flag.String("format", "text", "output format: text, markdown, csv")
 	chart := flag.Bool("chart", false, "append an ASCII bar chart of each table's last column")
-	par := flag.Int("par", 1, "precompute the full run grid with this many workers (0 = all CPUs, 1 = lazy sequential)")
+	workers := flag.Int("workers", 1, "simulation workers: precompute the run grid and execute experiments in parallel (0 = all CPUs, 1 = lazy sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -33,6 +46,20 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	ids := flag.Args()
@@ -43,35 +70,90 @@ func main() {
 		}
 	}
 
-	r := harness.NewRunner(*scale)
-	r.Seed = *seed
-	if *verbose {
-		r.Verbose = func(s string) { fmt.Fprintln(os.Stderr, s) }
-	}
-	if *par != 1 {
-		// Fill the cache with a worker pool; each simulation is
-		// deterministic and independent, so only wall-clock time changes.
-		harness.Precompute(r, *par)
-	}
-
-	for _, id := range ids {
+	exps := make([]harness.Experiment, len(ids))
+	for i, id := range ids {
 		e, ok := harness.ByID(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
 			os.Exit(1)
 		}
+		exps[i] = e
+	}
+
+	r := harness.NewRunner(*scale)
+	r.Seed = *seed
+	if *verbose {
+		var logMu sync.Mutex
+		r.Verbose = func(s string) {
+			logMu.Lock()
+			fmt.Fprintln(os.Stderr, s)
+			logMu.Unlock()
+		}
+	}
+
+	par := *workers
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	if par != 1 {
+		// Fill the cache with a worker pool; each simulation is
+		// deterministic and deduplicated, so only wall-clock time changes.
 		start := time.Now()
-		rep := e.Run(r)
-		fmt.Print(rep.Render(report.Format(*format)))
-		if *chart {
-			for _, t := range rep.Tables {
-				if len(t.Columns) > 1 {
-					fmt.Print(t.BarChart(t.Columns[len(t.Columns)-1], 40))
+		if err := harness.Precompute(r, par); err != nil {
+			fmt.Fprintln(os.Stderr, "precompute:", err)
+		}
+		fmt.Fprintf(os.Stderr, "precomputed run grid on %d workers (%.1fs)\n", par, time.Since(start).Seconds())
+	}
+
+	// Render every experiment (concurrently when -workers allows: the runner
+	// is thread-safe and memoizing), then print in request order so stdout
+	// is identical regardless of parallelism.
+	outputs := make([]string, len(exps))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		i, e := i, e
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			rep := e.Run(r)
+			out := rep.Render(report.Format(*format))
+			if *chart {
+				for _, t := range rep.Tables {
+					if len(t.Columns) > 1 {
+						out += t.BarChart(t.Columns[len(t.Columns)-1], 40)
+					}
 				}
 			}
+			outputs[i] = out
+			fmt.Fprintf(os.Stderr, "%-8s (%.1fs)\n", e.ID, time.Since(start).Seconds())
+		}()
+	}
+	wg.Wait()
+	for _, out := range outputs {
+		fmt.Print(out)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
 		}
-		if *format == "text" {
-			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
 		}
+	}
+
+	if err := r.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "simulation failures:")
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -12,17 +12,23 @@
 // meta (GETM precise metadata entries), stall (GETM stall-buffer lines),
 // backoff (retry backoff cap, cycles), inflight (WarpTM commit pipelining
 // depth), cores (SIMT core count).
+//
+// Sweep points are independent deterministic simulations, so -workers N runs
+// them in parallel; the table is assembled in value order either way.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"getm/internal/gpu"
 	"getm/internal/report"
+	"getm/internal/stats"
 	"getm/internal/workloads"
 )
 
@@ -35,6 +41,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "workload seed")
 	conc := flag.Int("conc", 8, "tx warps/core when not the swept knob")
 	format := flag.String("format", "text", "output format: text, markdown, csv")
+	workers := flag.Int("workers", 1, "run sweep points on this many parallel workers (0 = all CPUs)")
 	flag.Parse()
 
 	var vals []int
@@ -56,7 +63,8 @@ func main() {
 		variant = workloads.FGLock
 	}
 
-	for _, v := range vals {
+	configs := make([]gpu.Config, len(vals))
+	for i, v := range vals {
 		cfg := gpu.DefaultConfig(gpu.Protocol(*proto))
 		cfg.Core.MaxTxWarps = *conc
 		switch *knob {
@@ -78,18 +86,48 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown knob %q\n", *knob)
 			os.Exit(1)
 		}
+		configs[i] = cfg
+	}
 
-		k, err := workloads.Build(*bench, variant, workloads.Params{Scale: *scale, Seed: *seed})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+	// Each point is an independent deterministic simulation; run them on a
+	// bounded worker pool and keep results indexed so the table order (and
+	// therefore the output) matches the serial run exactly.
+	par := *workers
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	metrics := make([]*stats.Metrics, len(vals))
+	errs := make([]error, len(vals))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i := range vals {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			k, err := workloads.Build(*bench, variant, workloads.Params{Scale: *scale, Seed: *seed})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := gpu.Run(configs[i], k)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			metrics[i] = res.Metrics
+		}()
+	}
+	wg.Wait()
+
+	for i, v := range vals {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "error at %s=%d: %v\n", *knob, v, errs[i])
 			os.Exit(1)
 		}
-		res, err := gpu.Run(cfg, k)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
-		m := res.Metrics
+		m := metrics[i]
 		tab.AddRow(
 			report.Int(uint64(v)),
 			report.Int(m.TotalCycles),

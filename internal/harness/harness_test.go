@@ -132,7 +132,9 @@ func TestAllExperimentsRunTiny(t *testing.T) {
 		t.Skip("full registry run")
 	}
 	r := tiny()
-	Precompute(r, 2)
+	if err := Precompute(r, 2); err != nil {
+		t.Fatal(err)
+	}
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {

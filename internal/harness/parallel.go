@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 
@@ -14,8 +15,9 @@ import (
 // variations — using a worker pool. Each simulation is single-threaded and
 // fully deterministic, so running them on parallel workers changes nothing
 // except wall-clock time; the experiments then assemble their tables from
-// cache hits.
-func Precompute(r *Runner, workers int) {
+// cache hits. It returns the simulation failures from both waves, joined
+// (nil if every job ran clean).
+func Precompute(r *Runner, workers int) error {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -30,7 +32,7 @@ func Precompute(r *Runner, workers int) {
 		jobs = append(jobs, Job{Proto: gpu.ProtoFGLock, Bench: b})
 	}
 
-	r.runParallel(jobs, workers)
+	err1 := r.runParallel(jobs, workers)
 
 	// Second wave: jobs that depend on the optimal concurrency (now cached).
 	var wave2 []Job
@@ -46,41 +48,44 @@ func Precompute(r *Runner, workers int) {
 			wave2 = append(wave2, Job{Proto: p, Bench: b, Conc: r.OptimalConc(p, b), Cores: 56})
 		}
 	}
-	r.runParallel(wave2, workers)
+	err2 := r.runParallel(wave2, workers)
+	return errors.Join(err1, err2)
 }
 
-// runParallel executes the uncached jobs on a worker pool and installs the
-// results in the cache.
-func (r *Runner) runParallel(jobs []Job, workers int) {
+// runParallel executes the batch on a worker pool, deduplicated both against
+// the cache and within the batch (overrides that match the defaults can give
+// several jobs the same key). Every simulation goes through RunE, so the
+// singleflight map also dedupes against concurrent outside callers. Worker
+// failures are collected — never panicked — and returned joined.
+func (r *Runner) runParallel(jobs []Job, workers int) error {
+	seen := make(map[string]bool, len(jobs))
 	var pending []Job
 	for _, j := range jobs {
-		if _, ok := r.cache[j.key()]; !ok {
-			pending = append(pending, j)
+		k := j.key()
+		if seen[k] || r.cached(k) {
+			continue
 		}
+		seen[k] = true
+		pending = append(pending, j)
 	}
 	if len(pending) == 0 {
-		return
+		return nil
+	}
+	if workers > len(pending) {
+		workers = len(pending)
 	}
 
-	type result struct {
-		key string
-		m   *stats.Metrics
-	}
-	var mu sync.Mutex
 	var wg sync.WaitGroup
+	errCh := make(chan error, len(pending))
 	ch := make(chan Job)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range ch {
-				m := runJob(j, r.Scale, r.Seed)
-				mu.Lock()
-				r.cache[j.key()] = m
-				if r.Verbose != nil {
-					r.Verbose("ran " + j.key())
+				if _, err := r.RunE(j); err != nil {
+					errCh <- err
 				}
-				mu.Unlock()
 			}
 		}()
 	}
@@ -89,10 +94,17 @@ func (r *Runner) runParallel(jobs []Job, workers int) {
 	}
 	close(ch)
 	wg.Wait()
+	close(errCh)
+
+	var errs []error
+	for err := range errCh {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // runJob executes one simulation without touching shared state.
-func runJob(j Job, scale float64, seed uint64) *stats.Metrics {
+func runJob(j Job, scale float64, seed uint64) (*stats.Metrics, error) {
 	variant := workloads.TM
 	if j.Proto == gpu.ProtoFGLock {
 		variant = workloads.FGLock
@@ -100,7 +112,7 @@ func runJob(j Job, scale float64, seed uint64) *stats.Metrics {
 	k := workloads.MustBuild(j.Bench, variant, workloads.Params{Scale: scale, Seed: seed})
 	res, err := gpu.Run(j.config(), k)
 	if err != nil {
-		panic("harness: " + j.key() + ": " + err.Error())
+		return nil, err
 	}
-	return res.Metrics
+	return res.Metrics, nil
 }

@@ -9,7 +9,9 @@ import (
 func TestPrecomputeMatchesSequential(t *testing.T) {
 	seq := NewRunner(0.03)
 	par := NewRunner(0.03)
-	Precompute(par, 4)
+	if err := Precompute(par, 4); err != nil {
+		t.Fatal(err)
+	}
 
 	// Every standard-grid job must be cached and identical to a fresh
 	// sequential run.
@@ -17,7 +19,7 @@ func TestPrecomputeMatchesSequential(t *testing.T) {
 		for _, p := range []gpu.Protocol{gpu.ProtoWarpTM, gpu.ProtoGETM} {
 			for _, c := range []int{1, 8} {
 				j := Job{Proto: p, Bench: b, Conc: c}
-				if _, ok := par.cache[j.key()]; !ok {
+				if !par.cached(j.key()) {
 					t.Fatalf("job %s not precomputed", j.key())
 				}
 				a := seq.Run(j)
@@ -34,10 +36,14 @@ func TestPrecomputeMatchesSequential(t *testing.T) {
 
 func TestPrecomputeIdempotent(t *testing.T) {
 	r := NewRunner(0.03)
-	Precompute(r, 2)
-	n := len(r.cache)
-	Precompute(r, 2)
-	if len(r.cache) != n {
-		t.Fatalf("second precompute grew the cache: %d -> %d", n, len(r.cache))
+	if err := Precompute(r, 2); err != nil {
+		t.Fatal(err)
+	}
+	n := r.cacheSize()
+	if err := Precompute(r, 2); err != nil {
+		t.Fatal(err)
+	}
+	if r.cacheSize() != n {
+		t.Fatalf("second precompute grew the cache: %d -> %d", n, r.cacheSize())
 	}
 }

@@ -1,12 +1,15 @@
 // Package harness defines the reproduction experiments: one entry per figure
 // and table of the paper's evaluation (Figs 3-17, Tables IV-V), built on a
-// caching runner so shared configurations (e.g. each protocol at its optimal
-// concurrency) simulate once per process.
+// thread-safe caching runner so shared configurations (e.g. each protocol at
+// its optimal concurrency) simulate once per process, no matter how many
+// goroutines ask for them.
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"getm/internal/gpu"
 	"getm/internal/report"
@@ -17,27 +20,54 @@ import (
 // ConcLevels are the paper's transactional-concurrency settings (0 = NL).
 var ConcLevels = []int{1, 2, 4, 8, 16, 0}
 
-// Runner executes and caches simulation runs.
+// Runner executes, deduplicates, and caches simulation runs.
+//
+// Concurrency contract: Run, RunE, RunOptimal, OptimalConc, Err, and the
+// parallel precompute machinery are all safe to call from any number of
+// goroutines. A singleflight-style in-flight map guarantees that each unique
+// Job.key() simulates exactly once per process: concurrent callers of the
+// same job block until the one executing simulation finishes and then share
+// its (immutable) result. The configuration fields (Scale, Seed, Verbose)
+// must be set before the first Run* call and not mutated afterwards; Verbose
+// may be invoked from any worker goroutine.
 type Runner struct {
 	// Scale shrinks workloads for quick runs (1.0 = full reproduction
 	// scale).
 	Scale float64
 	// Seed drives workload generation.
 	Seed uint64
-	// Verbose, if set, receives progress lines.
+	// Verbose, if set, receives progress lines (possibly from multiple
+	// goroutines at once).
 	Verbose func(string)
 
-	cache map[string]*stats.Metrics
-	optC  map[string]int
+	mu       sync.Mutex
+	cache    map[string]*stats.Metrics
+	errCache map[string]error
+	inflight map[string]*inflightRun
+	optC     map[string]int
+	errs     []error
+
+	// simulate replaces runJob in tests (counting stubs, failure injection).
+	simulate func(Job, float64, uint64) (*stats.Metrics, error)
+}
+
+// inflightRun is the singleflight cell shared by concurrent callers of one
+// job key; done is closed once m/err are final.
+type inflightRun struct {
+	done chan struct{}
+	m    *stats.Metrics
+	err  error
 }
 
 // NewRunner returns a runner at the given scale.
 func NewRunner(scale float64) *Runner {
 	return &Runner{
-		Scale: scale,
-		Seed:  42,
-		cache: make(map[string]*stats.Metrics),
-		optC:  make(map[string]int),
+		Scale:    scale,
+		Seed:     42,
+		cache:    make(map[string]*stats.Metrics),
+		errCache: make(map[string]error),
+		inflight: make(map[string]*inflightRun),
+		optC:     make(map[string]int),
 	}
 }
 
@@ -77,34 +107,105 @@ func (j Job) config() gpu.Config {
 	return cfg
 }
 
-// Run simulates the job (cached).
-func (r *Runner) Run(j Job) *stats.Metrics {
-	if m, ok := r.cache[j.key()]; ok {
-		return m
+// RunE simulates the job and returns its metrics or the simulation error.
+// Results (including errors — simulations are deterministic, so a failing
+// job fails identically on retry) are cached by Job.key(); concurrent calls
+// for the same key share a single simulation.
+func (r *Runner) RunE(j Job) (*stats.Metrics, error) {
+	key := j.key()
+	r.mu.Lock()
+	if m, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return m, nil
 	}
-	m := runJob(j, r.Scale, r.Seed)
+	if err, ok := r.errCache[key]; ok {
+		r.mu.Unlock()
+		return nil, err
+	}
+	if c, ok := r.inflight[key]; ok {
+		// Another goroutine is simulating this job; wait and share.
+		r.mu.Unlock()
+		<-c.done
+		return c.m, c.err
+	}
+	c := &inflightRun{done: make(chan struct{})}
+	r.inflight[key] = c
+	sim := r.simulate
+	r.mu.Unlock()
+
+	if sim == nil {
+		sim = runJob
+	}
+	c.m, c.err = sim(j, r.Scale, r.Seed)
+
+	r.mu.Lock()
+	delete(r.inflight, key)
+	if c.err != nil {
+		c.err = fmt.Errorf("harness: %s: %w", key, c.err)
+		r.errCache[key] = c.err
+		r.errs = append(r.errs, c.err)
+	} else {
+		r.cache[key] = c.m
+	}
+	r.mu.Unlock()
+	close(c.done)
+
 	if r.Verbose != nil {
-		r.Verbose(fmt.Sprintf("ran %-40s %12d cycles", j.key(), m.TotalCycles))
+		if c.err != nil {
+			r.Verbose("FAILED " + key + ": " + c.err.Error())
+		} else {
+			r.Verbose(fmt.Sprintf("ran %-40s %12d cycles", key, c.m.TotalCycles))
+		}
 	}
-	r.cache[j.key()] = m
+	return c.m, c.err
+}
+
+// Run simulates the job (cached, thread-safe). On simulation failure it
+// records the error — retrievable via Err — and returns zero-valued metrics
+// so table assembly degrades instead of crashing; callers that need to react
+// to individual failures should use RunE.
+func (r *Runner) Run(j Job) *stats.Metrics {
+	m, err := r.RunE(j)
+	if err != nil {
+		return new(stats.Metrics)
+	}
 	return m
 }
 
+// Err returns every simulation error recorded so far (joined), or nil.
+func (r *Runner) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return errors.Join(r.errs...)
+}
+
 // OptimalConc searches ConcLevels for the setting minimizing total runtime
-// (the paper tunes concurrency per protocol and benchmark, Table IV).
+// (the paper tunes concurrency per protocol and benchmark, Table IV). Safe
+// for concurrent use: racing searches run the same deterministic sweep
+// (individual simulations are deduplicated by RunE) and store the same
+// answer.
 func (r *Runner) OptimalConc(proto gpu.Protocol, bench string) int {
 	key := string(proto) + "|" + bench
+	r.mu.Lock()
 	if c, ok := r.optC[key]; ok {
+		r.mu.Unlock()
 		return c
 	}
+	r.mu.Unlock()
+
 	best, bestCycles := ConcLevels[0], ^uint64(0)
 	for _, c := range ConcLevels {
-		m := r.Run(Job{Proto: proto, Bench: bench, Conc: c})
+		m, err := r.RunE(Job{Proto: proto, Bench: bench, Conc: c})
+		if err != nil {
+			continue // recorded in Err(); pick among the levels that ran
+		}
 		if m.TotalCycles < bestCycles {
 			best, bestCycles = c, m.TotalCycles
 		}
 	}
+	r.mu.Lock()
 	r.optC[key] = best
+	r.mu.Unlock()
 	return best
 }
 
@@ -114,6 +215,24 @@ func (r *Runner) RunOptimal(proto gpu.Protocol, bench string) *stats.Metrics {
 		return r.Run(Job{Proto: proto, Bench: bench})
 	}
 	return r.Run(Job{Proto: proto, Bench: bench, Conc: r.OptimalConc(proto, bench)})
+}
+
+// cached reports whether the job's result is already in the cache.
+func (r *Runner) cached(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.cache[key]
+	if !ok {
+		_, ok = r.errCache[key]
+	}
+	return ok
+}
+
+// cacheSize returns the number of cached results (tests).
+func (r *Runner) cacheSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cache)
 }
 
 // Report is a structured experiment result: one or more tables.
@@ -177,7 +296,8 @@ func ByID(id string) (Experiment, bool) {
 // Benchmarks returns the benchmark list (paper order).
 func Benchmarks() []string { return workloads.Names() }
 
-// gmean of a map's values in benchmark order.
+// gmean of a map's values, iterated in sorted-key order so the result is
+// deterministic (GMean itself is order-insensitive up to float rounding).
 func gmeanOf(vals map[string]float64) float64 {
 	var vs []float64
 	keys := make([]string, 0, len(vals))

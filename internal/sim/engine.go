@@ -7,8 +7,6 @@
 // with a fixed seed is fully reproducible.
 package sim
 
-import "container/heap"
-
 // Cycle is a point in simulated time, measured in interconnect-clock cycles.
 type Cycle uint64
 
@@ -19,31 +17,44 @@ type event struct {
 	fn   func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// eventLess orders events by (when, seq): time first, FIFO within a cycle.
+func eventLess(a, b event) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
+//
+// The event queue is split in two for speed — this pop/push pair is the
+// innermost loop of every simulation:
+//
+//   - pq is a hand-rolled binary min-heap over a plain []event. Unlike
+//     container/heap it needs no heap.Interface indirection and no
+//     interface{} boxing, so Schedule/Run allocate nothing per event beyond
+//     slice growth.
+//   - imm is a FIFO for events scheduled *for the current cycle while that
+//     cycle is executing* (the delay-0 wakeup idiom used throughout the
+//     timing model). These bypass the heap entirely: appended in seq order
+//     and drained in seq order.
+//
+// Correct interleaving between the two is guaranteed by a single invariant:
+// whenever imm is non-empty, every heap event at the current cycle carries a
+// smaller seq than every imm event. This holds because current-cycle events
+// are routed to imm exactly when imm is non-empty or a Run is executing, so
+// the heap can only gain a current-cycle event while imm is empty — i.e.
+// before any of imm's (later, larger-seq) events existed. The run loop
+// therefore drains current-cycle heap events first, then imm, which is
+// precisely (when, seq) order — bit-identical to a single global heap.
 type Engine struct {
-	pq      eventHeap
+	pq      []event // binary min-heap ordered by eventLess
+	imm     []event // same-cycle FIFO; imm[immHead:] are pending
+	immHead int
 	now     Cycle
 	seq     uint64
 	stopped bool
+	running bool
 	// Executed counts events run; useful for run-away detection in tests.
 	Executed uint64
 }
@@ -58,7 +69,7 @@ func (e *Engine) Now() Cycle { return e.now }
 // all events already scheduled for the current cycle).
 func (e *Engine) Schedule(delay Cycle, fn func()) {
 	e.seq++
-	heap.Push(&e.pq, event{when: e.now + delay, seq: e.seq, fn: fn})
+	e.push(event{when: e.now + delay, seq: e.seq, fn: fn})
 }
 
 // At runs fn at the given absolute cycle, which must not be in the past.
@@ -67,27 +78,68 @@ func (e *Engine) At(when Cycle, fn func()) {
 		panic("sim: scheduling event in the past")
 	}
 	e.seq++
-	heap.Push(&e.pq, event{when: when, seq: e.seq, fn: fn})
+	e.push(event{when: when, seq: e.seq, fn: fn})
+}
+
+// push routes an event to the same-cycle FIFO or the heap. Current-cycle
+// events go to the FIFO whenever a run is executing or the FIFO already has
+// pending events — see the invariant on Engine.
+func (e *Engine) push(ev event) {
+	if ev.when == e.now && (e.running || e.immHead < len(e.imm)) {
+		e.imm = append(e.imm, ev)
+		return
+	}
+	e.heapPush(ev)
 }
 
 // Stop aborts the current Run after the in-flight event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return len(e.pq) + len(e.imm) - e.immHead }
 
 // Run executes events until the queue empties, Stop is called, or the
 // simulated clock passes limit (0 means no limit). It returns the cycle at
-// which it stopped.
+// which it stopped. After Stop, a subsequent Run resumes mid-cycle with
+// same-cycle FIFO order preserved.
 func (e *Engine) Run(limit Cycle) Cycle {
 	e.stopped = false
-	for len(e.pq) > 0 && !e.stopped {
-		ev := heap.Pop(&e.pq).(event)
-		if limit != 0 && ev.when > limit {
-			// Put it back so a subsequent Run can resume.
-			heap.Push(&e.pq, ev)
+	e.running = true
+	defer func() { e.running = false }()
+	for !e.stopped {
+		// Select the next event source: current-cycle heap events precede
+		// the FIFO (smaller seq, per the Engine invariant); otherwise the
+		// FIFO holds the oldest pending current-cycle events.
+		hasImm := e.immHead < len(e.imm)
+		hasHeap := len(e.pq) > 0
+		var fromHeap bool
+		var when Cycle
+		switch {
+		case hasImm && hasHeap && e.pq[0].when == e.now:
+			fromHeap, when = true, e.now
+		case hasImm:
+			fromHeap, when = false, e.imm[e.immHead].when
+		case hasHeap:
+			fromHeap, when = true, e.pq[0].when
+		default:
+			return e.now
+		}
+		if limit != 0 && when > limit {
+			// Leave it queued so a subsequent Run can resume.
 			e.now = limit
 			return e.now
+		}
+		var ev event
+		if fromHeap {
+			ev = e.heapPop()
+		} else {
+			ev = e.imm[e.immHead]
+			e.imm[e.immHead] = event{} // release fn for GC
+			e.immHead++
+			if e.immHead == len(e.imm) {
+				e.imm = e.imm[:0]
+				e.immHead = 0
+			}
 		}
 		if ev.when < e.now {
 			panic("sim: time moved backwards")
@@ -97,4 +149,47 @@ func (e *Engine) Run(limit Cycle) Cycle {
 		ev.fn()
 	}
 	return e.now
+}
+
+// heapPush inserts an event into the binary min-heap.
+func (e *Engine) heapPush(ev event) {
+	pq := append(e.pq, ev)
+	i := len(pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(pq[i], pq[parent]) {
+			break
+		}
+		pq[i], pq[parent] = pq[parent], pq[i]
+		i = parent
+	}
+	e.pq = pq
+}
+
+// heapPop removes and returns the minimum event.
+func (e *Engine) heapPop() event {
+	pq := e.pq
+	top := pq[0]
+	n := len(pq) - 1
+	pq[0] = pq[n]
+	pq[n] = event{} // release fn for GC
+	pq = pq[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && eventLess(pq[r], pq[l]) {
+			c = r
+		}
+		if !eventLess(pq[c], pq[i]) {
+			break
+		}
+		pq[i], pq[c] = pq[c], pq[i]
+		i = c
+	}
+	e.pq = pq
+	return top
 }

@@ -1,0 +1,79 @@
+package sim
+
+import "testing"
+
+// The event push/pop pair is the innermost loop of every simulation, so these
+// benches are the repo's primary engine-level perf baseline (recorded in
+// BENCH_harness.json). Each bench also runs against the container/heap oracle
+// so the fast-queue speedup stays measurable after future changes.
+
+// mixedLoad schedules n self-rescheduling events with deterministic
+// pseudorandom delays — the closest microbenchmark analogue of the timing
+// model's traffic (a mix of short latencies and delay-0 wakeups).
+func mixedLoad(schedule func(Cycle, func()), run func(Cycle) Cycle, n int) {
+	rng := NewRNG(1)
+	remaining := n
+	var tick func()
+	tick = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		schedule(Cycle(rng.Intn(8)), tick)
+	}
+	for i := 0; i < 32; i++ {
+		schedule(Cycle(rng.Intn(8)), tick)
+	}
+	run(0)
+}
+
+// sameCycleLoad exercises the delay-0 FIFO fast path: bursts of same-cycle
+// wakeups chained from a sparse clock.
+func sameCycleLoad(schedule func(Cycle, func()), run func(Cycle) Cycle, n int) {
+	remaining := n
+	var burst func()
+	burst = func() {
+		for i := 0; i < 16 && remaining > 0; i++ {
+			remaining--
+			schedule(0, func() {})
+		}
+		if remaining > 0 {
+			remaining--
+			schedule(5, burst)
+		}
+	}
+	schedule(1, burst)
+	run(0)
+}
+
+func BenchmarkEngineMixed(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		mixedLoad(e.Schedule, e.Run, 100000)
+	}
+}
+
+func BenchmarkEngineMixedOracle(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := &oracleEngine{}
+		mixedLoad(e.Schedule, e.Run, 100000)
+	}
+}
+
+func BenchmarkEngineSameCycle(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		sameCycleLoad(e.Schedule, e.Run, 100000)
+	}
+}
+
+func BenchmarkEngineSameCycleOracle(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := &oracleEngine{}
+		sameCycleLoad(e.Schedule, e.Run, 100000)
+	}
+}

@@ -1,9 +1,59 @@
 package sim
 
 import (
+	"container/heap"
 	"testing"
 	"testing/quick"
 )
+
+// --- oracle: the original container/heap engine, kept as a reference ---
+// oracleEngine reimplements the pre-optimization event loop verbatim; the
+// property tests below require the fast queue to match it event-for-event.
+
+type oracleHeap []event
+
+func (h oracleHeap) Len() int            { return len(h) }
+func (h oracleHeap) Less(i, j int) bool  { return eventLess(h[i], h[j]) }
+func (h oracleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *oracleHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *oracleHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type oracleEngine struct {
+	pq      oracleHeap
+	now     Cycle
+	seq     uint64
+	stopped bool
+}
+
+func (e *oracleEngine) Now() Cycle { return e.now }
+
+func (e *oracleEngine) Schedule(delay Cycle, fn func()) {
+	e.seq++
+	heap.Push(&e.pq, event{when: e.now + delay, seq: e.seq, fn: fn})
+}
+
+func (e *oracleEngine) Stop() { e.stopped = true }
+
+func (e *oracleEngine) Run(limit Cycle) Cycle {
+	e.stopped = false
+	for len(e.pq) > 0 && !e.stopped {
+		ev := heap.Pop(&e.pq).(event)
+		if limit != 0 && ev.when > limit {
+			heap.Push(&e.pq, ev)
+			e.now = limit
+			return e.now
+		}
+		e.now = ev.when
+		ev.fn()
+	}
+	return e.now
+}
 
 func TestEngineOrdering(t *testing.T) {
 	e := NewEngine()
@@ -99,6 +149,147 @@ func TestEngineMonotonicTimeProperty(t *testing.T) {
 		return len(times) == len(delays)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineRunLimitOverLimitEventKept verifies the resume contract in
+// detail: an over-limit event is left queued (not dropped, not executed), the
+// clock parks exactly at the limit, and repeated limited runs advance through
+// the schedule without losing or duplicating events.
+func TestEngineRunLimitOverLimitEventKept(t *testing.T) {
+	e := NewEngine()
+	var hits []Cycle
+	for _, d := range []Cycle{3, 7, 12, 25} {
+		d := d
+		e.Schedule(d, func() { hits = append(hits, e.Now()) })
+	}
+	for _, limit := range []Cycle{5, 10, 20, 0} {
+		e.Run(limit)
+	}
+	want := []Cycle{3, 7, 12, 25}
+	if len(hits) != len(want) {
+		t.Fatalf("hits = %v, want %v", hits, want)
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Fatalf("hits = %v, want %v", hits, want)
+		}
+	}
+	if e.Pending() != 0 || e.Now() != 25 {
+		t.Fatalf("after final run: pending=%d now=%d", e.Pending(), e.Now())
+	}
+}
+
+// TestEngineStopMidCycle stops between two same-cycle events and checks that
+// the resumed run executes the remainder of the cycle in FIFO order — the
+// same-cycle FIFO must survive a Stop.
+func TestEngineStopMidCycle(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(5, func() {
+		order = append(order, 1)
+		// Same-cycle follow-ups land in the FIFO; Stop after the first.
+		e.Schedule(0, func() { order = append(order, 2); e.Stop() })
+		e.Schedule(0, func() { order = append(order, 3) })
+	})
+	e.Schedule(9, func() { order = append(order, 4) })
+	e.Run(0)
+	if len(order) != 2 || e.Pending() != 2 {
+		t.Fatalf("after stop: order=%v pending=%d", order, e.Pending())
+	}
+	if e.Now() != 5 {
+		t.Fatalf("stop advanced the clock: now=%d", e.Now())
+	}
+	// Scheduling more current-cycle work while stopped must queue behind the
+	// FIFO remainder, not jump ahead of it.
+	e.At(e.Now(), func() { order = append(order, 5) })
+	e.Run(0)
+	want := []int{1, 2, 3, 5, 4}
+	for i, v := range want {
+		if len(order) != len(want) || order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestEngineAtCurrentCycleDuringRun schedules via At(Now()) from inside an
+// event and checks it runs this cycle, after already-queued same-cycle work.
+func TestEngineAtCurrentCycleDuringRun(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(2, func() {
+		order = append(order, 1)
+		e.At(e.Now(), func() { order = append(order, 3) })
+	})
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Run(0)
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if len(order) != len(want) || order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 2 {
+		t.Fatalf("now = %d, want 2", e.Now())
+	}
+}
+
+// TestEngineMatchesOracle is the load-bearing equivalence property: a
+// randomized workload of delays — with nested rescheduling, heavy same-cycle
+// fan-out, and limited/resumed runs — must execute in exactly the same order
+// at exactly the same cycles on the fast queue as on the original
+// container/heap engine.
+func TestEngineMatchesOracle(t *testing.T) {
+	type rec struct {
+		id   int
+		when Cycle
+	}
+	// drive runs the same deterministic scenario against either engine via
+	// the shared schedule/run closures.
+	drive := func(delays []uint8, schedule func(Cycle, func()), run func(Cycle) Cycle, now func() Cycle) []rec {
+		var trace []rec
+		id := 0
+		var add func(d Cycle, depth int)
+		add = func(d Cycle, depth int) {
+			me := id
+			id++
+			schedule(d, func() {
+				trace = append(trace, rec{me, now()})
+				if depth > 0 {
+					// Deterministic nested fan-out: one same-cycle event and
+					// one future event per level.
+					add(0, depth-1)
+					add(d%5+1, depth-1)
+				}
+			})
+		}
+		for _, d := range delays {
+			add(Cycle(d%16), int(d%3))
+		}
+		// Run in limited slices, then to completion.
+		run(4)
+		run(9)
+		run(0)
+		return trace
+	}
+
+	prop := func(delays []uint8) bool {
+		fast := NewEngine()
+		ft := drive(delays, fast.Schedule, fast.Run, fast.Now)
+		oracle := &oracleEngine{}
+		ot := drive(delays, oracle.Schedule, oracle.Run, oracle.Now)
+		if len(ft) != len(ot) {
+			return false
+		}
+		for i := range ft {
+			if ft[i] != ot[i] {
+				return false
+			}
+		}
+		return fast.Pending() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
 }
