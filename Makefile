@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench
+.PHONY: check vet build test race short bench benchcmp
 
 check: vet build race short
 
@@ -27,7 +27,18 @@ short:
 test:
 	$(GO) test ./...
 
-# Perf baselines (see BENCH_harness.json for recorded numbers).
+# Perf baselines (see BENCH_harness.json / BENCH_hotpath.json for recorded
+# numbers).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem ./internal/sim/
 	$(GO) test -run xxx -bench 'BenchmarkSuite' -benchtime 1x .
+
+# Compare two saved bench runs. Capture each side with e.g.
+#   $(GO) test -run xxx -bench . -benchmem ./... > /tmp/old.txt
+# then:
+#   make benchcmp OLD=/tmp/old.txt NEW=/tmp/new.txt
+# cmd/benchdiff is stdlib-only: it averages repeated runs per benchmark and
+# prints ns/op, B/op, allocs/op deltas as percentages.
+benchcmp:
+	@test -n "$(OLD)" -a -n "$(NEW)" || { echo "usage: make benchcmp OLD=<old.txt> NEW=<new.txt>"; exit 2; }
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)

@@ -1,0 +1,188 @@
+// Command benchdiff compares two `go test -bench` output files and prints
+// per-benchmark deltas for every recorded metric (ns/op, B/op, allocs/op,
+// and any custom ReportMetric units). It is a deliberately small, stdlib-only
+// stand-in for benchstat: no statistics, just the percentage change between
+// the two runs — enough to sanity-check a perf PR against a saved baseline.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./... > old.txt
+//	# ...make changes...
+//	go test -run xxx -bench . -benchmem ./... > new.txt
+//	benchdiff old.txt new.txt
+//
+// When a benchmark appears multiple times in one file (e.g. -count=N), the
+// metric values are averaged before comparison.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricKey identifies one measured series: a benchmark plus a unit.
+type metricKey struct {
+	bench string
+	unit  string
+}
+
+// parseFile extracts metric sums and sample counts from one bench output.
+func parseFile(path string) (map[metricKey]float64, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+
+	sums := map[metricKey]float64{}
+	counts := map[metricKey]int{}
+	var order []string
+	seen := map[string]bool{}
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		// fields[1] is the iteration count; metrics follow as "value unit".
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			k := metricKey{bench: name, unit: fields[i+1]}
+			sums[k] += v
+			counts[k]++
+		}
+		if !seen[name] {
+			seen[name] = true
+			order = append(order, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	for k := range sums {
+		sums[k] /= float64(counts[k])
+	}
+	return sums, order, nil
+}
+
+// trimProcSuffix drops the -GOMAXPROCS suffix so runs from machines with
+// different CPU counts still line up.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// unitRank orders metrics within one benchmark: time, then space, then the
+// rest alphabetically.
+func unitRank(unit string) int {
+	switch unit {
+	case "ns/op":
+		return 0
+	case "B/op":
+		return 1
+	case "allocs/op":
+		return 2
+	}
+	return 3
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: %s <old-bench-output> <new-bench-output>\n", os.Args[0])
+		os.Exit(2)
+	}
+	oldM, oldOrder, err := parseFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	newM, newOrder, err := parseFile(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	// Benchmarks in old-file order, then any new-only ones.
+	inOld := map[string]bool{}
+	for _, b := range oldOrder {
+		inOld[b] = true
+	}
+	benches := append([]string{}, oldOrder...)
+	for _, b := range newOrder {
+		if !inOld[b] {
+			benches = append(benches, b)
+		}
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-44s %-10s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	for _, b := range benches {
+		var units []string
+		for k := range oldM {
+			if k.bench == b {
+				units = append(units, k.unit)
+			}
+		}
+		for k := range newM {
+			if k.bench == b {
+				if _, ok := oldM[k]; !ok {
+					units = append(units, k.unit)
+				}
+			}
+		}
+		sort.Slice(units, func(i, j int) bool {
+			if r1, r2 := unitRank(units[i]), unitRank(units[j]); r1 != r2 {
+				return r1 < r2
+			}
+			return units[i] < units[j]
+		})
+		for _, u := range units {
+			ov, haveOld := oldM[metricKey{b, u}]
+			nv, haveNew := newM[metricKey{b, u}]
+			switch {
+			case haveOld && haveNew:
+				fmt.Fprintf(w, "%-44s %-10s %14s %14s %9s\n", b, u, fmtVal(ov), fmtVal(nv), fmtDelta(ov, nv))
+			case haveOld:
+				fmt.Fprintf(w, "%-44s %-10s %14s %14s %9s\n", b, u, fmtVal(ov), "-", "gone")
+			default:
+				fmt.Fprintf(w, "%-44s %-10s %14s %14s %9s\n", b, u, "-", fmtVal(nv), "new")
+			}
+		}
+	}
+}
+
+// fmtVal prints a metric value without trailing decimal noise.
+func fmtVal(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+// fmtDelta prints the relative change from old to new.
+func fmtDelta(oldV, newV float64) string {
+	if oldV == 0 {
+		if newV == 0 {
+			return "0.0%"
+		}
+		return "+inf%"
+	}
+	return fmt.Sprintf("%+.1f%%", (newV-oldV)/oldV*100)
+}

@@ -113,23 +113,24 @@ func maxInt(a, b int) int {
 // Approx exposes the backing approximate table (for tests and stats).
 func (t *MetaTable) Approx() *ApproxTable { return t.approx }
 
-// find returns the precise entry for granule, if present.
-func (t *MetaTable) find(granule uint64) *Entry {
+// find returns the precise entry for granule, if present, and reports whether
+// it lives on the in-memory overflow list (so callers don't re-probe the map).
+func (t *MetaTable) find(granule uint64) (e *Entry, inOverflow bool) {
 	for w := range t.ways {
 		e := &t.ways[w][t.hashes.slot(w, granule)]
 		if e.valid && e.Granule == granule {
-			return e
+			return e, false
 		}
 	}
 	for i := range t.stash {
 		if t.stash[i].valid && t.stash[i].Granule == granule {
-			return &t.stash[i]
+			return &t.stash[i], false
 		}
 	}
 	if e, ok := t.overflow[granule]; ok {
-		return e
+		return e, true
 	}
-	return nil
+	return nil, false
 }
 
 // Lookup returns the precise entry for granule, creating it from the
@@ -140,8 +141,7 @@ func (t *MetaTable) find(granule uint64) *Entry {
 // list.
 func (t *MetaTable) Lookup(granule uint64) (e *Entry, cycles sim.Cycle, overflowed bool) {
 	t.Lookups++
-	if e := t.find(granule); e != nil {
-		_, inOverflow := t.overflow[granule]
+	if e, inOverflow := t.find(granule); e != nil {
 		return e, 1, inOverflow
 	}
 	wts, rts := t.approx.Lookup(granule)
@@ -216,7 +216,7 @@ func (t *MetaTable) resolve(granule uint64, placed *Entry, _ *Entry) *Entry {
 	if placed.valid && placed.Granule == granule {
 		return placed
 	}
-	e := t.find(granule)
+	e, _ := t.find(granule)
 	if e == nil {
 		panic(fmt.Sprintf("core: granule %#x lost during cuckoo insertion", granule))
 	}
@@ -226,7 +226,7 @@ func (t *MetaTable) resolve(granule uint64, placed *Entry, _ *Entry) *Entry {
 // Release decrements the write reservation on granule by n (commit/cleanup
 // processing) and reports the remaining count.
 func (t *MetaTable) Release(granule uint64, n int) int {
-	e := t.find(granule)
+	e, _ := t.find(granule)
 	if e == nil {
 		panic(fmt.Sprintf("core: release of untracked granule %#x", granule))
 	}

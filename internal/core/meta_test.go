@@ -123,6 +123,66 @@ func TestMetaLockedEntriesSurviveOverflow(t *testing.T) {
 	}
 }
 
+// The spill order when every precise slot is locked: displacement chains land
+// in the stash until it is full, and only then in the overflow list — at which
+// point the lookup reports overflowed and pays the overflow penalty.
+func TestMetaStashFullSpillsToOverflow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StashEntries = 2
+	cfg.MaxKicks = 2
+	tab := NewMetaTable(cfg, 8, 64, sim.NewRNG(9))
+	for g := uint64(0); g < 64; g++ {
+		e, cycles, ov := tab.Lookup(g)
+		e.Writes = 1 // lock: nothing can evict to the approximate table
+		if !ov {
+			continue
+		}
+		// First spill past the stash: it must already be full.
+		if tab.StashedEntries != uint64(cfg.StashEntries) {
+			t.Fatalf("overflowed with %d/%d stash entries used", tab.StashedEntries, cfg.StashEntries)
+		}
+		if cycles < 1+cfg.OverflowPenalty {
+			t.Fatalf("overflow insert cost %d cycles, want >= %d", cycles, 1+cfg.OverflowPenalty)
+		}
+		// Re-looking-up the spilled granule hits the overflow list precisely.
+		e2, c2, ov2 := tab.Lookup(g)
+		if e2 != e || !ov2 || c2 != 1 {
+			t.Fatalf("overflow re-lookup: e2==e=%v ov=%v cycles=%d", e2 == e, ov2, c2)
+		}
+		return
+	}
+	t.Fatal("no lookup overflowed with an 8-entry table, 2-entry stash, and 64 locked granules")
+}
+
+// Flush after overflow spills must clear the overflow list too (a fresh
+// lookup sees zero timestamps and no overflow).
+func TestMetaFlushClearsOverflow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StashEntries = 2
+	cfg.MaxKicks = 2
+	tab := NewMetaTable(cfg, 8, 64, sim.NewRNG(9))
+	locked := make([]uint64, 0, 64)
+	for g := uint64(0); g < 64; g++ {
+		e, _, _ := tab.Lookup(g)
+		e.WTS = g + 1
+		e.Writes = 1
+		locked = append(locked, g)
+	}
+	if tab.OverflowInserts == 0 {
+		t.Fatal("setup never reached the overflow list")
+	}
+	for _, g := range locked {
+		tab.Release(g, 1)
+	}
+	tab.Flush()
+	for g := uint64(0); g < 64; g++ {
+		e, _, ov := tab.Lookup(g)
+		if e.WTS != 0 || ov {
+			t.Fatalf("granule %d after flush: wts=%d overflow=%v", g, e.WTS, ov)
+		}
+	}
+}
+
 func TestMetaFlushPanicsWithLocks(t *testing.T) {
 	tab := testTable(t, 64)
 	e, _, _ := tab.Lookup(1)

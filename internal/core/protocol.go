@@ -19,13 +19,26 @@ type Protocol struct {
 	vus   []*VU
 	cus   []*CU
 
-	warpts      map[int]uint64
-	pendAbortTS map[int]uint64
+	// Per-warp logical clocks, indexed by gwid (grown on Begin; a missing
+	// entry reads as 0, matching the old map semantics).
+	warpts      []uint64
+	pendAbortTS []uint64
 	activeTx    int
 	pendingLogs int
 	draining    bool
 	epoch       uint64
 	seq         uint64
+
+	// Freelists for the per-access and per-commit hot-path objects. The
+	// pooled objects carry prebuilt closures, so a steady-state access
+	// allocates nothing. Single goroutine per machine — no locking.
+	statePool *accessState
+	reqPool   *accessReq
+	logPool   *commitLog
+	batchPool *commitBatch
+	// partLog groups one commit's entries by partition; consumed
+	// synchronously within Commit.
+	partLog []*commitLog
 
 	// Committed accumulates thread-level transaction records for the
 	// serializability replay checker (nil disables recording).
@@ -43,14 +56,13 @@ var _ tm.Protocol = (*Protocol)(nil)
 // commit units (one per partition).
 func NewProtocol(cfg Config, eng *sim.Engine, amap mem.AddressMap, trans tm.Transport, vus []*VU, cus []*CU) *Protocol {
 	p := &Protocol{
-		cfg:         cfg,
-		eng:         eng,
-		amap:        amap,
-		trans:       trans,
-		vus:         vus,
-		cus:         cus,
-		warpts:      make(map[int]uint64),
-		pendAbortTS: make(map[int]uint64),
+		cfg:     cfg,
+		eng:     eng,
+		amap:    amap,
+		trans:   trans,
+		vus:     vus,
+		cus:     cus,
+		partLog: make([]*commitLog, len(cus)),
 	}
 	for _, vu := range vus {
 		vu.SetHighWaterHook(p.triggerRollover)
@@ -70,92 +82,255 @@ func (p *Protocol) CanBegin() bool { return !p.draining }
 // Begin implements tm.Protocol.
 func (p *Protocol) Begin(w *tm.WarpTx) {
 	p.activeTx++
-	if _, ok := p.warpts[w.GWID]; !ok {
-		p.warpts[w.GWID] = 0
+	for w.GWID >= len(p.warpts) {
+		p.warpts = append(p.warpts, 0)
+		p.pendAbortTS = append(p.pendAbortTS, 0)
 	}
 }
 
 // WarptsOf exposes a warp's current logical time (tests, stats).
-func (p *Protocol) WarptsOf(gwid int) uint64 { return p.warpts[gwid] }
+func (p *Protocol) WarptsOf(gwid int) uint64 {
+	if gwid >= len(p.warpts) {
+		return 0
+	}
+	return p.warpts[gwid]
+}
+
+// accessState tracks one in-flight warp access: the caller's lanes/done plus
+// the result buffer. Pooled; released when the last lane resolves.
+type accessState struct {
+	p         *Protocol
+	w         *tm.WarpTx
+	isWrite   bool
+	lanes     []tm.LaneAccess
+	results   []tm.AccessResult
+	remaining int
+	done      func([]tm.AccessResult)
+	next      *accessState
+}
+
+// accessReq is one lane's VU request plus its reply plumbing. The three
+// closures (submit, the VU Reply, and the down-crossbar delivery) are built
+// once per pooled object and rebound via fields.
+type accessReq struct {
+	p         *Protocol
+	st        *accessState
+	idx       int // index into st.lanes / st.results
+	lane      int
+	part      int
+	req       Request
+	rep       Reply
+	submit    func()
+	deliverFn func()
+	next      *accessReq
+}
+
+func (p *Protocol) getState() *accessState {
+	st := p.statePool
+	if st == nil {
+		st = &accessState{p: p, results: make([]tm.AccessResult, 0, isa.WarpWidth)}
+	} else {
+		p.statePool = st.next
+	}
+	return st
+}
+
+func (st *accessState) release() {
+	st.w = nil
+	st.lanes = nil
+	st.done = nil
+	st.next = st.p.statePool
+	st.p.statePool = st
+}
+
+func (p *Protocol) getAccessReq() *accessReq {
+	ar := p.reqPool
+	if ar == nil {
+		ar = &accessReq{p: p}
+		ar.submit = func() { ar.p.vus[ar.part].Submit(&ar.req) }
+		ar.deliverFn = func() { ar.deliver() }
+		ar.req.Reply = func(rep Reply) {
+			// Reply travels back over the down crossbar.
+			ar.rep = rep
+			bytes := tm.ReplyBytes
+			if rep.Status == StatusAbort {
+				bytes = tm.AbortReplyBytes
+			}
+			ar.p.trans.ToCore(ar.part, ar.st.w.Core, bytes, ar.deliverFn)
+		}
+	} else {
+		p.reqPool = ar.next
+	}
+	return ar
+}
+
+// deliver applies one VU reply at the core: record abort timestamps, resolve
+// the issuing lane (and, for loads, every lane sharing the word), recycle the
+// request, and complete the access when the last lane lands.
+func (ar *accessReq) deliver() {
+	st, p := ar.st, ar.p
+	rep := ar.rep
+	res := tm.AccessResult{
+		Lane:    ar.lane,
+		Value:   rep.Value,
+		Abort:   rep.Status == StatusAbort,
+		Cause:   rep.Cause,
+		AbortTS: rep.AbortTS,
+	}
+	if res.Abort && rep.AbortTS > p.pendAbortTS[st.w.GWID] {
+		p.pendAbortTS[st.w.GWID] = rep.AbortTS
+	}
+	if st.isWrite {
+		st.results[ar.idx] = res
+		st.remaining--
+	} else {
+		// Resolve all lanes sharing this word.
+		addr := ar.req.Addr
+		for j, la := range st.lanes {
+			if la.Addr == addr {
+				r := res
+				r.Lane = la.Lane
+				st.results[j] = r
+				st.remaining--
+			}
+		}
+	}
+	ar.st = nil
+	ar.next = p.reqPool
+	p.reqPool = ar
+	if st.remaining == 0 {
+		st.done(st.results)
+		st.release()
+	}
+}
 
 // Access implements tm.Protocol: every lane's access is sent to its home
 // partition's validation unit for eager conflict detection.
 func (p *Protocol) Access(w *tm.WarpTx, isWrite bool, lanes []tm.LaneAccess, done func([]tm.AccessResult)) {
-	results := make([]tm.AccessResult, len(lanes))
-	remaining := len(lanes)
-	if remaining == 0 {
-		done(results)
+	if len(lanes) == 0 {
+		done(nil)
 		return
+	}
+	st := p.getState()
+	st.w, st.isWrite, st.lanes, st.done = w, isWrite, lanes, done
+	st.remaining = len(lanes)
+	if cap(st.results) < len(lanes) {
+		st.results = make([]tm.AccessResult, len(lanes))
+	} else {
+		st.results = st.results[:len(lanes)]
 	}
 	ts := p.warpts[w.GWID]
 
-	// Coalesce loads: lanes reading the same word share one request.
-	type share struct{ first, count int }
-	loadShare := map[uint64]*share{}
-
-	finishLane := func(i int, r tm.AccessResult) {
-		results[i] = r
-		remaining--
-		if remaining == 0 {
-			done(results)
-		}
-	}
-
 	for i, la := range lanes {
-		i, la := i, la
 		if !isWrite {
-			if s, ok := loadShare[la.Addr]; ok {
-				s.count++
-				results[i].Lane = la.Lane
-				continue // resolved when the shared request replies
-			}
-			loadShare[la.Addr] = &share{first: i, count: 1}
-		}
-		part := p.amap.Partition(la.Addr)
-		req := &Request{
-			GWID:    w.GWID,
-			Warpts:  ts,
-			Addr:    la.Addr,
-			IsWrite: isWrite,
-			Reply: func(rep Reply) {
-				// Reply travels back over the down crossbar.
-				bytes := tm.ReplyBytes
-				if rep.Status == StatusAbort {
-					bytes = tm.AbortReplyBytes
+			// Coalesce loads: lanes reading the same word share one request —
+			// the first occurrence issues it, and its reply resolves all of
+			// them (linear scan: at most WarpWidth lanes).
+			dup := false
+			for j := 0; j < i; j++ {
+				if lanes[j].Addr == la.Addr {
+					dup = true
+					break
 				}
-				p.trans.ToCore(part, w.Core, bytes, func() {
-					res := tm.AccessResult{
-						Lane:    la.Lane,
-						Value:   rep.Value,
-						Abort:   rep.Status == StatusAbort,
-						Cause:   rep.Cause,
-						AbortTS: rep.AbortTS,
-					}
-					if res.Abort {
-						if rep.AbortTS > p.pendAbortTS[w.GWID] {
-							p.pendAbortTS[w.GWID] = rep.AbortTS
-						}
-					}
-					if !isWrite {
-						// Resolve all lanes sharing this word.
-						s := loadShare[la.Addr]
-						for j := 0; j < len(lanes) && s.count > 0; j++ {
-							if lanes[j].Addr == la.Addr {
-								r := res
-								r.Lane = lanes[j].Lane
-								finishLane(j, r)
-								s.count--
-							}
-						}
-						return
-					}
-					finishLane(i, res)
-				})
-			},
+			}
+			if dup {
+				st.results[i].Lane = la.Lane // fully overwritten by the shared reply
+				continue
+			}
 		}
-		vu := p.vus[part]
-		p.trans.ToPartition(w.Core, part, tm.ReqBytes, func() { vu.Submit(req) })
+		ar := p.getAccessReq()
+		ar.st = st
+		ar.idx = i
+		ar.lane = la.Lane
+		ar.part = p.amap.Partition(la.Addr)
+		ar.req.GWID = w.GWID
+		ar.req.Warpts = ts
+		ar.req.Addr = la.Addr
+		ar.req.IsWrite = isWrite
+		p.trans.ToPartition(w.Core, ar.part, tm.ReqBytes, ar.submit)
 	}
+}
+
+// commitLog is one partition's slice of a warp's commit/cleanup message.
+// Pooled; submit/done are prebuilt and the object recycles itself once the
+// commit unit has processed the message.
+type commitLog struct {
+	p         *Protocol
+	part      int
+	core      int
+	entries   []CommitEntry
+	batchNext *commitLog // chains the partitions of one commit
+	submit    func()
+	done      func()
+	next      *commitLog // freelist
+}
+
+func (p *Protocol) getCommitLog(part, core int) *commitLog {
+	cl := p.logPool
+	if cl == nil {
+		cl = &commitLog{p: p}
+		cl.submit = func() { cl.p.cus[cl.part].Submit(cl.entries, cl.done) }
+		cl.done = func() {
+			q := cl.p
+			q.pendingLogs--
+			cl.entries = cl.entries[:0]
+			cl.next = q.logPool
+			q.logPool = cl
+			q.maybeFinishDrain()
+		}
+	} else {
+		p.logPool = cl.next
+	}
+	cl.part, cl.core = part, core
+	return cl
+}
+
+// commitBatch is one commit's deferred transmit step (after write-log
+// serialization). Pooled with a prebuilt callback like the access objects.
+type commitBatch struct {
+	p      *Protocol
+	head   *commitLog
+	resume func(tm.CommitOutcome)
+	runFn  func()
+	next   *commitBatch
+}
+
+func (p *Protocol) getBatch(head *commitLog, resume func(tm.CommitOutcome)) *commitBatch {
+	b := p.batchPool
+	if b == nil {
+		b = &commitBatch{p: p}
+		b.runFn = func() {
+			q := b.p
+			for cl := b.head; cl != nil; {
+				next := cl.batchNext
+				cl.batchNext = nil
+				bytes := tm.HeaderBytes
+				for _, e := range cl.entries {
+					if e.Commit {
+						bytes += tm.CommitEntryBytes
+					} else {
+						bytes += tm.CleanupEntryBytes
+					}
+				}
+				q.pendingLogs++
+				q.trans.ToPartition(cl.core, cl.part, bytes, cl.submit)
+				cl = next
+			}
+			// Recycle before resume: the warp may begin its next transaction
+			// (and commit again) from inside the callback.
+			fin := b.resume
+			b.head, b.resume = nil, nil
+			b.next = q.batchPool
+			q.batchPool = b
+			q.activeTx--
+			q.maybeFinishDrain()
+			fin(tm.CommitOutcome{})
+		}
+	} else {
+		p.batchPool = b.next
+	}
+	b.head, b.resume = head, resume
+	return b
 }
 
 // Commit implements tm.Protocol. The core serializes the warp's write log
@@ -163,7 +338,6 @@ func (p *Protocol) Access(w *tm.WarpTx, isWrite bool, lanes []tm.LaneAccess, don
 // and resumes the warp immediately: eager detection guarantees the commit
 // succeeds, so nothing waits for acknowledgements.
 func (p *Protocol) Commit(w *tm.WarpTx, commitMask, abortMask isa.LaneMask, resume func(tm.CommitOutcome)) {
-	entriesByPart := make(map[int][]CommitEntry)
 	total := 0
 	for _, e := range w.Log.Writes {
 		inCommit := commitMask.Bit(e.Lane)
@@ -171,13 +345,33 @@ func (p *Protocol) Commit(w *tm.WarpTx, commitMask, abortMask isa.LaneMask, resu
 			continue
 		}
 		part := p.amap.Partition(e.Addr)
-		entriesByPart[part] = append(entriesByPart[part], CommitEntry{
+		cl := p.partLog[part]
+		if cl == nil {
+			cl = p.getCommitLog(part, w.Core)
+			p.partLog[part] = cl
+		}
+		cl.entries = append(cl.entries, CommitEntry{
 			Addr:   e.Addr,
 			Data:   e.Value,
 			Writes: e.Writes,
 			Commit: inCommit,
 		})
 		total++
+	}
+	// Chain this commit's logs in ascending partition order (map iteration
+	// would randomize crossbar contention and thus timing between identical
+	// runs) and clear the grouping scratch for the next commit.
+	var head, tail *commitLog
+	for part := range p.partLog {
+		if cl := p.partLog[part]; cl != nil {
+			if tail == nil {
+				head = cl
+			} else {
+				tail.batchNext = cl
+			}
+			tail = cl
+			p.partLog[part] = nil
+		}
 	}
 
 	ts := p.warpts[w.GWID]
@@ -208,41 +402,12 @@ func (p *Protocol) Commit(w *tm.WarpTx, commitMask, abortMask isa.LaneMask, resu
 		}
 		p.warpts[w.GWID] = next + 1
 	}
-	delete(p.pendAbortTS, w.GWID)
+	p.pendAbortTS[w.GWID] = 0
 
 	// Serialize the write log at one entry per cycle, then transmit. The
 	// warp resumes right after serialization — commits are off the critical
 	// path (no validation, no acks).
-	p.eng.Schedule(sim.Cycle(total), func() {
-		// Deterministic partition order (map iteration would randomize
-		// crossbar contention and thus timing between identical runs).
-		for part := 0; part < len(p.cus); part++ {
-			entries := entriesByPart[part]
-			if len(entries) == 0 {
-				continue
-			}
-			part, entries := part, entries
-			bytes := tm.HeaderBytes
-			for _, e := range entries {
-				if e.Commit {
-					bytes += tm.CommitEntryBytes
-				} else {
-					bytes += tm.CleanupEntryBytes
-				}
-			}
-			cu := p.cus[part]
-			p.pendingLogs++
-			p.trans.ToPartition(w.Core, part, bytes, func() {
-				cu.Submit(entries, func() {
-					p.pendingLogs--
-					p.maybeFinishDrain()
-				})
-			})
-		}
-		p.activeTx--
-		p.maybeFinishDrain()
-		resume(tm.CommitOutcome{})
-	})
+	p.eng.Schedule(sim.Cycle(total), p.getBatch(head, resume).runFn)
 }
 
 // LockedGranules sums live write reservations across all partitions; it must

@@ -64,6 +64,52 @@ type VU struct {
 	onTimestampHighWater func()
 	rolloverArmed        bool
 	tracer               Tracer
+
+	// opPool recycles vuOp objects (single goroutine per machine, no locking).
+	opPool *vuOp
+}
+
+// vuOp carries one request through the VU pipeline. Pooled: the process,
+// retry, and reply callbacks are built once per object, so a steady-state
+// access schedules engine events without allocating.
+type vuOp struct {
+	v   *VU
+	req *Request
+	rep Reply
+	// extra is the LLC access delay charged after the decision (loads).
+	extra sim.Cycle
+	// stalled is this op's stall-buffer node; its Retry re-enters process.
+	stalled   StalledReq
+	processFn func()
+	replyFn   func()
+	next      *vuOp
+}
+
+func (v *VU) getOp(req *Request) *vuOp {
+	op := v.opPool
+	if op == nil {
+		op = &vuOp{v: v}
+		op.processFn = func() { op.v.process(op, false) }
+		op.stalled.Retry = func() { op.v.process(op, true) }
+		op.replyFn = func() {
+			if d := op.extra; d > 0 {
+				// Load data access latency: charged after the decision.
+				op.extra = 0
+				op.v.eng.Schedule(d, op.replyFn)
+				return
+			}
+			// Recycle before Reply: the callback may submit a fresh request.
+			req, rep := op.req, op.rep
+			op.req = nil
+			op.next = op.v.opPool
+			op.v.opPool = op
+			req.Reply(rep)
+		}
+	} else {
+		v.opPool = op.next
+	}
+	op.req = req
+	return op
 }
 
 // NewVU builds a validation unit for one partition. preciseEntries and
@@ -91,12 +137,13 @@ func (v *VU) Submit(req *Request) {
 		start = v.nextService
 	}
 	v.nextService = start + 1
-	v.eng.At(start, func() { v.process(req, false) })
+	v.eng.At(start, v.getOp(req).processFn)
 }
 
-// process runs the Fig 6 flowchart for req. retried marks stall-buffer
-// re-entries (they have already been counted as queued).
-func (v *VU) process(req *Request, retried bool) {
+// process runs the Fig 6 flowchart for op's request. retried marks
+// stall-buffer re-entries (they have already been counted as queued).
+func (v *VU) process(op *vuOp, retried bool) {
+	req := op.req
 	v.Requests++
 	v.traceRequest(req)
 	granule := v.cfg.GranuleOf(req.Addr)
@@ -109,12 +156,11 @@ func (v *VU) process(req *Request, retried bool) {
 	if metaCycles > 1 {
 		v.nextService += metaCycles - 1
 	}
-	decide := func(fn func()) { v.eng.Schedule(metaCycles, fn) }
 
 	if req.IsWrite {
-		v.processStore(req, e, decide)
+		v.processStore(op, e, metaCycles)
 	} else {
-		v.processLoad(req, e, decide)
+		v.processLoad(op, e, metaCycles)
 	}
 	// If the request finished (any outcome) leaving the granule unlocked,
 	// wake the next waiter: a retried load that succeeds takes no lock, so
@@ -132,7 +178,8 @@ func (v *VU) wakeNext(granule uint64) {
 }
 
 // processLoad: owner check ①, timestamp check ③, lock check ⑤ (Fig 6 left).
-func (v *VU) processLoad(req *Request, e *Entry, decide func(func())) {
+func (v *VU) processLoad(op *vuOp, e *Entry, metaCycles sim.Cycle) {
+	req := op.req
 	switch {
 	case e.Writes > 0 && e.Owner == req.GWID:
 		// ② Owner bypass: the line is locked by this transaction.
@@ -141,11 +188,11 @@ func (v *VU) processLoad(req *Request, e *Entry, decide func(func())) {
 		}
 		v.bumpTS(e.RTS)
 		v.traceOutcome(req, "success", tm.CauseNone, e)
-		v.replyLoad(req, decide)
+		v.replyLoad(op, metaCycles)
 	case req.Warpts >= e.WTS:
 		if e.Writes > 0 {
 			// ⑦ Queue (RAW): locked by a logically older transaction.
-			v.queue(req, e, decide)
+			v.queue(op, e, metaCycles)
 			return
 		}
 		// ⑥ Success: update rts.
@@ -154,30 +201,30 @@ func (v *VU) processLoad(req *Request, e *Entry, decide func(func())) {
 		}
 		v.bumpTS(e.RTS)
 		v.traceOutcome(req, "success", tm.CauseNone, e)
-		v.replyLoad(req, decide)
+		v.replyLoad(op, metaCycles)
 	default:
 		// ④ Abort (WAR): written by a logically later transaction.
 		v.AbortsWAR++
 		v.traceOutcome(req, "abort", tm.CauseWAR, e)
-		ts := e.WTS
-		decide(func() {
-			req.Reply(Reply{Status: StatusAbort, Cause: tm.CauseWAR, AbortTS: ts})
-		})
+		op.rep = Reply{Status: StatusAbort, Cause: tm.CauseWAR, AbortTS: e.WTS}
+		v.eng.Schedule(metaCycles, op.replyFn)
 	}
 }
 
 // processStore: owner check ①, timestamp check ③, lock check ⑤ (Fig 6 right).
-func (v *VU) processStore(req *Request, e *Entry, decide func(func())) {
+func (v *VU) processStore(op *vuOp, e *Entry, metaCycles sim.Cycle) {
+	req := op.req
 	switch {
 	case e.Writes > 0 && e.Owner == req.GWID:
 		// ② Owner bypass: wts was set by the previous write; just count.
 		e.Writes++
 		v.traceOutcome(req, "success", tm.CauseNone, e)
-		decide(func() { req.Reply(Reply{Status: StatusSuccess}) })
+		op.rep = Reply{Status: StatusSuccess}
+		v.eng.Schedule(metaCycles, op.replyFn)
 	case req.Warpts >= e.WTS && req.Warpts >= e.RTS:
 		if e.Writes > 0 {
 			// ⑦ Queue (WAW): reserved by a logically older transaction.
-			v.queue(req, e, decide)
+			v.queue(op, e, metaCycles)
 			return
 		}
 		// ⑥ Success: reserve the granule.
@@ -186,38 +233,32 @@ func (v *VU) processStore(req *Request, e *Entry, decide func(func())) {
 		e.Writes = 1
 		v.bumpTS(e.WTS)
 		v.traceOutcome(req, "success", tm.CauseNone, e)
-		decide(func() { req.Reply(Reply{Status: StatusSuccess}) })
+		op.rep = Reply{Status: StatusSuccess}
+		v.eng.Schedule(metaCycles, op.replyFn)
 	default:
 		// ④ Abort (WAW or RAW): written or observed by a later transaction.
 		v.AbortsWAWRAW++
 		v.traceOutcome(req, "abort", tm.CauseWAWRAW, e)
-		ts := maxU64(e.WTS, e.RTS)
-		decide(func() {
-			req.Reply(Reply{Status: StatusAbort, Cause: tm.CauseWAWRAW, AbortTS: ts})
-		})
+		op.rep = Reply{Status: StatusAbort, Cause: tm.CauseWAWRAW, AbortTS: maxU64(e.WTS, e.RTS)}
+		v.eng.Schedule(metaCycles, op.replyFn)
 	}
 }
 
 // queue places a request in the stall buffer (aborting it if full). The
 // request must be logically younger than the reservation owner — the
 // invariant that makes the wait-for graph acyclic (see DESIGN.md).
-func (v *VU) queue(req *Request, e *Entry, decide func(func())) {
+func (v *VU) queue(op *vuOp, e *Entry, metaCycles sim.Cycle) {
+	req := op.req
 	if req.Warpts+1 < e.WTS {
 		panic(fmt.Sprintf("core: queued request (ts %d) not younger than reservation (wts %d)", req.Warpts, e.WTS))
 	}
-	granule := v.cfg.GranuleOf(req.Addr)
-	ok := v.Stall.Enqueue(&StalledReq{
-		Granule: granule,
-		Warpts:  req.Warpts,
-		Retry:   func() { v.process(req, true) },
-	})
-	if !ok {
+	op.stalled.Granule = v.cfg.GranuleOf(req.Addr)
+	op.stalled.Warpts = req.Warpts
+	if !v.Stall.Enqueue(&op.stalled) {
 		v.AbortsFull++
 		v.traceOutcome(req, "abort", tm.CauseStallFull, e)
-		ts := maxU64(e.WTS, e.RTS)
-		decide(func() {
-			req.Reply(Reply{Status: StatusAbort, Cause: tm.CauseStallFull, AbortTS: ts})
-		})
+		op.rep = Reply{Status: StatusAbort, Cause: tm.CauseStallFull, AbortTS: maxU64(e.WTS, e.RTS)}
+		v.eng.Schedule(metaCycles, op.replyFn)
 		return
 	}
 	v.traceOutcome(req, "queue", tm.CauseNone, e)
@@ -230,14 +271,10 @@ func (v *VU) queue(req *Request, e *Entry, decide func(func())) {
 // arriving during the access latency must not be observable by a load that
 // was already ordered before it (its rts was taken at the check). The
 // partition's access latency is still charged before the reply leaves.
-func (v *VU) replyLoad(req *Request, decide func(func())) {
-	val := v.part.ReadNow(req.Addr)
-	delay := v.part.AccessDelay(req.Addr)
-	decide(func() {
-		v.eng.Schedule(delay, func() {
-			req.Reply(Reply{Status: StatusSuccess, Value: val})
-		})
-	})
+func (v *VU) replyLoad(op *vuOp, metaCycles sim.Cycle) {
+	op.rep = Reply{Status: StatusSuccess, Value: v.part.ReadNow(op.req.Addr)}
+	op.extra = v.part.AccessDelay(op.req.Addr)
+	v.eng.Schedule(metaCycles, op.replyFn)
 }
 
 // ReleaseGranule decrements the write reservation after a commit/cleanup
@@ -294,11 +331,55 @@ type CU struct {
 	CommitsProcessed uint64
 	EntriesWritten   uint64
 	BytesWritten     uint64
+
+	// regions is per-Submit coalescing scratch (only its size is read, so map
+	// iteration order cannot influence timing); jobPool recycles the deferred
+	// apply step with its prebuilt callback.
+	regions map[uint64]bool
+	jobPool *cuJob
 }
 
 // NewCU builds the commit unit colocated with vu.
 func NewCU(cfg Config, eng *sim.Engine, part *mem.Partition, vu *VU) *CU {
-	return &CU{cfg: cfg, eng: eng, part: part, vu: vu}
+	return &CU{cfg: cfg, eng: eng, part: part, vu: vu, regions: make(map[uint64]bool)}
+}
+
+// cuJob is one commit/cleanup message's deferred apply step.
+type cuJob struct {
+	c       *CU
+	entries []CommitEntry
+	done    func()
+	runFn   func()
+	next    *cuJob
+}
+
+func (c *CU) getJob(entries []CommitEntry, done func()) *cuJob {
+	j := c.jobPool
+	if j == nil {
+		j = &cuJob{c: c}
+		j.runFn = func() {
+			cu := j.c
+			for _, e := range j.entries {
+				if e.Commit {
+					cu.part.WriteNow(e.Addr, e.Data)
+					cu.EntriesWritten++
+				}
+				cu.vu.ReleaseGranule(cu.cfg.GranuleOf(e.Addr), e.Writes, e.Commit)
+			}
+			// Recycle before done: the callback may submit another log.
+			fin := j.done
+			j.entries, j.done = nil, nil
+			j.next = cu.jobPool
+			cu.jobPool = j
+			if fin != nil {
+				fin()
+			}
+		}
+	} else {
+		c.jobPool = j.next
+	}
+	j.entries, j.done = entries, done
+	return j
 }
 
 // Submit hands a commit/cleanup log to the CU (on up-crossbar delivery).
@@ -322,13 +403,13 @@ func (c *CU) Submit(entries []CommitEntry, done func()) {
 		start = c.vu.nextService
 	}
 	// Coalesce committed writes into 32-byte regions for bandwidth cost.
-	regions := map[uint64]bool{}
+	clear(c.regions)
 	for _, e := range entries {
 		if e.Commit {
-			regions[e.Addr/32] = true
+			c.regions[e.Addr/32] = true
 		}
 	}
-	bytes := uint64(len(regions) * 32)
+	bytes := uint64(len(c.regions) * 32)
 	cycles := sim.Cycle((bytes + uint64(c.cfg.CommitBytesPerCycle) - 1) / uint64(c.cfg.CommitBytesPerCycle))
 	if cycles == 0 {
 		cycles = 1
@@ -338,16 +419,5 @@ func (c *CU) Submit(entries []CommitEntry, done func()) {
 	c.BytesWritten += bytes
 	c.CommitsProcessed++
 
-	c.eng.At(start+cycles, func() {
-		for _, e := range entries {
-			if e.Commit {
-				c.part.WriteNow(e.Addr, e.Data)
-				c.EntriesWritten++
-			}
-			c.vu.ReleaseGranule(c.cfg.GranuleOf(e.Addr), e.Writes, e.Commit)
-		}
-		if done != nil {
-			done()
-		}
-	})
+	c.eng.At(start+cycles, c.getJob(entries, done).runFn)
 }

@@ -11,8 +11,6 @@
 package eapg
 
 import (
-	"sort"
-
 	"getm/internal/isa"
 	"getm/internal/mem"
 	"getm/internal/sim"
@@ -35,12 +33,18 @@ func (s Signature) MayContain(addr uint64) bool {
 }
 
 type activeSig struct {
-	sig Signature
+	owner int
+	sig   Signature
 	// words is the precise write set: the broadcast message is idealized to
 	// 64 bits (footnote 3), but the conflict checks use the cores'
 	// conflict-address tables, which track precise addresses.
 	words   map[uint64]bool
 	waiters []func()
+	// refs counts the holders of this pooled object: the commit itself plus
+	// one per outstanding broadcast delivery (a congested crossbar can, in
+	// principle, deliver a broadcast after the commit has resumed).
+	refs int
+	next *activeSig
 }
 
 // Protocol wraps WarpTM with early-abort and pause-n-go.
@@ -52,7 +56,12 @@ type Protocol struct {
 
 	active     map[int]*tm.WarpTx // running (pre-commit) transactions
 	committing map[int]*activeSig // gwid -> in-flight commit signature
-	abortSink  func(tm.AbortNotice)
+	// commitOrder mirrors committing, kept sorted by owner gwid so the
+	// pause-target choice among several matches is deterministic without a
+	// per-access sort.
+	commitOrder []*activeSig
+	sigPool     *activeSig
+	abortSink   func(tm.AbortNotice)
 
 	EarlyAborts uint64
 	Pauses      uint64
@@ -94,19 +103,39 @@ func (p *Protocol) Begin(w *tm.WarpTx) {
 	p.inner.Begin(w)
 }
 
-// pauseTarget returns a committing signature that the access would conflict
-// with, if any (pause-n-go). Owners are scanned in sorted order so the
-// choice among several matches is deterministic.
-func (p *Protocol) pauseTarget(gwid int, lanes []tm.LaneAccess) *activeSig {
-	owners := make([]int, 0, len(p.committing))
-	for owner := range p.committing {
-		if owner != gwid {
-			owners = append(owners, owner)
-		}
+// getSig pops a pooled signature record (maps and slices keep capacity).
+func (p *Protocol) getSig(owner int) *activeSig {
+	as := p.sigPool
+	if as == nil {
+		as = &activeSig{words: make(map[uint64]bool)}
+	} else {
+		p.sigPool = as.next
 	}
-	sort.Ints(owners)
-	for _, owner := range owners {
-		as := p.committing[owner]
+	as.owner = owner
+	as.sig = 0
+	return as
+}
+
+// dropSig releases one reference; the last holder recycles the record.
+func (p *Protocol) dropSig(as *activeSig) {
+	as.refs--
+	if as.refs > 0 {
+		return
+	}
+	clear(as.words)
+	as.waiters = as.waiters[:0]
+	as.next = p.sigPool
+	p.sigPool = as
+}
+
+// pauseTarget returns a committing signature that the access would conflict
+// with, if any (pause-n-go). commitOrder is sorted by owner, so the choice
+// among several matches is deterministic.
+func (p *Protocol) pauseTarget(gwid int, lanes []tm.LaneAccess) *activeSig {
+	for _, as := range p.commitOrder {
+		if as.owner == gwid {
+			continue
+		}
 		for _, la := range lanes {
 			if as.words[la.Addr] {
 				return as
@@ -133,31 +162,49 @@ func (p *Protocol) Access(w *tm.WarpTx, isWrite bool, lanes []tm.LaneAccess, don
 func (p *Protocol) Commit(w *tm.WarpTx, commitMask, abortMask isa.LaneMask, resume func(tm.CommitOutcome)) {
 	delete(p.active, w.GWID)
 
-	var sig Signature
-	words := map[uint64]bool{}
+	as := p.getSig(w.GWID)
 	for _, e := range w.Log.Writes {
 		if commitMask.Bit(e.Lane) {
-			sig = sig.AddWord(e.Addr)
-			words[e.Addr] = true
+			as.sig = as.sig.AddWord(e.Addr)
+			as.words[e.Addr] = true
 		}
 	}
 
-	if len(words) > 0 {
-		as := &activeSig{sig: sig, words: words}
+	if len(as.words) == 0 {
+		as.refs = 1
+		p.dropSig(as)
+	} else {
+		as.refs = 1 + p.cores // the commit plus one per broadcast delivery
 		p.committing[w.GWID] = as
+		// Insert keeping commitOrder sorted by owner.
+		i := len(p.commitOrder)
+		p.commitOrder = append(p.commitOrder, nil)
+		for i > 0 && p.commitOrder[i-1].owner > as.owner {
+			p.commitOrder[i] = p.commitOrder[i-1]
+			i--
+		}
+		p.commitOrder[i] = as
 		p.Broadcasts++
 		// The LLC-side broadcast to every core (64-bit flits).
 		p.trans.BroadcastToCores(0, tm.SignatureBytes, func(core int) {
-			p.earlyAbortDoomed(core, w.GWID, words)
+			p.earlyAbortDoomed(core, as.owner, as.words)
+			p.dropSig(as)
 		})
 	}
 
 	p.inner.Commit(w, commitMask, abortMask, func(out tm.CommitOutcome) {
 		if as, ok := p.committing[w.GWID]; ok {
 			delete(p.committing, w.GWID)
+			for i, x := range p.commitOrder {
+				if x == as {
+					p.commitOrder = append(p.commitOrder[:i], p.commitOrder[i+1:]...)
+					break
+				}
+			}
 			for _, retry := range as.waiters {
 				p.eng.Schedule(1, retry)
 			}
+			p.dropSig(as)
 		}
 		resume(out)
 	})

@@ -188,57 +188,151 @@ func (t *transport) BroadcastToCores(partition, bytes int, deliver func(core int
 }
 
 // memSystem adapts the crossbars + partitions to simt.MemSystem with
-// per-line coalescing.
-type memSystem struct{ m *machine }
+// per-line coalescing. Access states and per-line requests are pooled with
+// prebuilt callbacks (single goroutine per machine — no locking).
+type memSystem struct {
+	m        *machine
+	accPool  *memAccess
+	linePool *lineReq
+}
+
+// memAccess is one coalesced warp access in flight. Line grouping uses flat
+// reusable arrays instead of a map. Accesses usually carry at most WarpWidth
+// addresses, but lock-release batches can be larger, so the arrays grow.
+type memAccess struct {
+	ms          *memSystem
+	coreID      int
+	isWrite     bool
+	addrs, vals []uint64 // caller's slices, valid until done
+	loadVals    []uint64
+	remaining   int
+	done        func([]uint64)
+	groupOf     []int32 // addr index -> line-group index
+	lines       []uint64
+	counts      []int32
+	next        *memAccess
+}
+
+// lineReq is one coalesced line's round trip: up crossbar, partition access
+// delay, data movement, down crossbar.
+type lineReq struct {
+	ms        *memSystem
+	acc       *memAccess
+	line      uint64
+	part      int
+	gi        int
+	downBytes int
+	upFn      func() // up-crossbar delivery: start the partition access
+	accessFn  func() // after the access delay: move data, reply
+	downFn    func() // down-crossbar delivery: finish
+	next      *lineReq
+}
+
+func (ms *memSystem) getAccess() *memAccess {
+	acc := ms.accPool
+	if acc == nil {
+		acc = &memAccess{ms: ms, loadVals: make([]uint64, 0, isa.WarpWidth)}
+	} else {
+		ms.accPool = acc.next
+	}
+	return acc
+}
+
+func (ms *memSystem) getLineReq() *lineReq {
+	lr := ms.linePool
+	if lr == nil {
+		lr = &lineReq{ms: ms}
+		lr.upFn = func() {
+			m := lr.ms.m
+			delay := m.partitions[lr.part].AccessDelay(lr.line)
+			m.eng.Schedule(delay, lr.accessFn)
+		}
+		lr.accessFn = func() {
+			acc, m := lr.acc, lr.ms.m
+			for i := range acc.addrs {
+				if acc.groupOf[i] != int32(lr.gi) {
+					continue
+				}
+				if acc.isWrite {
+					m.img.Write(acc.addrs[i], acc.vals[i])
+				} else {
+					acc.loadVals[i] = m.img.Read(acc.addrs[i])
+				}
+			}
+			m.pair.Down.Send(lr.part, acc.coreID, lr.downBytes, lr.downFn)
+		}
+		lr.downFn = func() {
+			acc, ms := lr.acc, lr.ms
+			lr.acc = nil
+			lr.next = ms.linePool
+			ms.linePool = lr
+			acc.remaining--
+			if acc.remaining == 0 {
+				acc.done(acc.loadVals)
+				acc.addrs, acc.vals, acc.done = nil, nil, nil
+				acc.next = ms.accPool
+				ms.accPool = acc
+			}
+		}
+	} else {
+		ms.linePool = lr.next
+	}
+	return lr
+}
 
 func (ms *memSystem) Access(coreID int, isWrite bool, addrs, vals []uint64, done func([]uint64)) {
 	m := ms.m
-	loadVals := make([]uint64, len(addrs))
-	type lineGroup struct {
-		part    int
-		indices []int
+	acc := ms.getAccess()
+	acc.coreID, acc.isWrite = coreID, isWrite
+	acc.addrs, acc.vals, acc.done = addrs, vals, done
+	if cap(acc.loadVals) < len(addrs) {
+		acc.loadVals = make([]uint64, len(addrs))
+	} else {
+		acc.loadVals = acc.loadVals[:len(addrs)]
+		for i := range acc.loadVals {
+			acc.loadVals[i] = 0
+		}
 	}
-	groups := map[uint64]*lineGroup{}
-	var order []uint64 // deterministic issue order (first touch)
-	for i, a := range addrs {
+
+	// Group by line, first touch first (deterministic issue order); linear
+	// scan over the distinct lines seen so far.
+	acc.groupOf = acc.groupOf[:0]
+	acc.lines = acc.lines[:0]
+	acc.counts = acc.counts[:0]
+	for _, a := range addrs {
 		line := m.amap.Line(a)
-		g, ok := groups[line]
-		if !ok {
-			g = &lineGroup{part: m.amap.Partition(a)}
-			groups[line] = g
-			order = append(order, line)
+		gi := -1
+		for g := range acc.lines {
+			if acc.lines[g] == line {
+				gi = g
+				break
+			}
 		}
-		g.indices = append(g.indices, i)
+		if gi < 0 {
+			gi = len(acc.lines)
+			acc.lines = append(acc.lines, line)
+			acc.counts = append(acc.counts, 0)
+		}
+		acc.groupOf = append(acc.groupOf, int32(gi))
+		acc.counts[gi]++
 	}
-	remaining := len(groups)
-	for _, line := range order {
-		line, g := line, groups[line]
-		part := m.partitions[g.part]
+	nGroups := len(acc.lines)
+	acc.remaining = nGroups
+
+	for gi := 0; gi < nGroups; gi++ {
+		lr := ms.getLineReq()
+		lr.acc = acc
+		lr.line = acc.lines[gi]
+		lr.part = m.amap.Partition(acc.lines[gi])
+		lr.gi = gi
 		upBytes := tm.HeaderBytes + tm.AddrBytes
-		downBytes := tm.HeaderBytes
+		lr.downBytes = tm.HeaderBytes
 		if isWrite {
-			upBytes += len(g.indices) * tm.WordBytes
+			upBytes += int(acc.counts[gi]) * tm.WordBytes
 		} else {
-			downBytes += len(g.indices) * tm.WordBytes
+			lr.downBytes += int(acc.counts[gi]) * tm.WordBytes
 		}
-		m.pair.Up.Send(coreID, g.part, upBytes, func() {
-			delay := part.AccessDelay(line)
-			m.eng.Schedule(delay, func() {
-				for _, i := range g.indices {
-					if isWrite {
-						m.img.Write(addrs[i], vals[i])
-					} else {
-						loadVals[i] = m.img.Read(addrs[i])
-					}
-				}
-				m.pair.Down.Send(g.part, coreID, downBytes, func() {
-					remaining--
-					if remaining == 0 {
-						done(loadVals)
-					}
-				})
-			})
-		})
+		m.pair.Up.Send(coreID, lr.part, upBytes, lr.upFn)
 	}
 }
 

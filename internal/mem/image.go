@@ -7,34 +7,85 @@ package mem
 // WordBytes is the data word size; all workload values are 64-bit words.
 const WordBytes = 8
 
+// Image page geometry: 4 KB pages (512 words) in a page-table map, flat
+// word arrays inside — steady-state reads and writes are one map probe (or a
+// hit in the one-entry page cache) plus array indexing.
+const (
+	pageWords = 512
+	pageShift = 9 // log2(pageWords)
+)
+
+type page struct {
+	words [pageWords]uint64
+	// written marks words ever written (Len/Snapshot track the footprint,
+	// not just non-zero contents).
+	written [pageWords / 64]uint64
+}
+
 // Image holds the architectural memory contents at word granularity.
 // It is shared by all partitions (each partition owns a disjoint address
 // slice, so no two partitions touch the same word).
 type Image struct {
-	words map[uint64]uint64
+	pages map[uint64]*page
+	count int // words ever written
+	// One-entry page cache: consecutive accesses cluster heavily by page.
+	lastNo   uint64
+	lastPage *page
 }
 
 // NewImage returns an empty (all-zero) memory image.
-func NewImage() *Image { return &Image{words: make(map[uint64]uint64)} }
+func NewImage() *Image { return &Image{pages: make(map[uint64]*page), lastNo: ^uint64(0)} }
+
+func (im *Image) pageFor(wordNo uint64) *page {
+	no := wordNo >> pageShift
+	if no == im.lastNo && im.lastPage != nil {
+		return im.lastPage
+	}
+	p := im.pages[no]
+	if p != nil {
+		im.lastNo, im.lastPage = no, p
+	}
+	return p
+}
 
 // Read returns the word at the (word-aligned) byte address.
 func (im *Image) Read(addr uint64) uint64 {
-	return im.words[addr&^uint64(WordBytes-1)]
+	wordNo := addr / WordBytes
+	p := im.pageFor(wordNo)
+	if p == nil {
+		return 0
+	}
+	return p.words[wordNo&(pageWords-1)]
 }
 
 // Write stores val at the (word-aligned) byte address.
 func (im *Image) Write(addr, val uint64) {
-	im.words[addr&^uint64(WordBytes-1)] = val
+	wordNo := addr / WordBytes
+	p := im.pageFor(wordNo)
+	if p == nil {
+		p = new(page)
+		no := wordNo >> pageShift
+		im.pages[no] = p
+		im.lastNo, im.lastPage = no, p
+	}
+	off := wordNo & (pageWords - 1)
+	if p.written[off/64]&(1<<(off%64)) == 0 {
+		p.written[off/64] |= 1 << (off % 64)
+		im.count++
+	}
+	p.words[off] = val
 }
 
 // Len returns the number of words ever written.
-func (im *Image) Len() int { return len(im.words) }
+func (im *Image) Len() int { return im.count }
 
 // Snapshot copies the image (used by the serializability replay checker).
 func (im *Image) Snapshot() *Image {
 	c := NewImage()
-	for k, v := range im.words {
-		c.words[k] = v
+	c.count = im.count
+	for no, p := range im.pages {
+		cp := *p
+		c.pages[no] = &cp
 	}
 	return c
 }
@@ -42,14 +93,26 @@ func (im *Image) Snapshot() *Image {
 // Equal reports whether two images hold identical contents (treating absent
 // words as zero).
 func (im *Image) Equal(other *Image) bool {
-	for k, v := range im.words {
-		if other.Read(k) != v {
-			return false
+	for no, p := range im.pages {
+		q := other.pages[no]
+		for i := range p.words {
+			var qv uint64
+			if q != nil {
+				qv = q.words[i]
+			}
+			if p.words[i] != qv {
+				return false
+			}
 		}
 	}
-	for k, v := range other.words {
-		if im.Read(k) != v {
-			return false
+	for no, q := range other.pages {
+		if _, ok := im.pages[no]; ok {
+			continue // compared above
+		}
+		for i := range q.words {
+			if q.words[i] != 0 {
+				return false
+			}
 		}
 	}
 	return true

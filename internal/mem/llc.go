@@ -8,8 +8,8 @@ type LLC struct {
 	ways      int
 	lineBytes int
 	tags      []uint64 // sets*ways entries; 0 means invalid (line 0 never cached: offset by +1)
-	lru       []uint32 // per entry, lower = older
-	clock     uint32
+	lru       []uint64 // per entry, lower = older
+	clock     uint64   // monotone; 64-bit so it never wraps within a run
 
 	Hits   uint64
 	Misses uint64
@@ -28,7 +28,7 @@ func NewLLC(capacityBytes, ways, lineBytes int) *LLC {
 		ways:      ways,
 		lineBytes: lineBytes,
 		tags:      make([]uint64, sets*ways),
-		lru:       make([]uint32, sets*ways),
+		lru:       make([]uint64, sets*ways),
 	}
 }
 

@@ -116,6 +116,23 @@ func TestLLCLRUEviction(t *testing.T) {
 	}
 }
 
+// Regression: the LRU clock is 64-bit. With a 32-bit clock, the access after
+// 2^32-1 wrapped to a tiny stamp, making the most recently used line look like
+// the oldest and evicting it.
+func TestLLCLRUClockWrap(t *testing.T) {
+	c := NewLLC(256, 2, 128) // 1 set x 2 ways
+	c.clock = (1 << 32) - 2
+	c.Access(0 * 128) // stamp 2^32-1
+	c.Access(1 * 128) // stamp 2^32 (wraps to 0 with a uint32 clock)
+	c.Access(2 * 128) // must evict line 0, the genuinely older entry
+	if c.Contains(0) {
+		t.Fatal("oldest line survived eviction after the clock passed 2^32")
+	}
+	if !c.Contains(128) {
+		t.Fatal("recently used line evicted — LRU clock wrapped")
+	}
+}
+
 func TestLLCGeometryPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -45,6 +45,10 @@ type Core struct {
 	nextIssue    sim.Cycle
 	lastWarp     int
 
+	// storePool is a freelist of fire-and-forget store buffers (single
+	// goroutine per machine, so no locking).
+	storePool *storeBuf
+
 	Stats Stats
 }
 
@@ -61,19 +65,37 @@ func NewCore(id int, eng *sim.Engine, cfg Config, protocol tm.Protocol, memsys M
 		dispatch: dispatch,
 	}
 	c.Stats.AbortsByCause = stats.Counters{}
-	for slot := 0; slot < cfg.WarpsPerCore; slot++ {
-		c.warps = append(c.warps, newWarp(slot, id*cfg.WarpsPerCore+slot))
-	}
+	// Warp contexts are built lazily in Start: a warp's register file alone
+	// is WarpWidth×NumRegs words, and at small workload scales most of a
+	// core's slots never receive a program, so eager construction would
+	// dominate the whole suite's allocations.
+	c.warps = make([]*Warp, cfg.WarpsPerCore)
 	return c
 }
 
-// Start assigns initial programs and begins issuing.
+// newWarpFor constructs the warp context for a slot with its two prebound
+// completion closures (allocated once per warp, here).
+func (c *Core) newWarpFor(slot int) *Warp {
+	w := newWarp(slot, c.ID*c.cfg.WarpsPerCore+slot)
+	w.accDone = func(results []tm.AccessResult) { c.txAccessDone(w, results) }
+	w.loadDone = func(loadVals []uint64) {
+		for i, lane := range w.loadLanes {
+			w.regs[lane][w.loadDst] = loadVals[i]
+		}
+		c.wake(w)
+	}
+	c.warps[slot] = w
+	return w
+}
+
+// Start assigns initial programs and begins issuing. Slots whose first
+// dispatch returns nil stay nil in c.warps (a nil warp is a retired warp);
+// dispatch is still consulted once per slot, in slot order, so program
+// distribution matches an eager build exactly.
 func (c *Core) Start() {
-	for _, w := range c.warps {
-		if p := c.dispatch(c.ID, w.slot); p != nil {
-			w.assign(p)
-		} else {
-			w.state = wDone
+	for slot := 0; slot < c.cfg.WarpsPerCore; slot++ {
+		if p := c.dispatch(c.ID, slot); p != nil {
+			c.newWarpFor(slot).assign(p)
 		}
 	}
 	c.scheduleIssue()
@@ -82,7 +104,7 @@ func (c *Core) Start() {
 // AllDone reports whether every warp has retired.
 func (c *Core) AllDone() bool {
 	for _, w := range c.warps {
-		if w.state != wDone {
+		if w != nil && w.state != wDone {
 			return false
 		}
 	}
@@ -93,7 +115,7 @@ func (c *Core) AllDone() bool {
 func (c *Core) StuckWarps() []string {
 	var out []string
 	for _, w := range c.warps {
-		if w.state != wDone {
+		if w != nil && w.state != wDone {
 			out = append(out, fmt.Sprintf("core %d warp %d state %d pc %d inTx %v live %032b",
 				c.ID, w.slot, w.state, w.top().pc, w.inTx, w.live()))
 		}
@@ -110,7 +132,7 @@ func (c *Core) AsyncAbort(n tm.AbortNotice) {
 		return
 	}
 	w := c.warps[slot]
-	if !w.inTx || w.committing {
+	if w == nil || !w.inTx || w.committing {
 		return
 	}
 	for lane := 0; lane < isa.WarpWidth; lane++ {
@@ -136,7 +158,7 @@ func (c *Core) wake(w *Warp) {
 
 func (c *Core) anyReady() bool {
 	for _, w := range c.warps {
-		if w.state == wReady {
+		if w != nil && w.state == wReady {
 			return true
 		}
 	}
@@ -158,11 +180,11 @@ func (c *Core) scheduleIssue() {
 // pickWarp implements greedy-then-oldest: keep issuing from the same warp
 // until it stalls, then fall back to the oldest (lowest slot) ready warp.
 func (c *Core) pickWarp() *Warp {
-	if w := c.warps[c.lastWarp]; w.state == wReady {
+	if w := c.warps[c.lastWarp]; w != nil && w.state == wReady {
 		return w
 	}
 	for _, w := range c.warps {
-		if w.state == wReady {
+		if w != nil && w.state == wReady {
 			c.lastWarp = w.slot
 			return w
 		}
@@ -291,37 +313,37 @@ func (c *Core) execMemAccess(w *Warp, op *isa.Op, isWrite bool) {
 		w.top().pc++
 		return
 	}
-	var lanes []int
-	var addrs, vals []uint64
+
+	if isWrite {
+		// Stores outlive this instruction (the warp keeps running), so their
+		// operand buffers come from the core's pool, recycled on completion.
+		sb := c.getStoreBuf(w)
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			if !mask.Bit(lane) {
+				continue
+			}
+			sb.addrs = append(sb.addrs, op.Addr[lane])
+			sb.vals = append(sb.vals, w.storeValue(op, lane))
+		}
+		for _, a := range sb.addrs {
+			w.storeWords[a]++
+		}
+		w.pendingStores++
+		w.top().pc++
+		sb.scoreboard = w.storeWords // capture: assign() swaps in a fresh map
+		c.memsys.Access(c.ID, true, sb.addrs, sb.vals, sb.done)
+		return // warp stays ready
+	}
+
+	lanes, addrs := w.loadLanes[:0], w.loadAddrs[:0]
 	for lane := 0; lane < isa.WarpWidth; lane++ {
 		if !mask.Bit(lane) {
 			continue
 		}
 		lanes = append(lanes, lane)
 		addrs = append(addrs, op.Addr[lane])
-		if isWrite {
-			vals = append(vals, w.storeValue(op, lane))
-		}
 	}
-
-	if isWrite {
-		for _, a := range addrs {
-			w.storeWords[a]++
-		}
-		w.pendingStores++
-		w.top().pc++
-		sb := w.storeWords // capture: assign() swaps in a fresh map
-		c.memsys.Access(c.ID, true, addrs, vals, func([]uint64) {
-			for _, a := range addrs {
-				if sb[a] > 0 {
-					sb[a]--
-				}
-			}
-			w.pendingStores--
-			c.drainFences(w)
-		})
-		return // warp stays ready
-	}
+	w.loadLanes, w.loadAddrs = lanes, addrs
 
 	if w.storeConflict(addrs) {
 		// Read-after-write through memory: drain outstanding stores, then
@@ -332,13 +354,56 @@ func (c *Core) execMemAccess(w *Warp, op *isa.Op, isWrite bool) {
 	}
 	w.top().pc++
 	w.state = wBlocked
-	dst := op.Dst
-	c.memsys.Access(c.ID, false, addrs, nil, func(loadVals []uint64) {
-		for i, lane := range lanes {
-			w.regs[lane][dst] = loadVals[i]
+	w.loadDst = op.Dst
+	c.memsys.Access(c.ID, false, addrs, nil, w.loadDone)
+}
+
+// storeBuf carries one fire-and-forget store's operands until the memory
+// system completes it; done is prebound once per pooled buffer.
+type storeBuf struct {
+	c          *Core
+	w          *Warp
+	addrs      []uint64
+	vals       []uint64
+	scoreboard map[uint64]int
+	done       func([]uint64)
+	next       *storeBuf
+}
+
+// getStoreBuf pops a pooled store buffer (or builds one, amortized away).
+func (c *Core) getStoreBuf(w *Warp) *storeBuf {
+	sb := c.storePool
+	if sb == nil {
+		sb = &storeBuf{
+			c:     c,
+			addrs: make([]uint64, 0, isa.WarpWidth),
+			vals:  make([]uint64, 0, isa.WarpWidth),
 		}
-		c.wake(w)
-	})
+		sb.done = func([]uint64) { sb.storeDone() }
+	} else {
+		c.storePool = sb.next
+	}
+	sb.w = w
+	return sb
+}
+
+// storeDone retires one store: scoreboard decrements, fence draining, and
+// buffer recycling.
+func (sb *storeBuf) storeDone() {
+	for _, a := range sb.addrs {
+		if sb.scoreboard[a] > 0 {
+			sb.scoreboard[a]--
+		}
+	}
+	w, c := sb.w, sb.c
+	sb.addrs = sb.addrs[:0]
+	sb.vals = sb.vals[:0]
+	sb.scoreboard = nil
+	sb.w = nil
+	sb.next = c.storePool
+	c.storePool = sb
+	w.pendingStores--
+	c.drainFences(w)
 }
 
 // drainFences fires fence callbacks once the warp's store queue is empty.
@@ -440,8 +505,23 @@ func (c *Core) execTxAccess(w *Warp, op *isa.Op, isWrite bool) {
 	}
 
 	eager := c.protocol.EagerIntraWarp()
-	var send []tm.LaneAccess
-	opWriters := map[uint64]isa.LaneMask{}
+	send := w.sendBuf[:0]
+	// Same-instruction writer tracking: at most WarpWidth distinct addresses,
+	// so a linear-scanned stack array beats a map.
+	var opAddrs [isa.WarpWidth]uint64
+	var opMasks [isa.WarpWidth]isa.LaneMask
+	nOp := 0
+	writersOf := func(addr uint64) *isa.LaneMask {
+		for i := 0; i < nOp; i++ {
+			if opAddrs[i] == addr {
+				return &opMasks[i]
+			}
+		}
+		opAddrs[nOp] = addr
+		opMasks[nOp] = 0
+		nOp++
+		return &opMasks[nOp-1]
+	}
 	dst := op.Dst
 
 	for lane := 0; lane < isa.WarpWidth; lane++ {
@@ -451,14 +531,16 @@ func (c *Core) execTxAccess(w *Warp, op *isa.Op, isWrite bool) {
 		addr := op.Addr[lane]
 		if isWrite {
 			val := w.storeValue(op, lane)
+			wm := writersOf(addr)
 			if eager {
-				conf := (w.txLog.Conflicts(lane, addr, true) | opWriters[addr]) & w.live()
+				conf := (w.txLog.Conflicts(lane, addr, true) | *wm) & w.live()
 				if conf != 0 {
 					c.abortLane(w, lane, tm.CauseIntraWarp)
 					continue
 				}
 			}
-			opWriters[addr] = opWriters[addr].Set(lane)
+			*wm = wm.Set(lane)
+			w.sendIdx[lane] = int8(len(send))
 			send = append(send, tm.LaneAccess{Lane: lane, Addr: addr, Value: val})
 		} else {
 			if v, ok := w.txLog.Forward(lane, addr); ok {
@@ -476,9 +558,11 @@ func (c *Core) execTxAccess(w *Warp, op *isa.Op, isWrite bool) {
 					continue
 				}
 			}
+			w.sendIdx[lane] = int8(len(send))
 			send = append(send, tm.LaneAccess{Lane: lane, Addr: addr})
 		}
 	}
+	w.sendBuf = send
 
 	if len(send) == 0 {
 		if w.live() == 0 {
@@ -491,36 +575,39 @@ func (c *Core) execTxAccess(w *Warp, op *isa.Op, isWrite bool) {
 
 	f.pc++
 	w.state = wBlocked
-	attempt := w.warpTx
-	c.protocol.Access(attempt, isWrite, send, func(results []tm.AccessResult) {
-		byLane := map[int]tm.LaneAccess{}
-		for _, la := range send {
-			byLane[la.Lane] = la
+	w.accIsWrite = isWrite
+	w.accDst = dst
+	w.accAttempt = w.warpTx
+	c.protocol.Access(w.warpTx, isWrite, send, w.accDone)
+}
+
+// txAccessDone is the (per-warp prebound) completion callback for a
+// transactional access: it applies per-lane results to the redo log and
+// registers, then wakes the warp.
+func (c *Core) txAccessDone(w *Warp, results []tm.AccessResult) {
+	if w.warpTx != w.accAttempt {
+		return // stale completion after the attempt ended
+	}
+	for _, r := range results {
+		la := w.sendBuf[w.sendIdx[r.Lane]]
+		if r.Abort {
+			c.abortLane(w, r.Lane, r.Cause)
+			continue
 		}
-		for _, r := range results {
-			if w.warpTx != attempt {
-				return // stale completion after the attempt ended
-			}
-			la := byLane[r.Lane]
-			if r.Abort {
-				c.abortLane(w, r.Lane, r.Cause)
-				continue
-			}
-			if !w.live().Bit(r.Lane) {
-				continue // asynchronously aborted while in flight
-			}
-			if isWrite {
-				w.txLog.RecordWrite(r.Lane, la.Addr, la.Value)
-			} else {
-				w.txLog.RecordRead(r.Lane, la.Addr, r.Value)
-				w.regs[r.Lane][dst] = r.Value
-			}
+		if !w.live().Bit(r.Lane) {
+			continue // asynchronously aborted while in flight
 		}
-		if w.live() == 0 {
-			w.top().pc = w.commitPC
+		if w.accIsWrite {
+			w.txLog.RecordWrite(r.Lane, la.Addr, la.Value)
+		} else {
+			w.txLog.RecordRead(r.Lane, la.Addr, r.Value)
+			w.regs[r.Lane][w.accDst] = r.Value
 		}
-		c.wake(w)
-	})
+	}
+	if w.live() == 0 {
+		w.top().pc = w.commitPC
+	}
+	c.wake(w)
 }
 
 // resolveIntraWarp finds, at commit time, a maximal prefix-greedy set of
@@ -531,17 +618,18 @@ func resolveIntraWarp(log *tm.TxLog, live isa.LaneMask) (losers isa.LaneMask) {
 		if !live.Bit(lane) {
 			continue
 		}
-		reads, writes := log.LaneEntries(lane)
+		// Scan the shared logs directly (allocation-free) instead of
+		// materializing LaneEntries; the entry order within a lane matches.
 		conflict := false
-		for _, e := range writes {
-			if log.Conflicts(lane, e.Addr, true)&survivors != 0 {
+		for _, e := range log.Writes {
+			if e.Lane == lane && log.Conflicts(lane, e.Addr, true)&survivors != 0 {
 				conflict = true
 				break
 			}
 		}
 		if !conflict {
-			for _, e := range reads {
-				if log.Conflicts(lane, e.Addr, false)&survivors != 0 {
+			for _, e := range log.Reads {
+				if e.Lane == lane && log.Conflicts(lane, e.Addr, false)&survivors != 0 {
 					conflict = true
 					break
 				}

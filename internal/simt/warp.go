@@ -69,10 +69,36 @@ type Warp struct {
 	pendingStores int
 	storeWords    map[uint64]int
 	fenceFns      []func()
+
+	// Per-warp access scratch, reused across instructions. Safe because a
+	// warp has at most one transactional access or blocking load in flight
+	// and stays blocked until its completion callback runs (fire-and-forget
+	// stores use pooled core buffers instead). Never shared across warps or
+	// goroutines (DESIGN.md §6).
+	sendBuf   []tm.LaneAccess     // lanes going to the protocol this instruction
+	sendIdx   [isa.WarpWidth]int8 // lane -> index into sendBuf
+	loadLanes []int               // blocking-load scratch
+	loadAddrs []uint64
+
+	// In-flight access state consumed by the prebound completion callbacks
+	// (accDone for transactional accesses, loadDone for blocking loads); the
+	// closures themselves are allocated once per warp in NewCore.
+	accIsWrite bool
+	accDst     isa.Reg
+	accAttempt *tm.WarpTx
+	accDone    func([]tm.AccessResult)
+	loadDst    isa.Reg
+	loadDone   func([]uint64)
 }
 
 func newWarp(slot, gwid int) *Warp {
-	return &Warp{slot: slot, gwid: gwid, txLog: tm.NewTxLog(), storeWords: make(map[uint64]int)}
+	return &Warp{
+		slot: slot, gwid: gwid, txLog: tm.NewTxLog(),
+		storeWords: make(map[uint64]int),
+		sendBuf:    make([]tm.LaneAccess, 0, isa.WarpWidth),
+		loadLanes:  make([]int, 0, isa.WarpWidth),
+		loadAddrs:  make([]uint64, 0, isa.WarpWidth),
+	}
 }
 
 // fence runs f once all outstanding stores have completed.
@@ -131,7 +157,7 @@ func (w *Warp) assign(p *isa.Program) {
 	w.deadMask = 0
 	w.txMask = 0
 	w.cs = nil
-	w.storeWords = make(map[uint64]int)
+	clear(w.storeWords) // safe: frameDone drains stores before redispatch
 	for l := range w.regs {
 		for r := range w.regs[l] {
 			w.regs[l][r] = 0

@@ -1,0 +1,38 @@
+package tm
+
+import (
+	"testing"
+
+	"getm/internal/isa"
+)
+
+// Gate: the TxLog record/forward path is allocation-free once the log's
+// tables have grown to the transaction footprint. Entries append into reused
+// slices and both index tables are invalidated by generation bump on Reset,
+// so steady-state attempts touch no allocator.
+func TestTxLogHotPathAllocs(t *testing.T) {
+	l := NewTxLog()
+	var sink uint64
+	round := func() {
+		for lane := 0; lane < isa.WarpWidth; lane++ {
+			a := uint64(0x1000 + lane*8)
+			l.RecordRead(lane, a, 1)
+			if v, ok := l.ForwardRead(lane, a); ok {
+				sink += v
+			}
+			l.RecordWrite(lane, a+512, 2)
+			l.RecordWrite(lane, a+512, 3) // coalesced rewrite
+			if v, ok := l.Forward(lane, a+512); ok {
+				sink += v
+			}
+			sink += uint64(l.Conflicts(lane, a, true))
+			sink += uint64(l.LaneWriteCount(lane))
+		}
+		l.Reset()
+	}
+	round() // grow tables to the footprint
+	if allocs := testing.AllocsPerRun(100, round); allocs != 0 {
+		t.Errorf("TxLog record/forward path allocates %.1f per attempt, want 0", allocs)
+	}
+	_ = sink
+}

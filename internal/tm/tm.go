@@ -79,109 +79,276 @@ type LogEntry struct {
 
 // TxLog is the per-warp redo log for one transaction attempt. Reads record
 // the observed value (for value-based validation and the replay checker);
-// writes record the new value. Lookup structures support read-own-write
-// forwarding and intra-warp conflict detection.
+// writes record the new value.
+//
+// The lookup structures behind read-own-write forwarding and intra-warp
+// conflict detection are flat open-addressed tables rather than Go maps, so
+// a steady-state access allocates nothing: entries live in the append-only
+// Reads/Writes slices, a (lane, addr)-keyed index maps each access to its
+// entry, and an addr-keyed table holds the per-word reader/writer lane
+// masks. Reset invalidates both tables by bumping a generation counter and
+// reuses all capacity across transaction attempts.
 type TxLog struct {
 	Reads  []LogEntry
 	Writes []LogEntry
 
-	// byAddr indexes log entries by word address for forwarding/conflicts.
-	readersByAddr map[uint64]isa.LaneMask
-	writersByAddr map[uint64]isa.LaneMask
-	writeVal      map[laneAddr]uint64
-	writeIdx      map[laneAddr]int
-	readSeen      map[laneAddr]bool
-	readVal       map[laneAddr]uint64
+	idx     []txIdxEntry  // (lane, addr) -> entry indices
+	addrTab []txAddrEntry // addr -> reader/writer masks
+	gen     uint32
+	idxUsed int
+	addrUsed int
+
+	// laneWrites counts write entries per lane (silent-commit checks read it
+	// without walking the log).
+	laneWrites [isa.WarpWidth]int32
 }
 
+// laneAddr keys a single lane's access to one word (tests model the log's
+// forwarding contract with it).
 type laneAddr struct {
 	lane int
 	addr uint64
 }
 
-// NewTxLog returns an empty log.
-func NewTxLog() *TxLog {
-	return &TxLog{
-		readersByAddr: make(map[uint64]isa.LaneMask),
-		writersByAddr: make(map[uint64]isa.LaneMask),
-		writeVal:      make(map[laneAddr]uint64),
-		writeIdx:      make(map[laneAddr]int),
-		readSeen:      make(map[laneAddr]bool),
-		readVal:       make(map[laneAddr]uint64),
-	}
+// txIdxEntry is one slot of the (lane, addr) index. A slot is live when its
+// gen matches the log's; readIdx/writeIdx of -1 mean the lane has no such
+// entry yet.
+type txIdxEntry struct {
+	gen      uint32
+	lane     int32
+	addr     uint64
+	readIdx  int32
+	writeIdx int32
 }
 
-// Reset clears the log for a new transaction attempt.
+// txAddrEntry is one slot of the per-address mask table.
+type txAddrEntry struct {
+	gen     uint32
+	addr    uint64
+	readers isa.LaneMask
+	writers isa.LaneMask
+}
+
+// Table sizing: start big enough for typical transaction footprints (a few
+// words per lane) and keep load factor below 3/4 on growth.
+const txLogInitialSlots = 64
+
+// NewTxLog returns an empty log. The index tables are allocated lazily on
+// first use, so warps that never run transactions (lock kernels) pay nothing.
+func NewTxLog() *TxLog {
+	return &TxLog{gen: 1}
+}
+
+// Reset clears the log for a new transaction attempt, retaining capacity.
 func (l *TxLog) Reset() {
 	l.Reads = l.Reads[:0]
 	l.Writes = l.Writes[:0]
-	clear(l.readersByAddr)
-	clear(l.writersByAddr)
-	clear(l.writeVal)
-	clear(l.writeIdx)
-	clear(l.readSeen)
-	clear(l.readVal)
+	l.bumpGen()
+	l.laneWrites = [isa.WarpWidth]int32{}
+}
+
+// bumpGen invalidates every table slot in O(1); on the (astronomically rare)
+// uint32 wrap it falls back to clearing the slots so stale generations can
+// never read as live.
+func (l *TxLog) bumpGen() {
+	l.gen++
+	l.idxUsed, l.addrUsed = 0, 0
+	if l.gen == 0 {
+		clear(l.idx)
+		clear(l.addrTab)
+		l.gen = 1
+	}
+}
+
+func txHash(lane int, addr uint64) uint64 {
+	return sim.Mix64(addr ^ uint64(lane)*0x9E3779B97F4A7C15)
+}
+
+// idxFind returns the live (lane, addr) slot, or nil.
+func (l *TxLog) idxFind(lane int, addr uint64) *txIdxEntry {
+	if len(l.idx) == 0 {
+		return nil
+	}
+	mask := uint64(len(l.idx) - 1)
+	for h := txHash(lane, addr) & mask; ; h = (h + 1) & mask {
+		e := &l.idx[h]
+		if e.gen != l.gen {
+			return nil
+		}
+		if e.addr == addr && e.lane == int32(lane) {
+			return e
+		}
+	}
+}
+
+// idxEnsure returns the live slot for (lane, addr), inserting a fresh one
+// (readIdx/writeIdx -1) if absent, growing the table as needed.
+func (l *TxLog) idxEnsure(lane int, addr uint64) *txIdxEntry {
+	if len(l.idx) == 0 {
+		l.idx = make([]txIdxEntry, txLogInitialSlots)
+	} else if (l.idxUsed+1)*4 > len(l.idx)*3 {
+		l.growIdx()
+	}
+	mask := uint64(len(l.idx) - 1)
+	for h := txHash(lane, addr) & mask; ; h = (h + 1) & mask {
+		e := &l.idx[h]
+		if e.gen != l.gen {
+			*e = txIdxEntry{gen: l.gen, lane: int32(lane), addr: addr, readIdx: -1, writeIdx: -1}
+			l.idxUsed++
+			return e
+		}
+		if e.addr == addr && e.lane == int32(lane) {
+			return e
+		}
+	}
+}
+
+func (l *TxLog) growIdx() {
+	old := l.idx
+	l.idx = make([]txIdxEntry, 2*len(old))
+	mask := uint64(len(l.idx) - 1)
+	for i := range old {
+		e := &old[i]
+		if e.gen != l.gen {
+			continue
+		}
+		h := txHash(int(e.lane), e.addr) & mask
+		for l.idx[h].gen == l.gen {
+			h = (h + 1) & mask
+		}
+		l.idx[h] = *e
+	}
+}
+
+// addrFind returns the live mask slot for addr, or nil.
+func (l *TxLog) addrFind(addr uint64) *txAddrEntry {
+	if len(l.addrTab) == 0 {
+		return nil
+	}
+	mask := uint64(len(l.addrTab) - 1)
+	for h := sim.Mix64(addr) & mask; ; h = (h + 1) & mask {
+		e := &l.addrTab[h]
+		if e.gen != l.gen {
+			return nil
+		}
+		if e.addr == addr {
+			return e
+		}
+	}
+}
+
+// addrEnsure returns the live mask slot for addr, inserting if absent.
+func (l *TxLog) addrEnsure(addr uint64) *txAddrEntry {
+	if len(l.addrTab) == 0 {
+		l.addrTab = make([]txAddrEntry, txLogInitialSlots)
+	} else if (l.addrUsed+1)*4 > len(l.addrTab)*3 {
+		l.growAddrTab()
+	}
+	mask := uint64(len(l.addrTab) - 1)
+	for h := sim.Mix64(addr) & mask; ; h = (h + 1) & mask {
+		e := &l.addrTab[h]
+		if e.gen != l.gen {
+			*e = txAddrEntry{gen: l.gen, addr: addr}
+			l.addrUsed++
+			return e
+		}
+		if e.addr == addr {
+			return e
+		}
+	}
+}
+
+func (l *TxLog) growAddrTab() {
+	old := l.addrTab
+	l.addrTab = make([]txAddrEntry, 2*len(old))
+	mask := uint64(len(l.addrTab) - 1)
+	for i := range old {
+		e := &old[i]
+		if e.gen != l.gen {
+			continue
+		}
+		h := sim.Mix64(e.addr) & mask
+		for l.addrTab[h].gen == l.gen {
+			h = (h + 1) & mask
+		}
+		l.addrTab[h] = *e
+	}
 }
 
 // RecordRead logs a globally observed read (not a forwarded own-write read).
 func (l *TxLog) RecordRead(lane int, addr, value uint64) {
-	key := laneAddr{lane, addr}
-	if !l.readSeen[key] {
+	e := l.idxEnsure(lane, addr)
+	if e.readIdx < 0 {
+		e.readIdx = int32(len(l.Reads))
 		l.Reads = append(l.Reads, LogEntry{Lane: lane, Addr: addr, Value: value})
-		l.readSeen[key] = true
-		l.readVal[key] = value
 	}
-	l.readersByAddr[addr] = l.readersByAddr[addr].Set(lane)
+	a := l.addrEnsure(addr)
+	a.readers = a.readers.Set(lane)
 }
 
 // ForwardRead returns the value a lane's earlier read of addr observed, so
 // repeated reads hit the redo log instead of the interconnect.
 func (l *TxLog) ForwardRead(lane int, addr uint64) (uint64, bool) {
-	v, ok := l.readVal[laneAddr{lane, addr}]
-	return v, ok
+	if e := l.idxFind(lane, addr); e != nil && e.readIdx >= 0 {
+		return l.Reads[e.readIdx].Value, true
+	}
+	return 0, false
 }
 
 // RecordWrite logs a write; repeated writes by the same lane to the same
 // address update the value and bump the coalesced write count.
 func (l *TxLog) RecordWrite(lane int, addr, value uint64) {
-	key := laneAddr{lane, addr}
-	if i, ok := l.writeIdx[key]; ok {
-		l.Writes[i].Value = value
-		l.Writes[i].Writes++
+	e := l.idxEnsure(lane, addr)
+	if e.writeIdx >= 0 {
+		w := &l.Writes[e.writeIdx]
+		w.Value = value
+		w.Writes++
 	} else {
-		l.writeIdx[key] = len(l.Writes)
+		e.writeIdx = int32(len(l.Writes))
 		l.Writes = append(l.Writes, LogEntry{Lane: lane, Addr: addr, Value: value, Writes: 1})
+		l.laneWrites[lane]++
 	}
-	l.writeVal[key] = value
-	l.writersByAddr[addr] = l.writersByAddr[addr].Set(lane)
+	a := l.addrEnsure(addr)
+	a.writers = a.writers.Set(lane)
 }
 
 // Forward returns the lane's own buffered write to addr, if any
 // (read-own-write forwarding from the redo log).
 func (l *TxLog) Forward(lane int, addr uint64) (uint64, bool) {
-	v, ok := l.writeVal[laneAddr{lane, addr}]
-	return v, ok
+	if e := l.idxFind(lane, addr); e != nil && e.writeIdx >= 0 {
+		return l.Writes[e.writeIdx].Value, true
+	}
+	return 0, false
 }
 
 // HasRead reports whether the lane already has a logged read of addr.
 func (l *TxLog) HasRead(lane int, addr uint64) bool {
-	return l.readSeen[laneAddr{lane, addr}]
+	e := l.idxFind(lane, addr)
+	return e != nil && e.readIdx >= 0
 }
+
+// LaneWriteCount returns the number of distinct words the lane has written
+// (WarpTM's silent read-only commit check, without walking the log).
+func (l *TxLog) LaneWriteCount(lane int) int { return int(l.laneWrites[lane]) }
 
 // Conflicts returns the other lanes whose logged accesses conflict with the
 // given access (same word, at least one side writing).
 func (l *TxLog) Conflicts(lane int, addr uint64, isWrite bool) isa.LaneMask {
-	var m isa.LaneMask
-	m |= l.writersByAddr[addr]
+	a := l.addrFind(addr)
+	if a == nil {
+		return 0
+	}
+	m := a.writers
 	if isWrite {
-		m |= l.readersByAddr[addr]
+		m |= a.readers
 	}
 	return m.Clear(lane)
 }
 
 // DropLane removes a lane's entries (after an intra-warp or eager abort the
 // lane's accesses are replayed from scratch on retry). Write entries are
-// retained in the cleanup set by the caller before dropping.
+// retained in the cleanup set by the caller before dropping. The index
+// tables are rebuilt from the surviving entries.
 func (l *TxLog) DropLane(lane int) {
 	filter := func(entries []LogEntry) []LogEntry {
 		out := entries[:0]
@@ -194,39 +361,34 @@ func (l *TxLog) DropLane(lane int) {
 	}
 	l.Reads = filter(l.Reads)
 	l.Writes = filter(l.Writes)
-	for addr, m := range l.readersByAddr {
-		l.readersByAddr[addr] = m.Clear(lane)
+	l.rebuildIndex()
+}
+
+// rebuildIndex reconstructs both tables and the per-lane write counts from
+// the Reads/Writes slices (abort path only; never on the access hot path).
+func (l *TxLog) rebuildIndex() {
+	l.bumpGen()
+	l.laneWrites = [isa.WarpWidth]int32{}
+	for i := range l.Reads {
+		e := &l.Reads[i]
+		ie := l.idxEnsure(e.Lane, e.Addr)
+		ie.readIdx = int32(i)
+		a := l.addrEnsure(e.Addr)
+		a.readers = a.readers.Set(e.Lane)
 	}
-	for addr, m := range l.writersByAddr {
-		l.writersByAddr[addr] = m.Clear(lane)
-	}
-	for k := range l.writeVal {
-		if k.lane == lane {
-			delete(l.writeVal, k)
-		}
-	}
-	for k := range l.writeIdx {
-		if k.lane == lane {
-			delete(l.writeIdx, k)
-		}
-	}
-	for k := range l.readSeen {
-		if k.lane == lane {
-			delete(l.readSeen, k)
-		}
-	}
-	for k := range l.readVal {
-		if k.lane == lane {
-			delete(l.readVal, k)
-		}
-	}
-	// Reindex writes.
-	for i, e := range l.Writes {
-		l.writeIdx[laneAddr{e.Lane, e.Addr}] = i
+	for i := range l.Writes {
+		e := &l.Writes[i]
+		ie := l.idxEnsure(e.Lane, e.Addr)
+		ie.writeIdx = int32(i)
+		a := l.addrEnsure(e.Addr)
+		a.writers = a.writers.Set(e.Lane)
+		l.laneWrites[e.Lane]++
 	}
 }
 
-// LaneEntries returns the lane's read and write entries.
+// LaneEntries returns the lane's read and write entries. It allocates and is
+// meant for cold paths (the replay checker's Record mode); hot paths iterate
+// Reads/Writes directly or use LaneWriteCount.
 func (l *TxLog) LaneEntries(lane int) (reads, writes []LogEntry) {
 	for _, e := range l.Reads {
 		if e.Lane == lane {

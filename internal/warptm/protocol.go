@@ -29,13 +29,27 @@ type Protocol struct {
 	// decision slot.
 	waiting map[uint64]func()
 	// tcdUnsafe marks lanes whose reads touched recently written lines and
-	// therefore cannot silently commit.
-	tcdUnsafe map[int]isa.LaneMask
+	// therefore cannot silently commit. Indexed by gwid (grown on Begin).
+	tcdUnsafe []isa.LaneMask
 	// startHorizon records p.decided when each warp's attempt began; silent
 	// read-only commits serialize there (every decision before the horizon
 	// is visible to them, none after — later decisions on their read set
-	// would have tripped the TCD check).
-	startHorizon map[int]uint64
+	// would have tripped the TCD check). Indexed by gwid.
+	startHorizon []uint64
+
+	// Hot-path freelists (single goroutine per machine — no locking): access
+	// states, per-word load requests, and commit-log entry backings. Pooled
+	// objects carry prebuilt closures so steady-state accesses allocate
+	// nothing.
+	accPool   *wtmAccess
+	wordPool  *wordReq
+	entryPool [][]tm.LogEntry
+	// Per-commit counting-sort scratch (len = #partitions), consumed
+	// synchronously inside Commit.
+	readsBy    [][]tm.LogEntry
+	writesBy   [][]tm.LogEntry
+	readCount  []int
+	writeCount []int
 
 	// Committed records transactions for the replay checker.
 	Committed []tm.CommittedTx
@@ -51,15 +65,17 @@ var _ tm.Protocol = (*Protocol)(nil)
 // NewProtocol wires WarpTM over one VU per partition.
 func NewProtocol(cfg Config, eng *sim.Engine, amap mem.AddressMap, trans tm.Transport, vus []*VU, img *mem.Image) *Protocol {
 	return &Protocol{
-		cfg:          cfg,
-		eng:          eng,
-		amap:         amap,
-		trans:        trans,
-		vus:          vus,
-		img:          img,
-		tcdUnsafe:    make(map[int]isa.LaneMask),
-		startHorizon: make(map[int]uint64),
-		waiting:      make(map[uint64]func()),
+		cfg:      cfg,
+		eng:      eng,
+		amap:     amap,
+		trans:    trans,
+		vus:      vus,
+		img:      img,
+		waiting:    make(map[uint64]func()),
+		readsBy:    make([][]tm.LogEntry, len(vus)),
+		writesBy:   make([][]tm.LogEntry, len(vus)),
+		readCount:  make([]int, len(vus)),
+		writeCount: make([]int, len(vus)),
 	}
 }
 
@@ -77,96 +93,203 @@ func (p *Protocol) EagerIntraWarp() bool { return p.cfg.Eager }
 
 // Begin implements tm.Protocol.
 func (p *Protocol) Begin(w *tm.WarpTx) {
+	for w.GWID >= len(p.tcdUnsafe) {
+		p.tcdUnsafe = append(p.tcdUnsafe, 0)
+		p.startHorizon = append(p.startHorizon, 0)
+	}
 	p.tcdUnsafe[w.GWID] = 0
 	p.startHorizon[w.GWID] = p.decided
 }
 
 // revalidate is the EL variant's idealized zero-latency eager check: the
 // lane's logged reads are compared against current memory; a mismatch means
-// the transaction is doomed and aborts immediately.
+// the transaction is doomed and aborts immediately. Scans the shared read
+// log directly (allocation-free) rather than materializing LaneEntries.
 func (p *Protocol) revalidate(w *tm.WarpTx, lane int) bool {
-	reads, _ := w.Log.LaneEntries(lane)
-	for _, e := range reads {
-		if p.img.Read(e.Addr) != e.Value {
+	for _, e := range w.Log.Reads {
+		if e.Lane == lane && p.img.Read(e.Addr) != e.Value {
 			return false
 		}
 	}
 	return true
 }
 
+// wtmAccess tracks one in-flight warp access: the caller's lanes/done plus
+// the result buffer. Pooled; released when the access completes.
+type wtmAccess struct {
+	p         *Protocol
+	w         *tm.WarpTx
+	lanes     []tm.LaneAccess
+	results   []tm.AccessResult
+	remaining int // unique words still outstanding (load path)
+	done      func([]tm.AccessResult)
+	finishFn  func() // prebuilt: done(results) + release (write path)
+	next      *wtmAccess
+}
+
+// wordReq is one coalesced load word's round trip: up crossbar, partition
+// data read + TCD lookup, down crossbar, then per-lane resolution. All three
+// callbacks are built once per pooled object.
+type wordReq struct {
+	p         *Protocol
+	st        *wtmAccess
+	addr      uint64
+	part      int
+	val       uint64
+	lastWrite sim.Cycle
+	submitFn  func()       // up-crossbar delivery: start the partition read
+	readCb    func(uint64) // partition read completion
+	replyCb   func()       // down-crossbar delivery: resolve sharing lanes
+	next      *wordReq
+}
+
+func (p *Protocol) getAccess() *wtmAccess {
+	st := p.accPool
+	if st == nil {
+		st = &wtmAccess{p: p, results: make([]tm.AccessResult, 0, isa.WarpWidth)}
+		st.finishFn = func() {
+			st.done(st.results)
+			st.release()
+		}
+	} else {
+		p.accPool = st.next
+	}
+	return st
+}
+
+func (st *wtmAccess) release() {
+	st.w = nil
+	st.lanes = nil
+	st.done = nil
+	st.next = st.p.accPool
+	st.p.accPool = st
+}
+
+// getEntryBuf pops a pooled commit-log backing of length n.
+func (p *Protocol) getEntryBuf(n int) []tm.LogEntry {
+	var b []tm.LogEntry
+	if k := len(p.entryPool); k > 0 {
+		b = p.entryPool[k-1]
+		p.entryPool = p.entryPool[:k-1]
+	}
+	if cap(b) < n {
+		return make([]tm.LogEntry, n)
+	}
+	return b[:n]
+}
+
+func (p *Protocol) putEntryBuf(b []tm.LogEntry) {
+	p.entryPool = append(p.entryPool, b)
+}
+
+func (p *Protocol) getWordReq() *wordReq {
+	wr := p.wordPool
+	if wr == nil {
+		wr = &wordReq{p: p}
+		wr.submitFn = func() {
+			// Data read through the partition pipeline + TCD lookup.
+			wr.p.vus[wr.part].part.Read(wr.addr, wr.readCb)
+		}
+		wr.readCb = func(val uint64) {
+			vu := wr.p.vus[wr.part]
+			wr.val = val
+			wr.lastWrite = vu.tcd.LastWrite(wr.addr / uint64(mem.WordBytes))
+			wr.p.trans.ToCore(wr.part, wr.st.w.Core, tm.ReplyBytes+tm.TSBytes, wr.replyCb)
+		}
+		wr.replyCb = func() { wr.deliver() }
+	} else {
+		p.wordPool = wr.next
+	}
+	return wr
+}
+
+// deliver resolves every lane sharing this word, recycles the request, and
+// completes the access when the last word lands.
+func (wr *wordReq) deliver() {
+	st, p := wr.st, wr.p
+	unsafe := wr.lastWrite >= st.w.StartCycle
+	for i, la := range st.lanes {
+		if la.Addr != wr.addr {
+			continue
+		}
+		st.results[i].Value = wr.val
+		if unsafe {
+			p.tcdUnsafe[st.w.GWID] = p.tcdUnsafe[st.w.GWID].Set(la.Lane)
+		}
+		if p.cfg.Eager {
+			// Idealized eager check includes the value just read (the log
+			// entry is recorded by the caller after this returns, so check
+			// it directly).
+			if !p.revalidate(st.w, la.Lane) {
+				p.EarlyAborts++
+				st.results[i].Abort = true
+				st.results[i].Cause = tm.CauseValidation
+			}
+		}
+	}
+	wr.st = nil
+	wr.next = p.wordPool
+	p.wordPool = wr
+	st.remaining--
+	if st.remaining == 0 {
+		st.done(st.results)
+		st.release()
+	}
+}
+
 // Access implements tm.Protocol. Loads fetch data from the LLC and query the
 // TCD; stores are buffered locally in the redo log and complete immediately
 // (lazy versioning).
 func (p *Protocol) Access(w *tm.WarpTx, isWrite bool, lanes []tm.LaneAccess, done func([]tm.AccessResult)) {
-	results := make([]tm.AccessResult, len(lanes))
 	if len(lanes) == 0 {
-		done(results)
+		done(nil)
 		return
+	}
+	st := p.getAccess()
+	st.w, st.lanes, st.done = w, lanes, done
+	if cap(st.results) < len(lanes) {
+		st.results = make([]tm.AccessResult, len(lanes))
+	} else {
+		st.results = st.results[:len(lanes)]
 	}
 
 	if isWrite {
 		// Local log write: one cycle, no interconnect traffic.
 		for i, la := range lanes {
-			results[i] = tm.AccessResult{Lane: la.Lane}
+			st.results[i] = tm.AccessResult{Lane: la.Lane}
 			if p.cfg.Eager && !p.revalidate(w, la.Lane) {
 				p.EarlyAborts++
-				results[i].Abort = true
-				results[i].Cause = tm.CauseValidation
+				st.results[i].Abort = true
+				st.results[i].Cause = tm.CauseValidation
 			}
 		}
-		p.eng.Schedule(1, func() { done(results) })
+		p.eng.Schedule(1, st.finishFn)
 		return
 	}
 
-	remaining := 0
-	type share struct{ lanes []int }
-	byWord := map[uint64]*share{}
-	var order []uint64 // deterministic issue order (first touch)
+	// Coalesce loads: lanes reading the same word share one request, issued
+	// at the word's first touch (deterministic order; linear dup scan over at
+	// most WarpWidth lanes). Crossbar delivery is never synchronous, so
+	// remaining reaches its final value before any reply lands.
+	st.remaining = 0
 	for i, la := range lanes {
-		results[i] = tm.AccessResult{Lane: la.Lane}
-		s, ok := byWord[la.Addr]
-		if !ok {
-			s = &share{}
-			byWord[la.Addr] = s
-			order = append(order, la.Addr)
-			remaining++
+		st.results[i] = tm.AccessResult{Lane: la.Lane}
+		dup := false
+		for j := 0; j < i; j++ {
+			if lanes[j].Addr == la.Addr {
+				dup = true
+				break
+			}
 		}
-		s.lanes = append(s.lanes, i)
-	}
-
-	for _, addr := range order {
-		addr, s := addr, byWord[addr]
-		part := p.amap.Partition(addr)
-		vu := p.vus[part]
-		p.trans.ToPartition(w.Core, part, tm.ReqBytes, func() {
-			// Data read through the partition pipeline + TCD lookup.
-			vu.part.Read(addr, func(val uint64) {
-				lastWrite := vu.tcd.LastWrite(addr / uint64(mem.WordBytes))
-				p.trans.ToCore(part, w.Core, tm.ReplyBytes+tm.TSBytes, func() {
-					unsafe := lastWrite >= w.StartCycle
-					for _, i := range s.lanes {
-						results[i].Value = val
-						if unsafe {
-							p.tcdUnsafe[w.GWID] = p.tcdUnsafe[w.GWID].Set(results[i].Lane)
-						}
-						if p.cfg.Eager {
-							// Idealized eager check includes the value just
-							// read (the log entry is recorded by the caller
-							// after this returns, so check it directly).
-							if !p.revalidate(w, results[i].Lane) {
-								p.EarlyAborts++
-								results[i].Abort = true
-								results[i].Cause = tm.CauseValidation
-							}
-						}
-					}
-					remaining--
-					if remaining == 0 {
-						done(results)
-					}
-				})
-			})
-		})
+		if dup {
+			continue
+		}
+		st.remaining++
+		wr := p.getWordReq()
+		wr.st = st
+		wr.addr = la.Addr
+		wr.part = p.amap.Partition(la.Addr)
+		p.trans.ToPartition(w.Core, wr.part, tm.ReqBytes, wr.submitFn)
 	}
 }
 
@@ -182,8 +305,7 @@ func (p *Protocol) Commit(w *tm.WarpTx, commitMask, abortMask isa.LaneMask, resu
 		if !commitMask.Bit(lane) {
 			continue
 		}
-		_, writes := w.Log.LaneEntries(lane)
-		if len(writes) == 0 && !unsafe.Bit(lane) {
+		if w.Log.LaneWriteCount(lane) == 0 && !unsafe.Bit(lane) {
 			silent = silent.Set(lane)
 		} else {
 			validating = validating.Set(lane)
@@ -218,23 +340,58 @@ func (p *Protocol) Commit(w *tm.WarpTx, commitMask, abortMask isa.LaneMask, resu
 	cid := p.nextCID
 	p.nextCID++
 
-	// Build per-partition entry lists for the validating lanes.
-	readsBy := make(map[int][]tm.LogEntry)
-	writesBy := make(map[int][]tm.LogEntry)
+	// Build per-partition entry lists for the validating lanes: a stable
+	// counting sort into one pooled flat backing (entry order within each
+	// partition matches log order, as the old per-partition appends did).
+	// The backing is shared by every partition's ValidationMsg and released
+	// when the commit resumes — by then each VU has either retired the empty
+	// message or applied and dropped its txState.
+	nParts := len(p.vus)
+	need := 0
+	for part := 0; part < nParts; part++ {
+		p.readCount[part] = 0
+		p.writeCount[part] = 0
+	}
+	for _, e := range w.Log.Reads {
+		if validating.Bit(e.Lane) {
+			p.readCount[p.amap.Partition(e.Addr)]++
+			need++
+		}
+	}
+	for _, e := range w.Log.Writes {
+		if validating.Bit(e.Lane) {
+			p.writeCount[p.amap.Partition(e.Addr)]++
+			need++
+		}
+	}
+	backing := p.getEntryBuf(need)
+	// Carve zero-length exact-capacity sub-slices out of the backing, then
+	// append into them: no reallocation, stable order.
+	pos := 0
+	for part := 0; part < nParts; part++ {
+		p.readsBy[part] = backing[pos:pos : pos+p.readCount[part]]
+		pos += p.readCount[part]
+		p.writesBy[part] = backing[pos:pos : pos+p.writeCount[part]]
+		pos += p.writeCount[part]
+	}
 	for _, e := range w.Log.Reads {
 		if validating.Bit(e.Lane) {
 			part := p.amap.Partition(e.Addr)
-			readsBy[part] = append(readsBy[part], e)
+			p.readsBy[part] = append(p.readsBy[part], e)
 		}
 	}
 	for _, e := range w.Log.Writes {
 		if validating.Bit(e.Lane) {
 			part := p.amap.Partition(e.Addr)
-			writesBy[part] = append(writesBy[part], e)
+			p.writesBy[part] = append(p.writesBy[part], e)
 		}
 	}
+	innerResume := resume
+	resume = func(out tm.CommitOutcome) {
+		p.putEntryBuf(backing)
+		innerResume(out)
+	}
 
-	nParts := len(p.vus)
 	repliesLeft := nParts
 	var failed isa.LaneMask
 	var involved []int
@@ -247,8 +404,8 @@ func (p *Protocol) Commit(w *tm.WarpTx, commitMask, abortMask isa.LaneMask, resu
 		msg := &ValidationMsg{
 			CID:    cid,
 			Core:   w.Core,
-			Reads:  readsBy[part],
-			Writes: writesBy[part],
+			Reads:  p.readsBy[part],
+			Writes: p.writesBy[part],
 		}
 		if len(msg.Reads)+len(msg.Writes) > 0 {
 			involved = append(involved, part)

@@ -14,6 +14,13 @@ import (
 // counters. The counter pool is tiny, so — as the paper observes for AP —
 // contention concentrates on a few memory locations and abort rates are
 // high, but transactions are a small fraction of total time.
+
+// AP operand slots: priv, then (counter, lock) pairs per transaction.
+const apPriv = 0
+
+func apCounterSlot(i int) int     { return 1 + 2*i }
+func apCounterLockSlot(i int) int { return 2 + 2*i }
+
 func buildApriori(name string, v Variant, p Params) *gpu.Kernel {
 	threads := padWarps(p.scaled(3840))
 	const counters = 64
@@ -30,19 +37,18 @@ func buildApriori(name string, v Variant, p Params) *gpu.Kernel {
 	rng := rngFor(p, 5)
 	lanes := make([]laneOperands, threads)
 	for t := 0; t < threads; t++ {
-		la := laneOperands{addrs: map[string]uint64{
-			"priv": privBase + uint64(4*t)*mem.WordBytes,
-		}}
+		addrs := make([]uint64, 1+2*txPerThread)
+		addrs[apPriv] = privBase + uint64(4*t)*mem.WordBytes
 		for i := 0; i < txPerThread; i++ {
 			// Zipf-ish skew: half the bumps hit the first 8 counters.
 			c := rng.Intn(counters)
 			if rng.Float64() < 0.5 {
 				c = rng.Intn(8)
 			}
-			la.addrs[counterKey(i)] = counterBase + uint64(c*ctrStride)*mem.WordBytes
-			la.addrs[counterLockKey(i)] = lockBase + uint64(c)*mem.WordBytes
+			addrs[apCounterSlot(i)] = counterBase + uint64(c*ctrStride)*mem.WordBytes
+			addrs[apCounterLockSlot(i)] = lockBase + uint64(c)*mem.WordBytes
 		}
-		lanes[t] = la
+		lanes[t] = laneOperands{addrs: addrs}
 	}
 
 	var progs []*isa.Program
@@ -53,17 +59,17 @@ func buildApriori(name string, v Variant, p Params) *gpu.Kernel {
 			// Record scan: compute-heavy with private memory traffic. The
 			// scans dominate AP's runtime; the counter bumps are a sliver.
 			b.Compute(700).
-				Load(3, perLane(ls, "priv")).
+				Load(3, perLane(ls, apPriv)).
 				AddImmScalar(3, 3, 1).
-				Store(3, perLane(ls, "priv")).
+				Store(3, perLane(ls, apPriv)).
 				Compute(500).
-				Load(4, perLane(ls, "priv")).
+				Load(4, perLane(ls, apPriv)).
 				Compute(300)
 			bump := func(nb *isa.Builder) *isa.Builder {
 				return nb.
-					Load(1, perLane(ls, counterKey(i))).
+					Load(1, perLane(ls, apCounterSlot(i))).
 					AddImmScalar(1, 1, 1).
-					Store(1, perLane(ls, counterKey(i)))
+					Store(1, perLane(ls, apCounterSlot(i)))
 			}
 			if v == TM {
 				b.TxBegin()
@@ -72,7 +78,7 @@ func buildApriori(name string, v Variant, p Params) *gpu.Kernel {
 			} else {
 				locks := make([][]uint64, isa.WarpWidth)
 				for j := range ls {
-					locks[j] = []uint64{ls[j].addrs[counterLockKey(i)]}
+					locks[j] = []uint64{ls[j].addrs[apCounterLockSlot(i)]}
 				}
 				b.CritSection(locks, bump(isa.NewBuilder()).Ops())
 			}
@@ -96,6 +102,3 @@ func buildApriori(name string, v Variant, p Params) *gpu.Kernel {
 		},
 	}
 }
-
-func counterKey(i int) string     { return fmt.Sprintf("counter%d", i) }
-func counterLockKey(i int) string { return fmt.Sprintf("counterLock%d", i) }

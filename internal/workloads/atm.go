@@ -12,6 +12,16 @@ import (
 // unit between two accounts. Most pairs are drawn from a large account pool
 // (the paper uses 1M accounts); a small fraction touch a hot subset, which
 // reproduces ATM's moderate abort rate.
+
+// ATM operand slots.
+const (
+	atmSrc = iota
+	atmDst
+	atmSrcLock
+	atmDstLock
+	atmAddrSlots
+)
+
 func buildATM(name string, v Variant, p Params) *gpu.Kernel {
 	threads := padWarps(p.scaled(7680))
 	accounts := p.scaled(131072)
@@ -36,12 +46,12 @@ func buildATM(name string, v Variant, p Params) *gpu.Kernel {
 		for dst == src {
 			dst = pick()
 		}
-		lanes[t] = laneOperands{addrs: map[string]uint64{
-			"src":     acctBase + uint64(src)*mem.WordBytes,
-			"dst":     acctBase + uint64(dst)*mem.WordBytes,
-			"srcLock": lockBase + uint64(src)*mem.WordBytes,
-			"dstLock": lockBase + uint64(dst)*mem.WordBytes,
-		}}
+		addrs := make([]uint64, atmAddrSlots)
+		addrs[atmSrc] = acctBase + uint64(src)*mem.WordBytes
+		addrs[atmDst] = acctBase + uint64(dst)*mem.WordBytes
+		addrs[atmSrcLock] = lockBase + uint64(src)*mem.WordBytes
+		addrs[atmDstLock] = lockBase + uint64(dst)*mem.WordBytes
+		lanes[t] = laneOperands{addrs: addrs}
 	}
 
 	var progs []*isa.Program
@@ -49,12 +59,12 @@ func buildATM(name string, v Variant, p Params) *gpu.Kernel {
 		ls := lanes[w*isa.WarpWidth : (w+1)*isa.WarpWidth]
 		transfer := func(nb *isa.Builder) *isa.Builder {
 			return nb.
-				Load(1, perLane(ls, "src")).
+				Load(1, perLane(ls, atmSrc)).
 				AddImmScalar(2, 1, -1).
-				Store(2, perLane(ls, "src")).
-				Load(3, perLane(ls, "dst")).
+				Store(2, perLane(ls, atmSrc)).
+				Load(3, perLane(ls, atmDst)).
 				AddImmScalar(4, 3, 1).
-				Store(4, perLane(ls, "dst"))
+				Store(4, perLane(ls, atmDst))
 		}
 		b := isa.NewBuilder().Compute(20)
 		if v == TM {
@@ -64,7 +74,7 @@ func buildATM(name string, v Variant, p Params) *gpu.Kernel {
 		} else {
 			locks := make([][]uint64, isa.WarpWidth)
 			for i := range ls {
-				locks[i] = sortedPair(ls[i].addrs["srcLock"], ls[i].addrs["dstLock"])
+				locks[i] = sortedPair(ls[i].addrs[atmSrcLock], ls[i].addrs[atmDstLock])
 			}
 			b.CritSection(locks, transfer(isa.NewBuilder()).Ops())
 		}

@@ -14,6 +14,14 @@ import (
 // occupancy counter (read-modify-write). Leaf collisions produce the
 // benchmark's conflicts; path depth varies per body, exercising divergent
 // lane masks.
+
+// BH operand slots: level k's node sits at bhLevel0+k.
+const (
+	bhLeaf = iota
+	bhLeafLock
+	bhLevel0
+)
+
 func buildBarnesHut(name string, v Variant, p Params) *gpu.Kernel {
 	bodies := padWarps(p.scaled(7680))
 	const maxDepth = 5 // internal levels 0..maxDepth-1, then the leaf
@@ -49,21 +57,17 @@ func buildBarnesHut(name string, v Variant, p Params) *gpu.Kernel {
 	for t := 0; t < bodies; t++ {
 		depth := 2 + rng.Intn(maxDepth-1) // 2..maxDepth internal levels read
 		leaf := rng.Intn(leaves)
-		ops := laneOperands{
-			addrs: map[string]uint64{
-				"leaf":     leafBase + uint64(leaf*nodeStride)*mem.WordBytes,
-				"leafLock": leafLockBase + uint64(leaf)*mem.WordBytes,
-			},
-			depth: depth,
-		}
+		addrs := make([]uint64, bhLevel0+maxDepth)
+		addrs[bhLeaf] = leafBase + uint64(leaf*nodeStride)*mem.WordBytes
+		addrs[bhLeafLock] = leafLockBase + uint64(leaf)*mem.WordBytes
 		for k := 0; k < maxDepth; k++ {
 			idx := 0
 			if k < depth {
 				idx = int(rng.Uint64() % uint64(levelSize[k]))
 			}
-			ops.addrs[levelKey(k)] = levelBase[k] + uint64(idx*nodeStride)*mem.WordBytes
+			addrs[bhLevel0+k] = levelBase[k] + uint64(idx*nodeStride)*mem.WordBytes
 		}
-		lanes[t] = ops
+		lanes[t] = laneOperands{addrs: addrs, depth: depth}
 	}
 
 	var progs []*isa.Program
@@ -81,16 +85,16 @@ func buildBarnesHut(name string, v Variant, p Params) *gpu.Kernel {
 		walk := func(nb *isa.Builder) *isa.Builder {
 			for k := 0; k < maxDepth; k++ {
 				if m := levelMask(k); m != 0 {
-					nb.LoadMasked(1, perLane(ls, levelKey(k)), m)
+					nb.LoadMasked(1, perLane(ls, bhLevel0+k), m)
 				}
 			}
 			return nb
 		}
 		bump := func(nb *isa.Builder) *isa.Builder {
 			return nb.
-				Load(2, perLane(ls, "leaf")).
+				Load(2, perLane(ls, bhLeaf)).
 				AddImmScalar(2, 2, 1).
-				Store(2, perLane(ls, "leaf"))
+				Store(2, perLane(ls, bhLeaf))
 		}
 		b := isa.NewBuilder().Compute(35)
 		if v == TM {
@@ -105,7 +109,7 @@ func buildBarnesHut(name string, v Variant, p Params) *gpu.Kernel {
 			walk(b)
 			locks := make([][]uint64, isa.WarpWidth)
 			for i := range ls {
-				locks[i] = []uint64{ls[i].addrs["leafLock"]}
+				locks[i] = []uint64{ls[i].addrs[bhLeafLock]}
 			}
 			b.CritSection(locks, bump(isa.NewBuilder()).Ops())
 		}
@@ -127,5 +131,3 @@ func buildBarnesHut(name string, v Variant, p Params) *gpu.Kernel {
 		},
 	}
 }
-
-func levelKey(k int) string { return fmt.Sprintf("level%d", k) }

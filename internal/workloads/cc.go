@@ -15,6 +15,20 @@ import (
 // CC — they account for a small fraction of the runtime, which is dominated
 // by the non-transactional relabel sweeps (modeled as compute + private
 // memory traffic).
+
+// CC operand slots.
+const (
+	ccSelf = iota
+	ccRight
+	ccDown
+	ccSelfLock
+	ccRightLock
+	ccDownLock
+	ccPriv0
+	ccPriv1
+	ccAddrSlots
+)
+
 func buildCudaCuts(name string, v Variant, p Params) *gpu.Kernel {
 	w, h := 96, 64
 	if p.Scale != 1 {
@@ -43,16 +57,16 @@ func buildCudaCuts(name string, v Variant, p Params) *gpu.Kernel {
 		if right >= pixels {
 			right = t
 		}
-		lanes[t] = laneOperands{addrs: map[string]uint64{
-			"self":      excessBase + uint64(t*pixStride)*mem.WordBytes,
-			"right":     excessBase + uint64(right*pixStride)*mem.WordBytes,
-			"down":      excessBase + uint64(down*pixStride)*mem.WordBytes,
-			"selfLock":  lockBase + uint64(t)*mem.WordBytes,
-			"rightLock": lockBase + uint64(right)*mem.WordBytes,
-			"downLock":  lockBase + uint64(down)*mem.WordBytes,
-			"priv0":     privBase + uint64(4*t)*mem.WordBytes,
-			"priv1":     privBase + uint64(4*t+1)*mem.WordBytes,
-		}}
+		addrs := make([]uint64, ccAddrSlots)
+		addrs[ccSelf] = excessBase + uint64(t*pixStride)*mem.WordBytes
+		addrs[ccRight] = excessBase + uint64(right*pixStride)*mem.WordBytes
+		addrs[ccDown] = excessBase + uint64(down*pixStride)*mem.WordBytes
+		addrs[ccSelfLock] = lockBase + uint64(t)*mem.WordBytes
+		addrs[ccRightLock] = lockBase + uint64(right)*mem.WordBytes
+		addrs[ccDownLock] = lockBase + uint64(down)*mem.WordBytes
+		addrs[ccPriv0] = privBase + uint64(4*t)*mem.WordBytes
+		addrs[ccPriv1] = privBase + uint64(4*t+1)*mem.WordBytes
+		lanes[t] = laneOperands{addrs: addrs}
 	}
 
 	// Push-relabel only pushes from *active* pixels (excess > 0 with an
@@ -72,11 +86,11 @@ func buildCudaCuts(name string, v Variant, p Params) *gpu.Kernel {
 	var progs []*isa.Program
 	for wi := 0; wi < pixels/isa.WarpWidth; wi++ {
 		ls := lanes[wi*isa.WarpWidth : (wi+1)*isa.WarpWidth]
-		push := func(nb *isa.Builder, to string) *isa.Builder {
+		push := func(nb *isa.Builder, to int) *isa.Builder {
 			return nb.
-				Load(1, perLane(ls, "self")).
+				Load(1, perLane(ls, ccSelf)).
 				AddImmScalar(1, 1, -1).
-				Store(1, perLane(ls, "self")).
+				Store(1, perLane(ls, ccSelf)).
 				Load(2, perLane(ls, to)).
 				AddImmScalar(2, 2, 1).
 				Store(2, perLane(ls, to))
@@ -84,26 +98,26 @@ func buildCudaCuts(name string, v Variant, p Params) *gpu.Kernel {
 		b := isa.NewBuilder().
 			// Non-transactional relabel sweep: compute + private traffic.
 			Compute(150).
-			Load(3, perLane(ls, "priv0")).
+			Load(3, perLane(ls, ccPriv0)).
 			AddImmScalar(3, 3, 1).
-			Store(3, perLane(ls, "priv0")).
+			Store(3, perLane(ls, ccPriv0)).
 			Compute(100).
-			Store(3, perLane(ls, "priv1"))
-		for _, dir := range []string{"right", "down"} {
+			Store(3, perLane(ls, ccPriv1))
+		for _, dir := range []struct{ to, lock int }{{ccRight, ccRightLock}, {ccDown, ccDownLock}} {
 			m := activeMask(ls)
 			if m == 0 {
 				continue
 			}
 			if v == TM {
 				b.TxBeginMasked(m)
-				push(b, dir)
+				push(b, dir.to)
 				b.TxCommit()
 			} else {
 				locks := make([][]uint64, isa.WarpWidth)
 				for i := range ls {
-					locks[i] = sortedPair(ls[i].addrs["selfLock"], ls[i].addrs[dir+"Lock"])
+					locks[i] = sortedPair(ls[i].addrs[ccSelfLock], ls[i].addrs[dir.lock])
 				}
-				b.CritSectionMasked(locks, push(isa.NewBuilder(), dir).Ops(), m)
+				b.CritSectionMasked(locks, push(isa.NewBuilder(), dir.to).Ops(), m)
 			}
 			b.Compute(80)
 		}

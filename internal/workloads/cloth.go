@@ -15,6 +15,16 @@ import (
 // contention is local but pervasive. CL keeps the constraint solve inside
 // the transaction (long transactions); CLto is the paper's tx-optimized
 // version with the arithmetic hoisted out.
+
+// CL operand slots.
+const (
+	clV1 = iota
+	clV2
+	clV1Lock
+	clV2Lock
+	clAddrSlots
+)
+
 func buildCloth(name string, v Variant, p Params, optimized bool) *gpu.Kernel {
 	n := 80
 	if p.Scale != 1 {
@@ -60,28 +70,28 @@ func buildCloth(name string, v Variant, p Params, optimized bool) *gpu.Kernel {
 			// Pad lanes re-run a random edge (keeps conservation intact).
 			e = edges[rng.Intn(len(edges))]
 		}
-		lanes[t] = laneOperands{addrs: map[string]uint64{
-			"v1":     vertBase + uint64(e.a*vertStride)*mem.WordBytes,
-			"v2":     vertBase + uint64(e.b*vertStride)*mem.WordBytes,
-			"v1Lock": lockBase + uint64(e.a)*mem.WordBytes,
-			"v2Lock": lockBase + uint64(e.b)*mem.WordBytes,
-		}}
+		addrs := make([]uint64, clAddrSlots)
+		addrs[clV1] = vertBase + uint64(e.a*vertStride)*mem.WordBytes
+		addrs[clV2] = vertBase + uint64(e.b*vertStride)*mem.WordBytes
+		addrs[clV1Lock] = lockBase + uint64(e.a)*mem.WordBytes
+		addrs[clV2Lock] = lockBase + uint64(e.b)*mem.WordBytes
+		lanes[t] = laneOperands{addrs: addrs}
 	}
 
 	var progs []*isa.Program
 	for w := 0; w < threads/isa.WarpWidth; w++ {
 		ls := lanes[w*isa.WarpWidth : (w+1)*isa.WarpWidth]
 		update := func(nb *isa.Builder, computeInside bool) *isa.Builder {
-			nb.Load(1, perLane(ls, "v1")).
-				Load(2, perLane(ls, "v2"))
+			nb.Load(1, perLane(ls, clV1)).
+				Load(2, perLane(ls, clV2))
 			if computeInside {
 				nb.Compute(40) // constraint solve inside the transaction
 			}
 			return nb.
 				AddImmScalar(1, 1, 1).
-				Store(1, perLane(ls, "v1")).
+				Store(1, perLane(ls, clV1)).
 				AddImmScalar(2, 2, -1).
-				Store(2, perLane(ls, "v2"))
+				Store(2, perLane(ls, clV2))
 		}
 		b := isa.NewBuilder().Compute(25)
 		if optimized {
@@ -102,18 +112,18 @@ func buildCloth(name string, v Variant, p Params, optimized bool) *gpu.Kernel {
 			locks1 := make([][]uint64, isa.WarpWidth)
 			locks2 := make([][]uint64, isa.WarpWidth)
 			for i := range ls {
-				locks1[i] = []uint64{ls[i].addrs["v1Lock"]}
-				locks2[i] = []uint64{ls[i].addrs["v2Lock"]}
+				locks1[i] = []uint64{ls[i].addrs[clV1Lock]}
+				locks2[i] = []uint64{ls[i].addrs[clV2Lock]}
 			}
 			body1 := isa.NewBuilder().
-				Load(1, perLane(ls, "v1")).
+				Load(1, perLane(ls, clV1)).
 				AddImmScalar(1, 1, 1).
-				Store(1, perLane(ls, "v1")).
+				Store(1, perLane(ls, clV1)).
 				Ops()
 			body2 := isa.NewBuilder().
-				Load(2, perLane(ls, "v2")).
+				Load(2, perLane(ls, clV2)).
 				AddImmScalar(2, 2, -1).
-				Store(2, perLane(ls, "v2")).
+				Store(2, perLane(ls, clV2)).
 				Ops()
 			b.CritSection(locks1, body1).CritSection(locks2, body2)
 		}

@@ -17,6 +17,22 @@ import (
 //
 // Node layout: node i occupies two words at nodeBase+16*i — [next, payload].
 // A bucket word holds the head node address (0 = empty).
+
+// HT operand slots.
+const (
+	htBucket = iota
+	htNext
+	htPayload
+	htLock
+	htAddrSlots
+)
+
+const (
+	htImmNode = iota
+	htImmKey
+	htImmSlots
+)
+
 func buildHashTable(name string, v Variant, p Params, bucketFactor float64) *gpu.Kernel {
 	inserts := padWarps(p.scaled(7680))
 	buckets := int(float64(inserts) * bucketFactor)
@@ -34,18 +50,15 @@ func buildHashTable(name string, v Variant, p Params, bucketFactor float64) *gpu
 	for t := 0; t < inserts; t++ {
 		key := rng.Uint64()
 		b := int(key % uint64(buckets))
-		lanes[t] = laneOperands{
-			addrs: map[string]uint64{
-				"bucket":  bucketBase + uint64(b)*mem.WordBytes,
-				"next":    nodeBase + uint64(2*t)*mem.WordBytes,
-				"payload": nodeBase + uint64(2*t+1)*mem.WordBytes,
-				"lock":    lockBase + uint64(b)*mem.WordBytes,
-			},
-			imms: map[string]int64{
-				"node": int64(nodeBase + uint64(2*t)*mem.WordBytes),
-				"key":  int64(key & 0x7FFFFFFF),
-			},
-		}
+		addrs := make([]uint64, htAddrSlots)
+		addrs[htBucket] = bucketBase + uint64(b)*mem.WordBytes
+		addrs[htNext] = nodeBase + uint64(2*t)*mem.WordBytes
+		addrs[htPayload] = nodeBase + uint64(2*t+1)*mem.WordBytes
+		addrs[htLock] = lockBase + uint64(b)*mem.WordBytes
+		imms := make([]int64, htImmSlots)
+		imms[htImmNode] = int64(nodeBase + uint64(2*t)*mem.WordBytes)
+		imms[htImmKey] = int64(key & 0x7FFFFFFF)
+		lanes[t] = laneOperands{addrs: addrs, imms: imms}
 	}
 
 	var progs []*isa.Program
@@ -53,12 +66,12 @@ func buildHashTable(name string, v Variant, p Params, bucketFactor float64) *gpu
 		ls := lanes[w*isa.WarpWidth : (w+1)*isa.WarpWidth]
 		b := isa.NewBuilder().
 			Compute(30). // hash computation
-			StoreImm(perLaneImm(ls, "key"), perLane(ls, "payload"))
+			StoreImm(perLaneImm(ls, htImmKey), perLane(ls, htPayload))
 		insert := func(nb *isa.Builder) *isa.Builder {
 			return nb.
-				Load(1, perLane(ls, "bucket")).
-				Store(1, perLane(ls, "next")).
-				StoreImm(perLaneImm(ls, "node"), perLane(ls, "bucket"))
+				Load(1, perLane(ls, htBucket)).
+				Store(1, perLane(ls, htNext)).
+				StoreImm(perLaneImm(ls, htImmNode), perLane(ls, htBucket))
 		}
 		if v == TM {
 			b.TxBegin()
@@ -67,7 +80,7 @@ func buildHashTable(name string, v Variant, p Params, bucketFactor float64) *gpu
 		} else {
 			locks := make([][]uint64, isa.WarpWidth)
 			for i := range ls {
-				locks[i] = []uint64{ls[i].addrs["lock"]}
+				locks[i] = []uint64{ls[i].addrs[htLock]}
 			}
 			b.CritSection(locks, insert(isa.NewBuilder()).Ops())
 		}

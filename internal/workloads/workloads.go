@@ -116,12 +116,14 @@ func (r *region) array(n int) uint64 {
 	return base
 }
 
-// threadOps is one thread's operand stream; all threads of a kernel share
-// the same op skeleton.
+// laneOperands is one thread's operand stream; all threads of a kernel share
+// the same op skeleton. Operands live in indexed slots (each workload defines
+// its own slot constants, resolved at program-build time), so gathering a
+// warp's operands is slice indexing rather than per-lookup map hashing.
 type laneOperands struct {
-	addrs map[string]uint64 // named operand slots
-	imms  map[string]int64
-	depth int // BH: path depth
+	addrs []uint64 // indexed by workload-specific address slots
+	imms  []int64  // indexed by workload-specific immediate slots
+	depth int      // BH: path depth
 }
 
 // padWarps rounds a thread count up to whole warps.
@@ -130,20 +132,20 @@ func padWarps(threads int) int {
 	return w * isa.WarpWidth
 }
 
-// perLane gathers a named address operand across a warp's lanes.
-func perLane(lanes []laneOperands, name string) []uint64 {
+// perLane gathers an address operand slot across a warp's lanes.
+func perLane(lanes []laneOperands, slot int) []uint64 {
 	out := make([]uint64, isa.WarpWidth)
 	for i := range lanes {
-		out[i] = lanes[i].addrs[name]
+		out[i] = lanes[i].addrs[slot]
 	}
 	return out
 }
 
-// perLaneImm gathers a named immediate across lanes.
-func perLaneImm(lanes []laneOperands, name string) []int64 {
+// perLaneImm gathers an immediate operand slot across lanes.
+func perLaneImm(lanes []laneOperands, slot int) []int64 {
 	out := make([]int64, isa.WarpWidth)
 	for i := range lanes {
-		out[i] = lanes[i].imms[name]
+		out[i] = lanes[i].imms[slot]
 	}
 	return out
 }
