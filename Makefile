@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench benchcmp
+.PHONY: check vet build test race short bench benchcmp trace-gate
 
-check: vet build race short
+check: vet build race short trace-gate
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,13 @@ race:
 # The short-scale suite across every package.
 short:
 	$(GO) test -short ./...
+
+# Trace overhead gate: tracing disabled must stay allocation-free on the
+# per-access hot path (a nil Recorder is one pointer compare), and a traced
+# end-to-end run must keep producing valid output from every machine layer.
+trace-gate:
+	$(GO) test -run 'TestGETMStepAllocs|TestTxLogHotPathAllocs|TestEmitDisabledZeroAlloc' ./internal/core/ ./internal/tm/ ./internal/trace/
+	$(GO) test -run 'TestTraceSmoke' ./cmd/getm-sim/
 
 test:
 	$(GO) test ./...

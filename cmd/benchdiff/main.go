@@ -13,6 +13,13 @@
 //
 // When a benchmark appears multiple times in one file (e.g. -count=N), the
 // metric values are averaged before comparison.
+//
+// It also diffs interval-sample CSVs produced by `getm-sim -trace x.csv
+// -trace-format csv`: a file whose first line starts with "cycle," is parsed
+// as a time series, and each column is reduced to its max and mean before
+// the same percentage comparison. The two input files may be of different
+// kinds, but comparing a bench output against a sample CSV yields no common
+// series.
 package main
 
 import (
@@ -30,7 +37,8 @@ type metricKey struct {
 	unit  string
 }
 
-// parseFile extracts metric sums and sample counts from one bench output.
+// parseFile extracts metric sums and sample counts from one bench output or
+// interval-sample CSV (sniffed by its "cycle,..." header line).
 func parseFile(path string) (map[metricKey]float64, []string, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -45,7 +53,14 @@ func parseFile(path string) (map[metricKey]float64, []string, error) {
 
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	first := true
 	for sc.Scan() {
+		if first {
+			first = false
+			if strings.HasPrefix(sc.Text(), "cycle,") {
+				return parseSampleCSV(sc)
+			}
+		}
 		fields := strings.Fields(sc.Text())
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
@@ -73,6 +88,44 @@ func parseFile(path string) (map[metricKey]float64, []string, error) {
 		sums[k] /= float64(counts[k])
 	}
 	return sums, order, nil
+}
+
+// parseSampleCSV reduces each time-series column of an interval-sample CSV
+// to two metrics — its max and its mean over the run — keyed by the series
+// name. The scanner is positioned on the header line when called.
+func parseSampleCSV(sc *bufio.Scanner) (map[metricKey]float64, []string, error) {
+	names := strings.Split(sc.Text(), ",")[1:] // drop the "cycle" column
+	maxs := make([]float64, len(names))
+	sums := make([]float64, len(names))
+	rows := 0
+	for sc.Scan() {
+		fields := strings.Split(sc.Text(), ",")
+		if len(fields) != len(names)+1 {
+			continue
+		}
+		rows++
+		for i, s := range fields[1:] {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				continue
+			}
+			sums[i] += v
+			if rows == 1 || v > maxs[i] {
+				maxs[i] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	out := map[metricKey]float64{}
+	for i, name := range names {
+		out[metricKey{bench: name, unit: "max"}] = maxs[i]
+		if rows > 0 {
+			out[metricKey{bench: name, unit: "mean"}] = sums[i] / float64(rows)
+		}
+	}
+	return out, names, nil
 }
 
 // trimProcSuffix drops the -GOMAXPROCS suffix so runs from machines with

@@ -8,6 +8,13 @@
 //	getm-bench -workers 0 all      # parallel simulation on all CPUs
 //	getm-bench -list               # list experiment ids
 //	getm-bench -cpuprofile cpu.pb  # profile the run (also -memprofile)
+//	getm-bench -trace run.json     # also record a traced reference run
+//
+// With -trace, one designated simulation (ht-h on GETM at the chosen -scale
+// and -seed) is run with the machine-wide recorder attached and exported to
+// the given file; -trace-format, -trace-filter, and -sample-interval match
+// getm-sim. The experiments themselves always run untraced — tracing is a
+// separate reference run so the memoized grid stays byte-identical.
 //
 // With -workers N the full run grid is precomputed on N parallel workers and
 // the experiments themselves execute concurrently; every simulation is
@@ -25,8 +32,11 @@ import (
 	"sync"
 	"time"
 
+	"getm/internal/gpu"
 	"getm/internal/harness"
 	"getm/internal/report"
+	"getm/internal/trace"
+	"getm/internal/workloads"
 )
 
 func main() {
@@ -39,6 +49,10 @@ func main() {
 	workers := flag.Int("workers", 1, "simulation workers: precompute the run grid and execute experiments in parallel (0 = all CPUs, 1 = lazy sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile := flag.String("trace", "", "record a traced ht-h/GETM reference run to this file")
+	traceFormat := flag.String("trace-format", trace.FormatPerfetto, "trace output format: perfetto, csv, text")
+	traceFilter := flag.String("trace-filter", "all", "comma-separated event sources to record, or 'all'")
+	sampleInterval := flag.Uint64("sample-interval", 1000, "cycles between telemetry samples (0 disables sampling)")
 	flag.Parse()
 
 	if *list {
@@ -60,6 +74,14 @@ func main() {
 			os.Exit(1)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *traceFile != "" {
+		if err := traceReferenceRun(*traceFile, *traceFormat, *traceFilter, *sampleInterval, *scale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%s)\n", *traceFile, *traceFormat)
 	}
 
 	ids := flag.Args()
@@ -156,4 +178,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// traceReferenceRun executes the designated traced simulation (ht-h on GETM)
+// and exports the recorder.
+func traceReferenceRun(path, format, filter string, interval uint64, scale float64, seed uint64) error {
+	mask, err := trace.ParseSources(filter)
+	if err != nil {
+		return err
+	}
+	k, err := workloads.Build("ht-h", workloads.TM, workloads.Params{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+	cfg := gpu.DefaultConfig(gpu.ProtoGETM)
+	cfg.Trace = &trace.Options{Sources: mask, SampleInterval: interval}
+	res, err := gpu.Run(cfg, k)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Export(f, res.Trace, format); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

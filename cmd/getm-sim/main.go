@@ -3,27 +3,48 @@
 // Usage:
 //
 //	getm-sim -bench ht-h -proto getm [-conc 8] [-scale 1.0] [-cores 15] [-verbose]
+//	         [-trace out.json] [-trace-format perfetto|csv|text]
+//	         [-trace-filter simt,xbar,mem,core,warptm,eapg,tx] [-sample-interval 1000]
+//
+// With -trace, the run records structured events from every machine layer
+// plus interval-sampled time series, and writes them to the given file:
+// perfetto output loads into ui.perfetto.dev / chrome://tracing, csv holds
+// the sampled series only, text is a human-readable merged log.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"getm/internal/gpu"
+	"getm/internal/trace"
 	"getm/internal/workloads"
 )
 
 func main() {
-	bench := flag.String("bench", "ht-h", "benchmark name ("+fmt.Sprint(workloads.Names())+")")
-	proto := flag.String("proto", "getm", "protocol: getm, warptm, warptm-el, eapg, fglock")
-	conc := flag.Int("conc", 0, "max concurrent tx warps per core (0 = unlimited)")
-	scale := flag.Float64("scale", 1.0, "workload scale factor")
-	cores := flag.Int("cores", 15, "SIMT core count (15 or 56 for the paper's configs)")
-	seed := flag.Uint64("seed", 42, "workload seed")
-	verbose := flag.Bool("verbose", false, "print extra counters")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("getm-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "ht-h", "benchmark name ("+fmt.Sprint(workloads.Names())+")")
+	proto := fs.String("proto", "getm", "protocol: getm, warptm, warptm-el, eapg, fglock")
+	conc := fs.Int("conc", 0, "max concurrent tx warps per core (0 = unlimited)")
+	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	cores := fs.Int("cores", 15, "SIMT core count (15 or 56 for the paper's configs)")
+	seed := fs.Uint64("seed", 42, "workload seed")
+	verbose := fs.Bool("verbose", false, "print extra counters")
+	traceFile := fs.String("trace", "", "write a machine trace to this file")
+	traceFormat := fs.String("trace-format", trace.FormatPerfetto, "trace output format: perfetto, csv, text")
+	traceFilter := fs.String("trace-filter", "all", "comma-separated event sources to record (simt,xbar,mem,core,warptm,eapg,tx) or 'all'")
+	sampleInterval := fs.Uint64("sample-interval", 1000, "cycles between telemetry samples (0 disables sampling)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var cfg gpu.Config
 	if *cores == 56 {
@@ -34,6 +55,15 @@ func main() {
 	}
 	cfg.Core.MaxTxWarps = *conc
 
+	if *traceFile != "" {
+		mask, err := trace.ParseSources(*traceFilter)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		cfg.Trace = &trace.Options{Sources: mask, SampleInterval: *sampleInterval}
+	}
+
 	params := workloads.Params{Scale: *scale, Seed: *seed}
 	variant := workloads.TM
 	if gpu.Protocol(*proto) == gpu.ProtoFGLock {
@@ -41,34 +71,42 @@ func main() {
 	}
 	k, err := workloads.Build(*bench, variant, params)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
 	}
 
 	res, err := gpu.Run(cfg, k)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+
+	if *traceFile != "" {
+		if err := exportTrace(*traceFile, res.Trace, *traceFormat); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace written    %s (%s)\n", *traceFile, *traceFormat)
 	}
 
 	m := res.Metrics
-	fmt.Printf("benchmark        %s (%s, %d cores, conc %s)\n", *bench, *proto, cfg.Cores, concStr(*conc))
-	fmt.Printf("total cycles     %d\n", m.TotalCycles)
-	fmt.Printf("tx exec cycles   %d\n", m.TxExecCycles)
-	fmt.Printf("tx wait cycles   %d\n", m.TxWaitCycles)
-	fmt.Printf("commits          %d\n", m.Commits)
-	fmt.Printf("aborts           %d (%.0f per 1K commits)\n", m.Aborts, m.AbortsPer1KCommits())
-	fmt.Printf("xbar traffic     %d B up, %d B down\n", m.XbarUpBytes, m.XbarDownBytes)
+	fmt.Fprintf(stdout, "benchmark        %s (%s, %d cores, conc %s)\n", *bench, *proto, cfg.Cores, concStr(*conc))
+	fmt.Fprintf(stdout, "total cycles     %d\n", m.TotalCycles)
+	fmt.Fprintf(stdout, "tx exec cycles   %d\n", m.TxExecCycles)
+	fmt.Fprintf(stdout, "tx wait cycles   %d\n", m.TxWaitCycles)
+	fmt.Fprintf(stdout, "commits          %d\n", m.Commits)
+	fmt.Fprintf(stdout, "aborts           %d (%.0f per 1K commits)\n", m.Aborts, m.AbortsPer1KCommits())
+	fmt.Fprintf(stdout, "xbar traffic     %d B up, %d B down\n", m.XbarUpBytes, m.XbarDownBytes)
 	if m.SilentCommits > 0 {
-		fmt.Printf("silent commits   %d\n", m.SilentCommits)
+		fmt.Fprintf(stdout, "silent commits   %d\n", m.SilentCommits)
 	}
 	if m.MetaAccessCycles.Total() > 0 {
-		fmt.Printf("meta access      %.3f cycles/request\n", m.MetaAccessCycles.Mean())
-		fmt.Printf("stall buffer     max %d queued, %.2f reqs/addr\n",
+		fmt.Fprintf(stdout, "meta access      %.3f cycles/request\n", m.MetaAccessCycles.Mean())
+		fmt.Fprintf(stdout, "stall buffer     max %d queued, %.2f reqs/addr\n",
 			m.StallBufMaxOccupancy, m.StallBufPerAddr.Mean())
 	}
 	if len(m.AbortsByCause) > 0 {
-		fmt.Printf("abort causes     %v\n", m.AbortsByCause)
+		fmt.Fprintf(stdout, "abort causes     %v\n", m.AbortsByCause)
 	}
 	if *verbose {
 		keys := make([]string, 0, len(m.Extra))
@@ -77,9 +115,22 @@ func main() {
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			fmt.Printf("  %-24s %d\n", k, m.Extra[k])
+			fmt.Fprintf(stdout, "  %-24s %d\n", k, m.Extra[k])
 		}
 	}
+	return 0
+}
+
+func exportTrace(path string, rec *trace.Recorder, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Export(f, rec, format); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func concStr(c int) string {

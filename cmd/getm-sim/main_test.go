@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Smoke test for the acceptance criterion: a traced hashtable run must emit
+// valid Chrome trace-event JSON containing events from at least four
+// distinct machine layers (simt, xbar, mem, core).
+func TestTraceSmokeJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", "ht-h", "-scale", "0.05", "-trace", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	// WritePerfetto names a process only for sources that recorded events.
+	sources := map[string]bool{}
+	counters := 0
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			sources[e.Args["name"].(string)] = true
+		}
+		if e.Ph == "C" {
+			counters++
+		}
+	}
+	for _, want := range []string{"simt", "xbar", "mem", "core"} {
+		if !sources[want] {
+			t.Errorf("missing events from source %q (have %v)", want, sources)
+		}
+	}
+	if counters == 0 {
+		t.Error("no interval-sample counter events (sampler not running)")
+	}
+	if !strings.Contains(stdout.String(), "trace written") {
+		t.Errorf("stdout missing trace confirmation:\n%s", stdout.String())
+	}
+}
+
+// The CSV format must produce a parseable sampled time series.
+func TestTraceCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.csv")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", "atm", "-scale", "0.05", "-trace", out,
+		"-trace-format", "csv", "-sample-interval", "500"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("CSV has %d lines, want header + samples:\n%s", len(lines), data)
+	}
+	if !strings.HasPrefix(lines[0], "cycle,") || !strings.Contains(lines[0], "ipc") {
+		t.Errorf("unexpected CSV header %q", lines[0])
+	}
+	nCols := len(strings.Split(lines[0], ","))
+	for i, ln := range lines[1:] {
+		if got := len(strings.Split(ln, ",")); got != nCols {
+			t.Errorf("row %d has %d columns, header has %d", i+1, got, nCols)
+		}
+	}
+}
+
+// An unknown source in -trace-filter must fail cleanly.
+func TestTraceBadFilter(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-trace", "x.json", "-trace-filter", "bogus"}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("accepted unknown trace source")
+	}
+	if !strings.Contains(stderr.String(), "bogus") {
+		t.Errorf("error does not name the bad source: %s", stderr.String())
+	}
+}

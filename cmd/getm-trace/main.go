@@ -4,6 +4,10 @@
 // 20, tx2 moves B→A at logical time 10), showing eager WAR detection, abort
 // cleanup, warpts advancement, stall-buffer queueing, and the off-critical-
 // path commit releasing the queued access.
+//
+// The events come from the machine-wide trace recorder (internal/trace) —
+// the same records a full-machine `getm-sim -trace` run captures — drained
+// and pretty-printed after every step.
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"getm/internal/mem"
 	"getm/internal/sim"
 	"getm/internal/tm"
+	"getm/internal/trace"
 )
 
 // Accounts A and B live in distinct 32-byte granules.
@@ -21,48 +26,54 @@ const (
 	addrB = uint64(0x200)
 )
 
-type consoleTracer struct {
-	cfg core.Config
+// printer pretty-prints the recorder's core-source events as they appear.
+type printer struct {
+	cfg     core.Config
+	rec     *trace.Recorder
+	printed int
 }
 
-func (t *consoleTracer) name(addr uint64) string {
-	switch t.cfg.GranuleOf(addr) {
-	case t.cfg.GranuleOf(addrA):
+func (p *printer) name(granule uint64) string {
+	switch granule {
+	case p.cfg.GranuleOf(addrA):
 		return "A"
-	case t.cfg.GranuleOf(addrB):
+	case p.cfg.GranuleOf(addrB):
 		return "B"
 	}
-	return fmt.Sprintf("%#x", addr)
+	return fmt.Sprintf("%#x", granule*uint64(p.cfg.GranularityBytes))
 }
 
-func (t *consoleTracer) OnRequest(part int, req *core.Request) {
-	kind := "LD"
-	if req.IsWrite {
-		kind = "ST"
+// drain prints the events recorded since the last call.
+func (p *printer) drain() {
+	evs := p.rec.Events(trace.SrcCore)
+	for _, e := range evs[p.printed:] {
+		switch e.Kind {
+		case trace.KVURequest:
+			kind := "LD"
+			if e.D != 0 {
+				kind = "ST"
+			}
+			fmt.Printf("  VU%d <- %s %s @ warpts %d (tx%d)\n",
+				e.Unit, kind, p.name(p.cfg.GranuleOf(e.A)), e.B, e.C)
+		case trace.KVUOutcome:
+			outcome, cause, writes, owner := trace.UnpackVUOutcome(e.D)
+			detail := ""
+			if outcome == trace.VUAbort {
+				detail = fmt.Sprintf(" (%s)", tm.AbortCause(cause))
+			}
+			fmt.Printf("  VU%d -> %-7s%s   [%s: wts=%d rts=%d #writes=%d owner=tx%d]\n",
+				e.Unit, trace.VUOutcomeString(outcome), detail,
+				p.name(p.cfg.GranuleOf(e.A)), e.B, e.C, writes, owner)
+		case trace.KVURelease:
+			action := "commit"
+			if e.C == 0 {
+				action = "cleanup"
+			}
+			fmt.Printf("  VU%d %s releases %s (#writes now %d)\n",
+				e.Unit, action, p.name(e.A), e.B)
+		}
 	}
-	fmt.Printf("  VU%d <- %s %s @ warpts %d (tx%d)\n", part, kind, t.name(req.Addr), req.Warpts, req.GWID)
-}
-
-func (t *consoleTracer) OnOutcome(part int, req *core.Request, outcome string, cause tm.AbortCause, e core.Entry) {
-	detail := ""
-	if outcome == "abort" {
-		detail = fmt.Sprintf(" (%s)", cause)
-	}
-	fmt.Printf("  VU%d -> %-7s%s   [%s: wts=%d rts=%d #writes=%d owner=tx%d]\n",
-		part, outcome, detail, t.name(granuleAddr(t.cfg, req.Addr)), e.WTS, e.RTS, e.Writes, e.Owner)
-}
-
-func (t *consoleTracer) OnRelease(part int, granule uint64, remaining int, committed bool) {
-	action := "commit"
-	if !committed {
-		action = "cleanup"
-	}
-	fmt.Printf("  VU%d %s releases %s (#writes now %d)\n",
-		part, action, t.name(granule*uint64(t.cfg.GranularityBytes)), remaining)
-}
-
-func granuleAddr(cfg core.Config, addr uint64) uint64 {
-	return cfg.GranuleOf(addr) * uint64(cfg.GranularityBytes)
+	p.printed = len(evs)
 }
 
 func main() {
@@ -77,12 +88,16 @@ func main() {
 	cfg := core.DefaultConfig()
 	vu := core.NewVU(cfg, eng, part, 256, 64, sim.NewRNG(1))
 	cu := core.NewCU(cfg, eng, part, vu)
-	vu.SetTracer(&consoleTracer{cfg: cfg})
+	rec := trace.NewRecorder(eng, trace.Options{Sources: trace.MaskOf(trace.SrcCore), RingSize: 4096})
+	vu.SetTrace(rec)
+	cu.SetTrace(rec)
+	pr := &printer{cfg: cfg, rec: rec}
 
 	step := func(title string, fn func()) {
 		fmt.Printf("\n%s\n", title)
 		eng.Schedule(0, fn)
 		eng.Run(0)
+		pr.drain()
 	}
 	access := func(gwid int, ts uint64, addr uint64, isWrite bool, onReply func(core.Reply)) {
 		vu.Submit(&core.Request{GWID: gwid, Warpts: ts, Addr: addr, IsWrite: isWrite,

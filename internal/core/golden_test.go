@@ -7,6 +7,7 @@ import (
 	"getm/internal/mem"
 	"getm/internal/sim"
 	"getm/internal/tm"
+	"getm/internal/trace"
 )
 
 // Golden-model property test: the validation unit's decisions must match a
@@ -70,18 +71,20 @@ func refDecide(e *refEntry, gwid int, warpts uint64, isWrite bool) refOutcome {
 	}
 }
 
-// specTracer records VU decisions for comparison.
-type specTracer struct {
-	outcomes []string
-	entries  []Entry
+// vuDecisions reads the VU's Fig 6 decisions back out of the machine-wide
+// trace: each KVUOutcome event carries the outcome code and the granule
+// metadata after the decision, packed into its payload words.
+func vuDecisions(rec *trace.Recorder) (outcomes []string, entries []Entry) {
+	for _, e := range rec.Events(trace.SrcCore) {
+		if e.Kind != trace.KVUOutcome {
+			continue
+		}
+		outcome, _, writes, owner := trace.UnpackVUOutcome(e.D)
+		outcomes = append(outcomes, trace.VUOutcomeString(outcome))
+		entries = append(entries, Entry{WTS: e.B, RTS: e.C, Writes: writes, Owner: owner})
+	}
+	return outcomes, entries
 }
-
-func (s *specTracer) OnRequest(int, *Request) {}
-func (s *specTracer) OnOutcome(_ int, _ *Request, outcome string, _ tm.AbortCause, e Entry) {
-	s.outcomes = append(s.outcomes, outcome)
-	s.entries = append(s.entries, e)
-}
-func (s *specTracer) OnRelease(int, uint64, int, bool) {}
 
 // step is one generated protocol action.
 type step struct {
@@ -105,8 +108,8 @@ func TestVUMatchesFlowchartSpec(t *testing.T) {
 		// "abort" with stall-full — so instead keep a large buffer and
 		// never release while queued entries exist (see below).
 		vu := NewVU(cfg, eng, part, 64, 32, sim.NewRNG(5))
-		tr := &specTracer{}
-		vu.SetTracer(tr)
+		rec := trace.NewRecorder(eng, trace.Options{Sources: trace.MaskOf(trace.SrcCore), RingSize: 4096})
+		vu.SetTrace(rec)
 
 		ref := &refEntry{}
 		var want []refOutcome
@@ -145,16 +148,17 @@ func TestVUMatchesFlowchartSpec(t *testing.T) {
 			eng.Run(0)
 		}
 
-		if len(tr.outcomes) != len(want) {
+		outcomes, entries := vuDecisions(rec)
+		if len(outcomes) != len(want) {
 			return false
 		}
 		for i := range want {
-			if tr.outcomes[i] != want[i].result {
-				t.Logf("step %d: vu=%s spec=%s", i, tr.outcomes[i], want[i].result)
+			if outcomes[i] != want[i].result {
+				t.Logf("step %d: vu=%s spec=%s", i, outcomes[i], want[i].result)
 				return false
 			}
 			// On success/abort the spec's metadata must match the VU's.
-			e := tr.entries[i]
+			e := entries[i]
 			if want[i].result != "queue" {
 				if e.WTS != ref.wts && i == len(want)-1 {
 					t.Logf("step %d: wts vu=%d spec=%d", i, e.WTS, ref.wts)

@@ -7,6 +7,7 @@ import (
 	"getm/internal/sim"
 	"getm/internal/stats"
 	"getm/internal/tm"
+	"getm/internal/trace"
 )
 
 // Status is a validation unit's decision for one access.
@@ -63,7 +64,7 @@ type VU struct {
 	// threshold (wired by the rollover coordinator).
 	onTimestampHighWater func()
 	rolloverArmed        bool
-	tracer               Tracer
+	rec                  *trace.Recorder
 
 	// opPool recycles vuOp objects (single goroutine per machine, no locking).
 	opPool *vuOp
@@ -129,6 +130,53 @@ func NewVU(cfg Config, eng *sim.Engine, part *mem.Partition, preciseEntries, app
 // SetHighWaterHook registers the rollover trigger callback.
 func (v *VU) SetHighWaterHook(fn func()) { v.onTimestampHighWater = fn }
 
+// SetTrace attaches the machine-wide event recorder (nil disables; every
+// trace helper below starts with a single pointer compare, so the disabled
+// hot path stays allocation-free — see TestGETMStepAllocs).
+func (v *VU) SetTrace(rec *trace.Recorder) { v.rec = rec }
+
+func (v *VU) traceRequest(req *Request) {
+	if v.rec == nil {
+		return
+	}
+	isW := uint64(0)
+	if req.IsWrite {
+		isW = 1
+	}
+	v.rec.Emit(trace.SrcCore, trace.KVURequest, int32(v.part.ID),
+		req.Addr, req.Warpts, uint64(req.GWID), isW)
+}
+
+// traceOutcome records a Fig 6 decision with the granule metadata after it;
+// outcome is one of trace.VUSuccess/VUAbort/VUQueue.
+func (v *VU) traceOutcome(req *Request, outcome uint8, cause tm.AbortCause, e *Entry) {
+	if v.rec == nil {
+		return
+	}
+	v.rec.Emit(trace.SrcCore, trace.KVUOutcome, int32(v.part.ID),
+		req.Addr, e.WTS, e.RTS, trace.PackVUOutcome(outcome, uint8(cause), e.Writes, e.Owner))
+}
+
+func (v *VU) traceRelease(granule uint64, remaining int, committed bool) {
+	if v.rec == nil {
+		return
+	}
+	c := uint64(0)
+	if committed {
+		c = 1
+	}
+	v.rec.Emit(trace.SrcCore, trace.KVURelease, int32(v.part.ID),
+		granule, uint64(remaining), c, 0)
+}
+
+func (v *VU) traceStall(kind trace.Kind, granule, warpts uint64) {
+	if v.rec == nil {
+		return
+	}
+	v.rec.Emit(trace.SrcCore, kind, int32(v.part.ID),
+		granule, warpts, uint64(v.Stall.Occupancy()), 0)
+}
+
 // Submit delivers a request to the VU (called when the up-crossbar message
 // arrives). Service is serialized at one request per cycle.
 func (v *VU) Submit(req *Request) {
@@ -173,6 +221,7 @@ func (v *VU) process(op *vuOp, retried bool) {
 // wakeNext retries the oldest request stalled on granule, if any.
 func (v *VU) wakeNext(granule uint64) {
 	if r := v.Stall.Release(granule); r != nil {
+		v.traceStall(trace.KStallWake, granule, r.Warpts)
 		v.eng.Schedule(1, r.Retry)
 	}
 }
@@ -187,7 +236,7 @@ func (v *VU) processLoad(op *vuOp, e *Entry, metaCycles sim.Cycle) {
 			e.RTS = req.Warpts
 		}
 		v.bumpTS(e.RTS)
-		v.traceOutcome(req, "success", tm.CauseNone, e)
+		v.traceOutcome(req, trace.VUSuccess, tm.CauseNone, e)
 		v.replyLoad(op, metaCycles)
 	case req.Warpts >= e.WTS:
 		if e.Writes > 0 {
@@ -200,12 +249,12 @@ func (v *VU) processLoad(op *vuOp, e *Entry, metaCycles sim.Cycle) {
 			e.RTS = req.Warpts
 		}
 		v.bumpTS(e.RTS)
-		v.traceOutcome(req, "success", tm.CauseNone, e)
+		v.traceOutcome(req, trace.VUSuccess, tm.CauseNone, e)
 		v.replyLoad(op, metaCycles)
 	default:
 		// ④ Abort (WAR): written by a logically later transaction.
 		v.AbortsWAR++
-		v.traceOutcome(req, "abort", tm.CauseWAR, e)
+		v.traceOutcome(req, trace.VUAbort, tm.CauseWAR, e)
 		op.rep = Reply{Status: StatusAbort, Cause: tm.CauseWAR, AbortTS: e.WTS}
 		v.eng.Schedule(metaCycles, op.replyFn)
 	}
@@ -218,7 +267,7 @@ func (v *VU) processStore(op *vuOp, e *Entry, metaCycles sim.Cycle) {
 	case e.Writes > 0 && e.Owner == req.GWID:
 		// ② Owner bypass: wts was set by the previous write; just count.
 		e.Writes++
-		v.traceOutcome(req, "success", tm.CauseNone, e)
+		v.traceOutcome(req, trace.VUSuccess, tm.CauseNone, e)
 		op.rep = Reply{Status: StatusSuccess}
 		v.eng.Schedule(metaCycles, op.replyFn)
 	case req.Warpts >= e.WTS && req.Warpts >= e.RTS:
@@ -232,13 +281,13 @@ func (v *VU) processStore(op *vuOp, e *Entry, metaCycles sim.Cycle) {
 		e.Owner = req.GWID
 		e.Writes = 1
 		v.bumpTS(e.WTS)
-		v.traceOutcome(req, "success", tm.CauseNone, e)
+		v.traceOutcome(req, trace.VUSuccess, tm.CauseNone, e)
 		op.rep = Reply{Status: StatusSuccess}
 		v.eng.Schedule(metaCycles, op.replyFn)
 	default:
 		// ④ Abort (WAW or RAW): written or observed by a later transaction.
 		v.AbortsWAWRAW++
-		v.traceOutcome(req, "abort", tm.CauseWAWRAW, e)
+		v.traceOutcome(req, trace.VUAbort, tm.CauseWAWRAW, e)
 		op.rep = Reply{Status: StatusAbort, Cause: tm.CauseWAWRAW, AbortTS: maxU64(e.WTS, e.RTS)}
 		v.eng.Schedule(metaCycles, op.replyFn)
 	}
@@ -256,12 +305,14 @@ func (v *VU) queue(op *vuOp, e *Entry, metaCycles sim.Cycle) {
 	op.stalled.Warpts = req.Warpts
 	if !v.Stall.Enqueue(&op.stalled) {
 		v.AbortsFull++
-		v.traceOutcome(req, "abort", tm.CauseStallFull, e)
+		v.traceOutcome(req, trace.VUAbort, tm.CauseStallFull, e)
+		v.traceStall(trace.KStallReject, op.stalled.Granule, req.Warpts)
 		op.rep = Reply{Status: StatusAbort, Cause: tm.CauseStallFull, AbortTS: maxU64(e.WTS, e.RTS)}
 		v.eng.Schedule(metaCycles, op.replyFn)
 		return
 	}
-	v.traceOutcome(req, "queue", tm.CauseNone, e)
+	v.traceOutcome(req, trace.VUQueue, tm.CauseNone, e)
+	v.traceStall(trace.KStallEnq, op.stalled.Granule, req.Warpts)
 	v.Queued++
 }
 
@@ -286,6 +337,7 @@ func (v *VU) ReleaseGranule(granule uint64, n int, committed bool) {
 	v.traceRelease(granule, remaining, committed)
 	if remaining == 0 {
 		if r := v.Stall.Release(granule); r != nil {
+			v.traceStall(trace.KStallWake, granule, r.Warpts)
 			// Re-entry consumes a fresh VU slot.
 			v.eng.Schedule(1, r.Retry)
 		}
@@ -337,7 +389,12 @@ type CU struct {
 	// apply step with its prebuilt callback.
 	regions map[uint64]bool
 	jobPool *cuJob
+
+	rec *trace.Recorder
 }
+
+// SetTrace attaches the machine-wide event recorder (nil disables).
+func (c *CU) SetTrace(rec *trace.Recorder) { c.rec = rec }
 
 // NewCU builds the commit unit colocated with vu.
 func NewCU(cfg Config, eng *sim.Engine, part *mem.Partition, vu *VU) *CU {
@@ -418,6 +475,10 @@ func (c *CU) Submit(entries []CommitEntry, done func()) {
 	c.vu.nextService = start + cycles
 	c.BytesWritten += bytes
 	c.CommitsProcessed++
+	if c.rec != nil {
+		c.rec.Emit(trace.SrcCore, trace.KCommitMsg, int32(c.part.ID),
+			uint64(len(entries)), bytes, 0, uint64(cycles))
+	}
 
 	c.eng.At(start+cycles, c.getJob(entries, done).runFn)
 }

@@ -15,6 +15,7 @@ import (
 	"getm/internal/mem"
 	"getm/internal/sim"
 	"getm/internal/tm"
+	"getm/internal/trace"
 	"getm/internal/warptm"
 )
 
@@ -66,6 +67,15 @@ type Protocol struct {
 	EarlyAborts uint64
 	Pauses      uint64
 	Broadcasts  uint64
+
+	rec *trace.Recorder
+}
+
+// SetTrace attaches the machine-wide event recorder to this wrapper and the
+// inner WarpTM machinery (nil disables).
+func (p *Protocol) SetTrace(rec *trace.Recorder) {
+	p.rec = rec
+	p.inner.SetTrace(rec)
 }
 
 var (
@@ -150,6 +160,10 @@ func (p *Protocol) pauseTarget(gwid int, lanes []tm.LaneAccess) *activeSig {
 func (p *Protocol) Access(w *tm.WarpTx, isWrite bool, lanes []tm.LaneAccess, done func([]tm.AccessResult)) {
 	if as := p.pauseTarget(w.GWID, lanes); as != nil {
 		p.Pauses++
+		if p.rec != nil {
+			p.rec.Emit(trace.SrcEAPG, trace.KEAPGPause, int32(w.Core),
+				uint64(w.GWID), uint64(as.owner), 0, 0)
+		}
 		as.waiters = append(as.waiters, func() { p.Access(w, isWrite, lanes, done) })
 		return
 	}
@@ -185,6 +199,10 @@ func (p *Protocol) Commit(w *tm.WarpTx, commitMask, abortMask isa.LaneMask, resu
 		}
 		p.commitOrder[i] = as
 		p.Broadcasts++
+		if p.rec != nil {
+			p.rec.Emit(trace.SrcEAPG, trace.KEAPGBroadcast, int32(w.Core),
+				uint64(w.GWID), uint64(as.sig), uint64(len(as.words)), 0)
+		}
 		// The LLC-side broadcast to every core (64-bit flits).
 		p.trans.BroadcastToCores(0, tm.SignatureBytes, func(core int) {
 			p.earlyAbortDoomed(core, as.owner, as.words)
@@ -229,6 +247,10 @@ func (p *Protocol) earlyAbortDoomed(core, committer int, words map[uint64]bool) 
 		}
 		if doomed != 0 {
 			p.EarlyAborts += uint64(doomed.Count())
+			if p.rec != nil {
+				p.rec.Emit(trace.SrcEAPG, trace.KEAPGEarlyAbort, int32(core),
+					uint64(gwid), uint64(doomed), uint64(committer), 0)
+			}
 			p.abortSink(tm.AbortNotice{GWID: gwid, Lanes: doomed, Cause: tm.CauseEarlyAbort})
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"getm/internal/simt"
 	"getm/internal/stats"
 	"getm/internal/tm"
+	"getm/internal/trace"
 	"getm/internal/warptm"
 	"getm/internal/xbar"
 )
@@ -54,6 +55,11 @@ type Config struct {
 	Record bool
 	// MaxCycles aborts a run that exceeds this simulated length (0 = none).
 	MaxCycles sim.Cycle
+	// Trace, when non-nil, enables the machine-wide event recorder and
+	// interval sampler (internal/trace); the recorder is returned in
+	// Result.Trace. A nil Trace costs one pointer compare per would-be
+	// emission — nothing is allocated.
+	Trace *trace.Options
 }
 
 // DefaultConfig mirrors Table II's 15-core GTX480-like setup.
@@ -102,6 +108,9 @@ type Result struct {
 	Committed    []tm.CommittedTx
 	InitialImage *mem.Image
 	FinalImage   *mem.Image
+	// Trace holds the event recorder when cfg.Trace was set (export it with
+	// trace.Export).
+	Trace *trace.Recorder
 }
 
 // Run executes the kernel on the configured machine.
@@ -119,7 +128,11 @@ func Run(cfg Config, k *Kernel) (*Result, error) {
 		initial = img.Snapshot()
 	}
 
-	m := newMachine(eng, img, cfg)
+	var rec *trace.Recorder
+	if cfg.Trace != nil {
+		rec = trace.NewRecorder(eng, *cfg.Trace)
+	}
+	m := newMachine(eng, img, cfg, rec)
 
 	// Round-robin program dispatch: each warp slot pulls the next pending
 	// program when it retires one.
@@ -137,6 +150,9 @@ func Run(cfg Config, k *Kernel) (*Result, error) {
 	cores := make([]*simt.Core, cfg.Cores)
 	for i := range cores {
 		cores[i] = simt.NewCore(i, eng, cfg.Core, m.protocol, m.memsys, rng.Fork(uint64(1000+i)), dispatch)
+		if rec != nil {
+			cores[i].SetTrace(rec)
+		}
 	}
 	if aa, ok := m.protocol.(tm.AsyncAborter); ok {
 		aa.SetAbortSink(func(n tm.AbortNotice) {
@@ -147,10 +163,19 @@ func Run(cfg Config, k *Kernel) (*Result, error) {
 		})
 	}
 
+	if rec != nil {
+		m.registerProbes(rec, cores)
+	}
+
 	for _, c := range cores {
 		c.Start()
 	}
-	end := eng.Run(cfg.MaxCycles)
+	var end sim.Cycle
+	if rec != nil && rec.SampleEvery() > 0 {
+		end = runSampled(eng, rec, cfg.MaxCycles)
+	} else {
+		end = eng.Run(cfg.MaxCycles)
+	}
 	if cfg.MaxCycles != 0 && end >= cfg.MaxCycles {
 		return nil, fmt.Errorf("gpu: kernel %q exceeded %d cycles", k.Name, cfg.MaxCycles)
 	}
@@ -172,11 +197,42 @@ func Run(cfg Config, k *Kernel) (*Result, error) {
 		}
 	}
 
-	res := &Result{Metrics: m.collect(cores, end)}
+	res := &Result{Metrics: m.collect(cores, end), Trace: rec}
 	if cfg.Record {
 		res.Committed = m.committed()
 		res.InitialImage = initial
 		res.FinalImage = img
 	}
 	return res, nil
+}
+
+// runSampled drives the engine in sample-interval chunks, taking a telemetry
+// sample at every interval boundary. The chunked eng.Run calls process events
+// in exactly the order a single call would (sampling reads state between
+// events but schedules nothing), so a traced run is cycle-identical to an
+// untraced one.
+func runSampled(eng *sim.Engine, rec *trace.Recorder, limit sim.Cycle) sim.Cycle {
+	every := sim.Cycle(rec.SampleEvery())
+	next := every
+	var end sim.Cycle
+	for {
+		target := next
+		if limit != 0 && target > limit {
+			target = limit
+		}
+		end = eng.Run(target)
+		if eng.Pending() == 0 {
+			break
+		}
+		if end >= target {
+			if limit != 0 && end >= limit {
+				break
+			}
+			rec.TakeSample(uint64(end))
+			next += every
+		}
+	}
+	// Final partial interval (TakeSample skips duplicate boundaries).
+	rec.TakeSample(uint64(end))
+	return end
 }

@@ -11,6 +11,7 @@ import (
 	"getm/internal/simt"
 	"getm/internal/stats"
 	"getm/internal/tm"
+	"getm/internal/trace"
 	"getm/internal/warptm"
 	"getm/internal/xbar"
 )
@@ -27,13 +28,16 @@ type machine struct {
 
 	getm   *core.Protocol
 	getmVU []*core.VU
+	getmCU []*core.CU
 	stall  *core.OccTracker
 	wtm    *warptm.Protocol
 	eapg   *eapg.Protocol
 	memsys simt.MemSystem
 }
 
-func newMachine(eng *sim.Engine, img *mem.Image, cfg Config) *machine {
+// newMachine assembles the hardware for one run. rec (nil = tracing off)
+// is attached to every component that can emit trace events.
+func newMachine(eng *sim.Engine, img *mem.Image, cfg Config, rec *trace.Recorder) *machine {
 	m := &machine{
 		cfg:  cfg,
 		eng:  eng,
@@ -62,6 +66,7 @@ func newMachine(eng *sim.Engine, img *mem.Image, cfg Config) *machine {
 			cus = append(cus, core.NewCU(cfg.GETM, eng, p, vu))
 		}
 		m.getmVU = vus
+		m.getmCU = cus
 		m.getm = core.NewProtocol(cfg.GETM, eng, m.amap, trans, vus, cus)
 		m.getm.Record = cfg.Record
 		m.protocol = m.getm
@@ -84,7 +89,67 @@ func newMachine(eng *sim.Engine, img *mem.Image, cfg Config) *machine {
 	default:
 		panic(fmt.Sprintf("gpu: unknown protocol %q", cfg.Protocol))
 	}
+	if rec != nil {
+		m.pair.SetTrace(rec)
+		for _, p := range m.partitions {
+			p.SetTrace(rec)
+		}
+		for _, vu := range m.getmVU {
+			vu.SetTrace(rec)
+		}
+		for _, cu := range m.getmCU {
+			cu.SetTrace(rec)
+		}
+		if m.eapg != nil {
+			m.eapg.SetTrace(rec) // also wires the inner WarpTM
+		} else if m.wtm != nil {
+			m.wtm.SetTrace(rec)
+		}
+	}
 	return m
+}
+
+// registerProbes wires the machine-level time-series probes the interval
+// sampler walks: IPC, in-flight transactions, commit/abort throughput,
+// interconnect traffic, and (GETM) stall-buffer occupancy.
+func (m *machine) registerProbes(rec *trace.Recorder, cores []*simt.Core) {
+	rec.AddRate("ipc", func() uint64 {
+		var n uint64
+		for _, c := range cores {
+			n += c.Stats.Instructions
+		}
+		return n
+	})
+	rec.AddGauge("tx-inflight", func() float64 {
+		n := 0
+		for _, c := range cores {
+			n += c.ActiveTx()
+		}
+		return float64(n)
+	})
+	rec.AddDelta("commits", func() uint64 {
+		var n uint64
+		for _, c := range cores {
+			n += c.Stats.Commits
+		}
+		return n
+	})
+	rec.AddDelta("aborts", func() uint64 {
+		var n uint64
+		for _, c := range cores {
+			n += c.Stats.Aborts
+		}
+		return n
+	})
+	rec.AddRate("xbar-bytes", func() uint64 {
+		u, d := m.pair.TrafficBytes()
+		return u + d
+	})
+	if m.getm != nil {
+		rec.AddGauge("stallbuf-occupancy", func() float64 {
+			return float64(m.getm.StallOccupancy())
+		})
+	}
 }
 
 // committed returns the recorded transactions for the replay checker.
@@ -124,6 +189,7 @@ func (m *machine) collect(cores []*simt.Core, end sim.Cycle) *stats.Metrics {
 		out.AbortsByCause.Merge(c.Stats.AbortsByCause)
 		out.Extra.Inc("instructions", c.Stats.Instructions)
 		out.Extra.Inc("tx-attempts", c.Stats.TxAttempts)
+		out.Extra.Inc("tx-lane-attempts", c.Stats.TxLaneAttempts)
 	}
 	out.XbarUpBytes, out.XbarDownBytes = m.pair.TrafficBytes()
 	for _, p := range m.partitions {
@@ -135,9 +201,7 @@ func (m *machine) collect(cores []*simt.Core, end sim.Cycle) *stats.Metrics {
 		out.StallBufMaxOccupancy = uint64(m.stall.Max)
 		out.Extra.Inc("rollovers", m.getm.Rollovers)
 		for _, vu := range m.getmVU {
-			for b, n := range vu.AccessCycles.Buckets {
-				out.MetaAccessCycles.Buckets[minInt(b, len(out.MetaAccessCycles.Buckets)-1)] += n
-			}
+			out.MetaAccessCycles.Merge(vu.AccessCycles)
 			out.Extra.Inc("vu-requests", vu.Requests)
 			out.Extra.Inc("vu-queued", vu.Queued)
 			out.Extra.Inc("meta-overflows", vu.Overflows)
@@ -163,13 +227,6 @@ func (m *machine) collect(cores []*simt.Core, end sim.Cycle) *stats.Metrics {
 		out.Extra.Inc("eapg-broadcasts", m.eapg.Broadcasts)
 	}
 	return out
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // transport adapts the crossbar pair to tm.Transport.

@@ -1,6 +1,9 @@
 package mem
 
-import "getm/internal/sim"
+import (
+	"getm/internal/sim"
+	"getm/internal/trace"
+)
 
 // PartitionConfig sets the timing of one memory partition's data path.
 type PartitionConfig struct {
@@ -47,7 +50,13 @@ type Partition struct {
 	atomicNext  sim.Cycle
 	// AtomicsServed counts atomic operations (lock traffic).
 	AtomicsServed uint64
+
+	rec *trace.Recorder
 }
+
+// SetTrace attaches the machine-wide event recorder (nil disables; the check
+// on the access path is a single pointer compare).
+func (p *Partition) SetTrace(rec *trace.Recorder) { p.rec = rec }
 
 // NewPartition builds a partition over a shared memory image.
 func NewPartition(id int, eng *sim.Engine, img *Image, cfg PartitionConfig) *Partition {
@@ -86,10 +95,19 @@ func maxInt(a, b int) int {
 func (p *Partition) AccessDelay(addr uint64) sim.Cycle {
 	start := p.serviceSlot()
 	done := start + p.Cfg.LLCLatency
-	if !p.LLC.Access(addr) {
+	hit := p.LLC.Access(addr)
+	if !hit {
 		done += sim.Cycle(p.DRAM.Latency(addr, uint64(start)))
 	}
-	return done - p.Eng.Now()
+	d := done - p.Eng.Now()
+	if p.rec != nil {
+		h := uint64(0)
+		if hit {
+			h = 1
+		}
+		p.rec.Emit(trace.SrcMem, trace.KMemAccess, int32(p.ID), addr, h, 0, uint64(d))
+	}
+	return d
 }
 
 // Read performs a timed read; done receives the value.
@@ -131,7 +149,11 @@ func (p *Partition) atomicSlot(addr uint64) sim.Cycle {
 	}
 	p.atomicNext = effect + 1
 	p.AtomicsServed++
-	return effect - p.Eng.Now()
+	d := effect - p.Eng.Now()
+	if p.rec != nil {
+		p.rec.Emit(trace.SrcMem, trace.KMemAtomic, int32(p.ID), addr, 0, 0, uint64(d))
+	}
+	return d
 }
 
 // AtomicCAS performs a timed compare-and-swap; done receives the old value

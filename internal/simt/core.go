@@ -7,6 +7,7 @@ import (
 	"getm/internal/sim"
 	"getm/internal/stats"
 	"getm/internal/tm"
+	"getm/internal/trace"
 )
 
 // csRetryDelay paces critical-section retry rounds (loop overhead of the
@@ -22,6 +23,10 @@ type Stats struct {
 	TxWaitCycles  uint64
 	Instructions  uint64
 	TxAttempts    uint64
+	// TxLaneAttempts counts lane×attempt pairs: every lane that enters an
+	// attempt eventually commits or aborts exactly once, so
+	// Commits+Aborts == TxLaneAttempts (the accounting invariant).
+	TxLaneAttempts uint64
 }
 
 // Core models one SIMT core: warp contexts, the issue stage (one warp
@@ -49,8 +54,18 @@ type Core struct {
 	// goroutine per machine, so no locking).
 	storePool *storeBuf
 
+	rec *trace.Recorder
+
 	Stats Stats
 }
+
+// SetTrace attaches the machine-wide event recorder (nil disables; every
+// emit below is behind a single pointer compare — see TestGETMStepAllocs).
+func (c *Core) SetTrace(rec *trace.Recorder) { c.rec = rec }
+
+// ActiveTx returns the number of warps currently inside a transaction
+// (sampled by the telemetry probes).
+func (c *Core) ActiveTx() int { return c.txActive }
 
 // NewCore builds a core. dispatch supplies warp programs; it is called again
 // whenever a warp finishes one (returning nil retires the warp).
@@ -199,8 +214,12 @@ func (c *Core) issue() {
 		return
 	}
 	c.nextIssue = c.eng.Now() + 1
-	if w.curOp() != nil {
+	if op := w.curOp(); op != nil {
 		c.Stats.Instructions++
+		if c.rec != nil {
+			c.rec.Emit(trace.SrcSIMT, trace.KIssue, int32(c.ID),
+				uint64(w.gwid), uint64(w.top().pc), uint64(op.Kind), 0)
+		}
 	}
 	c.execStep(w)
 	c.scheduleIssue()
@@ -472,6 +491,11 @@ func findCommit(ops []isa.Op, from int) int {
 
 func (c *Core) beginAttempt(w *Warp) {
 	c.Stats.TxAttempts++
+	c.Stats.TxLaneAttempts += uint64(w.txMask.Count())
+	if c.rec != nil {
+		c.rec.Emit(trace.SrcTx, trace.KTxBegin, int32(c.ID),
+			uint64(w.gwid), uint64(w.txMask), uint64(w.attempts), 0)
+	}
 	w.txLog.Reset()
 	w.warpTx = &tm.WarpTx{GWID: w.gwid, Core: c.ID, Log: w.txLog, StartCycle: c.eng.Now()}
 	c.protocol.Begin(w.warpTx)
@@ -485,6 +509,12 @@ func (c *Core) abortLane(w *Warp, lane int, cause tm.AbortCause) {
 	w.deadMask = w.deadMask.Set(lane)
 	c.Stats.Aborts++
 	c.Stats.AbortsByCause.Inc(cause.String(), 1)
+	if c.rec != nil {
+		c.rec.Emit(trace.SrcTx, trace.KTxAbort, int32(c.ID),
+			uint64(w.gwid), uint64(lane), uint64(cause), 0)
+		c.rec.Emit(trace.SrcSIMT, trace.KDiverge, int32(c.ID),
+			uint64(w.gwid), uint64(w.live()), 0, 0)
+	}
 }
 
 // execTxAccess drives a transactional warp memory instruction: redo-log
@@ -679,21 +709,37 @@ func (c *Core) execTxCommit(w *Warp) {
 				if failed.Bit(lane) {
 					c.Stats.Aborts++
 					c.Stats.AbortsByCause.Inc(out.Cause.String(), 1)
+					if c.rec != nil {
+						c.rec.Emit(trace.SrcTx, trace.KTxAbort, int32(c.ID),
+							uint64(w.gwid), uint64(lane), uint64(out.Cause), 0)
+					}
 				}
 			}
 			committed := commitMask &^ failed
 			c.Stats.Commits += uint64(committed.Count())
+			if c.rec != nil {
+				c.rec.Emit(trace.SrcTx, trace.KTxCommit, int32(c.ID),
+					uint64(w.gwid), uint64(committed), uint64(failed), 0)
+			}
 
 			retry := abortMask | failed
 			if retry != 0 {
 				w.attempts++
 				backoff := c.backoff(w.attempts)
 				c.Stats.TxWaitCycles += uint64(backoff)
+				if c.rec != nil {
+					c.rec.Emit(trace.SrcTx, trace.KTxRetry, int32(c.ID),
+						uint64(w.gwid), uint64(retry), uint64(backoff), 0)
+				}
 				c.eng.Schedule(backoff, func() {
 					w.txMask = retry
 					w.deadMask = 0
 					w.committing = false
 					c.beginAttempt(w)
+					if c.rec != nil {
+						c.rec.Emit(trace.SrcSIMT, trace.KReconverge, int32(c.ID),
+							uint64(w.gwid), uint64(retry), 0, 0)
+					}
 					f.pc = w.txBeginPC + 1
 					c.wake(w)
 				})

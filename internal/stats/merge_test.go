@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// genMetrics builds a random Metrics with small-integer-valued fields.
+// Integer-valued float64 sums stay exact under addition, so associativity
+// can be checked with DeepEqual instead of an epsilon.
+func genMetrics(r *rand.Rand) *Metrics {
+	m := NewMetrics()
+	m.TotalCycles = uint64(r.Intn(1000))
+	m.TxExecCycles = uint64(r.Intn(1000))
+	m.TxWaitCycles = uint64(r.Intn(1000))
+	m.Commits = uint64(r.Intn(100))
+	m.Aborts = uint64(r.Intn(100))
+	m.XbarUpBytes = uint64(r.Intn(1 << 16))
+	m.XbarDownBytes = uint64(r.Intn(1 << 16))
+	m.SilentCommits = uint64(r.Intn(50))
+	for _, cause := range []string{"war", "waw-raw", "intra-warp"} {
+		if r.Intn(2) == 1 {
+			m.AbortsByCause.Inc(cause, uint64(r.Intn(20)))
+		}
+	}
+	for _, k := range []string{"instructions", "vu-requests", "rollovers"} {
+		if r.Intn(2) == 1 {
+			m.Extra.Inc(k, uint64(r.Intn(500)))
+		}
+	}
+	for i := 0; i < r.Intn(10); i++ {
+		m.MetaAccessCycles.Add(r.Intn(80)) // some clamp into the last bucket
+	}
+	m.StallBufMaxOccupancy = uint64(r.Intn(30))
+	for i := 0; i < r.Intn(5); i++ {
+		m.StallBufPerAddr.Add(float64(r.Intn(10)))
+	}
+	return m
+}
+
+func mergeAll(ms ...*Metrics) *Metrics {
+	out := NewMetrics()
+	for _, m := range ms {
+		out.Merge(m)
+	}
+	return out
+}
+
+func TestMetricsMergeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := genMetrics(r), genMetrics(r), genMetrics(r)
+
+		// (a ⊕ b) ⊕ c
+		left := mergeAll(a, b)
+		left.Merge(c)
+		// a ⊕ (b ⊕ c)
+		bc := mergeAll(b, c)
+		right := mergeAll(a)
+		right.Merge(bc)
+
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("trial %d: merge not associative:\nleft  %+v\nright %+v", trial, left, right)
+		}
+
+		// Commutative too: a ⊕ b == b ⊕ a.
+		ab, ba := mergeAll(a, b), mergeAll(b, a)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: merge not commutative:\na⊕b %+v\nb⊕a %+v", trial, ab, ba)
+		}
+	}
+}
+
+func TestHistZeroValueAdd(t *testing.T) {
+	var h Hist
+	h.Add(5)     // previously panicked: Buckets[-1]
+	h.Add(-3)    // clamps to 0
+	h.Add(10000) // clamps to the last bucket
+	if len(h.Buckets) != DefaultHistBuckets {
+		t.Fatalf("lazy alloc gave %d buckets, want %d", len(h.Buckets), DefaultHistBuckets)
+	}
+	if h.Buckets[5] != 1 || h.Buckets[0] != 1 || h.Buckets[DefaultHistBuckets-1] != 1 {
+		t.Errorf("buckets misplaced: %v", h.Buckets)
+	}
+	if h.Total() != 3 {
+		t.Errorf("Total = %d, want 3", h.Total())
+	}
+}
+
+func TestHistMergeClamp(t *testing.T) {
+	small := Hist{Buckets: make([]uint64, 4)}
+	big := Hist{Buckets: make([]uint64, 8)}
+	big.Buckets[1] = 2
+	big.Buckets[6] = 5 // beyond small's range: clamps into its last bucket
+	big.Buckets[7] = 1
+	small.Merge(big)
+	if small.Buckets[1] != 2 || small.Buckets[3] != 6 {
+		t.Errorf("clamped merge = %v, want [0 2 0 6]", small.Buckets)
+	}
+	var empty Hist
+	empty.Merge(big)
+	if len(empty.Buckets) != 8 || empty.Total() != big.Total() {
+		t.Errorf("empty.Merge(big) = %v", empty.Buckets)
+	}
+}

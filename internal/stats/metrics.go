@@ -54,6 +54,37 @@ func NewMetrics() *Metrics {
 	}
 }
 
+// Merge folds other into m: counters add, histograms merge bucket-wise,
+// maxima take the larger value. Merging is associative and commutative (up
+// to float rounding in the Accum sums), so per-shard metrics can be combined
+// in any order — see TestMetricsMergeAssociative.
+func (m *Metrics) Merge(other *Metrics) {
+	if other == nil {
+		return
+	}
+	m.TotalCycles += other.TotalCycles
+	m.TxExecCycles += other.TxExecCycles
+	m.TxWaitCycles += other.TxWaitCycles
+	m.Commits += other.Commits
+	m.Aborts += other.Aborts
+	m.XbarUpBytes += other.XbarUpBytes
+	m.XbarDownBytes += other.XbarDownBytes
+	m.SilentCommits += other.SilentCommits
+	if m.AbortsByCause == nil {
+		m.AbortsByCause = Counters{}
+	}
+	m.AbortsByCause.Merge(other.AbortsByCause)
+	if m.Extra == nil {
+		m.Extra = Counters{}
+	}
+	m.Extra.Merge(other.Extra)
+	m.MetaAccessCycles.Merge(other.MetaAccessCycles)
+	if other.StallBufMaxOccupancy > m.StallBufMaxOccupancy {
+		m.StallBufMaxOccupancy = other.StallBufMaxOccupancy
+	}
+	m.StallBufPerAddr.Merge(other.StallBufPerAddr)
+}
+
 // TxCycles returns exec + wait, the paper's "total tx cycles".
 func (m *Metrics) TxCycles() uint64 { return m.TxExecCycles + m.TxWaitCycles }
 

@@ -64,11 +64,19 @@ type Hist struct {
 	Buckets []uint64
 }
 
+// DefaultHistBuckets is the bucket count a zero-value Hist grows to on its
+// first Add.
+const DefaultHistBuckets = 64
+
 // NewHist creates a histogram with n buckets for values 0..n-1.
 func NewHist(n int) *Hist { return &Hist{Buckets: make([]uint64, n)} }
 
-// Add records a value.
+// Add records a value. A zero-value Hist allocates DefaultHistBuckets
+// buckets on first use (previously this indexed Buckets[-1] and panicked).
 func (h *Hist) Add(v int) {
+	if len(h.Buckets) == 0 {
+		h.Buckets = make([]uint64, DefaultHistBuckets)
+	}
 	if v < 0 {
 		v = 0
 	}
@@ -76,6 +84,24 @@ func (h *Hist) Add(v int) {
 		v = len(h.Buckets) - 1
 	}
 	h.Buckets[v]++
+}
+
+// Merge folds other into h, clamping buckets beyond h's range into its last
+// bucket. An empty h adopts other's bucket count.
+func (h *Hist) Merge(other Hist) {
+	if len(other.Buckets) == 0 {
+		return
+	}
+	if len(h.Buckets) == 0 {
+		h.Buckets = make([]uint64, len(other.Buckets))
+	}
+	last := len(h.Buckets) - 1
+	for b, n := range other.Buckets {
+		if b > last {
+			b = last
+		}
+		h.Buckets[b] += n
+	}
 }
 
 // Total returns the number of recorded samples.

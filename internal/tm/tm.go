@@ -92,10 +92,10 @@ type TxLog struct {
 	Reads  []LogEntry
 	Writes []LogEntry
 
-	idx     []txIdxEntry  // (lane, addr) -> entry indices
-	addrTab []txAddrEntry // addr -> reader/writer masks
-	gen     uint32
-	idxUsed int
+	idx      []txIdxEntry  // (lane, addr) -> entry indices
+	addrTab  []txAddrEntry // addr -> reader/writer masks
+	gen      uint32
+	idxUsed  int
 	addrUsed int
 
 	// laneWrites counts write entries per lane (silent-commit checks read it

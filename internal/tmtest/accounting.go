@@ -1,0 +1,35 @@
+package tmtest
+
+import (
+	"fmt"
+
+	"getm/internal/stats"
+)
+
+// CheckAccounting verifies the lane-level transaction bookkeeping of a run:
+//
+//   - every abort has exactly one cause: sum(AbortsByCause) == Aborts;
+//   - every lane that enters an attempt leaves it exactly once, as a commit
+//     or an abort: Commits + Aborts == Extra["tx-lane-attempts"].
+//
+// These hold for every protocol (an fglock run has all three sides zero):
+// a lane joins an attempt via the warp's txMask, and per attempt it either
+// reaches the commit point live (counted in Commits or as a commit-failure
+// abort) or dies en route into the dead mask (counted by abortLane, which
+// deduplicates per lane per attempt).
+func CheckAccounting(m *stats.Metrics) error {
+	var byCause uint64
+	for _, n := range m.AbortsByCause {
+		byCause += n
+	}
+	if byCause != m.Aborts {
+		return fmt.Errorf("accounting: sum(AbortsByCause) = %d, Aborts = %d (breakdown %v)",
+			byCause, m.Aborts, m.AbortsByCause)
+	}
+	attempts := m.Extra["tx-lane-attempts"]
+	if m.Commits+m.Aborts != attempts {
+		return fmt.Errorf("accounting: Commits(%d) + Aborts(%d) = %d, tx-lane-attempts = %d",
+			m.Commits, m.Aborts, m.Commits+m.Aborts, attempts)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package tmtest_test
+
+import (
+	"fmt"
+	"testing"
+
+	"getm/internal/gpu"
+	"getm/internal/tmtest"
+	"getm/internal/workloads"
+)
+
+// The accounting invariants must hold for every protocol on contended and
+// uncontended workloads alike: aborts partition exactly by cause, and lane
+// attempts partition exactly into commits and aborts.
+func TestAccountingInvariants(t *testing.T) {
+	protos := []gpu.Protocol{gpu.ProtoGETM, gpu.ProtoWarpTM, gpu.ProtoWarpTMEL, gpu.ProtoEAPG}
+	benches := []string{"ht-h", "atm"}
+	for _, proto := range protos {
+		for _, bench := range benches {
+			t.Run(fmt.Sprintf("%s/%s", proto, bench), func(t *testing.T) {
+				k, err := workloads.Build(bench, workloads.TM, workloads.Params{Scale: 0.05, Seed: 7})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := gpu.Run(gpu.DefaultConfig(proto), k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Metrics.Commits == 0 {
+					t.Fatalf("no commits — workload not exercising transactions")
+				}
+				if err := tmtest.CheckAccounting(res.Metrics); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+// fglock runs carry no transactions; the invariant degenerates to 0 == 0.
+func TestAccountingInvariantsFGLock(t *testing.T) {
+	k, err := workloads.Build("atm", workloads.FGLock, workloads.Params{Scale: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := gpu.Run(gpu.DefaultConfig(gpu.ProtoFGLock), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tmtest.CheckAccounting(res.Metrics); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Formats accepted by Export.
+const (
+	FormatPerfetto = "perfetto"
+	FormatCSV      = "csv"
+	FormatText     = "text"
+)
+
+// Export renders the recorder's contents in the named format.
+func Export(w io.Writer, r *Recorder, format string) error {
+	switch format {
+	case FormatPerfetto:
+		return WritePerfetto(w, r)
+	case FormatCSV:
+		return WriteCSV(w, r)
+	case FormatText:
+		return WriteText(w, r)
+	}
+	return fmt.Errorf("trace: unknown format %q (want %s, %s, or %s)",
+		format, FormatPerfetto, FormatCSV, FormatText)
+}
+
+func sortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Cycle != evs[j].Cycle {
+			return evs[i].Cycle < evs[j].Cycle
+		}
+		return evs[i].Seq < evs[j].Seq
+	})
+}
+
+// pfEvent is one Chrome trace-event record (the JSON object format Perfetto
+// and chrome://tracing load). Timestamps are microseconds; we map one
+// simulated cycle to one microsecond.
+type pfEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type pfTrace struct {
+	TraceEvents     []pfEvent `json:"traceEvents"`
+	DisplayTimeUnit string    `json:"displayTimeUnit"`
+}
+
+// samplePid is the synthetic Perfetto process carrying the interval-sample
+// counter tracks (distinct from the per-source pids 0..NumSources-1).
+const samplePid = 100
+
+// WritePerfetto renders the trace as Chrome trace-event JSON: one process
+// per source, one thread per hardware unit (core/VU/port/partition), spans
+// for duration-carrying kinds, instants for the rest, and one counter track
+// per interval-sample series.
+func WritePerfetto(w io.Writer, r *Recorder) error {
+	var out pfTrace
+	out.DisplayTimeUnit = "ms"
+
+	for s := Source(0); s < NumSources; s++ {
+		evs := r.Events(s)
+		if len(evs) == 0 {
+			continue
+		}
+		out.TraceEvents = append(out.TraceEvents, pfEvent{
+			Name: "process_name", Ph: "M", Pid: int(s),
+			Args: map[string]any{"name": s.String()},
+		})
+		namedTids := map[int32]bool{}
+		for _, e := range evs {
+			if !namedTids[e.Unit] {
+				namedTids[e.Unit] = true
+				out.TraceEvents = append(out.TraceEvents, pfEvent{
+					Name: "thread_name", Ph: "M", Pid: int(s), Tid: int(e.Unit),
+					Args: map[string]any{"name": fmt.Sprintf("%s %d", unitLabels[s], e.Unit)},
+				})
+			}
+			out.TraceEvents = append(out.TraceEvents, toPf(e))
+		}
+	}
+
+	cycles, rows := r.Samples()
+	if len(cycles) > 0 {
+		out.TraceEvents = append(out.TraceEvents, pfEvent{
+			Name: "process_name", Ph: "M", Pid: samplePid,
+			Args: map[string]any{"name": "samples"},
+		})
+		names := r.SeriesNames()
+		for i, cyc := range cycles {
+			for j, name := range names {
+				out.TraceEvents = append(out.TraceEvents, pfEvent{
+					Name: name, Ph: "C", Ts: cyc, Pid: samplePid,
+					Args: map[string]any{"value": rows[i][j]},
+				})
+			}
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+// toPf converts one event record using its kind-table metadata.
+func toPf(e Event) pfEvent {
+	info := kindTable[e.Kind]
+	pf := pfEvent{
+		Name: info.name,
+		Ph:   "i",
+		S:    "t", // thread-scoped instant
+		Ts:   e.Cycle,
+		Pid:  int(e.Source),
+		Tid:  int(e.Unit),
+	}
+	payload := [4]uint64{e.A, e.B, e.C, e.D}
+	args := map[string]any{}
+	for i, name := range info.args {
+		if name != "" {
+			args[name] = payload[i]
+		}
+	}
+	if info.dur >= 0 {
+		pf.Ph = "X"
+		pf.S = ""
+		pf.Dur = payload[info.dur]
+		if pf.Dur == 0 {
+			pf.Dur = 1
+		}
+	}
+	if len(args) > 0 {
+		pf.Args = args
+	}
+	return pf
+}
+
+// WriteCSV renders the interval samples as a CSV time series: a "cycle"
+// column followed by one column per registered probe.
+func WriteCSV(w io.Writer, r *Recorder) error {
+	bw := bufio.NewWriter(w)
+	names := r.SeriesNames()
+	fmt.Fprintf(bw, "cycle,%s\n", strings.Join(names, ","))
+	cycles, rows := r.Samples()
+	for i, cyc := range cycles {
+		bw.WriteString(strconv.FormatUint(cyc, 10))
+		for _, v := range rows[i] {
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// WriteText renders a human-readable merged log: every retained event across
+// all sources in global emission order, with named payload words, followed
+// by the interval samples.
+func WriteText(w io.Writer, r *Recorder) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range r.merged() {
+		info := kindTable[e.Kind]
+		fmt.Fprintf(bw, "%10d  %-6s %s[%d]  %-16s", e.Cycle, e.Source, unitLabels[e.Source], e.Unit, info.name)
+		payload := [4]uint64{e.A, e.B, e.C, e.D}
+		for i, name := range info.args {
+			if name != "" {
+				fmt.Fprintf(bw, " %s=%d", name, payload[i])
+			}
+		}
+		if info.dur >= 0 {
+			fmt.Fprintf(bw, " dur=%d", payload[info.dur])
+		}
+		bw.WriteByte('\n')
+	}
+	for s := Source(0); s < NumSources; s++ {
+		if d := r.Dropped(s); d > 0 {
+			fmt.Fprintf(bw, "# %s: %d events overwritten (ring too small; raise RingSize)\n", s, d)
+		}
+	}
+	cycles, rows := r.Samples()
+	if len(cycles) > 0 {
+		fmt.Fprintf(bw, "# samples: cycle %s\n", strings.Join(r.SeriesNames(), " "))
+		for i, cyc := range cycles {
+			fmt.Fprintf(bw, "# %10d", cyc)
+			for _, v := range rows[i] {
+				fmt.Fprintf(bw, " %g", v)
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,141 @@
+package trace
+
+import "fmt"
+
+// Kind identifies an event type. Every kind belongs to exactly one Source;
+// the kindTable below names its payload words for the exporters.
+type Kind uint16
+
+// Event kinds. The payload-word meanings are in kindTable.
+const (
+	// SIMT core events.
+	KIssue Kind = iota
+	KDiverge
+	KReconverge
+	// Transaction lifecycle events (SrcTx).
+	KTxBegin
+	KTxAbort
+	KTxRetry
+	KTxCommit
+	// Crossbar events.
+	KXbarUp
+	KXbarDown
+	// Memory partition events.
+	KMemAccess
+	KMemAtomic
+	// GETM validation/commit unit events.
+	KVURequest
+	KVUOutcome
+	KVURelease
+	KStallEnq
+	KStallReject
+	KStallWake
+	KCommitMsg
+	// WarpTM events.
+	KWTMValidate
+	KWTMDecide
+	KWTMSilent
+	// EAPG events.
+	KEAPGBroadcast
+	KEAPGPause
+	KEAPGEarlyAbort
+
+	numKinds
+)
+
+// kindInfo describes one kind for the exporters: a display name, the names
+// of the used payload words (empty = unused), and which payload word — if
+// any — holds a duration in cycles (turning the event into a Perfetto
+// complete-event span instead of an instant).
+type kindInfo struct {
+	name string
+	args [4]string
+	dur  int // payload index (0..3) carrying a duration; -1 for instants
+}
+
+var kindTable = [numKinds]kindInfo{
+	KIssue:      {name: "issue", args: [4]string{"gwid", "pc", "op"}, dur: -1},
+	KDiverge:    {name: "diverge", args: [4]string{"gwid", "live"}, dur: -1},
+	KReconverge: {name: "reconverge", args: [4]string{"gwid", "mask"}, dur: -1},
+
+	KTxBegin:  {name: "tx-begin", args: [4]string{"gwid", "mask", "attempt"}, dur: -1},
+	KTxAbort:  {name: "tx-abort", args: [4]string{"gwid", "lane", "cause"}, dur: -1},
+	KTxRetry:  {name: "tx-retry", args: [4]string{"gwid", "mask", "backoff"}, dur: -1},
+	KTxCommit: {name: "tx-commit", args: [4]string{"gwid", "committed", "failed"}, dur: -1},
+
+	KXbarUp:   {name: "xbar-up", args: [4]string{"dst", "bytes", "qwait"}, dur: 3},
+	KXbarDown: {name: "xbar-down", args: [4]string{"dst", "bytes", "qwait"}, dur: 3},
+
+	KMemAccess: {name: "mem-access", args: [4]string{"addr", "hit"}, dur: 3},
+	KMemAtomic: {name: "mem-atomic", args: [4]string{"addr"}, dur: 3},
+
+	KVURequest:   {name: "vu-request", args: [4]string{"addr", "warpts", "gwid", "write"}, dur: -1},
+	KVUOutcome:   {name: "vu-outcome", args: [4]string{"addr", "wts", "rts", "packed"}, dur: -1},
+	KVURelease:   {name: "vu-release", args: [4]string{"granule", "remaining", "committed"}, dur: -1},
+	KStallEnq:    {name: "stall-enqueue", args: [4]string{"granule", "warpts", "occupancy"}, dur: -1},
+	KStallReject: {name: "stall-reject", args: [4]string{"granule", "warpts", "occupancy"}, dur: -1},
+	KStallWake:   {name: "stall-wake", args: [4]string{"granule", "warpts", "occupancy"}, dur: -1},
+	KCommitMsg:   {name: "commit-msg", args: [4]string{"entries", "bytes"}, dur: 3},
+
+	KWTMValidate: {name: "wtm-validate", args: [4]string{"cid", "lanes", "entries"}, dur: -1},
+	KWTMDecide:   {name: "wtm-decide", args: [4]string{"cid", "failed", "committed"}, dur: -1},
+	KWTMSilent:   {name: "wtm-silent", args: [4]string{"gwid", "lanes"}, dur: -1},
+
+	KEAPGBroadcast:  {name: "eapg-broadcast", args: [4]string{"owner", "sig", "words"}, dur: -1},
+	KEAPGPause:      {name: "eapg-pause", args: [4]string{"gwid", "owner"}, dur: -1},
+	KEAPGEarlyAbort: {name: "eapg-early-abort", args: [4]string{"gwid", "lanes", "committer"}, dur: -1},
+}
+
+// String returns the kind's display name.
+func (k Kind) String() string {
+	if int(k) < len(kindTable) {
+		return kindTable[k].name
+	}
+	return fmt.Sprintf("kind%d", uint16(k))
+}
+
+// unitLabels names the Unit field per source ("vu 3", "port 1", ...), used
+// for Perfetto thread names and the text log.
+var unitLabels = [NumSources]string{
+	SrcSIMT:   "core",
+	SrcXbar:   "port",
+	SrcMem:    "partition",
+	SrcCore:   "vu",
+	SrcWarpTM: "core",
+	SrcEAPG:   "core",
+	SrcTx:     "core",
+}
+
+// VU outcome codes packed into KVUOutcome's D word.
+const (
+	VUSuccess uint8 = 0
+	VUAbort   uint8 = 1
+	VUQueue   uint8 = 2
+)
+
+// vuOutcomeNames maps the packed codes to the Fig 6 decision names.
+var vuOutcomeNames = [3]string{"success", "abort", "queue"}
+
+// VUOutcomeString names a packed outcome code ("success", "abort", "queue").
+func VUOutcomeString(outcome uint8) string {
+	if int(outcome) < len(vuOutcomeNames) {
+		return vuOutcomeNames[outcome]
+	}
+	return fmt.Sprintf("outcome%d", outcome)
+}
+
+// PackVUOutcome packs a KVUOutcome decision into one payload word:
+// owner (32 bits) | writes (16 bits, clamped) | cause (8 bits) | outcome
+// (8 bits). Owner and writes are the granule's metadata after the decision.
+func PackVUOutcome(outcome, cause uint8, writes, owner int) uint64 {
+	w := uint64(writes)
+	if w > 0xFFFF {
+		w = 0xFFFF
+	}
+	return uint64(uint32(owner))<<32 | w<<16 | uint64(cause)<<8 | uint64(outcome)
+}
+
+// UnpackVUOutcome reverses PackVUOutcome.
+func UnpackVUOutcome(d uint64) (outcome, cause uint8, writes, owner int) {
+	return uint8(d), uint8(d >> 8), int(d >> 16 & 0xFFFF), int(uint32(d >> 32))
+}

@@ -1,0 +1,254 @@
+// Package trace is the machine-wide observability subsystem: structured
+// event tracing and interval sampling for every simulation layer (SIMT
+// cores, crossbars, memory partitions, GETM validation/commit units, the
+// WarpTM/EAPG commit machinery, and transaction lifecycles).
+//
+// Design constraints, in priority order:
+//
+//  1. Zero overhead when disabled. Components hold a nil-checkable
+//     *Recorder; the disabled path is a single pointer compare and the
+//     enabled path never allocates (events are fixed-size records written
+//     into preallocated per-source ring buffers). The existing
+//     testing.AllocsPerRun gates in internal/tm and internal/core cover the
+//     disabled path; this package's own gate covers the enabled path.
+//  2. Determinism. Recording reads simulation state but never schedules
+//     events or perturbs timing, so a traced run is cycle-identical to an
+//     untraced one.
+//  3. Bounded memory. Each source's ring overwrites its oldest records;
+//     Dropped reports how many were lost.
+//
+// Exporters (export.go) render the same records three ways: Chrome
+// trace-event JSON loadable in Perfetto, CSV time series for the interval
+// samples, and a human-readable merged log.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"getm/internal/sim"
+)
+
+// Source identifies the simulation layer an event came from. Sources are
+// dense small integers: each has its own ring buffer, and the filter mask is
+// a bitmask over them.
+type Source uint8
+
+// Event sources, one per instrumented layer.
+const (
+	// SrcSIMT: warp instruction issue, divergence, reconvergence.
+	SrcSIMT Source = iota
+	// SrcXbar: crossbar port transfers and queueing.
+	SrcXbar
+	// SrcMem: LLC hits/misses and DRAM service at the partitions.
+	SrcMem
+	// SrcCore: GETM validation-unit decisions, stall-buffer transitions,
+	// and commit-unit messages.
+	SrcCore
+	// SrcWarpTM: WarpTM validation/decision rounds and silent commits.
+	SrcWarpTM
+	// SrcEAPG: EAPG signature broadcasts, pauses, and early aborts.
+	SrcEAPG
+	// SrcTx: transaction lifecycle (begin/abort/retry/commit), emitted by
+	// the SIMT cores on behalf of the whole machine.
+	SrcTx
+	// NumSources bounds the Source enum.
+	NumSources
+)
+
+var sourceNames = [NumSources]string{"simt", "xbar", "mem", "core", "warptm", "eapg", "tx"}
+
+// String returns the source's filter name.
+func (s Source) String() string {
+	if int(s) < len(sourceNames) {
+		return sourceNames[s]
+	}
+	return fmt.Sprintf("src%d", uint8(s))
+}
+
+// Mask selects a set of sources (bit i = Source i).
+type Mask uint32
+
+// MaskAll enables every source.
+const MaskAll Mask = 1<<NumSources - 1
+
+// MaskOf builds a mask from individual sources.
+func MaskOf(srcs ...Source) Mask {
+	var m Mask
+	for _, s := range srcs {
+		m |= 1 << s
+	}
+	return m
+}
+
+// ParseSources parses a -trace-filter value: "all" or a comma-separated list
+// of source names (e.g. "simt,xbar,core").
+func ParseSources(s string) (Mask, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		return MaskAll, nil
+	}
+	var m Mask
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for i, sn := range sourceNames {
+			if name == sn {
+				m |= 1 << Source(i)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("trace: unknown source %q (known: %s, or \"all\")",
+				name, strings.Join(sourceNames[:], ","))
+		}
+	}
+	return m, nil
+}
+
+// Event is one fixed-size trace record. The payload words A..D are
+// kind-specific (see the kind table in kinds.go for per-kind argument names
+// and which word, if any, carries a duration).
+type Event struct {
+	// Cycle is the emission time in simulated cycles.
+	Cycle uint64
+	// Seq is a recorder-global emission counter; (Cycle, Seq) totally orders
+	// events across sources.
+	Seq uint64
+	// A, B, C, D are the kind-specific payload words.
+	A, B, C, D uint64
+	// Kind identifies the event type.
+	Kind Kind
+	// Source is the emitting layer.
+	Source Source
+	// Unit is the emitting hardware unit within the source (core ID,
+	// partition ID, crossbar source port, ...).
+	Unit int32
+}
+
+// Options configures a Recorder.
+type Options struct {
+	// Sources filters which layers record (0 means all).
+	Sources Mask
+	// RingSize is the per-source event capacity (rounded up to a power of
+	// two; 0 means DefaultRingSize). When a ring fills, the oldest events
+	// are overwritten.
+	RingSize int
+	// SampleInterval takes one probe sample every this many cycles
+	// (0 disables interval sampling).
+	SampleInterval uint64
+}
+
+// DefaultRingSize is the per-source event capacity when Options.RingSize is 0.
+const DefaultRingSize = 1 << 15
+
+// ring is one source's event buffer: a power-of-two circular array plus the
+// count of events ever written to it.
+type ring struct {
+	buf []Event
+	n   uint64
+}
+
+// Recorder is the machine-wide event sink. One recorder serves a whole
+// simulated machine; components keep a possibly-nil pointer to it and guard
+// every Emit with a nil check, which is the entire disabled-path cost.
+type Recorder struct {
+	eng   *sim.Engine
+	mask  Mask
+	seq   uint64
+	rings [NumSources]ring
+
+	sampleEvery uint64
+	probes      []probe
+	sampleCyc   []uint64
+	sampleRows  [][]float64
+}
+
+// NewRecorder builds a recorder over the engine whose clock stamps events.
+func NewRecorder(eng *sim.Engine, opts Options) *Recorder {
+	mask := opts.Sources
+	if mask == 0 {
+		mask = MaskAll
+	}
+	size := opts.RingSize
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	// Round up to a power of two so the ring index is a bitmask.
+	cap := 1
+	for cap < size {
+		cap <<= 1
+	}
+	r := &Recorder{eng: eng, mask: mask, sampleEvery: opts.SampleInterval}
+	for s := Source(0); s < NumSources; s++ {
+		if mask&(1<<s) != 0 {
+			r.rings[s].buf = make([]Event, cap)
+		}
+	}
+	return r
+}
+
+// Enabled reports whether src records into this recorder.
+func (r *Recorder) Enabled(src Source) bool { return r.mask&(1<<src) != 0 }
+
+// Emit records one event. It never allocates: a filtered source is one mask
+// test, and an enabled one writes a fixed-size slot in a preallocated ring
+// (overwriting the oldest event when full).
+func (r *Recorder) Emit(src Source, kind Kind, unit int32, a, b, c, d uint64) {
+	if r.mask&(1<<src) == 0 {
+		return
+	}
+	rg := &r.rings[src]
+	r.seq++
+	e := &rg.buf[rg.n&uint64(len(rg.buf)-1)]
+	e.Cycle = uint64(r.eng.Now())
+	e.Seq = r.seq
+	e.A, e.B, e.C, e.D = a, b, c, d
+	e.Kind = kind
+	e.Source = src
+	e.Unit = unit
+	rg.n++
+}
+
+// Total returns how many events src has emitted, including overwritten ones.
+func (r *Recorder) Total(src Source) uint64 { return r.rings[src].n }
+
+// Dropped returns how many of src's events were overwritten.
+func (r *Recorder) Dropped(src Source) uint64 {
+	rg := &r.rings[src]
+	if rg.n <= uint64(len(rg.buf)) {
+		return 0
+	}
+	return rg.n - uint64(len(rg.buf))
+}
+
+// Events returns a copy of src's retained events, oldest first.
+func (r *Recorder) Events(src Source) []Event {
+	rg := &r.rings[src]
+	if rg.buf == nil || rg.n == 0 {
+		return nil
+	}
+	size := uint64(len(rg.buf))
+	count := rg.n
+	if count > size {
+		count = size
+	}
+	out := make([]Event, 0, count)
+	start := rg.n - count
+	for i := start; i < rg.n; i++ {
+		out = append(out, rg.buf[i&(size-1)])
+	}
+	return out
+}
+
+// merged returns every retained event across all sources in (Cycle, Seq)
+// order — the exact global emission order.
+func (r *Recorder) merged() []Event {
+	var all []Event
+	for s := Source(0); s < NumSources; s++ {
+		all = append(all, r.Events(s)...)
+	}
+	sortEvents(all)
+	return all
+}

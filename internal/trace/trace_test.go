@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"getm/internal/sim"
+)
+
+func TestRingOverwrite(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRecorder(eng, Options{Sources: MaskOf(SrcCore), RingSize: 4})
+	for i := uint64(0); i < 10; i++ {
+		r.Emit(SrcCore, KVURequest, 0, i, 0, 0, 0)
+	}
+	if got := r.Total(SrcCore); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	if got := r.Dropped(SrcCore); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	evs := r.Events(SrcCore)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(6 + i); e.A != want {
+			t.Errorf("event %d: A = %d, want %d (oldest-first order)", i, e.A, want)
+		}
+	}
+	// A filtered source records nothing and reads back empty.
+	r.Emit(SrcXbar, KXbarUp, 0, 1, 2, 3, 4)
+	if r.Total(SrcXbar) != 0 || r.Events(SrcXbar) != nil {
+		t.Errorf("filtered source recorded events")
+	}
+}
+
+func TestSeqTotalOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRecorder(eng, Options{RingSize: 64})
+	r.Emit(SrcSIMT, KIssue, 0, 1, 0, 0, 0)
+	r.Emit(SrcXbar, KXbarUp, 0, 2, 0, 0, 0)
+	r.Emit(SrcSIMT, KIssue, 0, 3, 0, 0, 0)
+	m := r.merged()
+	if len(m) != 3 {
+		t.Fatalf("merged %d events, want 3", len(m))
+	}
+	for i, e := range m {
+		if e.A != uint64(i+1) {
+			t.Errorf("merged[%d].A = %d, want %d (global emission order)", i, e.A, i+1)
+		}
+	}
+}
+
+// The enabled emit path must not allocate: events land in preallocated
+// rings. This is the enabled-path half of the zero-overhead invariant; the
+// disabled half (nil recorder pointer) is the second measurement.
+func TestEmitDisabledZeroAlloc(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRecorder(eng, Options{RingSize: 1 << 10})
+	if allocs := testing.AllocsPerRun(1000, func() {
+		r.Emit(SrcCore, KVUOutcome, 3, 0x100, 21, 20, 7)
+	}); allocs != 0 {
+		t.Errorf("enabled Emit allocates %.1f per event, want 0", allocs)
+	}
+
+	var nilRec *Recorder
+	sink := 0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		// The component idiom: a single pointer compare when disabled.
+		if nilRec != nil {
+			nilRec.Emit(SrcCore, KVUOutcome, 3, 0x100, 21, 20, 7)
+		} else {
+			sink++
+		}
+	}); allocs != 0 {
+		t.Errorf("disabled path allocates %.1f per access, want 0", allocs)
+	}
+}
+
+func TestParseSources(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mask
+	}{
+		{"all", MaskAll},
+		{"", MaskAll},
+		{"simt", MaskOf(SrcSIMT)},
+		{"simt,xbar,core", MaskOf(SrcSIMT, SrcXbar, SrcCore)},
+		{" mem , tx ", MaskOf(SrcMem, SrcTx)},
+	} {
+		got, err := ParseSources(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSources(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseSources("bogus"); err == nil {
+		t.Errorf("ParseSources(bogus) accepted an unknown source")
+	}
+}
+
+func TestVUOutcomePackRoundTrip(t *testing.T) {
+	outcome, cause, writes, owner := UnpackVUOutcome(PackVUOutcome(VUQueue, 3, 17, 12345))
+	if outcome != VUQueue || cause != 3 || writes != 17 || owner != 12345 {
+		t.Errorf("round trip = (%d %d %d %d), want (2 3 17 12345)", outcome, cause, writes, owner)
+	}
+	// Writes clamps at 16 bits instead of corrupting neighbors.
+	_, _, w, o := UnpackVUOutcome(PackVUOutcome(VUSuccess, 0, 1<<20, 7))
+	if w != 0xFFFF || o != 7 {
+		t.Errorf("overflowing writes: got writes=%d owner=%d, want 65535 7", w, o)
+	}
+}
+
+func TestSampler(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRecorder(eng, Options{SampleInterval: 100})
+	gauge := 5.0
+	var instr, aborts uint64
+	r.AddGauge("g", func() float64 { return gauge })
+	r.AddRate("ipc", func() uint64 { return instr })
+	r.AddDelta("aborts", func() uint64 { return aborts })
+
+	instr, aborts = 200, 3
+	r.TakeSample(100)
+	gauge, instr, aborts = 7, 250, 10
+	r.TakeSample(200)
+	r.TakeSample(200) // duplicate boundary: ignored
+
+	cycles, rows := r.Samples()
+	if len(cycles) != 2 || cycles[0] != 100 || cycles[1] != 200 {
+		t.Fatalf("cycles = %v, want [100 200]", cycles)
+	}
+	if rows[0][0] != 5 || rows[0][1] != 2 || rows[0][2] != 3 {
+		t.Errorf("row 0 = %v, want [5 2 3]", rows[0])
+	}
+	if rows[1][0] != 7 || rows[1][1] != 0.5 || rows[1][2] != 7 {
+		t.Errorf("row 1 = %v, want [7 0.5 7]", rows[1])
+	}
+	if names := r.SeriesNames(); len(names) != 3 || names[1] != "ipc" {
+		t.Errorf("SeriesNames = %v", names)
+	}
+}
+
+func TestWritePerfettoValidJSON(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRecorder(eng, Options{RingSize: 64, SampleInterval: 50})
+	r.AddGauge("inflight", func() float64 { return 2 })
+	r.Emit(SrcSIMT, KIssue, 1, 7, 3, 0, 0)
+	r.Emit(SrcXbar, KXbarUp, 0, 2, 32, 0, 6)
+	r.Emit(SrcCore, KVUOutcome, 0, 0x100, 21, 20, PackVUOutcome(VUSuccess, 0, 1, 1))
+	r.TakeSample(50)
+
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+	var names, counters []string
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			names = append(names, e.Args["name"].(string))
+		}
+		if e.Ph == "C" {
+			counters = append(counters, e.Name)
+		}
+	}
+	for _, want := range []string{"simt", "xbar", "core", "samples"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing process %q (have %v)", want, names)
+		}
+	}
+	if len(counters) != 1 || counters[0] != "inflight" {
+		t.Errorf("counter events = %v, want [inflight]", counters)
+	}
+}
+
+func TestWriteCSVAndText(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRecorder(eng, Options{RingSize: 16, SampleInterval: 10})
+	var n uint64
+	r.AddDelta("commits", func() uint64 { return n })
+	n = 4
+	r.TakeSample(10)
+	n = 9
+	r.TakeSample(20)
+	r.Emit(SrcMem, KMemAccess, 2, 0x80, 1, 0, 60)
+
+	var csv bytes.Buffer
+	if err := WriteCSV(&csv, r); err != nil {
+		t.Fatal(err)
+	}
+	want := "cycle,commits\n10,4\n20,5\n"
+	if csv.String() != want {
+		t.Errorf("CSV = %q, want %q", csv.String(), want)
+	}
+
+	var txt bytes.Buffer
+	if err := WriteText(&txt, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "mem-access") || !strings.Contains(txt.String(), "addr=128") {
+		t.Errorf("text log missing event detail:\n%s", txt.String())
+	}
+
+	if err := Export(&bytes.Buffer{}, r, "nope"); err == nil {
+		t.Errorf("Export accepted unknown format")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"getm/internal/mem"
 	"getm/internal/sim"
 	"getm/internal/tm"
+	"getm/internal/trace"
 )
 
 // Protocol is WarpTM's SIMT-core-side driver (and, with cfg.Eager, the
@@ -58,19 +59,24 @@ type Protocol struct {
 
 	SilentCommits uint64
 	EarlyAborts   uint64 // EL: access-time validation failures
+
+	rec *trace.Recorder
 }
+
+// SetTrace attaches the machine-wide event recorder (nil disables).
+func (p *Protocol) SetTrace(rec *trace.Recorder) { p.rec = rec }
 
 var _ tm.Protocol = (*Protocol)(nil)
 
 // NewProtocol wires WarpTM over one VU per partition.
 func NewProtocol(cfg Config, eng *sim.Engine, amap mem.AddressMap, trans tm.Transport, vus []*VU, img *mem.Image) *Protocol {
 	return &Protocol{
-		cfg:      cfg,
-		eng:      eng,
-		amap:     amap,
-		trans:    trans,
-		vus:      vus,
-		img:      img,
+		cfg:        cfg,
+		eng:        eng,
+		amap:       amap,
+		trans:      trans,
+		vus:        vus,
+		img:        img,
 		waiting:    make(map[uint64]func()),
 		readsBy:    make([][]tm.LogEntry, len(vus)),
 		writesBy:   make([][]tm.LogEntry, len(vus)),
@@ -330,6 +336,10 @@ func (p *Protocol) Commit(w *tm.WarpTx, commitMask, abortMask isa.LaneMask, resu
 		}
 	}
 	p.SilentCommits += uint64(silent.Count())
+	if p.rec != nil && silent != 0 {
+		p.rec.Emit(trace.SrcWarpTM, trace.KWTMSilent, int32(w.Core),
+			uint64(w.GWID), uint64(silent), 0, 0)
+	}
 
 	if validating == 0 {
 		// Nothing needs the commit units; the warp continues immediately.
@@ -369,9 +379,9 @@ func (p *Protocol) Commit(w *tm.WarpTx, commitMask, abortMask isa.LaneMask, resu
 	// append into them: no reallocation, stable order.
 	pos := 0
 	for part := 0; part < nParts; part++ {
-		p.readsBy[part] = backing[pos:pos : pos+p.readCount[part]]
+		p.readsBy[part] = backing[pos : pos : pos+p.readCount[part]]
 		pos += p.readCount[part]
-		p.writesBy[part] = backing[pos:pos : pos+p.writeCount[part]]
+		p.writesBy[part] = backing[pos : pos : pos+p.writeCount[part]]
 		pos += p.writeCount[part]
 	}
 	for _, e := range w.Log.Reads {
@@ -390,6 +400,10 @@ func (p *Protocol) Commit(w *tm.WarpTx, commitMask, abortMask isa.LaneMask, resu
 	resume = func(out tm.CommitOutcome) {
 		p.putEntryBuf(backing)
 		innerResume(out)
+	}
+	if p.rec != nil {
+		p.rec.Emit(trace.SrcWarpTM, trace.KWTMValidate, int32(w.Core),
+			cid, uint64(validating), uint64(need), 0)
 	}
 
 	repliesLeft := nParts
@@ -452,6 +466,10 @@ func (p *Protocol) finishCommit(w *tm.WarpTx, cid uint64, validating, failed isa
 // and the confirmation round trip to the involved commit units.
 func (p *Protocol) decide(w *tm.WarpTx, cid uint64, validating, failed isa.LaneMask, involved []int, resume func(tm.CommitOutcome)) {
 	committing := validating &^ failed
+	if p.rec != nil {
+		p.rec.Emit(trace.SrcWarpTM, trace.KWTMDecide, int32(w.Core),
+			cid, uint64(failed), uint64(committing), 0)
+	}
 
 	// Atomic apply: data and TCD last-write times for all partitions.
 	now := p.eng.Now()

@@ -9,7 +9,10 @@
 // cleanup-before-retry sequence relies on (see DESIGN.md §4.2).
 package xbar
 
-import "getm/internal/sim"
+import (
+	"getm/internal/sim"
+	"getm/internal/trace"
+)
 
 // Config describes one crossbar.
 type Config struct {
@@ -40,6 +43,17 @@ type Crossbar struct {
 	Bytes uint64
 	// Messages counts deliveries.
 	Messages uint64
+
+	rec       *trace.Recorder
+	traceKind trace.Kind
+}
+
+// SetTrace attaches the machine-wide event recorder (nil disables; the check
+// on the send path is a single pointer compare). kind distinguishes the up
+// and down directions in the trace.
+func (x *Crossbar) SetTrace(rec *trace.Recorder, kind trace.Kind) {
+	x.rec = rec
+	x.traceKind = kind
 }
 
 // New creates a crossbar on the given engine.
@@ -90,6 +104,11 @@ func (x *Crossbar) Send(src, dst, size int, deliver func()) sim.Cycle {
 
 	x.Bytes += uint64(size)
 	x.Messages++
+	if x.rec != nil {
+		// qwait = source-port queueing before departure; dur = total transit.
+		x.rec.Emit(trace.SrcXbar, x.traceKind, int32(src),
+			uint64(dst), uint64(size), uint64(depart-now), uint64(done-now))
+	}
 	x.eng.At(done, deliver)
 	return done
 }
@@ -122,3 +141,9 @@ func NewPair(eng *sim.Engine, cores, partitions int, cfg Config) *Pair {
 
 // TrafficBytes returns (up, down) payload totals.
 func (p *Pair) TrafficBytes() (uint64, uint64) { return p.Up.Bytes, p.Down.Bytes }
+
+// SetTrace attaches the recorder to both directions.
+func (p *Pair) SetTrace(rec *trace.Recorder) {
+	p.Up.SetTrace(rec, trace.KXbarUp)
+	p.Down.SetTrace(rec, trace.KXbarDown)
+}
