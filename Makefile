@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench benchcmp trace-gate
+.PHONY: check vet build test race short bench benchcmp trace-gate store-gate
 
-check: vet build race short trace-gate
+check: vet build race short trace-gate store-gate
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +30,16 @@ short:
 trace-gate:
 	$(GO) test -run 'TestGETMStepAllocs|TestTxLogHotPathAllocs|TestEmitDisabledZeroAlloc' ./internal/core/ ./internal/tm/ ./internal/trace/
 	$(GO) test -run 'TestTraceSmoke' ./cmd/getm-sim/
+
+# Persistence & cancellation gate: stored metrics must round-trip exactly
+# (bit-flips and truncation read as misses, never as data), a resumed sweep
+# must simulate only the missing cells with byte-identical reports, and a
+# context cancel must stop the engine within one chunk of cycles.
+store-gate:
+	$(GO) test -run 'TestStore|TestKey|TestLoadDir' ./internal/store/
+	$(GO) test -run 'TestRunnerStore|TestResume|TestRunnerCanceled' ./internal/harness/
+	$(GO) test -run 'TestCancelLatency|TestRunContext|TestCycleBudget|TestChunkedRun' ./internal/gpu/
+	$(GO) test -run 'TestStoreResume' ./cmd/getm-sim/
 
 test:
 	$(GO) test ./...

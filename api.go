@@ -1,6 +1,7 @@
 package getm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -28,6 +29,14 @@ func Protocols() []string {
 func Benchmarks() []string { return workloads.Names() }
 
 // Options configures one simulation run.
+//
+// Two fields use the zero value as a "default, please" sentinel rather than
+// a literal setting: Scale == 0 is normalized to 1.0 (full reproduction
+// scale), and Seed == 0 is normalized to 42 (the reproduction seed). A
+// literal scale of 0 is meaningless, but note this makes a literal seed of 0
+// inexpressible — runs that must distinguish seeds should use values >= 1.
+// The normalization happens on a copy inside Run/RunContext; the caller's
+// Options value is never modified.
 type Options struct {
 	// Protocol is one of the Protocol constants (default GETM).
 	Protocol string
@@ -38,9 +47,9 @@ type Options struct {
 	// Cores selects the machine: 15 (default, the paper's GTX480-like
 	// setup) or 56 (the scalability configuration).
 	Cores int
-	// Scale multiplies workload sizes (default 1.0).
+	// Scale multiplies workload sizes. 0 is a sentinel for the default 1.0.
 	Scale float64
-	// Seed drives workload generation (default 42).
+	// Seed drives workload generation. 0 is a sentinel for the default 42.
 	Seed uint64
 	// MetadataEntries and GranularityBytes override GETM's metadata table
 	// (0 = paper defaults: 4096 entries, 32-byte granules).
@@ -62,6 +71,51 @@ func (o Options) normalize() Options {
 		o.Seed = 42
 	}
 	return o
+}
+
+// config builds the machine configuration the options describe.
+func (o Options) config() gpu.Config {
+	var cfg gpu.Config
+	if o.Cores == 56 {
+		cfg = gpu.ScaledConfig(gpu.Protocol(o.Protocol))
+	} else {
+		cfg = gpu.DefaultConfig(gpu.Protocol(o.Protocol))
+		if o.Cores > 0 {
+			cfg.Cores = o.Cores
+		}
+	}
+	cfg.Core.MaxTxWarps = o.Concurrency
+	if o.MetadataEntries > 0 {
+		cfg.GETM.PreciseEntries = o.MetadataEntries
+	}
+	if o.GranularityBytes > 0 {
+		cfg.GETM.GranularityBytes = o.GranularityBytes
+	}
+	return cfg
+}
+
+// validate checks the enumerable fields up front so bad options fail with
+// the typed sentinels before any simulation work.
+func (o Options) validate() error {
+	okProto := false
+	for _, p := range Protocols() {
+		if o.Protocol == p {
+			okProto = true
+		}
+	}
+	if !okProto {
+		return fmt.Errorf("%w %q (want one of %v)", ErrUnknownProtocol, o.Protocol, Protocols())
+	}
+	okBench := false
+	for _, b := range Benchmarks() {
+		if o.Benchmark == b {
+			okBench = true
+		}
+	}
+	if !okBench {
+		return fmt.Errorf("%w %q (want one of %v)", ErrUnknownBenchmark, o.Benchmark, Benchmarks())
+	}
+	return nil
 }
 
 // Metrics summarizes a run. Cycle quantities are in interconnect cycles.
@@ -89,6 +143,11 @@ type Metrics struct {
 	MaxStalledRequests uint64
 	// Counters carries additional protocol-specific counters.
 	Counters map[string]uint64
+	// Truncated marks partial metrics from a run cut short by context
+	// cancellation (RunContext returned an error matching ErrCanceled
+	// alongside these tallies). Truncated metrics cover the run's first
+	// TotalCycles cycles only and skip end-of-run verification.
+	Truncated bool
 }
 
 // AbortsPer1KCommits returns the paper's Table IV abort metric.
@@ -100,34 +159,22 @@ func (m Metrics) AbortsPer1KCommits() float64 {
 }
 
 // Run simulates one benchmark under one protocol and returns its metrics.
-// The run is deterministic for fixed Options.
+// The run is deterministic for fixed Options. It is the context-free wrapper
+// around RunContext.
 func Run(o Options) (Metrics, error) {
-	o = o.normalize()
-	valid := false
-	for _, p := range Protocols() {
-		if o.Protocol == p {
-			valid = true
-		}
-	}
-	if !valid {
-		return Metrics{}, fmt.Errorf("getm: unknown protocol %q (want one of %v)", o.Protocol, Protocols())
-	}
+	return RunContext(context.Background(), o)
+}
 
-	var cfg gpu.Config
-	if o.Cores == 56 {
-		cfg = gpu.ScaledConfig(gpu.Protocol(o.Protocol))
-	} else {
-		cfg = gpu.DefaultConfig(gpu.Protocol(o.Protocol))
-		if o.Cores > 0 {
-			cfg.Cores = o.Cores
-		}
-	}
-	cfg.Core.MaxTxWarps = o.Concurrency
-	if o.MetadataEntries > 0 {
-		cfg.GETM.PreciseEntries = o.MetadataEntries
-	}
-	if o.GranularityBytes > 0 {
-		cfg.GETM.GranularityBytes = o.GranularityBytes
+// RunContext simulates one benchmark under one protocol, honouring ctx: a
+// cancel or deadline stops the engine within one chunk of simulated cycles
+// (gpu.DefaultCancelChunk) and returns the partial metrics accumulated so
+// far, tagged Truncated, alongside an error matching ErrCanceled. Runs are
+// deterministic for fixed Options, and a cancellable context that never
+// fires changes nothing about the result.
+func RunContext(ctx context.Context, o Options) (Metrics, error) {
+	o = o.normalize()
+	if err := o.validate(); err != nil {
+		return Metrics{}, err
 	}
 
 	variant := workloads.TM
@@ -138,11 +185,15 @@ func Run(o Options) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
-	res, err := gpu.Run(cfg, k)
-	if err != nil {
+	res, err := gpu.RunContext(ctx, o.config(), k)
+	if res == nil {
 		return Metrics{}, err
 	}
+	return toMetrics(res), err
+}
 
+// toMetrics converts the internal result to the public metrics shape.
+func toMetrics(res *gpu.Result) Metrics {
 	m := res.Metrics
 	out := Metrics{
 		TotalCycles:        m.TotalCycles,
@@ -156,6 +207,7 @@ func Run(o Options) (Metrics, error) {
 		MetaAccessCycles:   m.MetaAccessCycles.Mean(),
 		MaxStalledRequests: m.StallBufMaxOccupancy,
 		Counters:           map[string]uint64{},
+		Truncated:          res.Truncated,
 	}
 	for k, v := range m.AbortsByCause {
 		out.AbortsByCause[k] = v
@@ -163,35 +215,41 @@ func Run(o Options) (Metrics, error) {
 	for k, v := range m.Extra {
 		out.Counters[k] = v
 	}
-	return out, nil
+	return out
+}
+
+// Experiment identifies one reproduction experiment (a figure or table of
+// the paper's evaluation).
+type Experiment struct {
+	ID    string
+	Title string
 }
 
 // Experiments lists the reproduction experiment ids (fig3..fig17, table4,
 // table5) with their titles, in the paper's order.
-func Experiments() []struct{ ID, Title string } {
-	var out []struct{ ID, Title string }
+func Experiments() []Experiment {
+	var out []Experiment
 	for _, e := range harness.All() {
-		out = append(out, struct{ ID, Title string }{e.ID, e.Title})
+		out = append(out, Experiment{ID: e.ID, Title: e.Title})
 	}
 	return out
 }
 
 // RunExperiment regenerates one of the paper's figures or tables at the
-// given workload scale (1.0 = full) and returns the rendered report.
+// given workload scale (1.0 = full; non-positive values mean 1.0) and
+// returns the rendered report. It is the context-free wrapper around
+// RunExperimentContext.
 func RunExperiment(id string, scale float64) (string, error) {
-	e, ok := harness.ByID(id)
-	if !ok {
-		var ids []string
-		for _, x := range harness.All() {
-			ids = append(ids, x.ID)
-		}
-		sort.Strings(ids)
-		return "", fmt.Errorf("getm: unknown experiment %q (want one of %v)", id, ids)
+	return RunExperimentContext(context.Background(), id, WithScale(scale))
+}
+
+func experimentIDs() []string {
+	var ids []string
+	for _, x := range harness.All() {
+		ids = append(ids, x.ID)
 	}
-	if scale <= 0 {
-		scale = 1
-	}
-	return e.Run(harness.NewRunner(scale)).String(), nil
+	sort.Strings(ids)
+	return ids
 }
 
 // TableV returns the silicon area and power comparison (paper Table V) from

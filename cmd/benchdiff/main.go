@@ -20,6 +20,17 @@
 // the same percentage comparison. The two input files may be of different
 // kinds, but comparing a bench output against a sample CSV yields no common
 // series.
+//
+// And it diffs result stores: when both arguments are directories, each is
+// loaded as a getm result store (the `-store DIR` of getm-sim/-sweep/-bench)
+// and the cells are compared pairwise by their descriptions — cycles, tx
+// exec/wait, commits, aborts, crossbar bytes per cell. That turns two stored
+// campaigns (say, before and after a protocol change) into one delta table:
+//
+//	getm-bench -scale 0.25 -store runs/base all
+//	# ...make changes...
+//	getm-bench -scale 0.25 -store runs/tuned all
+//	benchdiff runs/base runs/tuned
 package main
 
 import (
@@ -29,6 +40,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"getm/internal/store"
 )
 
 // metricKey identifies one measured series: a benchmark plus a unit.
@@ -128,6 +141,34 @@ func parseSampleCSV(sc *bufio.Scanner) (map[metricKey]float64, []string, error) 
 	return out, names, nil
 }
 
+// parseStoreDir reduces every record of a result store to its headline
+// metrics, keyed by the record's description (the runner's job key or the
+// CLI's proto/bench label). Corrupt records are skipped by LoadDir, exactly
+// as the runners themselves would skip them.
+func parseStoreDir(dir string) (map[metricKey]float64, []string, error) {
+	recs, err := store.LoadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := map[metricKey]float64{}
+	var order []string
+	for _, rec := range recs {
+		name := rec.Desc
+		if name == "" {
+			name = rec.Key
+		}
+		m := rec.Metrics
+		out[metricKey{name, "cycles"}] = float64(m.TotalCycles)
+		out[metricKey{name, "tx-exec"}] = float64(m.TxExecCycles)
+		out[metricKey{name, "tx-wait"}] = float64(m.TxWaitCycles)
+		out[metricKey{name, "commits"}] = float64(m.Commits)
+		out[metricKey{name, "aborts"}] = float64(m.Aborts)
+		out[metricKey{name, "xbar-B"}] = float64(m.XbarBytes())
+		order = append(order, name)
+	}
+	return out, order, nil
+}
+
 // trimProcSuffix drops the -GOMAXPROCS suffix so runs from machines with
 // different CPU counts still line up.
 func trimProcSuffix(name string) string {
@@ -157,15 +198,24 @@ func unitRank(unit string) int {
 
 func main() {
 	if len(os.Args) != 3 {
-		fmt.Fprintf(os.Stderr, "usage: %s <old-bench-output> <new-bench-output>\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s <old-bench-output|store-dir> <new-bench-output|store-dir>\n", os.Args[0])
 		os.Exit(2)
 	}
-	oldM, oldOrder, err := parseFile(os.Args[1])
+	oldDir, newDir := isDir(os.Args[1]), isDir(os.Args[2])
+	if oldDir != newDir {
+		fmt.Fprintln(os.Stderr, "benchdiff: cannot compare a store directory against a file")
+		os.Exit(2)
+	}
+	parse := parseFile
+	if oldDir {
+		parse = parseStoreDir
+	}
+	oldM, oldOrder, err := parse(os.Args[1])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
-	newM, newOrder, err := parseFile(os.Args[2])
+	newM, newOrder, err := parse(os.Args[2])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
@@ -219,6 +269,12 @@ func main() {
 			}
 		}
 	}
+}
+
+// isDir reports whether path names an existing directory.
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
 }
 
 // fmtVal prints a metric value without trailing decimal noise.

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"testing"
+
+	"getm/internal/stats"
+	"getm/internal/store"
+)
+
+// Two store directories must reduce to comparable per-cell metric tables,
+// joined by record description.
+func TestParseStoreDir(t *testing.T) {
+	dir := t.TempDir()
+	st := store.Open(dir)
+	if err := st.Degraded(); err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(cycles, commits uint64) *stats.Metrics {
+		m := stats.NewMetrics()
+		m.TotalCycles = cycles
+		m.TxExecCycles = cycles / 2
+		m.TxWaitCycles = cycles / 4
+		m.Commits = commits
+		m.Aborts = commits / 10
+		m.XbarUpBytes = 1000
+		m.XbarDownBytes = 500
+		return m
+	}
+	if err := st.Put("aaaa", "getm/ht-h", mk(5000, 400)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("bbbb", "getm/atm", mk(8000, 900)); err != nil {
+		t.Fatal(err)
+	}
+
+	got, order, err := parseStoreDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 {
+		t.Fatalf("got %d cells, want 2 (%v)", len(order), order)
+	}
+	// LoadDir sorts by description.
+	if order[0] != "getm/atm" || order[1] != "getm/ht-h" {
+		t.Fatalf("unexpected cell order %v", order)
+	}
+	if v := got[metricKey{"getm/ht-h", "cycles"}]; v != 5000 {
+		t.Fatalf("ht-h cycles = %v, want 5000", v)
+	}
+	if v := got[metricKey{"getm/atm", "commits"}]; v != 900 {
+		t.Fatalf("atm commits = %v, want 900", v)
+	}
+	if v := got[metricKey{"getm/ht-h", "xbar-B"}]; v != 1500 {
+		t.Fatalf("ht-h xbar bytes = %v, want 1500", v)
+	}
+}
+
+// A store directory and a flat file must be mutually unmixable but each
+// parseable on its own; here we only pin the directory detector.
+func TestIsDir(t *testing.T) {
+	dir := t.TempDir()
+	if !isDir(dir) {
+		t.Error("isDir(tempdir) = false")
+	}
+	if isDir(dir + "/missing") {
+		t.Error("isDir(missing) = true")
+	}
+}

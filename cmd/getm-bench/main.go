@@ -21,9 +21,19 @@
 // deterministic and deduplicated by the harness, so the report output on
 // stdout is byte-identical to a serial run (progress and timing go to
 // stderr).
+//
+// With -store DIR every completed simulation is persisted to a crash-safe
+// result store, and (unless -resume=false) cells already present — from this
+// or an earlier, possibly killed, invocation — are loaded instead of re-run,
+// so an interrupted full-scale campaign resumed against the same directory
+// simulates only the missing cells and prints byte-identical reports.
+// -timeout bounds the run; on expiry in-flight simulations stop within one
+// chunk of cycles, nothing partial is persisted, and the exit status is
+// nonzero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +45,7 @@ import (
 	"getm/internal/gpu"
 	"getm/internal/harness"
 	"getm/internal/report"
+	"getm/internal/store"
 	"getm/internal/trace"
 	"getm/internal/workloads"
 )
@@ -53,6 +64,9 @@ func main() {
 	traceFormat := flag.String("trace-format", trace.FormatPerfetto, "trace output format: perfetto, csv, text")
 	traceFilter := flag.String("trace-filter", "all", "comma-separated event sources to record, or 'all'")
 	sampleInterval := flag.Uint64("sample-interval", 1000, "cycles between telemetry samples (0 disables sampling)")
+	storeDir := flag.String("store", "", "persist results to (and resume them from) this directory")
+	resume := flag.Bool("resume", true, "with -store, reuse existing records instead of re-simulating")
+	timeout := flag.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = none)")
 	flag.Parse()
 
 	if *list {
@@ -104,6 +118,18 @@ func main() {
 
 	r := harness.NewRunner(*scale)
 	r.Seed = *seed
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		r.Ctx = ctx
+	}
+	if *storeDir != "" {
+		r.Store = store.Open(*storeDir)
+		if err := r.Store.Degraded(); err != nil {
+			fmt.Fprintln(os.Stderr, "warning: store degraded (results will not persist):", err)
+		}
+		r.StoreReuse = *resume
+	}
 	if *verbose {
 		var logMu sync.Mutex
 		r.Verbose = func(s string) {
@@ -173,6 +199,9 @@ func main() {
 		}
 	}
 
+	if r.Store != nil {
+		fmt.Fprintf(os.Stderr, "%d simulated, %d reused from store\n", r.Simulated(), r.StoreHits())
+	}
 	if err := r.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "simulation failures:")
 		fmt.Fprintln(os.Stderr, err)

@@ -5,14 +5,25 @@
 //	getm-sim -bench ht-h -proto getm [-conc 8] [-scale 1.0] [-cores 15] [-verbose]
 //	         [-trace out.json] [-trace-format perfetto|csv|text]
 //	         [-trace-filter simt,xbar,mem,core,warptm,eapg,tx] [-sample-interval 1000]
+//	         [-store DIR] [-resume] [-timeout 30s]
 //
 // With -trace, the run records structured events from every machine layer
 // plus interval-sampled time series, and writes them to the given file:
 // perfetto output loads into ui.perfetto.dev / chrome://tracing, csv holds
 // the sampled series only, text is a human-readable merged log.
+//
+// With -store DIR, the completed run is persisted to a crash-safe result
+// store, and (unless -resume=false) an existing record for this exact
+// configuration is reused instead of re-simulating — printing the identical
+// metrics. Traced runs never reuse records (the trace must be regenerated)
+// but still persist their metrics, which are cycle-identical to untraced
+// ones. -timeout bounds the run's wall-clock time; a run cut short prints
+// its partial metrics with a "TRUNCATED" note and exits nonzero, and is
+// never persisted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +31,8 @@ import (
 	"sort"
 
 	"getm/internal/gpu"
+	"getm/internal/stats"
+	"getm/internal/store"
 	"getm/internal/trace"
 	"getm/internal/workloads"
 )
@@ -42,6 +55,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceFormat := fs.String("trace-format", trace.FormatPerfetto, "trace output format: perfetto, csv, text")
 	traceFilter := fs.String("trace-filter", "all", "comma-separated event sources to record (simt,xbar,mem,core,warptm,eapg,tx) or 'all'")
 	sampleInterval := fs.Uint64("sample-interval", 1000, "cycles between telemetry samples (0 disables sampling)")
+	storeDir := fs.String("store", "", "persist results to (and reuse them from) this directory")
+	resume := fs.Bool("resume", true, "with -store, reuse existing records instead of re-simulating")
+	timeout := fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -75,21 +91,63 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	res, err := gpu.Run(cfg, k)
-	if err != nil {
-		fmt.Fprintln(stderr, "error:", err)
-		return 1
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var st *store.Store
+	var storeKey string
+	if *storeDir != "" {
+		st = store.Open(*storeDir)
+		if err := st.Degraded(); err != nil {
+			fmt.Fprintln(stderr, "warning: store degraded (results will not persist):", err)
+		}
+		storeKey = store.Key(cfg, *bench, *scale, *seed)
 	}
 
-	if *traceFile != "" {
-		if err := exportTrace(*traceFile, res.Trace, *traceFormat); err != nil {
+	// A verified stored record short-circuits the simulation — except when a
+	// trace was requested, since the trace itself must be regenerated (the
+	// metrics of a traced run are cycle-identical, so the record stays valid).
+	var m *stats.Metrics
+	truncated := false
+	if st != nil && *resume && *traceFile == "" {
+		if got, ok := st.Get(storeKey); ok {
+			m = got
+			fmt.Fprintln(stderr, "result loaded from store")
+		}
+	}
+	if m == nil {
+		res, err := gpu.RunContext(ctx, cfg, k)
+		if res == nil {
 			fmt.Fprintln(stderr, "error:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "trace written    %s (%s)\n", *traceFile, *traceFormat)
+		if *traceFile != "" {
+			if err := exportTrace(*traceFile, res.Trace, *traceFormat); err != nil {
+				fmt.Fprintln(stderr, "error:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "trace written    %s (%s)\n", *traceFile, *traceFormat)
+		}
+		m = res.Metrics
+		truncated = res.Truncated
+		switch {
+		case err != nil:
+			fmt.Fprintln(stderr, "error:", err)
+		case st != nil && !res.Truncated:
+			if perr := st.Put(storeKey, *proto+"/"+*bench, m); perr != nil {
+				fmt.Fprintln(stderr, "warning: store:", perr)
+			}
+		}
+		if err != nil {
+			truncated = true
+		}
+		if truncated {
+			fmt.Fprintf(stdout, "TRUNCATED        partial metrics, run stopped at cycle %d\n", res.TruncatedAt)
+		}
 	}
-
-	m := res.Metrics
 	fmt.Fprintf(stdout, "benchmark        %s (%s, %d cores, conc %s)\n", *bench, *proto, cfg.Cores, concStr(*conc))
 	fmt.Fprintf(stdout, "total cycles     %d\n", m.TotalCycles)
 	fmt.Fprintf(stdout, "tx exec cycles   %d\n", m.TxExecCycles)
@@ -117,6 +175,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, k := range keys {
 			fmt.Fprintf(stdout, "  %-24s %d\n", k, m.Extra[k])
 		}
+	}
+	if truncated {
+		return 1
 	}
 	return 0
 }

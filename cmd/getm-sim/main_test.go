@@ -101,3 +101,67 @@ func TestTraceBadFilter(t *testing.T) {
 		t.Errorf("error does not name the bad source: %s", stderr.String())
 	}
 }
+
+// A stored run re-invoked against the same directory must load the record
+// instead of re-simulating, with byte-identical stdout; a corrupted record
+// must be silently recomputed, again byte-identically.
+func TestStoreResume(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	args := []string{"-bench", "ht-h", "-scale", "0.05", "-conc", "4", "-store", dir}
+
+	var out1, err1 bytes.Buffer
+	if code := run(args, &out1, &err1); code != 0 {
+		t.Fatalf("first run exited %d\nstderr: %s", code, err1.String())
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("store holds %d records, want 1", len(ents))
+	}
+
+	var out2, err2 bytes.Buffer
+	if code := run(args, &out2, &err2); code != 0 {
+		t.Fatalf("second run exited %d\nstderr: %s", code, err2.String())
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("resumed output differs:\n--- first ---\n%s--- second ---\n%s", out1.String(), out2.String())
+	}
+	if !strings.Contains(err2.String(), "loaded from store") {
+		t.Errorf("second run did not report a store hit:\n%s", err2.String())
+	}
+
+	// Corrupt the record: the next run silently recomputes, identically.
+	path := filepath.Join(dir, ents[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x08
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out3, err3 bytes.Buffer
+	if code := run(args, &out3, &err3); code != 0 {
+		t.Fatalf("post-corruption run exited %d\nstderr: %s", code, err3.String())
+	}
+	if out1.String() != out3.String() {
+		t.Fatal("recomputed output differs from the original run")
+	}
+	if strings.Contains(err3.String(), "loaded from store") {
+		t.Error("corrupt record was served as a store hit")
+	}
+
+	// -resume=false must re-simulate even with an intact record.
+	var out4, err4 bytes.Buffer
+	if code := run(append(args, "-resume=false"), &out4, &err4); code != 0 {
+		t.Fatalf("-resume=false run exited %d\nstderr: %s", code, err4.String())
+	}
+	if strings.Contains(err4.String(), "loaded from store") {
+		t.Error("-resume=false still read the store")
+	}
+	if out1.String() != out4.String() {
+		t.Fatal("re-simulated output differs")
+	}
+}

@@ -15,9 +15,17 @@
 //
 // Sweep points are independent deterministic simulations, so -workers N runs
 // them in parallel; the table is assembled in value order either way.
+//
+// With -store DIR each completed point is persisted crash-safely and (unless
+// -resume=false) points already present in the store — from this or an
+// earlier, possibly killed, invocation — are reused instead of re-simulated,
+// so a resumed sweep runs only the missing cells and prints a byte-identical
+// table. -timeout bounds the whole sweep; points cut short are reported as
+// errors and never persisted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,10 +33,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"getm/internal/gpu"
 	"getm/internal/report"
 	"getm/internal/stats"
+	"getm/internal/store"
 	"getm/internal/workloads"
 )
 
@@ -42,6 +52,9 @@ func main() {
 	conc := flag.Int("conc", 8, "tx warps/core when not the swept knob")
 	format := flag.String("format", "text", "output format: text, markdown, csv")
 	workers := flag.Int("workers", 1, "run sweep points on this many parallel workers (0 = all CPUs)")
+	storeDir := flag.String("store", "", "persist results to (and resume them from) this directory")
+	resume := flag.Bool("resume", true, "with -store, reuse existing records instead of re-simulating")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this wall-clock duration (0 = none)")
 	flag.Parse()
 
 	var vals []int
@@ -89,15 +102,31 @@ func main() {
 		configs[i] = cfg
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		st = store.Open(*storeDir)
+		if err := st.Degraded(); err != nil {
+			fmt.Fprintln(os.Stderr, "warning: store degraded (results will not persist):", err)
+		}
+	}
+
 	// Each point is an independent deterministic simulation; run them on a
 	// bounded worker pool and keep results indexed so the table order (and
-	// therefore the output) matches the serial run exactly.
+	// therefore the output) matches the serial run exactly. With a store,
+	// points persisted by an earlier invocation are loaded instead of re-run.
 	par := *workers
 	if par <= 0 {
 		par = runtime.NumCPU()
 	}
 	metrics := make([]*stats.Metrics, len(vals))
 	errs := make([]error, len(vals))
+	var simulated, reused atomic.Int64
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
 	for i := range vals {
@@ -107,20 +136,41 @@ func main() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			var key string
+			if st != nil {
+				key = store.Key(configs[i], *bench, *scale, *seed)
+				if *resume {
+					if m, ok := st.Get(key); ok {
+						metrics[i] = m
+						reused.Add(1)
+						return
+					}
+				}
+			}
 			k, err := workloads.Build(*bench, variant, workloads.Params{Scale: *scale, Seed: *seed})
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			res, err := gpu.Run(configs[i], k)
+			res, err := gpu.RunContext(ctx, configs[i], k)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			metrics[i] = res.Metrics
+			simulated.Add(1)
+			if st != nil {
+				desc := fmt.Sprintf("%s/%s/%s=%d", *proto, *bench, *knob, vals[i])
+				if perr := st.Put(key, desc, res.Metrics); perr != nil {
+					fmt.Fprintln(os.Stderr, "warning: store:", perr)
+				}
+			}
 		}()
 	}
 	wg.Wait()
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "%d simulated, %d reused from store\n", simulated.Load(), reused.Load())
+	}
 
 	for i, v := range vals {
 		if errs[i] != nil {

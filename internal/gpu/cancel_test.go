@@ -1,0 +1,171 @@
+package gpu_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	. "getm/internal/gpu"
+	"getm/internal/sim"
+	"getm/internal/workloads"
+)
+
+// pollCountCtx is a deterministic cancellable context: Err reports Canceled
+// from its n-th poll onward. Done returns a non-nil (never-closed) channel so
+// RunContext treats it as cancellable; the run loop polls Err at chunk
+// boundaries, which is what makes this exact.
+type pollCountCtx struct {
+	context.Context
+	polls   int
+	cancelN int
+}
+
+func (c *pollCountCtx) Done() <-chan struct{} { return make(chan struct{}) }
+
+func (c *pollCountCtx) Err() error {
+	c.polls++
+	if c.polls >= c.cancelN {
+		return context.Canceled
+	}
+	return nil
+}
+
+func buildSmall(t *testing.T, bench string) *Kernel {
+	t.Helper()
+	k, err := workloads.Build(bench, workloads.TM, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// A context cancelled before the run starts fails fast with ErrCanceled.
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, smallConfig(ProtoGETM), buildSmall(t, "ht-h"))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want to also match context.Canceled", err)
+	}
+}
+
+// Cancellation must take effect within one chunk of simulated cycles: with a
+// context that reports cancellation at its k-th boundary poll, the run stops
+// at exactly cycle k*chunk and returns partial metrics tagged Truncated.
+func TestCancelLatencyOneChunk(t *testing.T) {
+	full := runSmall(t, ProtoGETM, "ht-h").Metrics
+
+	const chunk = 2000
+	const cancelAtPoll = 3
+	cfg := smallConfig(ProtoGETM)
+	cfg.Record = false
+	cfg.CancelChunk = chunk
+	ctx := &pollCountCtx{Context: context.Background(), cancelN: cancelAtPoll}
+	res, err := RunContext(ctx, cfg, buildSmall(t, "ht-h"))
+
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if res == nil || !res.Truncated {
+		t.Fatalf("result not tagged truncated: %+v", res)
+	}
+	// RunContext consumes one poll with its fail-fast pre-check, so the
+	// cancel is first observed at boundary poll cancelAtPoll-1, i.e. cycle
+	// (cancelAtPoll-1)*chunk — and the run must stop exactly there.
+	want := sim.Cycle((cancelAtPoll - 1) * chunk)
+	if res.TruncatedAt != want {
+		t.Fatalf("truncated at cycle %d, want boundary %d (within one %d-cycle chunk of the cancel)",
+			res.TruncatedAt, want, chunk)
+	}
+	m := res.Metrics
+	if m.TotalCycles != uint64(want) {
+		t.Fatalf("partial TotalCycles = %d, want %d", m.TotalCycles, want)
+	}
+	if uint64(want) >= full.TotalCycles {
+		t.Fatalf("test kernel too short (%d cycles) to cancel at %d", full.TotalCycles, want)
+	}
+	if m.Commits >= full.Commits {
+		t.Fatalf("partial commits %d not below full run's %d", m.Commits, full.Commits)
+	}
+}
+
+// A cancellable context that never fires must not perturb the simulation:
+// chunked and unchunked runs are cycle-identical.
+func TestChunkedRunCycleIdentical(t *testing.T) {
+	k1 := buildSmall(t, "atm")
+	plain, err := Run(smallConfig(ProtoGETM), k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, chunk := range []sim.Cycle{0, 777, 4096} {
+		cfg := smallConfig(ProtoGETM)
+		cfg.CancelChunk = chunk
+		ctx, cancel := context.WithCancel(context.Background())
+		chunked, err := RunContext(ctx, cfg, buildSmall(t, "atm"))
+		cancel()
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		if chunked.Truncated {
+			t.Fatalf("chunk %d: spuriously truncated", chunk)
+		}
+		if chunked.Metrics.TotalCycles != plain.Metrics.TotalCycles ||
+			chunked.Metrics.Commits != plain.Metrics.Commits ||
+			chunked.Metrics.Aborts != plain.Metrics.Aborts {
+			t.Fatalf("chunk %d: metrics diverged: %d/%d/%d vs %d/%d/%d", chunk,
+				chunked.Metrics.TotalCycles, chunked.Metrics.Commits, chunked.Metrics.Aborts,
+				plain.Metrics.TotalCycles, plain.Metrics.Commits, plain.Metrics.Aborts)
+		}
+	}
+}
+
+// A real deadline also cancels (non-deterministic timing, so only the error
+// shape and truncation flag are asserted).
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // ensure the deadline has passed
+	_, err := RunContext(ctx, smallConfig(ProtoGETM), buildSmall(t, "ht-h"))
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled and context.DeadlineExceeded", err)
+	}
+}
+
+// CycleBudget stops the run at the budget with partial metrics and no error.
+func TestCycleBudgetTruncates(t *testing.T) {
+	full := runSmall(t, ProtoGETM, "ht-h").Metrics
+
+	cfg := smallConfig(ProtoGETM)
+	cfg.Record = false
+	cfg.CycleBudget = sim.Cycle(full.TotalCycles / 2)
+	res, err := Run(cfg, buildSmall(t, "ht-h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("budgeted run not tagged truncated")
+	}
+	if res.TruncatedAt != cfg.CycleBudget || res.Metrics.TotalCycles != uint64(cfg.CycleBudget) {
+		t.Fatalf("truncated at %d (metrics %d), want budget %d",
+			res.TruncatedAt, res.Metrics.TotalCycles, cfg.CycleBudget)
+	}
+
+	// A budget the run never reaches changes nothing.
+	cfg.CycleBudget = sim.Cycle(full.TotalCycles * 2)
+	res, err = Run(cfg, buildSmall(t, "ht-h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("unreached budget truncated the run")
+	}
+	if res.Metrics.TotalCycles != full.TotalCycles {
+		t.Fatalf("unreached budget changed the run: %d vs %d cycles",
+			res.Metrics.TotalCycles, full.TotalCycles)
+	}
+}

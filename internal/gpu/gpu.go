@@ -5,6 +5,8 @@
 package gpu
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -54,7 +56,20 @@ type Config struct {
 	// serializability checker (integration tests).
 	Record bool
 	// MaxCycles aborts a run that exceeds this simulated length (0 = none).
+	// Exceeding it is an error — it is the runaway/deadlock backstop.
 	MaxCycles sim.Cycle
+	// CycleBudget stops a run after this many simulated cycles (0 = none).
+	// Unlike MaxCycles, hitting the budget is not an error: the run returns
+	// partial metrics with Result.Truncated set. Use it to bound the cost of
+	// exploratory runs.
+	CycleBudget sim.Cycle
+	// CancelChunk bounds cancellation latency: when RunContext is given a
+	// cancellable context and no telemetry sampling is active, the engine
+	// runs in chunks of this many cycles and polls the context at each
+	// boundary (0 = DefaultCancelChunk). Chunked stepping is cycle-identical
+	// to a single run (sim.Engine.RunChunked), so the setting never changes
+	// results — only how promptly a cancel takes effect.
+	CancelChunk sim.Cycle
 	// Trace, when non-nil, enables the machine-wide event recorder and
 	// interval sampler (internal/trace); the recorder is returned in
 	// Result.Trace. A nil Trace costs one pointer compare per would-be
@@ -111,12 +126,43 @@ type Result struct {
 	// Trace holds the event recorder when cfg.Trace was set (export it with
 	// trace.Export).
 	Trace *trace.Recorder
+	// Truncated marks a run cut short — by context cancellation or by
+	// Config.CycleBudget — at cycle TruncatedAt. Metrics are the partial
+	// tallies up to that point; kernel verification, deadlock detection, and
+	// protocol invariant checks are skipped (the machine was mid-flight).
+	// Truncated results must never be cached as if complete.
+	Truncated   bool
+	TruncatedAt sim.Cycle
 }
+
+// ErrCanceled is returned (wrapped) by RunContext when the context is
+// cancelled or its deadline expires before the kernel completes. The
+// context's own cause is joined in, so errors.Is also matches
+// context.Canceled / context.DeadlineExceeded as appropriate.
+var ErrCanceled = errors.New("run canceled")
+
+// DefaultCancelChunk is the engine-chunk size used to poll a cancellable
+// context when Config.CancelChunk is 0: cancellation takes effect within
+// this many simulated cycles.
+const DefaultCancelChunk sim.Cycle = 1 << 16
 
 // Run executes the kernel on the configured machine.
 func Run(cfg Config, k *Kernel) (*Result, error) {
+	return RunContext(context.Background(), cfg, k)
+}
+
+// RunContext executes the kernel, honouring ctx: a cancel or deadline stops
+// the engine at the next chunk boundary (at most Config.CancelChunk cycles
+// later, or the sampling interval when telemetry is active) and returns the
+// partial metrics tagged Truncated alongside an error wrapping ErrCanceled.
+// Chunked stepping is cycle-identical to an unchunked run, so passing a
+// cancellable context that never fires changes nothing about the result.
+func RunContext(ctx context.Context, cfg Config, k *Kernel) (*Result, error) {
 	if len(k.Programs) == 0 {
 		return nil, fmt.Errorf("gpu: kernel %q has no programs", k.Name)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("gpu: kernel %q: %w", k.Name, errors.Join(ErrCanceled, err))
 	}
 	eng := sim.NewEngine()
 	img := mem.NewImage()
@@ -170,11 +216,60 @@ func Run(cfg Config, k *Kernel) (*Result, error) {
 	for _, c := range cores {
 		c.Start()
 	}
+	// The budget is a softer MaxCycles: it lowers the run limit, and hitting
+	// it yields a truncated result instead of an error.
+	limit := cfg.MaxCycles
+	budgeted := cfg.CycleBudget != 0 && (limit == 0 || cfg.CycleBudget < limit)
+	if budgeted {
+		limit = cfg.CycleBudget
+	}
+
+	// Chunk the engine loop when anything needs to observe the run in
+	// flight: the telemetry sampler (chunk = sampling interval) or a
+	// cancellable context (chunk = CancelChunk). Chunked stepping processes
+	// events in exactly the order a single Run would (sim.Engine.RunChunked),
+	// so chunking never changes metrics — only cancel latency and sample
+	// cadence.
+	sampleEvery := sim.Cycle(0)
+	if rec != nil {
+		sampleEvery = sim.Cycle(rec.SampleEvery())
+	}
+	cancellable := ctx.Done() != nil
+	chunk := sampleEvery
+	if chunk == 0 && cancellable {
+		chunk = cfg.CancelChunk
+		if chunk == 0 {
+			chunk = DefaultCancelChunk
+		}
+	}
 	var end sim.Cycle
-	if rec != nil && rec.SampleEvery() > 0 {
-		end = runSampled(eng, rec, cfg.MaxCycles)
+	canceled := false
+	if chunk == 0 {
+		end = eng.Run(limit)
 	} else {
-		end = eng.Run(cfg.MaxCycles)
+		end = eng.RunChunked(limit, chunk, func(now sim.Cycle) bool {
+			if sampleEvery > 0 {
+				rec.TakeSample(uint64(now))
+			}
+			if cancellable && ctx.Err() != nil {
+				canceled = true
+				return false
+			}
+			return true
+		})
+		if sampleEvery > 0 {
+			// Final partial interval (TakeSample skips duplicate boundaries).
+			rec.TakeSample(uint64(end))
+		}
+	}
+
+	if canceled {
+		res := &Result{Metrics: m.collect(cores, end), Trace: rec, Truncated: true, TruncatedAt: end}
+		return res, fmt.Errorf("gpu: kernel %q canceled at cycle %d: %w",
+			k.Name, end, errors.Join(ErrCanceled, context.Cause(ctx)))
+	}
+	if budgeted && end >= limit && eng.Pending() > 0 {
+		return &Result{Metrics: m.collect(cores, end), Trace: rec, Truncated: true, TruncatedAt: end}, nil
 	}
 	if cfg.MaxCycles != 0 && end >= cfg.MaxCycles {
 		return nil, fmt.Errorf("gpu: kernel %q exceeded %d cycles", k.Name, cfg.MaxCycles)
@@ -206,33 +301,3 @@ func Run(cfg Config, k *Kernel) (*Result, error) {
 	return res, nil
 }
 
-// runSampled drives the engine in sample-interval chunks, taking a telemetry
-// sample at every interval boundary. The chunked eng.Run calls process events
-// in exactly the order a single call would (sampling reads state between
-// events but schedules nothing), so a traced run is cycle-identical to an
-// untraced one.
-func runSampled(eng *sim.Engine, rec *trace.Recorder, limit sim.Cycle) sim.Cycle {
-	every := sim.Cycle(rec.SampleEvery())
-	next := every
-	var end sim.Cycle
-	for {
-		target := next
-		if limit != 0 && target > limit {
-			target = limit
-		}
-		end = eng.Run(target)
-		if eng.Pending() == 0 {
-			break
-		}
-		if end >= target {
-			if limit != 0 && end >= limit {
-				break
-			}
-			rec.TakeSample(uint64(end))
-			next += every
-		}
-	}
-	// Final partial interval (TakeSample skips duplicate boundaries).
-	rec.TakeSample(uint64(end))
-	return end
-}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -103,14 +104,15 @@ func (r *Runner) runParallel(jobs []Job, workers int) error {
 	return errors.Join(errs...)
 }
 
-// runJob executes one simulation without touching shared state.
-func runJob(j Job, scale float64, seed uint64) (*stats.Metrics, error) {
+// runJob executes one simulation without touching shared state. A ctx cancel
+// stops the engine within one chunk of simulated cycles (gpu.RunContext).
+func runJob(ctx context.Context, j Job, scale float64, seed uint64) (*stats.Metrics, error) {
 	variant := workloads.TM
 	if j.Proto == gpu.ProtoFGLock {
 		variant = workloads.FGLock
 	}
 	k := workloads.MustBuild(j.Bench, variant, workloads.Params{Scale: scale, Seed: seed})
-	res, err := gpu.Run(j.config(), k)
+	res, err := gpu.RunContext(ctx, j.config(), k)
 	if err != nil {
 		return nil, err
 	}

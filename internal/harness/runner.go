@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -14,22 +15,27 @@ import (
 	"getm/internal/gpu"
 	"getm/internal/report"
 	"getm/internal/stats"
+	"getm/internal/store"
 	"getm/internal/workloads"
 )
 
 // ConcLevels are the paper's transactional-concurrency settings (0 = NL).
 var ConcLevels = []int{1, 2, 4, 8, 16, 0}
 
-// Runner executes, deduplicates, and caches simulation runs.
+// Runner executes, deduplicates, and caches simulation runs in two tiers:
+// an in-memory map in front of an optional crash-safe on-disk store. A
+// process resumed after a kill re-runs only the cells the previous process
+// never persisted, and — because stored metrics round-trip exactly — its
+// reports are byte-identical to an uninterrupted run's.
 //
 // Concurrency contract: Run, RunE, RunOptimal, OptimalConc, Err, and the
 // parallel precompute machinery are all safe to call from any number of
 // goroutines. A singleflight-style in-flight map guarantees that each unique
 // Job.key() simulates exactly once per process: concurrent callers of the
 // same job block until the one executing simulation finishes and then share
-// its (immutable) result. The configuration fields (Scale, Seed, Verbose)
-// must be set before the first Run* call and not mutated afterwards; Verbose
-// may be invoked from any worker goroutine.
+// its (immutable) result. The configuration fields (Scale, Seed, Verbose,
+// Ctx, Store, StoreReuse) must be set before the first Run* call and not
+// mutated afterwards; Verbose may be invoked from any worker goroutine.
 type Runner struct {
 	// Scale shrinks workloads for quick runs (1.0 = full reproduction
 	// scale).
@@ -39,16 +45,32 @@ type Runner struct {
 	// Verbose, if set, receives progress lines (possibly from multiple
 	// goroutines at once).
 	Verbose func(string)
+	// Ctx, if set, cancels in-flight and future simulations: once it fires,
+	// running engines stop within one chunk of simulated cycles and RunE
+	// returns an error matching gpu.ErrCanceled. Canceled results are never
+	// cached in either tier, so a later process (or a retry with a live
+	// context) re-runs them.
+	Ctx context.Context
+	// Store, if set, is the durable second cache tier: every completed
+	// simulation is persisted, and (when StoreReuse is set) cache misses
+	// consult the store before simulating. Errors are never persisted.
+	Store *store.Store
+	// StoreReuse enables reading existing records from Store. Without it the
+	// store is write-only: records are refreshed but never trusted — the
+	// CLIs' `-resume=false`.
+	StoreReuse bool
 
-	mu       sync.Mutex
-	cache    map[string]*stats.Metrics
-	errCache map[string]error
-	inflight map[string]*inflightRun
-	optC     map[string]int
-	errs     []error
+	mu        sync.Mutex
+	cache     map[string]*stats.Metrics
+	errCache  map[string]error
+	inflight  map[string]*inflightRun
+	optC      map[string]int
+	errs      []error
+	simCount  int // simulations actually executed (not cache or store hits)
+	diskHits  int // results served from the on-disk store
 
 	// simulate replaces runJob in tests (counting stubs, failure injection).
-	simulate func(Job, float64, uint64) (*stats.Metrics, error)
+	simulate func(context.Context, Job, float64, uint64) (*stats.Metrics, error)
 }
 
 // inflightRun is the singleflight cell shared by concurrent callers of one
@@ -110,7 +132,10 @@ func (j Job) config() gpu.Config {
 // RunE simulates the job and returns its metrics or the simulation error.
 // Results (including errors — simulations are deterministic, so a failing
 // job fails identically on retry) are cached by Job.key(); concurrent calls
-// for the same key share a single simulation.
+// for the same key share a single simulation. With a Store attached, a miss
+// in memory consults the disk tier before simulating (when StoreReuse is
+// set), and every completed simulation is persisted. Canceled runs are
+// cached in neither tier.
 func (r *Runner) RunE(j Job) (*stats.Metrics, error) {
 	key := j.key()
 	r.mu.Lock()
@@ -131,33 +156,92 @@ func (r *Runner) RunE(j Job) (*stats.Metrics, error) {
 	c := &inflightRun{done: make(chan struct{})}
 	r.inflight[key] = c
 	sim := r.simulate
+	ctx := r.Ctx
 	r.mu.Unlock()
 
-	if sim == nil {
-		sim = runJob
+	// Disk tier: a verified record is as good as having simulated. Corrupt
+	// or truncated records fail verification inside Get and read as misses.
+	fromDisk := false
+	if r.Store != nil && r.StoreReuse {
+		if m, ok := r.Store.Get(r.storeKey(j)); ok {
+			c.m, fromDisk = m, true
+		}
 	}
-	c.m, c.err = sim(j, r.Scale, r.Seed)
+	if !fromDisk {
+		if sim == nil {
+			sim = runJob
+		}
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		c.m, c.err = sim(ctx, j, r.Scale, r.Seed)
+		if c.err == nil && r.Store != nil {
+			// Persist before publishing; a crash after this point costs
+			// nothing on resume. Put is atomic, so a concurrent process
+			// writing the same (deterministic) record is harmless.
+			if err := r.Store.Put(r.storeKey(j), key, c.m); err != nil && r.Verbose != nil {
+				r.Verbose("store: " + err.Error())
+			}
+		}
+	}
 
+	canceled := c.err != nil && errors.Is(c.err, gpu.ErrCanceled)
 	r.mu.Lock()
 	delete(r.inflight, key)
-	if c.err != nil {
+	switch {
+	case canceled:
+		// Recorded in errs (so Err reports the cancellation) but not cached:
+		// the job never completed, and a retry with a live context (or a
+		// resumed process) must actually run it.
+		c.err = fmt.Errorf("harness: %s: %w", key, c.err)
+		r.errs = append(r.errs, c.err)
+	case c.err != nil:
 		c.err = fmt.Errorf("harness: %s: %w", key, c.err)
 		r.errCache[key] = c.err
 		r.errs = append(r.errs, c.err)
-	} else {
+	default:
 		r.cache[key] = c.m
+		if fromDisk {
+			r.diskHits++
+		} else {
+			r.simCount++
+		}
 	}
 	r.mu.Unlock()
 	close(c.done)
 
 	if r.Verbose != nil {
-		if c.err != nil {
+		switch {
+		case c.err != nil:
 			r.Verbose("FAILED " + key + ": " + c.err.Error())
-		} else {
+		case fromDisk:
+			r.Verbose(fmt.Sprintf("load %-40s %12d cycles (store)", key, c.m.TotalCycles))
+		default:
 			r.Verbose(fmt.Sprintf("ran %-40s %12d cycles", key, c.m.TotalCycles))
 		}
 	}
 	return c.m, c.err
+}
+
+// storeKey returns the job's content address in the on-disk store.
+func (r *Runner) storeKey(j Job) string {
+	return store.Key(j.config(), j.Bench, r.Scale, r.Seed)
+}
+
+// Simulated returns the number of simulations this process actually executed
+// — cache and store hits excluded. It is the instrumentation behind the
+// resume guarantee: a resumed sweep must simulate only the missing cells.
+func (r *Runner) Simulated() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.simCount
+}
+
+// StoreHits returns the number of results served from the on-disk store.
+func (r *Runner) StoreHits() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.diskHits
 }
 
 // Run simulates the job (cached, thread-safe). On simulation failure it

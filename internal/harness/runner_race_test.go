@@ -6,6 +6,7 @@ package harness
 // under -race — `make check` enforces that.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -21,7 +22,7 @@ import (
 // and returns distinguishable metrics without running the GPU model.
 func countingStub(r *Runner) *sync.Map {
 	var counts sync.Map
-	r.simulate = func(j Job, scale float64, seed uint64) (*stats.Metrics, error) {
+	r.simulate = func(_ context.Context, j Job, scale float64, seed uint64) (*stats.Metrics, error) {
 		c, _ := counts.LoadOrStore(j.key(), new(atomic.Int64))
 		c.(*atomic.Int64).Add(1)
 		return &stats.Metrics{TotalCycles: uint64(100 + j.Conc)}, nil
@@ -124,7 +125,7 @@ func TestRunSurfacesErrors(t *testing.T) {
 	r := NewRunner(0.03)
 	boom := errors.New("boom")
 	var failRuns atomic.Int64
-	r.simulate = func(j Job, scale float64, seed uint64) (*stats.Metrics, error) {
+	r.simulate = func(_ context.Context, j Job, scale float64, seed uint64) (*stats.Metrics, error) {
 		if j.Bench == "atm" {
 			failRuns.Add(1)
 			return nil, boom
@@ -166,7 +167,7 @@ func TestInflightSharing(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var runs atomic.Int64
-	r.simulate = func(j Job, scale float64, seed uint64) (*stats.Metrics, error) {
+	r.simulate = func(_ context.Context, j Job, scale float64, seed uint64) (*stats.Metrics, error) {
 		runs.Add(1)
 		close(started)
 		<-release

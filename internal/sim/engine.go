@@ -151,6 +151,48 @@ func (e *Engine) Run(limit Cycle) Cycle {
 	return e.now
 }
 
+// RunChunked executes like Run(limit), but pauses at every multiple of chunk
+// cycles reached with events still pending and calls between(now). Returning
+// false from between stops the run at that boundary; the queue is left intact,
+// so a later Run or RunChunked resumes exactly where this one stopped.
+//
+// The chunked eng.Run calls process events in precisely the order one
+// Run(limit) call would — pausing schedules nothing and mutates no state — so
+// a chunked run is cycle-identical to an unchunked one (see
+// TestRunChunkedIdentical). This is the primitive behind both interval
+// telemetry sampling and cooperative cancellation in the gpu layer: between
+// is the hook where samples are taken and contexts polled, bounding cancel
+// latency to one chunk of simulated cycles.
+//
+// A chunk of 0 degenerates to a single Run(limit) call; between is never
+// invoked.
+func (e *Engine) RunChunked(limit, chunk Cycle, between func(now Cycle) bool) Cycle {
+	if chunk == 0 {
+		return e.Run(limit)
+	}
+	next := e.now + chunk
+	var end Cycle
+	for {
+		target := next
+		if limit != 0 && target > limit {
+			target = limit
+		}
+		end = e.Run(target)
+		if e.Pending() == 0 {
+			return end
+		}
+		if limit != 0 && end >= limit {
+			return end
+		}
+		if end >= target {
+			if between != nil && !between(end) {
+				return end
+			}
+			next += chunk
+		}
+	}
+}
+
 // heapPush inserts an event into the binary min-heap.
 func (e *Engine) heapPush(ev event) {
 	pq := append(e.pq, ev)

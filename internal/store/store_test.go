@@ -1,0 +1,293 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"getm/internal/gpu"
+	"getm/internal/stats"
+	"getm/internal/trace"
+)
+
+// sampleMetrics builds a metrics snapshot exercising every field shape:
+// scalar counters, counter maps, histograms, and float accumulators with
+// values that would expose lossy encoding.
+func sampleMetrics(salt uint64) *stats.Metrics {
+	m := stats.NewMetrics()
+	m.TotalCycles = 123456789 + salt
+	m.TxExecCycles = 1111 + salt
+	m.TxWaitCycles = 2222
+	m.Commits = 3333
+	m.Aborts = 444
+	m.AbortsByCause.Inc("war", 100)
+	m.AbortsByCause.Inc("waw-raw", 200)
+	m.AbortsByCause.Inc("stall-full", 144)
+	m.XbarUpBytes = 5 << 20
+	m.XbarDownBytes = 7 << 20
+	m.SilentCommits = 55
+	for i := 0; i < 40; i++ {
+		m.MetaAccessCycles.Add(i % 9)
+	}
+	m.StallBufMaxOccupancy = 17
+	m.StallBufPerAddr.Add(0.1)
+	m.StallBufPerAddr.Add(0.2) // sum 0.30000000000000004: exactness probe
+	m.StallBufPerAddr.Add(float64(salt) / 3)
+	m.Extra.Inc("llc-hits", 987654321)
+	m.Extra.Inc("rollovers", 1)
+	return m
+}
+
+func TestStoreRoundTripExact(t *testing.T) {
+	dir := t.TempDir()
+	s := Open(dir)
+	if err := s.Degraded(); err != nil {
+		t.Fatal(err)
+	}
+	want := sampleMetrics(7)
+	key := Key(gpu.DefaultConfig(gpu.ProtoGETM), "ht-h", 1.0, 42)
+	if err := s.Put(key, "getm|ht-h", want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read through a fresh handle, as a resumed process would.
+	got, ok := Open(dir).Get(key)
+	if !ok {
+		t.Fatal("stored record not found")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip not exact:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestStoreMissingKey(t *testing.T) {
+	s := Open(t.TempDir())
+	if _, ok := s.Get("0000"); ok {
+		t.Fatal("empty store returned a record")
+	}
+}
+
+// Any corruption — a flipped payload byte, a flipped checksum, truncation,
+// or outright garbage — must read as a miss, never as wrong data.
+func TestStoreCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s := Open(dir)
+	key := Key(gpu.DefaultConfig(gpu.ProtoGETM), "atm", 0.5, 1)
+	if err := s.Put(key, "cell", sampleMetrics(1)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".json")
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := map[string]func([]byte) []byte{
+		"payload-bit-flip": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-10] ^= 0x40
+			return c
+		},
+		"header-sum-flip": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len("getmstore 1 ")+3] ^= 0x01
+			return c
+		},
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"empty":     func(b []byte) []byte { return nil },
+		"garbage":   func(b []byte) []byte { return []byte("not a record at all") },
+		"wrong-schema": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len("getmstore ")] = '9'
+			return c
+		},
+	}
+	for name, fn := range mutate {
+		if err := os.WriteFile(path, fn(orig), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("%s: corrupt record accepted", name)
+		}
+	}
+
+	// Restoring the original bytes restores the hit.
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); !ok {
+		t.Error("pristine record no longer readable")
+	}
+}
+
+// Two handles on one directory (standing in for two processes) must not
+// corrupt it under concurrent mixed put/get load: every record stays
+// readable and correct throughout and afterwards.
+func TestStoreConcurrentSharing(t *testing.T) {
+	dir := t.TempDir()
+	a, b := Open(dir), Open(dir)
+	const keys = 8
+	const rounds = 50
+
+	keyOf := func(i int) string {
+		return Key(gpu.DefaultConfig(gpu.ProtoGETM), fmt.Sprintf("bench-%d", i), 1, 42)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*rounds*keys)
+	for _, s := range []*Store{a, b} {
+		for w := 0; w < 2; w++ {
+			s := s
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					for i := 0; i < keys; i++ {
+						k := keyOf(i)
+						// Deterministic per-key payload: both writers agree,
+						// as deterministic simulations do.
+						if err := s.Put(k, fmt.Sprintf("cell-%d", i), sampleMetrics(uint64(i))); err != nil {
+							errs <- err
+							return
+						}
+						if m, ok := s.Get(k); ok {
+							if m.TotalCycles != 123456789+uint64(i) {
+								errs <- fmt.Errorf("key %d: read wrong payload (cycles %d)", i, m.TotalCycles)
+								return
+							}
+						}
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	got, err := Open(dir).Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != keys {
+		t.Fatalf("store holds %d records, want %d (leftover temp files or losses)", len(got), keys)
+	}
+	for i := 0; i < keys; i++ {
+		m, ok := a.Get(keyOf(i))
+		if !ok {
+			t.Fatalf("key %d unreadable after concurrent load", i)
+		}
+		if !reflect.DeepEqual(m, sampleMetrics(uint64(i))) {
+			t.Fatalf("key %d: payload corrupted", i)
+		}
+	}
+}
+
+// An unopenable directory degrades to a warning-carrying no-op store rather
+// than failing the run.
+func TestStoreDegradedUnwritable(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "plain-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A path under a regular file can never become a directory.
+	s := Open(filepath.Join(file, "sub"))
+	if s.Degraded() == nil {
+		t.Fatal("store under a file reported healthy")
+	}
+	if err := s.Put("k", "d", sampleMetrics(0)); err != nil {
+		t.Fatalf("degraded Put should be a silent no-op, got %v", err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("degraded Get returned a record")
+	}
+	if _, err := s.Keys(); err == nil {
+		t.Fatal("degraded Keys should report the cause")
+	}
+}
+
+// The key must change with every semantic input and schema version, and must
+// ignore the observation-only fields (Trace, Record, CycleBudget).
+func TestKeySensitivity(t *testing.T) {
+	base := gpu.DefaultConfig(gpu.ProtoGETM)
+	k0 := Key(base, "ht-h", 1.0, 42)
+
+	distinct := map[string]string{}
+	add := func(name, key string) {
+		if key == k0 {
+			t.Errorf("%s: key unchanged", name)
+		}
+		if prev, dup := distinct[key]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		distinct[key] = name
+	}
+
+	c := base
+	c.Cores = 56
+	add("cores", Key(c, "ht-h", 1.0, 42))
+	c = base
+	c.GETM.GranularityBytes = 64
+	add("granularity", Key(c, "ht-h", 1.0, 42))
+	c = base
+	c.Core.MaxTxWarps = 4
+	add("conc", Key(c, "ht-h", 1.0, 42))
+	c = base
+	c.Protocol = gpu.ProtoWarpTM
+	add("protocol", Key(c, "ht-h", 1.0, 42))
+	c = base
+	c.MaxCycles = 1
+	add("max-cycles", Key(c, "ht-h", 1.0, 42))
+	add("bench", Key(base, "atm", 1.0, 42))
+	add("scale", Key(base, "ht-h", 0.5, 42))
+	add("seed", Key(base, "ht-h", 1.0, 43))
+
+	// Observation-only fields share the completed run's record.
+	c = base
+	c.Record = true
+	c.CycleBudget = 999
+	c.Trace = &trace.Options{SampleInterval: 100}
+	if Key(c, "ht-h", 1.0, 42) != k0 {
+		t.Error("Trace/Record/CycleBudget changed the key; traced runs are cycle-identical and must share records")
+	}
+
+	// Stable across calls.
+	if Key(base, "ht-h", 1.0, 42) != k0 {
+		t.Error("key not deterministic")
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	s := Open(dir)
+	for i := 0; i < 3; i++ {
+		key := Key(gpu.DefaultConfig(gpu.ProtoGETM), fmt.Sprintf("b%d", i), 1, 42)
+		if err := s.Put(key, fmt.Sprintf("desc-%d", i), sampleMetrics(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A corrupt file is skipped, not fatal.
+	if err := os.WriteFile(filepath.Join(dir, "deadbeef.json"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("LoadDir returned %d records, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if r.Desc != fmt.Sprintf("desc-%d", i) {
+			t.Fatalf("records not sorted by desc: %v", recs)
+		}
+	}
+	if _, err := LoadDir(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("LoadDir on a missing directory should fail")
+	}
+}
