@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench benchcmp trace-gate store-gate
+.PHONY: check vet build test race short bench benchcmp trace-gate store-gate serve-gate
 
-check: vet build race short trace-gate store-gate
+check: vet build race short trace-gate store-gate serve-gate
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,13 @@ store-gate:
 	$(GO) test -run 'TestRunnerStore|TestResume|TestRunnerCanceled' ./internal/harness/
 	$(GO) test -run 'TestCancelLatency|TestRunContext|TestCycleBudget|TestChunkedRun' ./internal/gpu/
 	$(GO) test -run 'TestStoreResume' ./cmd/getm-sim/
+
+# Serving gate: the HTTP service's concurrency guarantees under the race
+# detector — load shedding (429 + Retry-After), readiness flips, graceful
+# and forced drain, identical submissions collapsing onto one simulation,
+# and ids resolving from the store across restarts.
+serve-gate:
+	$(GO) test -race ./internal/serve/ ./cmd/getm-serve/
 
 test:
 	$(GO) test ./...

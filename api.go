@@ -3,6 +3,7 @@ package getm
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	"getm/internal/area"
@@ -150,9 +151,14 @@ type Metrics struct {
 	Truncated bool
 }
 
-// AbortsPer1KCommits returns the paper's Table IV abort metric.
+// AbortsPer1KCommits returns the paper's Table IV abort metric. When the run
+// committed nothing but aborted at least once the rate is +Inf (check with
+// math.IsInf); it is 0 only when there were neither commits nor aborts.
 func (m Metrics) AbortsPer1KCommits() float64 {
 	if m.Commits == 0 {
+		if m.Aborts > 0 {
+			return math.Inf(1)
+		}
 		return 0
 	}
 	return float64(m.Aborts) * 1000 / float64(m.Commits)
@@ -207,7 +213,7 @@ func toMetrics(res *gpu.Result) Metrics {
 		MetaAccessCycles:   m.MetaAccessCycles.Mean(),
 		MaxStalledRequests: m.StallBufMaxOccupancy,
 		Counters:           map[string]uint64{},
-		Truncated:          res.Truncated,
+		Truncated:          res.Truncated || m.Truncated,
 	}
 	for k, v := range m.AbortsByCause {
 		out.AbortsByCause[k] = v

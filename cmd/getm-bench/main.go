@@ -36,6 +36,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -51,54 +52,66 @@ import (
 )
 
 func main() {
-	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full reproduction scale)")
-	seed := flag.Uint64("seed", 42, "workload seed")
-	list := flag.Bool("list", false, "list experiments and exit")
-	verbose := flag.Bool("v", false, "log each simulation run")
-	format := flag.String("format", "text", "output format: text, markdown, csv")
-	chart := flag.Bool("chart", false, "append an ASCII bar chart of each table's last column")
-	workers := flag.Int("workers", 1, "simulation workers: precompute the run grid and execute experiments in parallel (0 = all CPUs, 1 = lazy sequential)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	traceFile := flag.String("trace", "", "record a traced ht-h/GETM reference run to this file")
-	traceFormat := flag.String("trace-format", trace.FormatPerfetto, "trace output format: perfetto, csv, text")
-	traceFilter := flag.String("trace-filter", "all", "comma-separated event sources to record, or 'all'")
-	sampleInterval := flag.Uint64("sample-interval", 1000, "cycles between telemetry samples (0 disables sampling)")
-	storeDir := flag.String("store", "", "persist results to (and resume them from) this directory")
-	resume := flag.Bool("resume", true, "with -store, reuse existing records instead of re-simulating")
-	timeout := flag.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = none)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("getm-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Float64("scale", 1.0, "workload scale factor (1.0 = full reproduction scale)")
+	seed := fs.Uint64("seed", 42, "workload seed")
+	list := fs.Bool("list", false, "list experiments and exit")
+	verbose := fs.Bool("v", false, "log each simulation run")
+	format := fs.String("format", "text", "output format: text, markdown, csv")
+	chart := fs.Bool("chart", false, "append an ASCII bar chart of each table's last column")
+	workers := fs.Int("workers", 1, "simulation workers: precompute the run grid and execute experiments in parallel (0 = all CPUs, 1 = lazy sequential)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile := fs.String("trace", "", "record a traced ht-h/GETM reference run to this file")
+	traceFormat := fs.String("trace-format", trace.FormatPerfetto, "trace output format: perfetto, csv, text")
+	traceFilter := fs.String("trace-filter", "all", "comma-separated event sources to record, or 'all'")
+	sampleInterval := fs.Uint64("sample-interval", 1000, "cycles between telemetry samples (0 disables sampling)")
+	storeDir := fs.String("store", "", "persist results to (and resume them from) this directory")
+	resume := fs.Bool("resume", true, "with -store, reuse existing records instead of re-simulating")
+	timeout := fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if explicitFlag(fs, "resume") && *storeDir == "" {
+		fmt.Fprintln(stderr, "error: -resume requires -store (there is no store to resume from)")
+		return 2
+	}
 
 	if *list {
 		for _, e := range harness.All() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "cpuprofile:", err)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "cpuprofile:", err)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
 
 	if *traceFile != "" {
 		if err := traceReferenceRun(*traceFile, *traceFormat, *traceFilter, *sampleInterval, *scale, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "trace:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "trace:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "trace written to %s (%s)\n", *traceFile, *traceFormat)
+		fmt.Fprintf(stderr, "trace written to %s (%s)\n", *traceFile, *traceFormat)
 	}
 
-	ids := flag.Args()
+	ids := fs.Args()
 	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
 		ids = nil
 		for _, e := range harness.All() {
@@ -110,8 +123,8 @@ func main() {
 	for i, id := range ids {
 		e, ok := harness.ByID(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "unknown experiment %q (use -list)\n", id)
+			return 1
 		}
 		exps[i] = e
 	}
@@ -126,7 +139,7 @@ func main() {
 	if *storeDir != "" {
 		r.Store = store.Open(*storeDir)
 		if err := r.Store.Degraded(); err != nil {
-			fmt.Fprintln(os.Stderr, "warning: store degraded (results will not persist):", err)
+			fmt.Fprintln(stderr, "warning: store degraded (results will not persist):", err)
 		}
 		r.StoreReuse = *resume
 	}
@@ -134,7 +147,7 @@ func main() {
 		var logMu sync.Mutex
 		r.Verbose = func(s string) {
 			logMu.Lock()
-			fmt.Fprintln(os.Stderr, s)
+			fmt.Fprintln(stderr, s)
 			logMu.Unlock()
 		}
 	}
@@ -148,9 +161,9 @@ func main() {
 		// deterministic and deduplicated, so only wall-clock time changes.
 		start := time.Now()
 		if err := harness.Precompute(r, par); err != nil {
-			fmt.Fprintln(os.Stderr, "precompute:", err)
+			fmt.Fprintln(stderr, "precompute:", err)
 		}
-		fmt.Fprintf(os.Stderr, "precomputed run grid on %d workers (%.1fs)\n", par, time.Since(start).Seconds())
+		fmt.Fprintf(stderr, "precomputed run grid on %d workers (%.1fs)\n", par, time.Since(start).Seconds())
 	}
 
 	// Render every experiment (concurrently when -workers allows: the runner
@@ -177,36 +190,49 @@ func main() {
 				}
 			}
 			outputs[i] = out
-			fmt.Fprintf(os.Stderr, "%-8s (%.1fs)\n", e.ID, time.Since(start).Seconds())
+			fmt.Fprintf(stderr, "%-8s (%.1fs)\n", e.ID, time.Since(start).Seconds())
 		}()
 	}
 	wg.Wait()
 	for _, out := range outputs {
-		fmt.Print(out)
+		fmt.Fprint(stdout, out)
 	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "memprofile:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "memprofile:", err)
+			return 1
 		}
 		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "memprofile:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "memprofile:", err)
+			return 1
 		}
 	}
 
 	if r.Store != nil {
-		fmt.Fprintf(os.Stderr, "%d simulated, %d reused from store\n", r.Simulated(), r.StoreHits())
+		fmt.Fprintf(stderr, "%d simulated, %d reused from store\n", r.Simulated(), r.StoreHits())
 	}
 	if err := r.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "simulation failures:")
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "simulation failures:")
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
+	return 0
+}
+
+// explicitFlag reports whether the user set the named flag on the command
+// line (fs.Visit walks only explicitly-set flags).
+func explicitFlag(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // traceReferenceRun executes the designated traced simulation (ht-h on GETM)

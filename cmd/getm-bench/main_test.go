@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// An explicit -resume without -store is a misconfiguration, not a silent
+// no-op: there is nothing to resume from.
+func TestResumeRequiresStore(t *testing.T) {
+	for _, arg := range []string{"-resume", "-resume=false"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{arg, "-list"}, &stdout, &stderr)
+		if code != 2 {
+			t.Errorf("%s without -store exited %d, want 2", arg, code)
+		}
+		if !strings.Contains(stderr.String(), "-store") {
+			t.Errorf("%s error does not mention -store: %s", arg, stderr.String())
+		}
+	}
+}
+
+// The report on stdout is the contract: adding -store (cold or resumed) or a
+// generous -timeout must not change a single byte of it, and the store
+// diagnostics stay on stderr.
+func TestStdoutByteIdenticalAcrossModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	// Flag parsing stops at the first positional argument, so variant flags
+	// go before the experiment id.
+	base := []string{"-scale", "0.05"}
+	dir := filepath.Join(t.TempDir(), "results")
+
+	var plain, plainErr bytes.Buffer
+	if code := run(append(append([]string{}, base...), "fig11"), &plain, &plainErr); code != 0 {
+		t.Fatalf("plain run exited %d\nstderr: %s", code, plainErr.String())
+	}
+	if !strings.Contains(plain.String(), "fig11") {
+		t.Fatalf("plain run produced no report:\n%s", plain.String())
+	}
+
+	for _, v := range []struct {
+		name string
+		args []string
+	}{
+		{"cold store", append(append([]string{}, base...), "-store", dir, "fig11")},
+		{"resumed store", append(append([]string{}, base...), "-store", dir, "fig11")},
+		{"timeout", append(append([]string{}, base...), "-timeout", "120s", "fig11")},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(v.args, &stdout, &stderr); code != 0 {
+			t.Fatalf("%s run exited %d\nstderr: %s", v.name, code, stderr.String())
+		}
+		if stdout.String() != plain.String() {
+			t.Errorf("%s stdout differs from plain run", v.name)
+		}
+		if strings.Contains(stdout.String(), "reused from store") {
+			t.Errorf("%s leaked store diagnostics to stdout", v.name)
+		}
+	}
+}
+
+// -list writes the experiment ids to stdout (it is data, not a diagnostic).
+func TestListOnStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, id := range []string{"fig11", "table4"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Errorf("-list stdout missing %s:\n%s", id, stdout.String())
+		}
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("-list wrote to stderr: %s", stderr.String())
+	}
+}

@@ -1,0 +1,122 @@
+// getm-serve exposes the simulator as an HTTP service with bounded
+// concurrency, request deduplication, durable results, and graceful drain.
+//
+// Usage:
+//
+//	getm-serve [-addr 127.0.0.1:8344] [-workers N] [-queue 64] [-store DIR]
+//	           [-max-scale 1.0] [-request-timeout 60s] [-drain-timeout 30s]
+//	           [-verbose]
+//
+// POST /v1/runs accepts a JSON RunSpec (protocol, benchmark, scale, seed,
+// conc, cores, cycle_budget, timeout_ms, async) and simulates it on a fixed
+// worker pool behind a bounded wait queue; when the queue is full the request
+// is refused with 429 and a Retry-After hint instead of buffering without
+// bound. Identical concurrent requests collapse onto one simulation, and
+// with -store completed results persist to a crash-safe store that answers
+// repeat traffic — across restarts too — with a disk read.
+//
+// GET /v1/runs/{id} reports a run durably (completed ids resolve from the
+// store even after a restart). /healthz is liveness, /readyz flips to 503
+// when the queue has no headroom or a drain is in progress, and /metrics is
+// a Prometheus-style text exposition of the serving counters.
+//
+// SIGTERM or SIGINT triggers a graceful drain: new work is refused, in-flight
+// runs get -drain-timeout to finish (then are canceled), and the process
+// exits 0 if nothing was cut short.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"getm/internal/serve"
+	"getm/internal/store"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("getm-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8344", "listen address (host:port; port 0 picks a free one)")
+	workers := fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "wait-queue depth before load shedding with 429")
+	storeDir := fs.String("store", "", "persist results to (and serve repeats from) this directory")
+	maxScale := fs.Float64("max-scale", 1.0, "largest workload scale a request may ask for")
+	requestTimeout := fs.Duration("request-timeout", 60*time.Second, "default and cap for each request's wall-clock deadline")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight runs")
+	verbose := fs.Bool("verbose", false, "log progress lines to stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxScale:       *maxScale,
+		RequestTimeout: *requestTimeout,
+	}
+	if *storeDir != "" {
+		st := store.Open(*storeDir)
+		if err := st.Degraded(); err != nil {
+			fmt.Fprintln(stderr, "warning: store degraded (results will not persist):", err)
+		}
+		cfg.Store = st
+	}
+	if *verbose {
+		cfg.Verbose = func(msg string) { fmt.Fprintln(stderr, msg) }
+	}
+
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: s}
+	served := make(chan error, 1)
+	go func() { served <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigCh)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(stderr, "%s received: draining (up to %s)\n", sig, *drainTimeout)
+		code := 0
+		if derr := s.Drain(*drainTimeout); derr != nil {
+			fmt.Fprintln(stderr, "warning:", derr)
+			code = 1
+		}
+		// The pool is stopped; now let in-flight HTTP responses flush and
+		// close the listener.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if serr := httpSrv.Shutdown(shutdownCtx); serr != nil {
+			fmt.Fprintln(stderr, "warning: http shutdown:", serr)
+		}
+		<-served
+		fmt.Fprintln(stderr, "drained, exiting")
+		return code
+	case err := <-served:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		return 0
+	}
+}

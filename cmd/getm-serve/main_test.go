@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuf is an io.Writer safe to read while the server goroutine writes.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startServer launches run() in a goroutine on an ephemeral port and waits
+// for the listen line; the returned channel yields the exit code.
+func startServer(t *testing.T, extra ...string) (base string, stderr *syncBuf, done chan int) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	var out syncBuf
+	stderr = &syncBuf{}
+	done = make(chan int, 1)
+	go func() { done <- run(args, &out, stderr) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenRE.FindStringSubmatch(stderr.String()); m != nil {
+			return "http://" + m[1], stderr, done
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("server exited early with code %d\nstderr:\n%s", code, stderr.String())
+		default:
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("server never reported its address\nstderr:\n%s", stderr.String())
+	return "", nil, nil
+}
+
+type runResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Source string `json:"source"`
+	Error  string `json:"error"`
+}
+
+func postSpec(base, spec string) (*http.Response, error) {
+	return http.Post(base+"/v1/runs", "application/json", strings.NewReader(spec))
+}
+
+func getText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}
+
+func metricValue(t *testing.T, body, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			return strings.TrimPrefix(line, name+" ")
+		}
+	}
+	t.Fatalf("metric %s not in exposition:\n%s", name, body)
+	return ""
+}
+
+// TestServeEndToEnd drives the real binary logic end to end: concurrent
+// identical submissions share one simulation, a SIGTERM drain lets in-flight
+// work finish while refusing late arrivals, and a restarted server answers
+// both GET-by-id and repeat POSTs from the durable store without simulating.
+func TestServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real simulations")
+	}
+	dir := t.TempDir()
+	base, stderr, done := startServer(t,
+		"-workers", "2", "-queue", "8", "-store", dir, "-max-scale", "0.5", "-drain-timeout", "60s")
+
+	// Phase 1: eight concurrent identical submissions -> one simulation.
+	spec := `{"protocol":"getm","benchmark":"ht-h","scale":0.05}`
+	const n = 8
+	ids := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := postSpec(base, spec)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, b)
+				return
+			}
+			var r runResponse
+			if errs[i] = json.NewDecoder(resp.Body).Decode(&r); errs[i] == nil {
+				ids[i] = r.ID
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("identical specs got distinct ids %q vs %q", ids[i], ids[0])
+		}
+	}
+	exp := getText(t, base+"/metrics")
+	if got := metricValue(t, exp, "getm_serve_simulated_total"); got != "1" {
+		t.Fatalf("simulated_total = %s after %d identical submissions, want 1", got, n)
+	}
+
+	// Phase 2: a repeat submission is a cache hit, not a new simulation.
+	resp, err := postSpec(base, spec)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat submit: %v / %v", err, resp)
+	}
+	resp.Body.Close()
+	exp = getText(t, base+"/metrics")
+	if got := metricValue(t, exp, "getm_serve_simulated_total"); got != "1" {
+		t.Fatalf("simulated_total = %s after repeat submission, want 1", got)
+	}
+
+	// Phase 3: put a slower run in flight, then SIGTERM. The drain must let
+	// it finish (persisting its result) while late arrivals are refused.
+	longSpec := `{"protocol":"getm","benchmark":"ht-h","scale":0.4,"async":true}`
+	resp, err = postSpec(base, longSpec)
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: %v / %v", err, resp)
+	}
+	var longRun runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&longRun); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// A request landing during (or after) the drain must be refused — via
+	// 503 while the listener is up, or a connection error once it closes.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(stderr.String(), "draining") && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if resp, err := postSpec(base, `{"protocol":"getm","benchmark":"ht-l","scale":0.05}`); err == nil {
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("late submit during drain: status %d, want 503 (or a refused connection)", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("server exited %d after graceful drain\nstderr:\n%s", code, stderr.String())
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatalf("server did not exit after SIGTERM\nstderr:\n%s", stderr.String())
+	}
+
+	// Phase 4: restart on the same store. The drained run's id resolves
+	// durably, and a repeat POST is a store hit — zero new simulations.
+	base2, _, done2 := startServer(t,
+		"-workers", "2", "-queue", "8", "-store", dir, "-max-scale", "0.5")
+	body := getText(t, base2+"/v1/runs/"+longRun.ID)
+	if !strings.Contains(body, `"done"`) || !strings.Contains(body, `"store"`) {
+		t.Fatalf("restarted GET %s = %q, want done/store", longRun.ID, body)
+	}
+	resp, err = postSpec(base2, spec)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted repeat submit: %v / %v", err, resp)
+	}
+	var again runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&again); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if again.ID != ids[0] {
+		t.Fatalf("restarted id %q differs from original %q", again.ID, ids[0])
+	}
+	exp = getText(t, base2+"/metrics")
+	if got := metricValue(t, exp, "getm_serve_simulated_total"); got != "0" {
+		t.Fatalf("restarted simulated_total = %s, want 0 (store should answer)", got)
+	}
+	if got := metricValue(t, exp, "getm_serve_store_hits_total"); got == "0" {
+		t.Fatal("restarted store_hits_total = 0, want a store hit")
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done2:
+		if code != 0 {
+			t.Fatalf("restarted server exited %d", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("restarted server did not exit after SIGTERM")
+	}
+}
+
+// TestServeBadFlags pins the usage-error exit code.
+func TestServeBadFlags(t *testing.T) {
+	var out, errBuf syncBuf
+	if code := run([]string{"-no-such-flag"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit %d for unknown flag, want 2", code)
+	}
+}

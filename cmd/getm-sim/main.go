@@ -18,8 +18,8 @@
 // metrics. Traced runs never reuse records (the trace must be regenerated)
 // but still persist their metrics, which are cycle-identical to untraced
 // ones. -timeout bounds the run's wall-clock time; a run cut short prints
-// its partial metrics with a "TRUNCATED" note and exits nonzero, and is
-// never persisted.
+// its partial metrics with a "TRUNCATED" note on stderr and exits nonzero,
+// and is never persisted.
 package main
 
 import (
@@ -59,6 +59,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	resume := fs.Bool("resume", true, "with -store, reuse existing records instead of re-simulating")
 	timeout := fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = none)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if explicitFlag(fs, "resume") && *storeDir == "" {
+		fmt.Fprintln(stderr, "error: -resume requires -store (there is no store to resume from)")
 		return 2
 	}
 
@@ -105,6 +109,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "warning: store degraded (results will not persist):", err)
 		}
 		storeKey = store.Key(cfg, *bench, *scale, *seed)
+		if *resume && *traceFile != "" {
+			fmt.Fprintln(stderr, "warning: -trace forces re-simulation; the stored record is refreshed, not reused")
+		}
 	}
 
 	// A verified stored record short-circuits the simulation — except when a
@@ -145,7 +152,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			truncated = true
 		}
 		if truncated {
-			fmt.Fprintf(stdout, "TRUNCATED        partial metrics, run stopped at cycle %d\n", res.TruncatedAt)
+			// Diagnostic, not data: stdout stays byte-identical across
+			// complete runs whatever the run's fate, so truncation notes
+			// belong on stderr with the other operational chatter.
+			fmt.Fprintf(stderr, "TRUNCATED: partial metrics, run stopped at cycle %d\n", res.TruncatedAt)
 		}
 	}
 	fmt.Fprintf(stdout, "benchmark        %s (%s, %d cores, conc %s)\n", *bench, *proto, cfg.Cores, concStr(*conc))
@@ -192,6 +202,18 @@ func exportTrace(path string, rec *trace.Recorder, format string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// explicitFlag reports whether the user set the named flag on the command
+// line (fs.Visit walks only explicitly-set flags).
+func explicitFlag(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func concStr(c int) string {

@@ -165,3 +165,51 @@ func TestStoreResume(t *testing.T) {
 		t.Fatal("re-simulated output differs")
 	}
 }
+
+// An explicit -resume without -store is a misconfiguration, not a silent
+// no-op: there is nothing to resume from.
+func TestResumeRequiresStore(t *testing.T) {
+	for _, arg := range []string{"-resume", "-resume=false"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{arg, "-bench", "ht-h", "-scale", "0.05"}, &stdout, &stderr)
+		if code != 2 {
+			t.Errorf("%s without -store exited %d, want 2", arg, code)
+		}
+		if !strings.Contains(stderr.String(), "-store") {
+			t.Errorf("%s error does not mention -store: %s", arg, stderr.String())
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("%s usage error wrote to stdout: %s", arg, stdout.String())
+		}
+	}
+}
+
+// -trace with an active store must warn that the record is refreshed rather
+// than reused (the trace forces a fresh simulation).
+func TestTraceWithStoreWarns(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", "ht-h", "-scale", "0.05", "-store", filepath.Join(dir, "results"), "-trace", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "refreshed, not reused") {
+		t.Errorf("missing trace/store warning on stderr:\n%s", stderr.String())
+	}
+}
+
+// A timed-out run reports TRUNCATED on stderr, keeping stdout pure metrics.
+func TestTruncatedNoteOnStderr(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", "ap", "-scale", "1.0", "-timeout", "5ms"}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("timed-out run exited 0")
+	}
+	if strings.Contains(stdout.String(), "TRUNCATED") {
+		t.Errorf("TRUNCATED note leaked to stdout:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "TRUNCATED") {
+		t.Errorf("TRUNCATED note missing from stderr:\n%s", stderr.String())
+	}
+}

@@ -21,13 +21,16 @@
 // earlier, possibly killed, invocation — are reused instead of re-simulated,
 // so a resumed sweep runs only the missing cells and prints a byte-identical
 // table. -timeout bounds the whole sweep; points cut short are reported as
-// errors and never persisted.
+// errors and never persisted. Tables only ever contain complete runs, and
+// stdout carries nothing but the table: diagnostics (store counts, warnings,
+// per-point errors) go to stderr.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -43,26 +46,38 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "ht-h", "benchmark to sweep")
-	proto := flag.String("proto", "getm", "protocol: getm, warptm, warptm-el, eapg, fglock")
-	knob := flag.String("knob", "conc", "parameter to sweep: conc, gran, meta, stall, backoff, inflight, cores")
-	values := flag.String("values", "1,2,4,8,16", "comma-separated knob values")
-	scale := flag.Float64("scale", 1.0, "workload scale")
-	seed := flag.Uint64("seed", 42, "workload seed")
-	conc := flag.Int("conc", 8, "tx warps/core when not the swept knob")
-	format := flag.String("format", "text", "output format: text, markdown, csv")
-	workers := flag.Int("workers", 1, "run sweep points on this many parallel workers (0 = all CPUs)")
-	storeDir := flag.String("store", "", "persist results to (and resume them from) this directory")
-	resume := flag.Bool("resume", true, "with -store, reuse existing records instead of re-simulating")
-	timeout := flag.Duration("timeout", 0, "abort the sweep after this wall-clock duration (0 = none)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("getm-sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "ht-h", "benchmark to sweep")
+	proto := fs.String("proto", "getm", "protocol: getm, warptm, warptm-el, eapg, fglock")
+	knob := fs.String("knob", "conc", "parameter to sweep: conc, gran, meta, stall, backoff, inflight, cores")
+	values := fs.String("values", "1,2,4,8,16", "comma-separated knob values")
+	scale := fs.Float64("scale", 1.0, "workload scale")
+	seed := fs.Uint64("seed", 42, "workload seed")
+	conc := fs.Int("conc", 8, "tx warps/core when not the swept knob")
+	format := fs.String("format", "text", "output format: text, markdown, csv")
+	workers := fs.Int("workers", 1, "run sweep points on this many parallel workers (0 = all CPUs)")
+	storeDir := fs.String("store", "", "persist results to (and resume them from) this directory")
+	resume := fs.Bool("resume", true, "with -store, reuse existing records instead of re-simulating")
+	timeout := fs.Duration("timeout", 0, "abort the sweep after this wall-clock duration (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if explicitFlag(fs, "resume") && *storeDir == "" {
+		fmt.Fprintln(stderr, "error: -resume requires -store (there is no store to resume from)")
+		return 2
+	}
 
 	var vals []int
 	for _, s := range strings.Split(*values, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad value %q: %v\n", s, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "bad value %q: %v\n", s, err)
+			return 1
 		}
 		vals = append(vals, v)
 	}
@@ -96,8 +111,8 @@ func main() {
 		case "cores":
 			cfg.Cores = v
 		default:
-			fmt.Fprintf(os.Stderr, "unknown knob %q\n", *knob)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "unknown knob %q\n", *knob)
+			return 1
 		}
 		configs[i] = cfg
 	}
@@ -112,7 +127,7 @@ func main() {
 	if *storeDir != "" {
 		st = store.Open(*storeDir)
 		if err := st.Degraded(); err != nil {
-			fmt.Fprintln(os.Stderr, "warning: store degraded (results will not persist):", err)
+			fmt.Fprintln(stderr, "warning: store degraded (results will not persist):", err)
 		}
 	}
 
@@ -157,25 +172,32 @@ func main() {
 				errs[i] = err
 				return
 			}
+			// A partial point can't sit in a table next to complete ones —
+			// the comparison would be meaningless. Treat it as the failure
+			// it is; the store backstop refuses truncated metrics anyway.
+			if res.Truncated || res.Metrics.Truncated {
+				errs[i] = fmt.Errorf("truncated at cycle %d (partial metrics discarded)", res.TruncatedAt)
+				return
+			}
 			metrics[i] = res.Metrics
 			simulated.Add(1)
 			if st != nil {
 				desc := fmt.Sprintf("%s/%s/%s=%d", *proto, *bench, *knob, vals[i])
 				if perr := st.Put(key, desc, res.Metrics); perr != nil {
-					fmt.Fprintln(os.Stderr, "warning: store:", perr)
+					fmt.Fprintln(stderr, "warning: store:", perr)
 				}
 			}
 		}()
 	}
 	wg.Wait()
 	if st != nil {
-		fmt.Fprintf(os.Stderr, "%d simulated, %d reused from store\n", simulated.Load(), reused.Load())
+		fmt.Fprintf(stderr, "%d simulated, %d reused from store\n", simulated.Load(), reused.Load())
 	}
 
 	for i, v := range vals {
 		if errs[i] != nil {
-			fmt.Fprintf(os.Stderr, "error at %s=%d: %v\n", *knob, v, errs[i])
-			os.Exit(1)
+			fmt.Fprintf(stderr, "error at %s=%d: %v\n", *knob, v, errs[i])
+			return 1
 		}
 		m := metrics[i]
 		tab.AddRow(
@@ -189,9 +211,22 @@ func main() {
 		)
 	}
 
-	fmt.Print(tab.Render(report.Format(*format)))
+	fmt.Fprint(stdout, tab.Render(report.Format(*format)))
 	if *format == "text" {
-		fmt.Println()
-		fmt.Print(tab.BarChart("cycles", 40))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, tab.BarChart("cycles", 40))
 	}
+	return 0
+}
+
+// explicitFlag reports whether the user set the named flag on the command
+// line (fs.Visit walks only explicitly-set flags).
+func explicitFlag(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }

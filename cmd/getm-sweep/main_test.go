@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// An explicit -resume without -store is a misconfiguration, not a silent
+// no-op: there is nothing to resume from.
+func TestResumeRequiresStore(t *testing.T) {
+	for _, arg := range []string{"-resume", "-resume=false"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{arg, "-bench", "ht-h", "-scale", "0.05", "-values", "1"}, &stdout, &stderr)
+		if code != 2 {
+			t.Errorf("%s without -store exited %d, want 2", arg, code)
+		}
+		if !strings.Contains(stderr.String(), "-store") {
+			t.Errorf("%s error does not mention -store: %s", arg, stderr.String())
+		}
+	}
+}
+
+// The table on stdout is the contract: adding -store (cold or resumed) or a
+// generous -timeout must not change a single byte of it.
+func TestStdoutByteIdenticalAcrossModes(t *testing.T) {
+	base := []string{"-bench", "ht-h", "-scale", "0.05", "-values", "1,2,4"}
+	dir := filepath.Join(t.TempDir(), "results")
+
+	var plain, plainErr bytes.Buffer
+	if code := run(base, &plain, &plainErr); code != 0 {
+		t.Fatalf("plain run exited %d\nstderr: %s", code, plainErr.String())
+	}
+	if plain.Len() == 0 {
+		t.Fatal("plain run produced no table")
+	}
+
+	variants := map[string][]string{
+		"cold store":    append(append([]string{}, base...), "-store", dir),
+		"resumed store": append(append([]string{}, base...), "-store", dir),
+		"timeout":       append(append([]string{}, base...), "-timeout", "60s"),
+		"parallel":      append(append([]string{}, base...), "-workers", "4"),
+	}
+	// Order matters for the store pair; run cold first.
+	for _, name := range []string{"cold store", "resumed store", "timeout", "parallel"} {
+		var stdout, stderr bytes.Buffer
+		if code := run(variants[name], &stdout, &stderr); code != 0 {
+			t.Fatalf("%s run exited %d\nstderr: %s", name, code, stderr.String())
+		}
+		if stdout.String() != plain.String() {
+			t.Errorf("%s stdout differs from plain run:\n--- plain ---\n%s--- %s ---\n%s",
+				name, plain.String(), name, stdout.String())
+		}
+	}
+
+	// The store diagnostics live on stderr, never stdout.
+	var stdout, stderr bytes.Buffer
+	if code := run(variants["resumed store"], &stdout, &stderr); code != 0 {
+		t.Fatal("store rerun failed")
+	}
+	if !strings.Contains(stderr.String(), "0 simulated, 3 reused from store") {
+		t.Errorf("resumed run stderr missing reuse count:\n%s", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "reused") {
+		t.Errorf("store diagnostics leaked to stdout:\n%s", stdout.String())
+	}
+}
+
+// A sweep point cut short by -timeout is an error, not a table row: partial
+// metrics must never be tabulated next to complete ones.
+func TestTimeoutPointIsError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-bench", "ap", "-scale", "1.0", "-values", "1,2", "-timeout", "5ms"}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("timed-out sweep exited 0")
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("timed-out sweep printed a table:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "error at conc=") {
+		t.Errorf("stderr does not report the failed point:\n%s", stderr.String())
+	}
+}

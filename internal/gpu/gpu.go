@@ -264,12 +264,16 @@ func RunContext(ctx context.Context, cfg Config, k *Kernel) (*Result, error) {
 	}
 
 	if canceled {
-		res := &Result{Metrics: m.collect(cores, end), Trace: rec, Truncated: true, TruncatedAt: end}
+		pm := m.collect(cores, end)
+		pm.Truncated = true
+		res := &Result{Metrics: pm, Trace: rec, Truncated: true, TruncatedAt: end}
 		return res, fmt.Errorf("gpu: kernel %q canceled at cycle %d: %w",
 			k.Name, end, errors.Join(ErrCanceled, context.Cause(ctx)))
 	}
 	if budgeted && end >= limit && eng.Pending() > 0 {
-		return &Result{Metrics: m.collect(cores, end), Trace: rec, Truncated: true, TruncatedAt: end}, nil
+		pm := m.collect(cores, end)
+		pm.Truncated = true
+		return &Result{Metrics: pm, Trace: rec, Truncated: true, TruncatedAt: end}, nil
 	}
 	if cfg.MaxCycles != 0 && end >= cfg.MaxCycles {
 		return nil, fmt.Errorf("gpu: kernel %q exceeded %d cycles", k.Name, cfg.MaxCycles)

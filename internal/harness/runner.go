@@ -14,6 +14,7 @@ import (
 
 	"getm/internal/gpu"
 	"getm/internal/report"
+	"getm/internal/sim"
 	"getm/internal/stats"
 	"getm/internal/store"
 	"getm/internal/workloads"
@@ -103,10 +104,18 @@ type Job struct {
 	// GETM metadata overrides for the Fig 14 sweeps (0 = default).
 	MetaEntries int
 	Granularity int
+	// CycleBudget bounds the simulation's cost: the run stops after this
+	// many simulated cycles and returns partial metrics tagged Truncated
+	// (0 = no bound). Truncated results are never cached or persisted — the
+	// budget bounds what a request may cost, it is not part of the cell's
+	// identity on disk, so a budgeted request is still satisfied by a stored
+	// complete result at disk-read cost.
+	CycleBudget uint64
 }
 
 func (j Job) key() string {
-	return fmt.Sprintf("%s|%s|c%d|n%d|m%d|g%d", j.Proto, j.Bench, j.Conc, j.Cores, j.MetaEntries, j.Granularity)
+	return fmt.Sprintf("%s|%s|c%d|n%d|m%d|g%d|b%d",
+		j.Proto, j.Bench, j.Conc, j.Cores, j.MetaEntries, j.Granularity, j.CycleBudget)
 }
 
 func (j Job) config() gpu.Config {
@@ -126,6 +135,7 @@ func (j Job) config() gpu.Config {
 	if j.Granularity > 0 {
 		cfg.GETM.GranularityBytes = j.Granularity
 	}
+	cfg.CycleBudget = sim.Cycle(j.CycleBudget)
 	return cfg
 }
 
@@ -134,10 +144,32 @@ func (j Job) config() gpu.Config {
 // job fails identically on retry) are cached by Job.key(); concurrent calls
 // for the same key share a single simulation. With a Store attached, a miss
 // in memory consults the disk tier before simulating (when StoreReuse is
-// set), and every completed simulation is persisted. Canceled runs are
-// cached in neither tier.
+// set), and every completed simulation is persisted. Canceled and truncated
+// runs are cached in neither tier.
 func (r *Runner) RunE(j Job) (*stats.Metrics, error) {
+	return r.runE(nil, j)
+}
+
+// RunECtx is RunE with a per-call context: this call's simulation (and its
+// wait on a shared in-flight simulation) is bounded by ctx instead of the
+// runner-wide Ctx. It is the entry point for request-scoped deadlines in a
+// serving stack: each request carries its own deadline while still sharing
+// one simulation with identical concurrent requests. A cancellation of a
+// per-call context is returned to the caller (matching gpu.ErrCanceled) but
+// — unlike a runner-wide Ctx cancellation — not recorded in Err, which would
+// otherwise grow without bound in a long-lived server.
+func (r *Runner) RunECtx(ctx context.Context, j Job) (*stats.Metrics, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return r.runE(ctx, j)
+}
+
+// runE is the shared two-tier cached singleflight path. ctx != nil marks a
+// per-call context (RunECtx); nil falls back to the runner-wide Ctx.
+func (r *Runner) runE(ctx context.Context, j Job) (*stats.Metrics, error) {
 	key := j.key()
+	perCall := ctx != nil
 	r.mu.Lock()
 	if m, ok := r.cache[key]; ok {
 		r.mu.Unlock()
@@ -148,15 +180,28 @@ func (r *Runner) RunE(j Job) (*stats.Metrics, error) {
 		return nil, err
 	}
 	if c, ok := r.inflight[key]; ok {
-		// Another goroutine is simulating this job; wait and share.
+		// Another goroutine is simulating this job; wait and share. A
+		// per-call context may stop waiting early — the shared simulation
+		// keeps running for the callers still interested in it.
 		r.mu.Unlock()
+		if perCall {
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, fmt.Errorf("harness: %s: %w", key,
+					errors.Join(gpu.ErrCanceled, context.Cause(ctx)))
+			}
+			return c.m, c.err
+		}
 		<-c.done
 		return c.m, c.err
 	}
 	c := &inflightRun{done: make(chan struct{})}
 	r.inflight[key] = c
 	sim := r.simulate
-	ctx := r.Ctx
+	if !perCall {
+		ctx = r.Ctx
+	}
 	r.mu.Unlock()
 
 	// Disk tier: a verified record is as good as having simulated. Corrupt
@@ -175,7 +220,7 @@ func (r *Runner) RunE(j Job) (*stats.Metrics, error) {
 			ctx = context.Background()
 		}
 		c.m, c.err = sim(ctx, j, r.Scale, r.Seed)
-		if c.err == nil && r.Store != nil {
+		if c.err == nil && c.m != nil && !c.m.Truncated && r.Store != nil {
 			// Persist before publishing; a crash after this point costs
 			// nothing on resume. Put is atomic, so a concurrent process
 			// writing the same (deterministic) record is harmless.
@@ -186,19 +231,28 @@ func (r *Runner) RunE(j Job) (*stats.Metrics, error) {
 	}
 
 	canceled := c.err != nil && errors.Is(c.err, gpu.ErrCanceled)
+	truncated := c.err == nil && c.m != nil && c.m.Truncated
 	r.mu.Lock()
 	delete(r.inflight, key)
 	switch {
 	case canceled:
-		// Recorded in errs (so Err reports the cancellation) but not cached:
-		// the job never completed, and a retry with a live context (or a
-		// resumed process) must actually run it.
+		// Not cached: the job never completed, and a retry with a live
+		// context (or a resumed process) must actually run it. Runner-wide
+		// cancellations are recorded in errs so Err reports them; per-call
+		// ones belong to their caller alone.
 		c.err = fmt.Errorf("harness: %s: %w", key, c.err)
-		r.errs = append(r.errs, c.err)
+		if !perCall {
+			r.errs = append(r.errs, c.err)
+		}
 	case c.err != nil:
 		c.err = fmt.Errorf("harness: %s: %w", key, c.err)
 		r.errCache[key] = c.err
 		r.errs = append(r.errs, c.err)
+	case truncated:
+		// A budgeted run cut short: the partial metrics go to this call's
+		// sharers only. Neither tier caches them — the cell has no complete
+		// result yet.
+		r.simCount++
 	default:
 		r.cache[key] = c.m
 		if fromDisk {
@@ -216,6 +270,8 @@ func (r *Runner) RunE(j Job) (*stats.Metrics, error) {
 			r.Verbose("FAILED " + key + ": " + c.err.Error())
 		case fromDisk:
 			r.Verbose(fmt.Sprintf("load %-40s %12d cycles (store)", key, c.m.TotalCycles))
+		case truncated:
+			r.Verbose(fmt.Sprintf("part %-40s %12d cycles (truncated)", key, c.m.TotalCycles))
 		default:
 			r.Verbose(fmt.Sprintf("ran %-40s %12d cycles", key, c.m.TotalCycles))
 		}
@@ -223,10 +279,58 @@ func (r *Runner) RunE(j Job) (*stats.Metrics, error) {
 	return c.m, c.err
 }
 
-// storeKey returns the job's content address in the on-disk store.
+// Lookup probes both cache tiers for the job's completed result without ever
+// simulating: the in-memory tier first, then (with StoreReuse) the disk
+// store, promoting a disk hit into memory. It is the fast path a serving
+// front end takes before spending a queue slot — repeat traffic for a
+// completed cell is O(map lookup) or O(disk read), never O(simulation).
+func (r *Runner) Lookup(j Job) (*stats.Metrics, bool) {
+	key := j.key()
+	r.mu.Lock()
+	if m, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return m, true
+	}
+	r.mu.Unlock()
+	if r.Store == nil || !r.StoreReuse {
+		return nil, false
+	}
+	m, ok := r.Store.Get(r.storeKey(j))
+	if !ok {
+		return nil, false
+	}
+	r.mu.Lock()
+	if prev, dup := r.cache[key]; dup {
+		// Raced with a concurrent fill; keep the published result.
+		m = prev
+	} else {
+		r.cache[key] = m
+		r.diskHits++
+	}
+	r.mu.Unlock()
+	return m, true
+}
+
+// InFlight returns the number of simulations executing (or being loaded from
+// the store) right now — the singleflight map's size.
+func (r *Runner) InFlight() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.inflight)
+}
+
+// storeKey returns the job's content address in the on-disk store. The key
+// zeroes cost-bound fields (CycleBudget), so budgeted and unbudgeted runs of
+// one cell share a record: only complete results are ever persisted, and a
+// complete result satisfies both.
 func (r *Runner) storeKey(j Job) string {
 	return store.Key(j.config(), j.Bench, r.Scale, r.Seed)
 }
+
+// StoreKey exposes the job's content address — the durable identity a
+// serving front end hands out as a run id, valid across processes for as
+// long as the store schema stands.
+func (r *Runner) StoreKey(j Job) string { return r.storeKey(j) }
 
 // Simulated returns the number of simulations this process actually executed
 // — cache and store hits excluded. It is the instrumentation behind the

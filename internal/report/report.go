@@ -7,6 +7,7 @@ package report
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -29,9 +30,14 @@ func Num(v float64, prec int) Cell { return Cell{F: v, IsNum: true, Prec: prec} 
 // Int makes an integer cell.
 func Int(v uint64) Cell { return Cell{F: float64(v), IsNum: true, Prec: 0} }
 
-// String renders the cell.
+// String renders the cell. Non-finite values render as "n/a": they encode a
+// metric whose denominator was zero (e.g. aborts per commit with no commits),
+// which must read as "not applicable", never as a numeric 0.
 func (c Cell) String() string {
 	if c.IsNum {
+		if math.IsInf(c.F, 0) || math.IsNaN(c.F) {
+			return "n/a"
+		}
 		return strconv.FormatFloat(c.F, 'f', c.Prec, 64)
 	}
 	return c.S

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -100,4 +101,31 @@ func TestAddRowArityPanics(t *testing.T) {
 		}
 	}()
 	NewTable("x", "t", "a", "b").AddRow(Str("only-one"))
+}
+
+// Non-finite cells (zero-denominator ratios like aborts/1K-commits with no
+// commits) must render as "n/a" in every format, never as a number.
+func TestNonFiniteCellsRenderNA(t *testing.T) {
+	inf := Num(math.Inf(1), 0)
+	if got := inf.String(); got != "n/a" {
+		t.Fatalf("+Inf cell renders %q, want \"n/a\"", got)
+	}
+	if got := Num(math.Inf(-1), 2).String(); got != "n/a" {
+		t.Fatalf("-Inf cell renders %q, want \"n/a\"", got)
+	}
+	if got := Num(math.NaN(), 1).String(); got != "n/a" {
+		t.Fatalf("NaN cell renders %q, want \"n/a\"", got)
+	}
+
+	tab := NewTable("t", "na demo", "bench", "aborts/1K").
+		AddRow(Str("all-abort"), inf)
+	for _, f := range []Format{FormatText, FormatMarkdown, FormatCSV} {
+		out := tab.Render(f)
+		if !strings.Contains(out, "n/a") {
+			t.Errorf("%s output missing n/a:\n%s", f, out)
+		}
+		if strings.Contains(out, "Inf") {
+			t.Errorf("%s output leaks Inf:\n%s", f, out)
+		}
+	}
 }

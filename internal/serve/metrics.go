@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"getm/internal/stats"
+)
+
+// latencyBuckets sizes the request-latency histogram: one bucket per
+// millisecond, clamped at ~16s. Simulations at serving scale complete well
+// inside the range; anything clamped still lands in the right tail.
+const latencyBuckets = 1 << 14
+
+// metricsSet is the server's observable state, exposed as a Prometheus-style
+// text exposition on /metrics. Counters are monotonic; the latency histogram
+// feeds the p50/p99 gauges via stats.Hist.Quantile.
+type metricsSet struct {
+	requests        atomic.Int64 // POST /v1/runs received
+	rejected        atomic.Int64 // shed: 429 or 503-draining
+	deduped         atomic.Int64 // joined an identical live/completed job
+	completed       atomic.Int64 // runs finished without error
+	failed          atomic.Int64 // runs finished with error
+	truncated       atomic.Int64 // runs returning partial (truncated) metrics
+	storeStatusHits atomic.Int64 // GET /v1/runs/{id} answered from the store
+
+	mu  sync.Mutex
+	lat *stats.Hist // milliseconds
+}
+
+func newMetricsSet() *metricsSet {
+	return &metricsSet{lat: stats.NewHist(latencyBuckets)}
+}
+
+// observe records one finished run.
+func (m *metricsSet) observe(d time.Duration, res *stats.Metrics, err error) {
+	if err != nil {
+		m.failed.Add(1)
+	} else {
+		m.completed.Add(1)
+	}
+	if res != nil && res.Truncated {
+		m.truncated.Add(1)
+	}
+	m.mu.Lock()
+	m.lat.Add(int(d.Milliseconds()))
+	m.mu.Unlock()
+}
+
+func (m *metricsSet) meanLatencyMS() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lat.Mean()
+}
+
+// write renders the exposition. Gauges come from the pool (queue depth,
+// busy workers, runner aggregates); everything else from the counters.
+func (m *metricsSet) write(w io.Writer, p *pool) {
+	m.mu.Lock()
+	p50 := m.lat.Quantile(0.50)
+	p99 := m.lat.Quantile(0.99)
+	mean := m.lat.Mean()
+	samples := m.lat.Total()
+	m.mu.Unlock()
+
+	draining := 0
+	if p.draining.Load() {
+		draining = 1
+	}
+
+	g := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	c := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	g("getm_serve_queue_depth", "requests waiting for a worker", len(p.queue))
+	g("getm_serve_queue_capacity", "wait-queue slots before load shedding", cap(p.queue))
+	g("getm_serve_workers", "worker pool size", p.s.cfg.Workers)
+	g("getm_serve_inflight", "workers executing a run right now", p.running.Load())
+	g("getm_serve_draining", "1 while a graceful drain is in progress", draining)
+	c("getm_serve_requests_total", "POST /v1/runs submissions received", m.requests.Load())
+	c("getm_serve_rejected_total", "submissions shed (queue full or draining)", m.rejected.Load())
+	c("getm_serve_deduped_total", "submissions joined onto an identical job", m.deduped.Load())
+	c("getm_serve_completed_total", "runs finished without error", m.completed.Load())
+	c("getm_serve_failed_total", "runs finished with an error", m.failed.Load())
+	c("getm_serve_truncated_total", "runs returning partial (truncated) metrics", m.truncated.Load())
+	c("getm_serve_simulated_total", "simulations actually executed (cache and store hits excluded)", int64(p.simulated()))
+	c("getm_serve_store_hits_total", "results served from the on-disk store", int64(p.storeHits()))
+	c("getm_serve_store_status_hits_total", "GET /v1/runs answered durably from the store", m.storeStatusHits.Load())
+	g("getm_serve_latency_ms_p50", "median run latency (ms)", p50)
+	g("getm_serve_latency_ms_p99", "p99 run latency (ms)", p99)
+	g("getm_serve_latency_ms_mean", "mean run latency (ms)", mean)
+	g("getm_serve_latency_samples", "finished runs in the latency histogram", samples)
+}

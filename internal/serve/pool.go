@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"getm/internal/harness"
+	"getm/internal/stats"
+)
+
+// admitOutcome is the queue's verdict on one submission.
+type admitOutcome int
+
+const (
+	admitOK       admitOutcome = iota // admitted (or joined an existing job)
+	admitFull                         // queue full: shed with 429
+	admitDraining                     // server draining: refuse with 503
+)
+
+// pool is the execution side of the server: a fixed worker set behind a
+// bounded wait queue, a job table deduplicating distinct requests, and one
+// harness.Runner per (scale, seed) sharing the durable store. Admission,
+// status, and drain all meet here.
+type pool struct {
+	s *Server
+
+	queue    chan *jobState
+	quit     chan struct{}
+	quitOnce sync.Once
+	workerWG sync.WaitGroup
+	taskWG   sync.WaitGroup
+	draining atomic.Bool
+	running  atomic.Int64 // busy workers
+
+	// baseCtx parents every request context; canceled (with cause) when a
+	// drain runs out of patience.
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+
+	mu      sync.Mutex
+	jobs    map[string]*jobState
+	runners map[runnerKey]*harness.Runner
+}
+
+// runnerKey identifies one workload parameterization; jobs differing only in
+// machine knobs share a runner (and its caches).
+type runnerKey struct {
+	scale float64
+	seed  uint64
+}
+
+func newPool(s *Server) *pool {
+	p := &pool{
+		s:       s,
+		queue:   make(chan *jobState, s.cfg.QueueDepth),
+		quit:    make(chan struct{}),
+		jobs:    make(map[string]*jobState),
+		runners: make(map[runnerKey]*harness.Runner),
+	}
+	p.baseCtx, p.baseCancel = context.WithCancelCause(context.Background())
+	p.workerWG.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// admit places one validated spec: joining an identical live (or completed)
+// job, serving a completed cell from a cache tier without a queue slot, or
+// taking a queue slot — all atomically, so identical concurrent submissions
+// collapse onto one jobState.
+func (p *pool) admit(sp RunSpec) (*jobState, admitOutcome) {
+	if p.draining.Load() {
+		return nil, admitDraining
+	}
+	r := p.runnerFor(sp)
+	job := sp.job()
+	id := runID(r.StoreKey(job), sp)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if js, ok := p.jobs[id]; ok {
+		// Join the existing job — unless it finished in failure: failures
+		// from per-request deadlines are timing-dependent, so a fresh
+		// submission deserves a fresh attempt.
+		retry := false
+		select {
+		case <-js.done:
+			retry = js.err != nil
+		default:
+		}
+		if !retry {
+			p.s.met.deduped.Add(1)
+			return js, admitOK
+		}
+	}
+
+	// Fast path: the cell already has a completed result in a cache tier.
+	// Serving it costs a map lookup or a disk read — never a queue slot, so
+	// repeat traffic cannot be shed even under saturation.
+	if m, ok := r.Lookup(job); ok && !m.Truncated {
+		js := &jobState{id: id, spec: sp, done: make(chan struct{}), m: m, source: "cache", status: statusDone}
+		close(js.done)
+		p.jobs[id] = js
+		return js, admitOK
+	}
+
+	js := &jobState{id: id, spec: sp, done: make(chan struct{}), status: statusQueued}
+	select {
+	case p.queue <- js:
+		p.jobs[id] = js
+		p.taskWG.Add(1)
+		return js, admitOK
+	default:
+		return nil, admitFull
+	}
+}
+
+// lookup finds a live or completed job by id.
+func (p *pool) lookup(id string) (*jobState, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	js, ok := p.jobs[id]
+	return js, ok
+}
+
+func (p *pool) statusOf(js *jobState) jobStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return js.status
+}
+
+func (p *pool) setStatus(js *jobState, st jobStatus) {
+	p.mu.Lock()
+	js.status = st
+	p.mu.Unlock()
+}
+
+// hasHeadroom reports whether the wait queue can absorb another request.
+func (p *pool) hasHeadroom() bool {
+	return len(p.queue) < cap(p.queue)
+}
+
+func (p *pool) worker() {
+	defer p.workerWG.Done()
+	for {
+		select {
+		case js := <-p.queue:
+			p.runTask(js)
+		case <-p.quit:
+			// Don't strand anything admitted before the stop signal.
+			for {
+				select {
+				case js := <-p.queue:
+					p.runTask(js)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runTask executes one admitted job under its per-request deadline and
+// publishes the outcome.
+func (p *pool) runTask(js *jobState) {
+	defer p.taskWG.Done()
+	p.running.Add(1)
+	defer p.running.Add(-1)
+	p.setStatus(js, statusRunning)
+
+	timeout := p.s.cfg.RequestTimeout
+	if t := time.Duration(js.spec.TimeoutMS) * time.Millisecond; t > 0 && t < timeout {
+		timeout = t
+	}
+	ctx, cancel := context.WithTimeout(p.baseCtx, timeout)
+	start := time.Now()
+	m, source, err := p.s.execute(ctx, js)
+	cancel()
+	elapsed := time.Since(start)
+
+	p.s.met.observe(elapsed, m, err)
+	p.mu.Lock()
+	js.m, js.source, js.err = m, source, err
+	js.elapsedMS = elapsed.Milliseconds()
+	if err != nil {
+		js.status = statusFailed
+	} else {
+		js.status = statusDone
+	}
+	p.mu.Unlock()
+	close(js.done)
+}
+
+// simulate is the production execute hook: the request's (scale, seed)
+// runner memoizes, singleflights, and persists the cell.
+func (s *Server) simulate(ctx context.Context, js *jobState) (*stats.Metrics, string, error) {
+	r := s.pool.runnerFor(js.spec)
+	m, err := r.RunECtx(ctx, js.spec.job())
+	return m, "run", err
+}
+
+// runnerFor returns (creating on first use) the runner owning this
+// workload parameterization's caches.
+func (p *pool) runnerFor(sp RunSpec) *harness.Runner {
+	k := runnerKey{sp.Scale, sp.Seed}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r, ok := p.runners[k]; ok {
+		return r
+	}
+	r := harness.NewRunner(sp.Scale)
+	r.Seed = sp.Seed
+	r.Store = p.s.cfg.Store
+	r.StoreReuse = true
+	r.Verbose = p.s.cfg.Verbose
+	p.runners[k] = r
+	return r
+}
+
+// simulated and storeHits aggregate the runner instrumentation across every
+// workload parameterization.
+func (p *pool) simulated() int {
+	n := 0
+	for _, r := range p.snapshotRunners() {
+		n += r.Simulated()
+	}
+	return n
+}
+
+func (p *pool) storeHits() int {
+	n := 0
+	for _, r := range p.snapshotRunners() {
+		n += r.StoreHits()
+	}
+	return n
+}
+
+func (p *pool) snapshotRunners() []*harness.Runner {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rs := make([]*harness.Runner, 0, len(p.runners))
+	for _, r := range p.runners {
+		rs = append(rs, r)
+	}
+	return rs
+}
+
+// drain refuses new work, gives queued and in-flight runs until timeout to
+// finish, cancels whatever remains (engines stop within one chunk of
+// simulated cycles), and stops the workers.
+func (p *pool) drain(timeout time.Duration) error {
+	p.draining.Store(true)
+	finished := make(chan struct{})
+	go func() {
+		p.taskWG.Wait()
+		close(finished)
+	}()
+
+	var err error
+	select {
+	case <-finished:
+	case <-time.After(timeout):
+		p.baseCancel(fmt.Errorf("server draining: %s drain timeout elapsed", timeout))
+		// Cancellation propagates within one engine chunk; allow a grace
+		// period before declaring the pool wedged.
+		select {
+		case <-finished:
+			err = fmt.Errorf("drain: in-flight work canceled after %s", timeout)
+		case <-time.After(30 * time.Second):
+			return errors.New("drain: tasks still running after cancellation grace period")
+		}
+	}
+	p.quitOnce.Do(func() { close(p.quit) })
+	p.workerWG.Wait()
+	return err
+}

@@ -1,0 +1,331 @@
+// Package serve turns the simulator into a production-shaped HTTP service:
+// simulation requests become bounded, deduplicated, cancellable work items.
+//
+// The serving discipline, in one paragraph: every POST /v1/runs is admitted
+// onto a bounded wait queue feeding a fixed worker pool, or refused
+// immediately with 429 + Retry-After when the queue is full — the server
+// sheds load instead of buffering it without bound. Each admitted request
+// runs under its own wall-clock deadline (gpu.RunContext stops the engine
+// within one chunk of simulated cycles). Identical concurrent requests
+// collapse onto a single simulation twice over: at the queue (one job entry
+// per distinct request) and in harness.Runner's singleflight map. Completed
+// results persist to the crash-safe result store, so repeat traffic — across
+// restarts too — is a disk read, never a simulation. SIGTERM triggers a
+// graceful drain: stop accepting, finish (or, past the drain timeout,
+// cancel) everything in flight, exit clean.
+//
+// Endpoints:
+//
+//	POST /v1/runs        submit a RunSpec; sync by default, 202 + id when async
+//	GET  /v1/runs/{id}   durable job status: pending states in memory,
+//	                     completed results from the store
+//	GET  /healthz        liveness (200 while the process runs)
+//	GET  /readyz         readiness (200 only with queue headroom, 503 draining)
+//	GET  /metrics        text exposition: queue depth, in-flight workers,
+//	                     store hits, simulated count, p50/p99 latency
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"getm/internal/gpu"
+	"getm/internal/stats"
+	"getm/internal/store"
+)
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the number of simulations executed concurrently
+	// (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the wait queue behind the workers; a request
+	// arriving with the queue full is refused with 429 (default 64).
+	QueueDepth int
+	// MaxScale is the admission ceiling for RunSpec.Scale (default 1.0).
+	MaxScale float64
+	// RequestTimeout is the default — and the cap — for each request's
+	// wall-clock deadline (default 60s).
+	RequestTimeout time.Duration
+	// Store, if non-nil, is the durable result tier shared by every runner.
+	Store *store.Store
+	// Verbose, if set, receives progress lines.
+	Verbose func(string)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxScale <= 0 {
+		c.MaxScale = 1.0
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// jobStatus is the lifecycle of one admitted run.
+type jobStatus string
+
+const (
+	statusQueued  jobStatus = "queued"
+	statusRunning jobStatus = "running"
+	statusDone    jobStatus = "done"
+	statusFailed  jobStatus = "failed"
+)
+
+// jobState is the unit the queue carries and the job table tracks: one
+// distinct request, shared by every client that submitted it.
+type jobState struct {
+	id   string
+	spec RunSpec
+
+	// done closes when the run finishes (either way); the fields below are
+	// written before the close and read-only after it.
+	done      chan struct{}
+	m         *stats.Metrics
+	err       error
+	elapsedMS int64
+	source    string // cache | store | run
+
+	// status is guarded by Server.mu until done closes.
+	status jobStatus
+}
+
+// Response is the JSON shape of both POST and GET run endpoints.
+type Response struct {
+	ID        string         `json:"id"`
+	Status    string         `json:"status"`
+	Source    string         `json:"source,omitempty"`
+	Truncated bool           `json:"truncated,omitempty"`
+	ElapsedMS int64          `json:"elapsed_ms,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	Metrics   *stats.Metrics `json:"metrics,omitempty"`
+}
+
+// Server is the HTTP front end. Create with New, serve via http.Server
+// (Server implements http.Handler), stop with Drain.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	pool *pool
+	met  *metricsSet
+
+	// execute runs one admitted job; tests substitute a stub.
+	execute func(ctx context.Context, js *jobState) (*stats.Metrics, string, error)
+}
+
+// New builds a server (workers started immediately).
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg.withDefaults(), mux: http.NewServeMux(), met: newMetricsSet()}
+	s.execute = s.simulate
+	s.pool = newPool(s)
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain gracefully stops the service: new submissions are refused with 503,
+// queued and in-flight runs get until timeout to finish, anything still
+// running past it is canceled (the engines stop within one chunk of cycles),
+// and the worker pool exits. Drain returns nil when everything completed in
+// time and an error describing the cut-short work otherwise; either way the
+// pool is fully stopped on return.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.log("draining: refusing new work, waiting up to " + timeout.String())
+	return s.pool.drain(timeout)
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.pool.draining.Load() }
+
+func (s *Server) log(msg string) {
+	if s.cfg.Verbose != nil {
+		s.cfg.Verbose(msg)
+	}
+}
+
+// handleSubmit admits one run request: fast-path cache/store hit, then a
+// bounded-queue slot, then 429.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.met.requests.Add(1)
+	var sp RunSpec
+	if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	sp.normalize()
+	if err := sp.validate(s.cfg.MaxScale); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	js, outcome := s.pool.admit(sp)
+	switch outcome {
+	case admitDraining:
+		s.met.rejected.Add(1)
+		w.Header().Set("Connection", "close")
+		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	case admitFull:
+		s.met.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("queue full (%d waiting, %d running); retry later", s.cfg.QueueDepth, s.cfg.Workers))
+		return
+	}
+
+	if sp.Async {
+		writeStatusJSON(w, http.StatusAccepted, s.snapshot(js))
+		return
+	}
+
+	// Sync: wait for the run (bounded by its own deadline inside the pool)
+	// or for the client to go away. An abandoned wait does not cancel the
+	// shared run — other clients may be waiting on the same jobState.
+	select {
+	case <-js.done:
+		resp := s.snapshot(js)
+		if js.err != nil {
+			writeStatusJSON(w, httpStatusFor(js.err), resp)
+			return
+		}
+		writeJSON(w, resp)
+	case <-r.Context().Done():
+		// Client disconnected; nothing useful to write.
+	}
+}
+
+// handleStatus reports one run: live states from the job table, completed
+// unbudgeted runs durably from the store (so ids survive restarts).
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if js, ok := s.pool.lookup(id); ok {
+		select {
+		case <-js.done:
+			resp := s.snapshot(js)
+			if js.err != nil {
+				writeStatusJSON(w, http.StatusOK, resp) // the job failed, not this request
+				return
+			}
+			writeJSON(w, resp)
+		default:
+			writeJSON(w, s.snapshot(js))
+		}
+		return
+	}
+	if s.cfg.Store != nil {
+		if m, ok := s.cfg.Store.Get(baseID(id)); ok {
+			s.met.storeStatusHits.Add(1)
+			writeJSON(w, Response{ID: id, Status: string(statusDone), Source: "store", Metrics: m})
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("unknown run id %q", id))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz flips to 503 when the queue has no headroom or the server is
+// draining — the signal a load balancer uses to steer traffic away before
+// requests start bouncing off 429s.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.pool.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case !s.pool.hasHeadroom():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "saturated")
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w, s.pool)
+}
+
+// snapshot renders a job's current state (done fields are stable after the
+// close; live states read under the pool lock).
+func (s *Server) snapshot(js *jobState) Response {
+	select {
+	case <-js.done:
+		resp := Response{ID: js.id, Status: string(statusDone), Source: js.source, ElapsedMS: js.elapsedMS}
+		if js.err != nil {
+			resp.Status = string(statusFailed)
+			resp.Error = js.err.Error()
+		}
+		if js.m != nil {
+			resp.Metrics = js.m
+			resp.Truncated = js.m.Truncated
+		}
+		return resp
+	default:
+		return Response{ID: js.id, Status: string(s.pool.statusOf(js))}
+	}
+}
+
+// retryAfterSeconds estimates when a queue slot will free up: the queue's
+// drain time at the recent mean latency, floored at one second.
+func (s *Server) retryAfterSeconds() int {
+	meanMS := s.met.meanLatencyMS()
+	if meanMS <= 0 {
+		return 1
+	}
+	secs := int(float64(s.cfg.QueueDepth) * meanMS / float64(s.cfg.Workers) / 1000)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 600 {
+		return 600
+	}
+	return secs
+}
+
+// httpStatusFor maps a run error to a response code: a deadline/cancel is
+// the request's fault (408), everything else a simulation failure (500).
+func httpStatusFor(err error) int {
+	if errors.Is(err, gpu.ErrCanceled) {
+		return http.StatusRequestTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	writeStatusJSON(w, http.StatusOK, v)
+}
+
+func writeStatusJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeStatusJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"getm/internal/gpu"
+	"getm/internal/harness"
+	"getm/internal/workloads"
+)
+
+// RunSpec is the body of POST /v1/runs: one simulation request. The zero
+// values of Scale and Seed select the library's documented sentinels (1.0
+// and 42), so the minimal request is just {"protocol": ..., "benchmark": ...}.
+type RunSpec struct {
+	// Protocol is one of getm, warptm, warptm-el, eapg, fglock.
+	Protocol string `json:"protocol"`
+	// Benchmark is one of the paper's workloads (see workloads.Names).
+	Benchmark string `json:"benchmark"`
+	// Scale shrinks the workload (0 = 1.0, the full reproduction scale).
+	// Requests above the server's -max-scale are refused with 400.
+	Scale float64 `json:"scale,omitempty"`
+	// Seed drives workload generation (0 = 42).
+	Seed uint64 `json:"seed,omitempty"`
+	// Conc caps concurrent transactional warps per core (0 = unlimited).
+	Conc int `json:"conc,omitempty"`
+	// Cores selects the machine: 0 or 15 for the paper's GTX480-like
+	// config, 56 for the scaled one.
+	Cores int `json:"cores,omitempty"`
+	// CycleBudget bounds the simulation's cost: the run stops after this
+	// many simulated cycles and returns partial metrics tagged truncated
+	// (0 = no bound). A stored complete result still satisfies a budgeted
+	// request — the budget bounds simulation cost, not disk reads.
+	CycleBudget uint64 `json:"cycle_budget,omitempty"`
+	// TimeoutMS overrides the per-request wall-clock deadline, capped at
+	// the server's -request-timeout (0 = the server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Async makes POST return 202 with the run id immediately; poll
+	// GET /v1/runs/{id} for the durable job status and result.
+	Async bool `json:"async,omitempty"`
+}
+
+var protocols = map[string]bool{
+	string(gpu.ProtoGETM):     true,
+	string(gpu.ProtoWarpTM):   true,
+	string(gpu.ProtoWarpTMEL): true,
+	string(gpu.ProtoEAPG):     true,
+	string(gpu.ProtoFGLock):   true,
+}
+
+// normalize applies the documented zero-value sentinels in place.
+func (sp *RunSpec) normalize() {
+	if sp.Scale == 0 {
+		sp.Scale = 1.0
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 42
+	}
+}
+
+// validate checks a normalized spec against static limits; maxScale is the
+// server's admission ceiling.
+func (sp *RunSpec) validate(maxScale float64) error {
+	if !protocols[sp.Protocol] {
+		return fmt.Errorf("unknown protocol %q (want getm, warptm, warptm-el, eapg, fglock)", sp.Protocol)
+	}
+	names := workloads.Names()
+	ok := false
+	for _, n := range names {
+		if n == sp.Benchmark {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (want one of %v)", sp.Benchmark, names)
+	}
+	if sp.Scale <= 0 || sp.Scale > maxScale {
+		return fmt.Errorf("scale %g out of range (0, %g]", sp.Scale, maxScale)
+	}
+	if sp.Conc < 0 {
+		return fmt.Errorf("conc %d must be >= 0", sp.Conc)
+	}
+	if sp.Cores < 0 || sp.Cores > 56 {
+		return fmt.Errorf("cores %d out of range [0, 56]", sp.Cores)
+	}
+	if sp.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms %d must be >= 0", sp.TimeoutMS)
+	}
+	return nil
+}
+
+// job translates the spec into the harness's cell identity.
+func (sp *RunSpec) job() harness.Job {
+	return harness.Job{
+		Proto:       gpu.Protocol(sp.Protocol),
+		Bench:       sp.Benchmark,
+		Conc:        sp.Conc,
+		Cores:       sp.Cores,
+		CycleBudget: sp.CycleBudget,
+	}
+}
+
+// runID returns the request's public id. For an unbudgeted request this is
+// exactly the result's content address in the on-disk store, so the id stays
+// resolvable across server restarts (GET falls back to a store read). A
+// budgeted request gets a "-b<budget>" suffix: its truncated result is a
+// different artifact than the cell's complete one, but a complete stored
+// record still satisfies it, so the store fallback strips the suffix.
+func runID(storeKey string, sp RunSpec) string {
+	if sp.CycleBudget == 0 {
+		return storeKey
+	}
+	return storeKey + "-b" + strconv.FormatUint(sp.CycleBudget, 10)
+}
+
+// baseID strips a runID back to its store key.
+func baseID(id string) string {
+	if i := strings.IndexByte(id, '-'); i >= 0 {
+		return id[:i]
+	}
+	return id
+}

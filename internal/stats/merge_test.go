@@ -36,6 +36,7 @@ func genMetrics(r *rand.Rand) *Metrics {
 	for i := 0; i < r.Intn(5); i++ {
 		m.StallBufPerAddr.Add(float64(r.Intn(10)))
 	}
+	m.Truncated = r.Intn(4) == 0
 	return m
 }
 

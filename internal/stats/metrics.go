@@ -1,5 +1,7 @@
 package stats
 
+import "math"
+
 // Metrics is the per-run measurement snapshot consumed by the experiment
 // harness. All cycle quantities are in interconnect-clock cycles.
 type Metrics struct {
@@ -43,6 +45,14 @@ type Metrics struct {
 	// Extra holds protocol-specific counters (overflow insertions, rollovers,
 	// pauses, TCD hits, cuckoo evictions, ...).
 	Extra Counters
+
+	// Truncated marks a partial snapshot from a run cut short (context
+	// cancellation or cycle budget): tallies cover only the run's first
+	// TotalCycles cycles and end-of-run verification was skipped. The flag
+	// is sticky under Merge (any truncated input taints the aggregate), and
+	// consumers that require complete runs — the on-disk store, the
+	// accounting invariants — refuse truncated metrics outright.
+	Truncated bool
 }
 
 // NewMetrics returns an initialized Metrics.
@@ -55,9 +65,10 @@ func NewMetrics() *Metrics {
 }
 
 // Merge folds other into m: counters add, histograms merge bucket-wise,
-// maxima take the larger value. Merging is associative and commutative (up
-// to float rounding in the Accum sums), so per-shard metrics can be combined
-// in any order — see TestMetricsMergeAssociative.
+// maxima take the larger value, and Truncated ORs (a merge containing any
+// partial input is itself partial). Merging is associative and commutative
+// (up to float rounding in the Accum sums), so per-shard metrics can be
+// combined in any order — see TestMetricsMergeAssociative.
 func (m *Metrics) Merge(other *Metrics) {
 	if other == nil {
 		return
@@ -83,6 +94,7 @@ func (m *Metrics) Merge(other *Metrics) {
 		m.StallBufMaxOccupancy = other.StallBufMaxOccupancy
 	}
 	m.StallBufPerAddr.Merge(other.StallBufPerAddr)
+	m.Truncated = m.Truncated || other.Truncated
 }
 
 // TxCycles returns exec + wait, the paper's "total tx cycles".
@@ -91,9 +103,15 @@ func (m *Metrics) TxCycles() uint64 { return m.TxExecCycles + m.TxWaitCycles }
 // XbarBytes returns total crossbar traffic in both directions.
 func (m *Metrics) XbarBytes() uint64 { return m.XbarUpBytes + m.XbarDownBytes }
 
-// AbortsPer1KCommits returns the paper's Table IV abort metric.
+// AbortsPer1KCommits returns the paper's Table IV abort metric. A run that
+// aborted without ever committing has an infinite rate, reported as +Inf
+// (rendered "n/a" by report tables) — previously it read as 0, making an
+// all-abort cell indistinguishable from a perfect one.
 func (m *Metrics) AbortsPer1KCommits() float64 {
 	if m.Commits == 0 {
+		if m.Aborts > 0 {
+			return math.Inf(1)
+		}
 		return 0
 	}
 	return float64(m.Aborts) * 1000 / float64(m.Commits)

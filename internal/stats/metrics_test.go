@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// A merge containing any truncated input must itself read as truncated, and
+// merging only complete inputs must not set the flag.
+func TestMergeTruncatedSticky(t *testing.T) {
+	complete := NewMetrics()
+	complete.Commits = 10
+	partial := NewMetrics()
+	partial.Commits = 3
+	partial.Truncated = true
+
+	m := NewMetrics()
+	m.Merge(complete)
+	if m.Truncated {
+		t.Fatal("merge of complete inputs reads as truncated")
+	}
+	m.Merge(partial)
+	if !m.Truncated {
+		t.Fatal("truncated input merged silently into a complete aggregate")
+	}
+	m.Merge(complete)
+	if !m.Truncated {
+		t.Fatal("Truncated flag dropped by a later complete merge")
+	}
+}
+
+// An all-abort cell must report an infinite rate, not a perfect zero; a cell
+// with no transactions at all (fglock) stays 0.
+func TestAbortsPer1KCommitsNoCommits(t *testing.T) {
+	m := NewMetrics()
+	m.Aborts = 7
+	if got := m.AbortsPer1KCommits(); !math.IsInf(got, 1) {
+		t.Fatalf("Commits=0 Aborts=7: got %v, want +Inf", got)
+	}
+	m.Aborts = 0
+	if got := m.AbortsPer1KCommits(); got != 0 {
+		t.Fatalf("Commits=0 Aborts=0: got %v, want 0", got)
+	}
+	m.Commits, m.Aborts = 1000, 5
+	if got := m.AbortsPer1KCommits(); got != 5 {
+		t.Fatalf("Commits=1000 Aborts=5: got %v, want 5", got)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	var h Hist
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty hist quantile = %v, want 0", got)
+	}
+	// 100 samples: values 0..99 clamp into 64 buckets (64..99 land in 63).
+	for v := 0; v < 100; v++ {
+		h.Add(v)
+	}
+	if got := h.Quantile(0.5); got != 49 {
+		t.Errorf("p50 = %v, want 49", got)
+	}
+	if got := h.Quantile(0.99); got != 63 {
+		t.Errorf("p99 = %v, want 63 (clamped)", got)
+	}
+	if got := h.Quantile(0.01); got != 0 {
+		t.Errorf("p1 = %v, want 0", got)
+	}
+
+	h2 := NewHist(16)
+	for i := 0; i < 9; i++ {
+		h2.Add(2)
+	}
+	h2.Add(10)
+	if got := h2.Quantile(0.5); got != 2 {
+		t.Errorf("p50 = %v, want 2", got)
+	}
+	if got := h2.Quantile(0.99); got != 10 {
+		t.Errorf("p99 = %v, want 10", got)
+	}
+}

@@ -132,8 +132,10 @@ func TestMetricsDerived(t *testing.T) {
 	if m.AbortsPer1KCommits() != 250 {
 		t.Fatalf("aborts/1k = %v", m.AbortsPer1KCommits())
 	}
+	// Aborts with zero commits is an infinite rate, not a perfect zero (the
+	// old behavior rendered an all-abort cell as flawless).
 	m.Commits = 0
-	if m.AbortsPer1KCommits() != 0 {
-		t.Fatal("aborts/1k with zero commits should be 0")
+	if got := m.AbortsPer1KCommits(); !math.IsInf(got, 1) {
+		t.Fatalf("aborts/1k with zero commits and nonzero aborts = %v, want +Inf", got)
 	}
 }

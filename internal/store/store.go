@@ -133,6 +133,12 @@ func (s *Store) Put(key, desc string, m *stats.Metrics) error {
 	if s.err != nil || m == nil {
 		return nil
 	}
+	if m.Truncated {
+		// A truncated snapshot persisted as a complete record would be served
+		// forever after as the cell's true result. Callers already skip
+		// truncated runs; this is the backstop that makes the invariant local.
+		return fmt.Errorf("store: refusing to persist truncated metrics for %s", key)
+	}
 	payload, err := json.Marshal(Record{Key: key, Desc: desc, Metrics: m})
 	if err != nil {
 		return fmt.Errorf("store: encode %s: %w", key, err)

@@ -291,3 +291,26 @@ func TestLoadDir(t *testing.T) {
 		t.Fatal("LoadDir on a missing directory should fail")
 	}
 }
+
+// Truncated metrics must never enter the store, even if a caller forgets the
+// guard: a partial snapshot persisted as a complete record would be served
+// as the cell's true result forever after.
+func TestPutRefusesTruncated(t *testing.T) {
+	s := Open(t.TempDir())
+	m := stats.NewMetrics()
+	m.TotalCycles = 123
+	m.Truncated = true
+	if err := s.Put("deadbeef", "partial", m); err == nil {
+		t.Fatal("Put accepted truncated metrics")
+	}
+	if keys, _ := s.Keys(); len(keys) != 0 {
+		t.Fatalf("truncated record reached disk: %v", keys)
+	}
+	m.Truncated = false
+	if err := s.Put("deadbeef", "complete", m); err != nil {
+		t.Fatalf("Put refused complete metrics: %v", err)
+	}
+	if got, ok := s.Get("deadbeef"); !ok || got.TotalCycles != 123 {
+		t.Fatalf("round-trip failed: %v %v", got, ok)
+	}
+}

@@ -18,6 +18,12 @@ import (
 // abort) or dies en route into the dead mask (counted by abortLane, which
 // deduplicates per lane per attempt).
 func CheckAccounting(m *stats.Metrics) error {
+	if m.Truncated {
+		// A run cut short mid-flight legitimately has lanes inside attempts,
+		// so the invariants below do not hold; failing them would read as a
+		// (spurious) protocol bug. Refuse loudly instead.
+		return fmt.Errorf("accounting: metrics are truncated (partial run); invariants only hold for complete runs")
+	}
 	var byCause uint64
 	for _, n := range m.AbortsByCause {
 		byCause += n

@@ -2,9 +2,11 @@ package tmtest_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"getm/internal/gpu"
+	"getm/internal/stats"
 	"getm/internal/tmtest"
 	"getm/internal/workloads"
 )
@@ -49,5 +51,24 @@ func TestAccountingInvariantsFGLock(t *testing.T) {
 	}
 	if err := tmtest.CheckAccounting(res.Metrics); err != nil {
 		t.Error(err)
+	}
+}
+
+// Truncated metrics must be refused outright: a run cut short mid-flight has
+// lanes inside attempts, so the invariants would fail spuriously.
+func TestCheckAccountingRefusesTruncated(t *testing.T) {
+	m := stats.NewMetrics()
+	m.Truncated = true
+	err := tmtest.CheckAccounting(m)
+	if err == nil {
+		t.Fatal("CheckAccounting accepted truncated metrics")
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("error does not explain the refusal: %v", err)
+	}
+	// The same tallies untruncated pass (all-zero is a valid fglock run).
+	m.Truncated = false
+	if err := tmtest.CheckAccounting(m); err != nil {
+		t.Fatalf("complete all-zero metrics refused: %v", err)
 	}
 }
