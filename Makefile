@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench benchcmp trace-gate store-gate serve-gate
+.PHONY: check vet build test race short bench benchcmp trace-gate store-gate serve-gate par-gate
 
-check: vet build race short trace-gate store-gate serve-gate
+check: vet build race short trace-gate store-gate serve-gate par-gate
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +48,15 @@ store-gate:
 serve-gate:
 	$(GO) test -race ./internal/serve/ ./cmd/getm-serve/
 
+# Parallel-engine gate: the sharded engine must match the serial reference
+# event-for-event across thousands of randomized schedules, survive
+# stop/resume at every window, and produce machine-level results identical
+# across worker counts — all under the race detector. BENCH_parallel.json
+# records the recorded timings (regenerate with `make bench-parallel`).
+par-gate:
+	$(GO) test -race -run 'TestSharded|TestEngineStopEveryEvent|TestEngineRunLimitClamp|TestReopenedGate|TestRolloverResumes' ./internal/sim/ ./internal/simt/ ./internal/gpu/
+	$(GO) test -run 'TestShardClassIdentity' ./internal/harness/
+
 test:
 	$(GO) test ./...
 
@@ -56,6 +65,11 @@ test:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem ./internal/sim/
 	$(GO) test -run xxx -bench 'BenchmarkSuite' -benchtime 1x .
+
+# Parallel-engine timings (recorded in BENCH_parallel.json).
+bench-parallel:
+	$(GO) test -run xxx -bench 'BenchmarkShardedWindows' -benchtime 5x ./internal/sim/
+	$(GO) test -run xxx -bench 'BenchmarkRunEngines' -benchtime 3x ./internal/gpu/
 
 # Compare two saved bench runs. Capture each side with e.g.
 #   $(GO) test -run xxx -bench . -benchmem ./... > /tmp/old.txt

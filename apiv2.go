@@ -20,6 +20,7 @@ type expConfig struct {
 	workers  int
 	storeDir string
 	resume   bool
+	shards   int
 }
 
 // Option configures RunExperimentContext.
@@ -56,6 +57,21 @@ func WithStore(dir string) Option {
 	}
 }
 
+// WithShards runs each shardable simulation cell (getm and fglock
+// protocols) on the domain-partitioned parallel engine with n worker
+// goroutines; n <= 0 keeps the serial engine. Sharded results are
+// deterministic and identical for every n >= 1 — the worker count is
+// physical, not semantic — but serial and sharded runs are distinct
+// semantics classes and are cached and stored separately (DESIGN.md §10).
+// Cells the parallel engine cannot host fall back to serial.
+func WithShards(n int) Option {
+	return func(c *expConfig) {
+		if n > 0 {
+			c.shards = n
+		}
+	}
+}
+
 // RunExperimentContext regenerates one of the paper's figures or tables
 // (see Experiments) and returns the rendered report, honouring ctx: a cancel
 // or deadline stops in-flight simulations within one chunk of simulated
@@ -74,6 +90,7 @@ func RunExperimentContext(ctx context.Context, id string, opts ...Option) (strin
 
 	r := harness.NewRunner(c.scale)
 	r.Ctx = ctx
+	r.Shards = c.shards
 	if c.storeDir != "" {
 		r.Store = store.Open(c.storeDir)
 		r.StoreReuse = c.resume

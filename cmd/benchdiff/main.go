@@ -31,10 +31,20 @@
 //	# ...make changes...
 //	getm-bench -scale 0.25 -store runs/tuned all
 //	benchdiff runs/base runs/tuned
+//
+// Finally it diffs the repo's recorded perf baselines (BENCH_*.json): a file
+// whose first byte is "{" is parsed as JSON, every numeric leaf becomes a
+// metric keyed by its object path, and strings (descriptions, hostnames,
+// dates) are ignored. Comparing a fresh capture against the committed
+// baseline turns "did this change regress the parallel engine?" into one
+// table:
+//
+//	benchdiff BENCH_parallel.json /tmp/new-parallel.json
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
@@ -72,6 +82,9 @@ func parseFile(path string) (map[metricKey]float64, []string, error) {
 			first = false
 			if strings.HasPrefix(sc.Text(), "cycle,") {
 				return parseSampleCSV(sc)
+			}
+			if strings.HasPrefix(strings.TrimSpace(sc.Text()), "{") {
+				return parseBenchJSON(path)
 			}
 		}
 		fields := strings.Fields(sc.Text())
@@ -139,6 +152,55 @@ func parseSampleCSV(sc *bufio.Scanner) (map[metricKey]float64, []string, error) 
 		}
 	}
 	return out, names, nil
+}
+
+// parseBenchJSON flattens a recorded-baseline file (BENCH_*.json) into
+// metrics: every numeric leaf is keyed by the path of objects holding it
+// (bench) and its own field name (unit); non-numeric leaves are prose and
+// are skipped. Two baselines of the same shape therefore line up leaf by
+// leaf whatever their nesting.
+func parseBenchJSON(path string) (map[metricKey]float64, []string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var root map[string]any
+	if err := json.Unmarshal(b, &root); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[metricKey]float64{}
+	var order []string
+	seen := map[string]bool{}
+	var walk func(prefix string, node map[string]any)
+	walk = func(prefix string, node map[string]any) {
+		keys := make([]string, 0, len(node))
+		for k := range node {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			switch v := node[k].(type) {
+			case float64:
+				bench := prefix
+				if bench == "" {
+					bench = "(top)"
+				}
+				out[metricKey{bench, k}] = v
+				if !seen[bench] {
+					seen[bench] = true
+					order = append(order, bench)
+				}
+			case map[string]any:
+				p := k
+				if prefix != "" {
+					p = prefix + "." + k
+				}
+				walk(p, v)
+			}
+		}
+	}
+	walk("", root)
+	return out, order, nil
 }
 
 // parseStoreDir reduces every record of a result store to its headline

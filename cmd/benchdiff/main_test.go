@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"testing"
 
 	"getm/internal/stats"
@@ -65,5 +66,41 @@ func TestIsDir(t *testing.T) {
 	}
 	if isDir(dir + "/missing") {
 		t.Error("isDir(missing) = true")
+	}
+}
+
+// A recorded-baseline JSON must flatten to one metric per numeric leaf,
+// keyed by its object path, with prose fields skipped — and parseFile must
+// sniff the format from the leading brace.
+func TestParseBenchJSON(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	body := `{
+  "description": "prose, not a metric",
+  "recorded": "2026-08-08",
+  "machine": {
+    "bench_cmd": "go test ...",
+    "serial_ns_per_op": 100,
+    "sharded_w2_ns_per_op": 150,
+    "nested": {"deep_value": 7}
+  }
+}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, order, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m[metricKey{"machine", "serial_ns_per_op"}]; got != 100 {
+		t.Fatalf("serial_ns_per_op = %v, want 100", got)
+	}
+	if got := m[metricKey{"machine.nested", "deep_value"}]; got != 7 {
+		t.Fatalf("deep_value = %v, want 7", got)
+	}
+	if _, ok := m[metricKey{"(top)", "description"}]; ok {
+		t.Fatal("prose field leaked into metrics")
+	}
+	if len(order) != 2 {
+		t.Fatalf("order = %v, want [machine machine.nested]", order)
 	}
 }

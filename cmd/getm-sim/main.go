@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	storeDir := fs.String("store", "", "persist results to (and reuse them from) this directory")
 	resume := fs.Bool("resume", true, "with -store, reuse existing records instead of re-simulating")
 	timeout := fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = none)")
+	shards := fs.Int("shards", 0, "run on the parallel engine with this many workers (0 = serial; getm/fglock only, results identical for any value >= 1)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -74,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Cores = *cores
 	}
 	cfg.Core.MaxTxWarps = *conc
+	cfg.Shards = *shards
 
 	if *traceFile != "" {
 		mask, err := trace.ParseSources(*traceFilter)
@@ -82,6 +84,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		cfg.Trace = &trace.Options{Sources: mask, SampleInterval: *sampleInterval}
+	}
+	if *shards > 0 && !gpu.Shardable(cfg) {
+		fmt.Fprintln(stderr, "warning: -shards ignored (configuration not shardable; running serial)")
 	}
 
 	params := workloads.Params{Scale: *scale, Seed: *seed}

@@ -64,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	storeDir := fs.String("store", "", "persist results to (and resume them from) this directory")
 	resume := fs.Bool("resume", true, "with -store, reuse existing records instead of re-simulating")
 	timeout := fs.Duration("timeout", 0, "abort the sweep after this wall-clock duration (0 = none)")
+	shards := fs.Int("shards", 0, "run each point on the parallel engine with this many workers (0 = serial; getm/fglock only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -95,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i, v := range vals {
 		cfg := gpu.DefaultConfig(gpu.Protocol(*proto))
 		cfg.Core.MaxTxWarps = *conc
+		cfg.Shards = *shards
 		switch *knob {
 		case "conc":
 			cfg.Core.MaxTxWarps = v

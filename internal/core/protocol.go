@@ -48,6 +48,18 @@ type Protocol struct {
 	// Rollovers counts completed rollover rounds.
 	Rollovers uint64
 	rollover  *rolloverState
+
+	// AckHop, when set, transports a commit-log acknowledgement from the
+	// commit unit's context back to the protocol's own (the sharded machine
+	// sets it to a cross-domain hop; nil invokes the ack inline, preserving
+	// the serial machine's behavior bit-for-bit).
+	AckHop func(part, core int, fn func())
+	// drainIdle is armed by BeginDrainRemote: it fires once when no
+	// transactions or commit logs are in flight.
+	drainIdle func()
+	// canBeginHooks are notified whenever a closed CanBegin gate reopens, so
+	// cores can re-admit warps queued behind it (see OnCanBegin).
+	canBeginHooks []func()
 }
 
 var _ tm.Protocol = (*Protocol)(nil)
@@ -78,6 +90,51 @@ func (p *Protocol) EagerIntraWarp() bool { return true }
 
 // CanBegin gates new transactions during a rollover drain.
 func (p *Protocol) CanBegin() bool { return !p.draining }
+
+// OnCanBegin registers a callback invoked whenever the CanBegin gate reopens
+// after a drain. Without it, a warp queued behind the gate on a core with no
+// other transaction in flight was never re-admitted — cores only retry the
+// queue on endTx, and after a drain there is no endTx left to come — leaving
+// the kernel deadlocked (see TestRolloverResumesQueuedWarps).
+func (p *Protocol) OnCanBegin(fn func()) { p.canBeginHooks = append(p.canBeginHooks, fn) }
+
+func (p *Protocol) notifyCanBegin() {
+	for _, fn := range p.canBeginHooks {
+		fn()
+	}
+}
+
+// BeginDrainRemote closes the admission gate and arranges for idle to fire
+// (once) when no transactions or commit logs are in flight on this instance.
+// It is the sharded rollover coordinator's entry point; the serial machine
+// uses the ring-driven triggerRollover path instead.
+func (p *Protocol) BeginDrainRemote(idle func()) {
+	p.draining = true
+	p.drainIdle = idle
+	p.maybeNotifyIdle()
+}
+
+func (p *Protocol) maybeNotifyIdle() {
+	if p.drainIdle == nil || p.activeTx > 0 || p.pendingLogs > 0 {
+		return
+	}
+	fn := p.drainIdle
+	p.drainIdle = nil
+	fn()
+}
+
+// ResumeFromDrain completes a coordinator-driven rollover on this instance:
+// reset the warp clocks, advance the epoch, reopen admission, and wake any
+// warps queued behind the gate.
+func (p *Protocol) ResumeFromDrain() {
+	for gwid := range p.warpts {
+		p.warpts[gwid] = 0
+	}
+	p.epoch++
+	p.Rollovers++
+	p.draining = false
+	p.notifyCanBegin()
+}
 
 // Begin implements tm.Protocol.
 func (p *Protocol) Begin(w *tm.WarpTx) {
@@ -261,6 +318,7 @@ type commitLog struct {
 	entries   []CommitEntry
 	batchNext *commitLog // chains the partitions of one commit
 	submit    func()
+	ack       func() // commit-unit callback; hops home via AckHop when set
 	done      func()
 	next      *commitLog // freelist
 }
@@ -269,7 +327,14 @@ func (p *Protocol) getCommitLog(part, core int) *commitLog {
 	cl := p.logPool
 	if cl == nil {
 		cl = &commitLog{p: p}
-		cl.submit = func() { cl.p.cus[cl.part].Submit(cl.entries, cl.done) }
+		cl.submit = func() { cl.p.cus[cl.part].Submit(cl.entries, cl.ack) }
+		cl.ack = func() {
+			if q := cl.p; q.AckHop != nil {
+				q.AckHop(cl.part, cl.core, cl.done)
+				return
+			}
+			cl.done()
+		}
 		cl.done = func() {
 			q := cl.p
 			q.pendingLogs--
@@ -277,6 +342,7 @@ func (p *Protocol) getCommitLog(part, core int) *commitLog {
 			cl.next = q.logPool
 			q.logPool = cl
 			q.maybeFinishDrain()
+			q.maybeNotifyIdle()
 		}
 	} else {
 		p.logPool = cl.next
@@ -324,6 +390,7 @@ func (p *Protocol) getBatch(head *commitLog, resume func(tm.CommitOutcome)) *com
 			q.batchPool = b
 			q.activeTx--
 			q.maybeFinishDrain()
+			q.maybeNotifyIdle()
 			fin(tm.CommitOutcome{})
 		}
 	} else {

@@ -71,5 +71,10 @@ func (p *Protocol) maybeFinishDrain() {
 		p.Rollovers++
 		p.draining = false
 		p.rollover = nil
+		// Wake warps queued behind the CanBegin gate. Cores only retry their
+		// queue on endTx, and the drain just consumed every transaction that
+		// could end — without this notification a core whose warps all queued
+		// during the drain would never start another transaction.
+		p.notifyCanBegin()
 	})
 }

@@ -75,6 +75,13 @@ type Config struct {
 	// Result.Trace. A nil Trace costs one pointer compare per would-be
 	// emission — nothing is allocated.
 	Trace *trace.Options
+	// Shards > 0 runs the machine on the domain-partitioned parallel engine
+	// with up to Shards worker goroutines. Sharded results are deterministic
+	// and identical for every Shards >= 1, but form a distinct semantics
+	// class from Shards == 0 (see machine_sharded.go and DESIGN.md §10).
+	// Configurations the sharded machine cannot host — protocols other than
+	// getm/fglock, Record, Trace — silently fall back to the serial engine.
+	Shards int
 }
 
 // DefaultConfig mirrors Table II's 15-core GTX480-like setup.
@@ -163,6 +170,9 @@ func RunContext(ctx context.Context, cfg Config, k *Kernel) (*Result, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("gpu: kernel %q: %w", k.Name, errors.Join(ErrCanceled, err))
+	}
+	if cfg.Shards > 0 && Shardable(cfg) {
+		return runShardedContext(ctx, cfg, k)
 	}
 	eng := sim.NewEngine()
 	img := mem.NewImage()

@@ -48,7 +48,7 @@ func newMachine(eng *sim.Engine, img *mem.Image, cfg Config, rec *trace.Recorder
 	for i := 0; i < cfg.Partitions; i++ {
 		m.partitions = append(m.partitions, mem.NewPartition(i, eng, img, cfg.Partition))
 	}
-	m.memsys = &memSystem{m: m}
+	m.memsys = newSerialMemSystem(m)
 	trans := &transport{m: m}
 	rng := sim.NewRNG(cfg.Seed ^ 0xC0FFEE)
 
@@ -246,11 +246,39 @@ func (t *transport) BroadcastToCores(partition, bytes int, deliver func(core int
 
 // memSystem adapts the crossbars + partitions to simt.MemSystem with
 // per-line coalescing. Access states and per-line requests are pooled with
-// prebuilt callbacks (single goroutine per machine — no locking).
+// prebuilt callbacks. The crossbar and partition-side scheduling are narrow
+// function fields so the same implementation serves the serial machine (one
+// shared instance, everything on one engine) and the sharded machine (one
+// instance per core, with upSend/downSend crossing shard domains and
+// partSched landing on the partition's own engine). Pools are only touched
+// from the owning core's context — no locking in either mode.
 type memSystem struct {
-	m        *machine
-	accPool  *memAccess
-	linePool *lineReq
+	amap       mem.AddressMap
+	img        *mem.Image
+	partitions []*mem.Partition
+	upSend     func(core, part, bytes int, deliver func())
+	downSend   func(part, core, bytes int, deliver func())
+	partSched  func(part int, delay sim.Cycle, fn func())
+	accPool    *memAccess
+	linePool   *lineReq
+}
+
+// newSerialMemSystem wires the memSystem over the serial machine.
+func newSerialMemSystem(m *machine) *memSystem {
+	return &memSystem{
+		amap:       m.amap,
+		img:        m.img,
+		partitions: m.partitions,
+		upSend: func(core, part, bytes int, deliver func()) {
+			m.pair.Up.Send(core, part, bytes, deliver)
+		},
+		downSend: func(part, core, bytes int, deliver func()) {
+			m.pair.Down.Send(part, core, bytes, deliver)
+		},
+		partSched: func(_ int, delay sim.Cycle, fn func()) {
+			m.eng.Schedule(delay, fn)
+		},
+	}
 }
 
 // memAccess is one coalesced warp access in flight. Line grouping uses flat
@@ -300,23 +328,23 @@ func (ms *memSystem) getLineReq() *lineReq {
 	if lr == nil {
 		lr = &lineReq{ms: ms}
 		lr.upFn = func() {
-			m := lr.ms.m
-			delay := m.partitions[lr.part].AccessDelay(lr.line)
-			m.eng.Schedule(delay, lr.accessFn)
+			ms := lr.ms
+			delay := ms.partitions[lr.part].AccessDelay(lr.line)
+			ms.partSched(lr.part, delay, lr.accessFn)
 		}
 		lr.accessFn = func() {
-			acc, m := lr.acc, lr.ms.m
+			acc, ms := lr.acc, lr.ms
 			for i := range acc.addrs {
 				if acc.groupOf[i] != int32(lr.gi) {
 					continue
 				}
 				if acc.isWrite {
-					m.img.Write(acc.addrs[i], acc.vals[i])
+					ms.img.Write(acc.addrs[i], acc.vals[i])
 				} else {
-					acc.loadVals[i] = m.img.Read(acc.addrs[i])
+					acc.loadVals[i] = ms.img.Read(acc.addrs[i])
 				}
 			}
-			m.pair.Down.Send(lr.part, acc.coreID, lr.downBytes, lr.downFn)
+			ms.downSend(lr.part, acc.coreID, lr.downBytes, lr.downFn)
 		}
 		lr.downFn = func() {
 			acc, ms := lr.acc, lr.ms
@@ -338,7 +366,6 @@ func (ms *memSystem) getLineReq() *lineReq {
 }
 
 func (ms *memSystem) Access(coreID int, isWrite bool, addrs, vals []uint64, done func([]uint64)) {
-	m := ms.m
 	acc := ms.getAccess()
 	acc.coreID, acc.isWrite = coreID, isWrite
 	acc.addrs, acc.vals, acc.done = addrs, vals, done
@@ -357,7 +384,7 @@ func (ms *memSystem) Access(coreID int, isWrite bool, addrs, vals []uint64, done
 	acc.lines = acc.lines[:0]
 	acc.counts = acc.counts[:0]
 	for _, a := range addrs {
-		line := m.amap.Line(a)
+		line := ms.amap.Line(a)
 		gi := -1
 		for g := range acc.lines {
 			if acc.lines[g] == line {
@@ -380,7 +407,7 @@ func (ms *memSystem) Access(coreID int, isWrite bool, addrs, vals []uint64, done
 		lr := ms.getLineReq()
 		lr.acc = acc
 		lr.line = acc.lines[gi]
-		lr.part = m.amap.Partition(acc.lines[gi])
+		lr.part = ms.amap.Partition(acc.lines[gi])
 		lr.gi = gi
 		upBytes := tm.HeaderBytes + tm.AddrBytes
 		lr.downBytes = tm.HeaderBytes
@@ -389,17 +416,16 @@ func (ms *memSystem) Access(coreID int, isWrite bool, addrs, vals []uint64, done
 		} else {
 			lr.downBytes += int(acc.counts[gi]) * tm.WordBytes
 		}
-		m.pair.Up.Send(coreID, lr.part, upBytes, lr.upFn)
+		ms.upSend(coreID, lr.part, upBytes, lr.upFn)
 	}
 }
 
 func (ms *memSystem) AtomicCAS(coreID int, addr, compare, swap uint64, done func(old uint64, ok bool)) {
-	m := ms.m
-	partID := m.amap.Partition(addr)
-	part := m.partitions[partID]
-	m.pair.Up.Send(coreID, partID, tm.HeaderBytes+tm.AddrBytes+2*tm.WordBytes, func() {
+	partID := ms.amap.Partition(addr)
+	part := ms.partitions[partID]
+	ms.upSend(coreID, partID, tm.HeaderBytes+tm.AddrBytes+2*tm.WordBytes, func() {
 		part.AtomicCAS(addr, compare, swap, func(old uint64, ok bool) {
-			m.pair.Down.Send(partID, coreID, tm.HeaderBytes+tm.WordBytes, func() {
+			ms.downSend(partID, coreID, tm.HeaderBytes+tm.WordBytes, func() {
 				done(old, ok)
 			})
 		})
@@ -407,12 +433,11 @@ func (ms *memSystem) AtomicCAS(coreID int, addr, compare, swap uint64, done func
 }
 
 func (ms *memSystem) AtomicExch(coreID int, addr, val uint64, done func(old uint64)) {
-	m := ms.m
-	partID := m.amap.Partition(addr)
-	part := m.partitions[partID]
-	m.pair.Up.Send(coreID, partID, tm.HeaderBytes+tm.AddrBytes+tm.WordBytes, func() {
+	partID := ms.amap.Partition(addr)
+	part := ms.partitions[partID]
+	ms.upSend(coreID, partID, tm.HeaderBytes+tm.AddrBytes+tm.WordBytes, func() {
 		part.AtomicExch(addr, val, func(old uint64) {
-			m.pair.Down.Send(partID, coreID, tm.HeaderBytes+tm.WordBytes, func() {
+			ms.downSend(partID, coreID, tm.HeaderBytes+tm.WordBytes, func() {
 				done(old)
 			})
 		})
@@ -420,12 +445,11 @@ func (ms *memSystem) AtomicExch(coreID int, addr, val uint64, done func(old uint
 }
 
 func (ms *memSystem) AtomicAdd(coreID int, addr, delta uint64, done func(old uint64)) {
-	m := ms.m
-	partID := m.amap.Partition(addr)
-	part := m.partitions[partID]
-	m.pair.Up.Send(coreID, partID, tm.HeaderBytes+tm.AddrBytes+tm.WordBytes, func() {
+	partID := ms.amap.Partition(addr)
+	part := ms.partitions[partID]
+	ms.upSend(coreID, partID, tm.HeaderBytes+tm.AddrBytes+tm.WordBytes, func() {
 		part.AtomicAdd(addr, delta, func(old uint64) {
-			m.pair.Down.Send(partID, coreID, tm.HeaderBytes+tm.WordBytes, func() {
+			ms.downSend(partID, coreID, tm.HeaderBytes+tm.WordBytes, func() {
 				done(old)
 			})
 		})

@@ -1,0 +1,162 @@
+package gpu_test
+
+import (
+	"reflect"
+	"testing"
+
+	. "getm/internal/gpu"
+	"getm/internal/workloads"
+)
+
+// shardedConfig is smallConfig without the features the sharded machine
+// cannot host (Record).
+func shardedConfig(p Protocol, shards int) Config {
+	cfg := smallConfig(p)
+	cfg.Record = false
+	cfg.Shards = shards
+	return cfg
+}
+
+func runSharded(t *testing.T, cfg Config, bench string) *Result {
+	t.Helper()
+	variant := workloads.TM
+	if cfg.Protocol == ProtoFGLock {
+		variant = workloads.FGLock
+	}
+	k, err := workloads.Build(bench, variant, smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, k)
+	if err != nil {
+		t.Fatalf("%s on %s (shards=%d): %v", bench, cfg.Protocol, cfg.Shards, err)
+	}
+	return res
+}
+
+// TestShardedIdenticalAcrossWorkers is the gpu-level half of the par-gate:
+// for every shardable protocol the parallel machine must produce metrics
+// byte-identical across worker counts — worker count is physical, never
+// semantic. (Run under -race by `make par-gate`.)
+func TestShardedIdenticalAcrossWorkers(t *testing.T) {
+	for _, proto := range []Protocol{ProtoGETM, ProtoFGLock} {
+		for _, bench := range []string{"ht-h", "atm", "ap"} {
+			proto, bench := proto, bench
+			t.Run(bench+"/"+string(proto), func(t *testing.T) {
+				ref := runSharded(t, shardedConfig(proto, 1), bench)
+				if ref.Metrics.TotalCycles == 0 {
+					t.Fatal("no cycles simulated")
+				}
+				if proto != ProtoFGLock && ref.Metrics.Commits == 0 {
+					t.Fatal("no transactions committed")
+				}
+				for _, w := range []int{2, 4, 16} {
+					got := runSharded(t, shardedConfig(proto, w), bench)
+					if !reflect.DeepEqual(ref.Metrics, got.Metrics) {
+						t.Fatalf("shards=1 vs shards=%d metrics diverge:\n%+v\nvs\n%+v",
+							w, ref.Metrics, got.Metrics)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedRepeatDeterminism: the same sharded run twice must be identical
+// (no scheduling nondeterminism leaks into results).
+func TestShardedRepeatDeterminism(t *testing.T) {
+	a := runSharded(t, shardedConfig(ProtoGETM, 3), "atm")
+	b := runSharded(t, shardedConfig(ProtoGETM, 3), "atm")
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		t.Fatalf("sharded run not reproducible:\n%+v\nvs\n%+v", a.Metrics, b.Metrics)
+	}
+}
+
+// TestShardedFallbackMatchesSerial: a config the sharded machine cannot host
+// (Record) must silently run on the serial engine, byte-identical to
+// Shards=0.
+func TestShardedFallbackMatchesSerial(t *testing.T) {
+	serial := smallConfig(ProtoGETM) // Record=true → not shardable
+	withShards := serial
+	withShards.Shards = 4
+	a := runSharded(t, serial, "atm")
+	b := runSharded(t, withShards, "atm")
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		t.Fatalf("fallback diverged from serial:\n%+v\nvs\n%+v", a.Metrics, b.Metrics)
+	}
+}
+
+// TestShardedBudgetTruncates exercises runShardedContext's budget path.
+func TestShardedBudgetTruncates(t *testing.T) {
+	cfg := shardedConfig(ProtoGETM, 2)
+	cfg.CycleBudget = 500
+	res := runSharded(t, cfg, "ht-h")
+	if !res.Truncated {
+		t.Fatal("expected truncated result under tiny cycle budget")
+	}
+	if res.TruncatedAt == 0 || res.TruncatedAt > 500 {
+		t.Fatalf("TruncatedAt = %d, want in (0, 500]", res.TruncatedAt)
+	}
+}
+
+// TestRolloverResumesQueuedWarps pins the rollover re-admission bugfix: with
+// narrow timestamps a contended run triggers rollover while MaxTxWarps keeps
+// warps queued behind the admission gate. Before the fix, a core whose
+// runnable warps all queued during the drain deadlocked — the queue was only
+// retried on endTx, and the drain had consumed every transaction that could
+// end. The run completing (no deadlock error) plus a nonzero rollover count
+// is the regression check, on both engines.
+func TestRolloverResumesQueuedWarps(t *testing.T) {
+	for _, shards := range []int{0, 2} {
+		shards := shards
+		t.Run(map[int]string{0: "serial", 2: "sharded"}[shards], func(t *testing.T) {
+			k := workloads.BuildTorture(workloads.Params{Scale: 1, Seed: 11}, tortureCfg(512, 12, 1))
+			cfg := shardedConfig(ProtoGETM, shards)
+			cfg.GETM.TSBits = 5 // threshold 28: a few dozen aborts trigger rollover
+			// One warp per core: every warp parks behind the closed admission
+			// gate during the drain, so the machine livelocks unless the
+			// resume explicitly wakes the queues.
+			cfg.Core.WarpsPerCore = 1
+			cfg.MaxCycles = 2_000_000
+			res, err := Run(cfg, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Metrics.Extra["rollovers"] == 0 {
+				t.Fatal("workload did not trigger a rollover; test is vacuous")
+			}
+			if res.Metrics.Commits == 0 {
+				t.Fatal("no commits after rollover")
+			}
+		})
+	}
+}
+
+// BenchmarkRunEngines times one full GETM run per engine flavor. On a
+// multi-core host sharded wall-clock improves toward serial/min(workers,
+// domains); on a single-core host sharded-Nw ~= sharded-1w by construction.
+// Recorded numbers live in BENCH_parallel.json (make bench-parallel).
+func BenchmarkRunEngines(b *testing.B) {
+	params := smallParams()
+	params.Scale = 0.3
+	for _, bc := range []struct {
+		name   string
+		shards int
+	}{{"serial", 0}, {"sharded-1w", 1}, {"sharded-2w", 2}, {"sharded-4w", 4}} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				k, err := workloads.Build("ht-h", workloads.TM, params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := shardedConfig(ProtoGETM, bc.shards)
+				b.StartTimer()
+				if _, err := Run(cfg, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -62,7 +62,7 @@ func (r *Runner) runParallel(jobs []Job, workers int) error {
 	seen := make(map[string]bool, len(jobs))
 	var pending []Job
 	for _, j := range jobs {
-		k := j.key()
+		k := r.norm(j).key()
 		if seen[k] || r.cached(k) {
 			continue
 		}

@@ -60,6 +60,11 @@ type Runner struct {
 	// store is write-only: records are refreshed but never trusted — the
 	// CLIs' `-resume=false`.
 	StoreReuse bool
+	// Shards is the default Job.Shards for jobs that leave it zero: 0 runs
+	// every cell on the serial engine; > 0 runs shardable cells on the
+	// parallel engine with that many workers (non-shardable cells fall back
+	// to serial). See Job.Shards for the cache-identity rules.
+	Shards int
 
 	mu        sync.Mutex
 	cache     map[string]*stats.Metrics
@@ -111,11 +116,26 @@ type Job struct {
 	// identity on disk, so a budgeted request is still satisfied by a stored
 	// complete result at disk-read cost.
 	CycleBudget uint64
+	// Shards > 0 runs shardable cells on the parallel engine with that many
+	// workers. Results are identical for every Shards >= 1 (worker count is
+	// physical, not semantic), so cache identity uses only the semantics
+	// class (serial vs sharded), never the worker count.
+	Shards int
 }
 
 func (j Job) key() string {
-	return fmt.Sprintf("%s|%s|c%d|n%d|m%d|g%d|b%d",
-		j.Proto, j.Bench, j.Conc, j.Cores, j.MetaEntries, j.Granularity, j.CycleBudget)
+	return fmt.Sprintf("%s|%s|c%d|n%d|m%d|g%d|b%d|s%d",
+		j.Proto, j.Bench, j.Conc, j.Cores, j.MetaEntries, j.Granularity, j.CycleBudget, j.shardClass())
+}
+
+// shardClass collapses Shards to the cell's semantics class: 0 when the run
+// executes on the serial engine (Shards == 0 or the config is not
+// shardable), 1 for any sharded run.
+func (j Job) shardClass() int {
+	if j.Shards > 0 && gpu.Shardable(j.config()) {
+		return 1
+	}
+	return 0
 }
 
 func (j Job) config() gpu.Config {
@@ -136,6 +156,7 @@ func (j Job) config() gpu.Config {
 		cfg.GETM.GranularityBytes = j.Granularity
 	}
 	cfg.CycleBudget = sim.Cycle(j.CycleBudget)
+	cfg.Shards = j.Shards
 	return cfg
 }
 
@@ -167,7 +188,18 @@ func (r *Runner) RunECtx(ctx context.Context, j Job) (*stats.Metrics, error) {
 
 // runE is the shared two-tier cached singleflight path. ctx != nil marks a
 // per-call context (RunECtx); nil falls back to the runner-wide Ctx.
+// norm applies runner-wide defaults a Job leaves unset. Every path that
+// derives a cache or store identity from a Job must normalize first, so one
+// cell has one key whether Shards came from the job or from the runner.
+func (r *Runner) norm(j Job) Job {
+	if j.Shards == 0 {
+		j.Shards = r.Shards
+	}
+	return j
+}
+
 func (r *Runner) runE(ctx context.Context, j Job) (*stats.Metrics, error) {
+	j = r.norm(j)
 	key := j.key()
 	perCall := ctx != nil
 	r.mu.Lock()
@@ -285,6 +317,7 @@ func (r *Runner) runE(ctx context.Context, j Job) (*stats.Metrics, error) {
 // front end takes before spending a queue slot — repeat traffic for a
 // completed cell is O(map lookup) or O(disk read), never O(simulation).
 func (r *Runner) Lookup(j Job) (*stats.Metrics, bool) {
+	j = r.norm(j)
 	key := j.key()
 	r.mu.Lock()
 	if m, ok := r.cache[key]; ok {
@@ -330,7 +363,7 @@ func (r *Runner) storeKey(j Job) string {
 // StoreKey exposes the job's content address — the durable identity a
 // serving front end hands out as a run id, valid across processes for as
 // long as the store schema stands.
-func (r *Runner) StoreKey(j Job) string { return r.storeKey(j) }
+func (r *Runner) StoreKey(j Job) string { return r.storeKey(r.norm(j)) }
 
 // Simulated returns the number of simulations this process actually executed
 // — cache and store hits excluded. It is the instrumentation behind the

@@ -53,6 +53,7 @@ type Engine struct {
 	immHead int
 	now     Cycle
 	seq     uint64
+	mailSeq uint64 // cross-shard deliveries; offset by mailSeqBase
 	stopped bool
 	running bool
 	// Executed counts events run; useful for run-away detection in tests.
@@ -98,11 +99,73 @@ func (e *Engine) Stop() { e.stopped = true }
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.pq) + len(e.imm) - e.immHead }
 
+// mailSeqBase is the seq band for cross-shard deliveries. Placing deliveries
+// above every locally assigned seq makes their position in the (when, seq)
+// order a function of canonical data only — (send cycle, source shard, send
+// index) — rather than of when the barrier that inserted them happened to
+// fall. At an equal cycle the order is therefore always: events scheduled
+// from earlier cycles, then deliveries, then same-cycle delay-0 spawns
+// (which the FIFO already runs last). This deliberately steps outside the
+// imm-invariant documented on Engine: a delivery at the current cycle may
+// carry a larger seq than pending FIFO entries, but the run loop drains
+// current-cycle heap events before the FIFO regardless, which is exactly the
+// order the band encodes.
+const mailSeqBase = uint64(1) << 63
+
+// atDelivery schedules a cross-shard delivery at an absolute future cycle.
+// The caller (ShardedEngine's barrier) guarantees when > Now() for every
+// shard because delivery delays are at least one full quantum.
+func (e *Engine) atDelivery(when Cycle, fn func()) {
+	if when <= e.now {
+		panic("sim: cross-shard delivery not in the future")
+	}
+	e.mailSeq++
+	e.heapPush(event{when: when, seq: mailSeqBase + e.mailSeq, fn: fn})
+}
+
+// nextWhen returns the earliest pending event time; ok is false when the
+// queue is empty.
+func (e *Engine) nextWhen() (when Cycle, ok bool) {
+	if e.immHead < len(e.imm) {
+		// FIFO entries are always at e.now, never later than the heap top.
+		return e.imm[e.immHead].when, true
+	}
+	if len(e.pq) > 0 {
+		return e.pq[0].when, true
+	}
+	return 0, false
+}
+
 // Run executes events until the queue empties, Stop is called, or the
 // simulated clock passes limit (0 means no limit). It returns the cycle at
 // which it stopped. After Stop, a subsequent Run resumes mid-cycle with
 // same-cycle FIFO order preserved.
+//
+// Contract: the simulated clock never moves backwards. A limit below Now()
+// is a no-op that returns Now() unchanged — earlier versions assigned
+// e.now = limit unconditionally on the limit branch, so a resumed run with a
+// stale limit could rewind time and violate the At() past-check downstream.
 func (e *Engine) Run(limit Cycle) Cycle {
+	if limit != 0 && limit < e.now {
+		return e.now
+	}
+	return e.run(limit != 0, limit)
+}
+
+// runWindow executes events with when <= end (inclusive; end may be 0, unlike
+// Run's 0-means-unlimited sentinel). If the next pending event lies beyond
+// end, the clock advances to end and the event stays queued. Used by
+// ShardedEngine, whose first window can legitimately close at cycle 0.
+func (e *Engine) runWindow(end Cycle) Cycle {
+	if end < e.now {
+		return e.now
+	}
+	return e.run(true, end)
+}
+
+// run is the shared core of Run and runWindow: limited selects whether limit
+// is honored (inclusive) or ignored.
+func (e *Engine) run(limited bool, limit Cycle) Cycle {
 	e.stopped = false
 	e.running = true
 	defer func() { e.running = false }()
@@ -124,8 +187,9 @@ func (e *Engine) Run(limit Cycle) Cycle {
 		default:
 			return e.now
 		}
-		if limit != 0 && when > limit {
-			// Leave it queued so a subsequent Run can resume.
+		if limited && when > limit {
+			// Leave it queued so a subsequent Run can resume. limit >= e.now
+			// is guaranteed by the callers, so this never rewinds the clock.
 			e.now = limit
 			return e.now
 		}

@@ -1,0 +1,359 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+)
+
+// ShardedEngine runs N shard domains — each a private serial Engine — under a
+// bounded-slack conservative schedule (the recipe from "Parallelizing a
+// modern GPU simulator", arXiv 2502.14691, and MGSim, arXiv 1811.02884).
+//
+// Time advances in windows of `quantum` cycles. Within a window every domain
+// executes its local events independently (possibly on separate worker
+// goroutines); at the window barrier, cross-domain messages produced during
+// the window are merged into their destination queues. Because every
+// cross-domain Send carries a delay of at least one quantum, a message
+// produced inside window [T, T+Q-1] is due no earlier than cycle T+Q — i.e.
+// strictly after the window — so no domain can ever observe an event "from
+// the past" and no rollback is needed.
+//
+// Determinism. The execution order of every domain is a pure function of the
+// model, independent of the worker count and of the quantum:
+//
+//   - Local events order by the domain's own (when, seq), exactly as in the
+//     serial Engine — each domain runs single-threaded, so seq assignment is
+//     sequential and reproducible.
+//   - Cross-domain deliveries at cycle w execute after every local event
+//     scheduled for w from earlier cycles and before same-cycle delay-0
+//     spawns, ordered among themselves by (send cycle, source domain, send
+//     index). The barrier sorts each batch by that key before insertion, and
+//     the engine places deliveries in a dedicated high seq band (see
+//     mailSeqBase), so where the barrier happens to fall — which depends on
+//     the quantum and on nothing else — cannot influence the order.
+//
+// Windows later in time are merged later, and all their send cycles are
+// strictly larger, so the per-batch sort extends to a single global delivery
+// order keyed by (when, send cycle, source domain, send index).
+//
+// Worker goroutines are physical executors only: domain d is always run by
+// worker d mod W, domains in ascending order within a worker, and all
+// cross-worker communication flows through the start/done channels, whose
+// send/receive pairs give the barrier its happens-before edges. Running with
+// W=1 (the oracle used by the differential tests) executes the identical
+// algorithm inline.
+type ShardedEngine struct {
+	quantum Cycle
+	doms    []*shardDomain
+
+	nWorkers  int
+	workersUp bool
+	closed    bool
+	startCh   []chan Cycle
+	doneCh    chan struct{}
+
+	stopped atomic.Bool
+	batch   []delivery // barrier merge scratch
+}
+
+// shardDomain is one shard: a serial engine plus per-destination outboxes
+// filled while the domain's window executes (only ever touched by the worker
+// that owns the domain, so no locking).
+type shardDomain struct {
+	eng *Engine
+	out [][]delivery // indexed by destination domain
+}
+
+// delivery is one cross-domain message waiting at the barrier.
+type delivery struct {
+	when      Cycle // due cycle (send cycle + delay)
+	sendCycle Cycle
+	src       int
+	fn        func()
+}
+
+// NewSharded creates a sharded engine with the given number of domains and
+// synchronization quantum. Every cross-domain Send must have delay >= quantum.
+func NewSharded(domains int, quantum Cycle) *ShardedEngine {
+	if domains <= 0 {
+		panic("sim: sharded engine needs at least one domain")
+	}
+	if quantum == 0 {
+		panic("sim: sharded quantum must be positive")
+	}
+	se := &ShardedEngine{quantum: quantum, nWorkers: 1}
+	for i := 0; i < domains; i++ {
+		se.doms = append(se.doms, &shardDomain{
+			eng: NewEngine(),
+			out: make([][]delivery, domains),
+		})
+	}
+	return se
+}
+
+// SetWorkers fixes the number of worker goroutines (clamped to [1, domains]).
+// n <= 0 selects min(GOMAXPROCS, domains). Results are identical for every
+// worker count; only wall-clock changes. Must be called before the first Run.
+func (se *ShardedEngine) SetWorkers(n int) {
+	if se.workersUp {
+		panic("sim: SetWorkers after workers started")
+	}
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > len(se.doms) {
+		n = len(se.doms)
+	}
+	if n < 1 {
+		n = 1
+	}
+	se.nWorkers = n
+}
+
+// Workers reports the configured worker count.
+func (se *ShardedEngine) Workers() int { return se.nWorkers }
+
+// Domains reports the number of shard domains.
+func (se *ShardedEngine) Domains() int { return len(se.doms) }
+
+// Quantum reports the synchronization quantum.
+func (se *ShardedEngine) Quantum() Cycle { return se.quantum }
+
+// Domain returns shard i's engine. Model code owned by a domain schedules
+// local events directly on it; it must never touch another domain's engine.
+func (se *ShardedEngine) Domain(i int) *Engine { return se.doms[i].eng }
+
+// Send schedules fn on domain dst, delay cycles after domain src's current
+// cycle. delay must be at least the quantum — that bound is what lets shards
+// run a full window without observing each other. Send may be called either
+// from an event executing on src (the common case) or before the first Run
+// during model assembly.
+func (se *ShardedEngine) Send(src, dst int, delay Cycle, fn func()) {
+	if src < 0 || src >= len(se.doms) || dst < 0 || dst >= len(se.doms) {
+		panic("sim: sharded Send domain out of range")
+	}
+	if delay < se.quantum {
+		panic(fmt.Sprintf("sim: cross-shard delay %d below quantum %d", delay, se.quantum))
+	}
+	d := se.doms[src]
+	now := d.eng.Now()
+	d.out[dst] = append(d.out[dst], delivery{
+		when:      now + delay,
+		sendCycle: now,
+		src:       src,
+		fn:        fn,
+	})
+}
+
+// Now returns the global simulated cycle: the furthest point any domain has
+// reached. Deterministic, since every domain's clock is.
+func (se *ShardedEngine) Now() Cycle {
+	var max Cycle
+	for _, d := range se.doms {
+		if n := d.eng.Now(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Pending reports queued events across all domains, including messages
+// waiting at the barrier.
+func (se *ShardedEngine) Pending() int {
+	n := 0
+	for _, d := range se.doms {
+		n += d.eng.Pending()
+		for _, box := range d.out {
+			n += len(box)
+		}
+	}
+	return n
+}
+
+// Executed returns the total events run across all domains.
+func (se *ShardedEngine) Executed() uint64 {
+	var n uint64
+	for _, d := range se.doms {
+		n += d.eng.Executed
+	}
+	return n
+}
+
+// Stop aborts the current Run after the in-flight window completes (windows
+// are one quantum — a few cycles — so stop latency is negligible). A
+// subsequent Run resumes at the next window with identical results.
+func (se *ShardedEngine) Stop() { se.stopped.Store(true) }
+
+// Run executes events until all domains drain, Stop is called, or the clock
+// passes limit (0 means no limit), mirroring Engine.Run's contract — including
+// never moving time backwards when limit < Now().
+func (se *ShardedEngine) Run(limit Cycle) Cycle {
+	return se.runWindows(limit, 0, nil)
+}
+
+// RunChunked executes like Run(limit) but pauses at every multiple of chunk
+// cycles reached with events still pending and calls between(now), as
+// Engine.RunChunked does. Chunk boundaries truncate windows, which moves the
+// barriers — but the canonical delivery order makes barrier placement
+// invisible, so a chunked run remains identical to an unchunked one.
+func (se *ShardedEngine) RunChunked(limit, chunk Cycle, between func(now Cycle) bool) Cycle {
+	return se.runWindows(limit, chunk, between)
+}
+
+// runWindows is the window scheduler shared by Run and RunChunked.
+func (se *ShardedEngine) runWindows(limit, chunk Cycle, between func(now Cycle) bool) Cycle {
+	se.stopped.Store(false)
+	if limit != 0 && limit < se.Now() {
+		return se.Now()
+	}
+	// Flush sends buffered during model assembly (before any window ran).
+	se.deliverAll()
+	next := se.Now() + chunk
+	for !se.stopped.Load() {
+		t, ok := se.nextEventTime()
+		if !ok {
+			break // drained
+		}
+		if limit != 0 && t > limit {
+			// Advance every lagging domain's clock to the limit (their next
+			// events stay queued), matching Engine.Run's limit behavior.
+			for _, d := range se.doms {
+				d.eng.runWindow(limit)
+			}
+			return limit
+		}
+		end := t + se.quantum - 1
+		if limit != 0 && end > limit {
+			end = limit
+		}
+		if chunk != 0 && end >= next {
+			end = next // pause exactly at the chunk boundary
+		}
+		se.runWindow(end)
+		se.deliverAll()
+		if limit != 0 && end >= limit {
+			return end
+		}
+		if chunk != 0 && end == next {
+			if se.Pending() == 0 {
+				break
+			}
+			if between != nil && !between(end) {
+				return end
+			}
+			next += chunk
+		}
+	}
+	return se.Now()
+}
+
+// nextEventTime returns the earliest pending event time across all domains.
+func (se *ShardedEngine) nextEventTime() (Cycle, bool) {
+	var min Cycle
+	found := false
+	for _, d := range se.doms {
+		if w, ok := d.eng.nextWhen(); ok && (!found || w < min) {
+			min, found = w, true
+		}
+	}
+	return min, found
+}
+
+// runWindow executes one window [.., end] on every domain, inline for a
+// single worker or fanned out across the worker pool.
+func (se *ShardedEngine) runWindow(end Cycle) {
+	if se.nWorkers <= 1 {
+		for _, d := range se.doms {
+			d.eng.runWindow(end)
+		}
+		return
+	}
+	se.ensureWorkers()
+	for _, ch := range se.startCh {
+		ch <- end
+	}
+	for range se.startCh {
+		<-se.doneCh
+	}
+}
+
+// ensureWorkers lazily starts the persistent worker pool.
+func (se *ShardedEngine) ensureWorkers() {
+	if se.workersUp {
+		return
+	}
+	if se.closed {
+		panic("sim: Run on closed ShardedEngine")
+	}
+	se.workersUp = true
+	se.startCh = make([]chan Cycle, se.nWorkers)
+	se.doneCh = make(chan struct{}, se.nWorkers)
+	for w := 0; w < se.nWorkers; w++ {
+		ch := make(chan Cycle)
+		se.startCh[w] = ch
+		go func(w int, ch chan Cycle) {
+			for end := range ch {
+				for d := w; d < len(se.doms); d += se.nWorkers {
+					se.doms[d].eng.runWindow(end)
+				}
+				se.doneCh <- struct{}{}
+			}
+		}(w, ch)
+	}
+}
+
+// Close shuts down the worker pool. Idempotent; the engine cannot Run again
+// afterwards (with one worker Close is a pure formality).
+func (se *ShardedEngine) Close() {
+	if se.closed {
+		return
+	}
+	se.closed = true
+	if se.workersUp {
+		for _, ch := range se.startCh {
+			close(ch)
+		}
+		se.workersUp = false
+	}
+}
+
+// deliverAll merges every outbox into its destination engine in canonical
+// order: per destination, the batch sorts by (when, send cycle, source
+// domain), with the stable sort preserving each source's append order (its
+// per-source send index) for full ties. atDelivery assigns seqs in the high
+// mail band in that order, fixing the global (when, seq) position of every
+// delivery independently of barrier placement.
+func (se *ShardedEngine) deliverAll() {
+	for dst, dd := range se.doms {
+		batch := se.batch[:0]
+		for _, sd := range se.doms {
+			box := sd.out[dst]
+			if len(box) == 0 {
+				continue
+			}
+			batch = append(batch, box...)
+			clear(box)
+			sd.out[dst] = box[:0]
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		sort.SliceStable(batch, func(i, j int) bool {
+			a, b := batch[i], batch[j]
+			if a.when != b.when {
+				return a.when < b.when
+			}
+			if a.sendCycle != b.sendCycle {
+				return a.sendCycle < b.sendCycle
+			}
+			return a.src < b.src
+		})
+		for i := range batch {
+			dd.eng.atDelivery(batch[i].when, batch[i].fn)
+		}
+		clear(batch)
+		se.batch = batch[:0]
+	}
+}

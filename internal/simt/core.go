@@ -85,7 +85,29 @@ func NewCore(id int, eng *sim.Engine, cfg Config, protocol tm.Protocol, memsys M
 	// core's slots never receive a program, so eager construction would
 	// dominate the whole suite's allocations.
 	c.warps = make([]*Warp, cfg.WarpsPerCore)
+	// If the protocol's CanBegin gate can reopen (GETM after a rollover
+	// drain), ask to be notified so warps queued behind it are re-admitted
+	// even when no endTx is left to retry the queue.
+	if g, ok := protocol.(interface{ OnCanBegin(func()) }); ok {
+		g.OnCanBegin(c.admitQueued)
+	}
 	return c
+}
+
+// admitQueued starts queued warps while the admission gate allows it; called
+// when a protocol gate reopens (endTx has its own inline copy of this loop).
+func (c *Core) admitQueued() {
+	admitted := false
+	for len(c.txQueue) > 0 && c.canBegin() {
+		next := c.txQueue[0]
+		c.txQueue = c.txQueue[1:]
+		c.Stats.TxWaitCycles += uint64(c.eng.Now() - next.waitStart)
+		c.startTx(next)
+		admitted = true
+	}
+	if admitted {
+		c.scheduleIssue()
+	}
 }
 
 // newWarpFor constructs the warp context for a slot with its two prebound

@@ -125,6 +125,11 @@ func (h *Hist) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
+	if q < 0 || math.IsNaN(q) {
+		// Converting a negative float to uint64 is implementation-defined in
+		// Go; clamp so q <= 0 degenerates to the smallest recorded value.
+		q = 0
+	}
 	need := uint64(math.Ceil(q * float64(total)))
 	if need == 0 {
 		need = 1

@@ -97,6 +97,51 @@ func TestHist(t *testing.T) {
 	}
 }
 
+// TestHistQuantileEdges pins Quantile's contract at the boundaries: empty
+// histogram, a single occupied bucket, q=0, q=1, and out-of-range q (which
+// used to hit Go's implementation-defined negative-float→uint conversion).
+func TestHistQuantileEdges(t *testing.T) {
+	empty := NewHist(8)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty.Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	single := NewHist(8)
+	single.Add(3)
+	single.Add(3)
+	for _, q := range []float64{0, 0.001, 0.5, 1, 2.5} {
+		if got := single.Quantile(q); got != 3 {
+			t.Fatalf("single-bucket Quantile(%v) = %v, want 3", q, got)
+		}
+	}
+
+	h := NewHist(8)
+	for v, n := range map[int]int{1: 2, 4: 5, 6: 3} {
+		for i := 0; i < n; i++ {
+			h.Add(v)
+		}
+	}
+	// q=0 degenerates to the smallest recorded value; q=1 is the largest.
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0) = %v, want 1", got)
+	}
+	if got := h.Quantile(1); got != 6 {
+		t.Fatalf("Quantile(1) = %v, want 6", got)
+	}
+	if got := h.Quantile(0.5); got != 4 {
+		t.Fatalf("Quantile(0.5) = %v, want 4", got)
+	}
+	// Out-of-range and NaN q must not panic or return garbage.
+	if got := h.Quantile(-3); got != 1 {
+		t.Fatalf("Quantile(-3) = %v, want 1 (clamped to q=0)", got)
+	}
+	if got := h.Quantile(math.NaN()); got != 1 {
+		t.Fatalf("Quantile(NaN) = %v, want 1 (clamped to q=0)", got)
+	}
+}
+
 func TestCounters(t *testing.T) {
 	c := Counters{}
 	c.Inc("a", 2)

@@ -103,8 +103,16 @@ func (s *Store) Degraded() error { return s.err }
 // SHA-256 of SchemaVersion, the gpu.Config, and the workload parameters.
 // Fields that cannot change the (completed) result — Trace, Record,
 // CycleBudget — are zeroed first, so e.g. a traced run and an untraced run
-// share a record (they are cycle-identical by construction).
+// share a record (they are cycle-identical by construction). Shards is
+// collapsed to the semantics class that actually executed (0 serial, 1
+// sharded): every Shards >= 1 worker count produces identical results, but
+// serial and sharded runs are distinct classes and never share a record.
 func Key(cfg gpu.Config, bench string, scale float64, seed uint64) string {
+	if cfg.Shards > 0 && gpu.Shardable(cfg) {
+		cfg.Shards = 1
+	} else {
+		cfg.Shards = 0
+	}
 	cfg.Trace = nil
 	cfg.Record = false
 	cfg.CycleBudget = 0

@@ -1,0 +1,146 @@
+package xbar
+
+import "getm/internal/sim"
+
+// ShardedCrossbar is the crossbar split across shard domains for the
+// parallel engine: every source port lives in the domain that owns the
+// sending component, every destination port in the receiving component's
+// domain, and the 5-cycle traversal latency is exactly the cross-domain
+// hand-off (it equals the shard quantum, so the conservative window bound
+// holds by construction).
+//
+// Port serialization is split to match: the source port reserves its slot
+// locally at send time (srcFree is only ever touched by the owning domain),
+// while the destination port serializes arrivals when the head flit reaches
+// it, in canonical delivery order. The serial Crossbar instead reserves the
+// destination port at *send* time in global send order — an ordering no
+// parallel execution can reconstruct without a global clock — so sharded
+// runs are deterministic but not cycle-identical to serial ones (DESIGN.md
+// §10 discusses the deviation).
+//
+// Traffic counters are per source port (again single-writer) and summed when
+// read, so accounting is race-free without atomics.
+type ShardedCrossbar struct {
+	cfg    Config
+	se     *sim.ShardedEngine
+	srcDom []int // source port -> shard domain
+	dstDom []int // destination port -> shard domain
+
+	srcFree []sim.Cycle // owned by the source port's domain
+	dstFree []sim.Cycle // owned by the destination port's domain
+
+	srcBytes []uint64
+	srcMsgs  []uint64
+}
+
+// NewSharded builds one crossbar direction over the sharded engine. srcDom
+// and dstDom map each port to the shard domain owning it; the crossbar
+// latency must be at least the engine quantum (the constructor enforces it).
+func NewSharded(se *sim.ShardedEngine, cfg Config, srcDom, dstDom []int) *ShardedCrossbar {
+	if cfg.SrcPorts <= 0 || cfg.DstPorts <= 0 {
+		panic("xbar: need at least one port each way")
+	}
+	if cfg.FlitBytes <= 0 {
+		panic("xbar: FlitBytes must be positive")
+	}
+	if len(srcDom) != cfg.SrcPorts || len(dstDom) != cfg.DstPorts {
+		panic("xbar: domain map size mismatch")
+	}
+	if cfg.Latency < se.Quantum() {
+		panic("xbar: latency below shard quantum")
+	}
+	return &ShardedCrossbar{
+		cfg:      cfg,
+		se:       se,
+		srcDom:   srcDom,
+		dstDom:   dstDom,
+		srcFree:  make([]sim.Cycle, cfg.SrcPorts),
+		dstFree:  make([]sim.Cycle, cfg.DstPorts),
+		srcBytes: make([]uint64, cfg.SrcPorts),
+		srcMsgs:  make([]uint64, cfg.SrcPorts),
+	}
+}
+
+// Occupancy returns the port-cycles a message of size bytes occupies.
+func (x *ShardedCrossbar) Occupancy(size int) sim.Cycle {
+	if size <= 0 {
+		return 1
+	}
+	return sim.Cycle((size + x.cfg.FlitBytes - 1) / x.cfg.FlitBytes)
+}
+
+// Send transmits size payload bytes from src to dst and runs deliver (in the
+// destination port's domain) when the tail flit arrives. It must be called
+// from the source port's domain.
+func (x *ShardedCrossbar) Send(src, dst, size int, deliver func()) {
+	if src < 0 || src >= x.cfg.SrcPorts || dst < 0 || dst >= x.cfg.DstPorts {
+		panic("xbar: port out of range")
+	}
+	now := x.se.Domain(x.srcDom[src]).Now()
+	occ := x.Occupancy(size)
+
+	depart := now
+	if x.srcFree[src] > depart {
+		depart = x.srcFree[src]
+	}
+	x.srcFree[src] = depart + occ
+	x.srcBytes[src] += uint64(size)
+	x.srcMsgs[src]++
+
+	// Head flit reaches the destination port Latency cycles after departure;
+	// the destination domain then serializes the arrival against its port.
+	x.se.Send(x.srcDom[src], x.dstDom[dst], depart-now+x.cfg.Latency, func() {
+		dEng := x.se.Domain(x.dstDom[dst])
+		arriveStart := dEng.Now()
+		if x.dstFree[dst] > arriveStart {
+			arriveStart = x.dstFree[dst]
+		}
+		x.dstFree[dst] = arriveStart + occ
+		dEng.Schedule(arriveStart+occ-dEng.Now(), deliver)
+	})
+}
+
+// Broadcast sends the same payload from src to every destination port;
+// deliver runs once per destination with its port id.
+func (x *ShardedCrossbar) Broadcast(src, size int, deliver func(dst int)) {
+	for d := 0; d < x.cfg.DstPorts; d++ {
+		dst := d
+		x.Send(src, dst, size, func() { deliver(dst) })
+	}
+}
+
+// Traffic returns total payload bytes and message count (post-run or
+// single-threaded use only: the per-source counters are summed unlocked).
+func (x *ShardedCrossbar) Traffic() (bytes, msgs uint64) {
+	for i := range x.srcBytes {
+		bytes += x.srcBytes[i]
+		msgs += x.srcMsgs[i]
+	}
+	return bytes, msgs
+}
+
+// ShardedPair bundles the up and down directions, mirroring Pair.
+type ShardedPair struct {
+	Up   *ShardedCrossbar
+	Down *ShardedCrossbar
+}
+
+// NewShardedPair builds both directions. coreDom maps each core to its shard
+// domain; partDom maps each partition likewise.
+func NewShardedPair(se *sim.ShardedEngine, cores, partitions int, cfg Config, coreDom, partDom []int) *ShardedPair {
+	up := cfg
+	up.SrcPorts, up.DstPorts = cores, partitions
+	down := cfg
+	down.SrcPorts, down.DstPorts = partitions, cores
+	return &ShardedPair{
+		Up:   NewSharded(se, up, coreDom, partDom),
+		Down: NewSharded(se, down, partDom, coreDom),
+	}
+}
+
+// TrafficBytes returns (up, down) payload totals.
+func (p *ShardedPair) TrafficBytes() (uint64, uint64) {
+	u, _ := p.Up.Traffic()
+	d, _ := p.Down.Traffic()
+	return u, d
+}
