@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench benchcmp trace-gate store-gate serve-gate par-gate
+.PHONY: check vet build test race short bench benchcmp trace-gate store-gate serve-gate par-gate load-gate bench-serve
 
-check: vet build race short trace-gate store-gate serve-gate par-gate
+check: vet build race short trace-gate store-gate serve-gate par-gate load-gate
 
 vet:
 	$(GO) vet ./...
@@ -65,6 +65,21 @@ test:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkEngine' -benchmem ./internal/sim/
 	$(GO) test -run xxx -bench 'BenchmarkSuite' -benchtime 1x .
+
+# Serve-path SLO gate: a sustained dedupe-heavy zipfian run against a live
+# in-process server must hold the latency and shed-rate SLOs. Runs on every
+# `make check`, so a serving-path regression fails the gate, not just a
+# benchmark diff.
+load-gate:
+	$(GO) run ./cmd/getm-load -mix dedupe-heavy -duration 1500ms -clients 4 \
+		-batch 16 -keys 8 -scale 0.02 -slo-p99 250ms -slo-shed 0.01 -out /dev/null
+
+# Serve-path throughput baselines (recorded in BENCH_serve.json): both
+# traffic mixes against the per-request-write baseline server and the
+# coalesced one, with the dedupe-heavy speedup as the headline number.
+bench-serve:
+	$(GO) run ./cmd/getm-load -compare -duration 3s -clients 4 -batch 16 \
+		-keys 8 -scale 0.02 -out BENCH_serve.json
 
 # Parallel-engine timings (recorded in BENCH_parallel.json).
 bench-parallel:

@@ -104,3 +104,33 @@ func TestParseBenchJSON(t *testing.T) {
 		t.Fatalf("order = %v, want [machine machine.nested]", order)
 	}
 }
+
+// The committed serve-path baseline must stay diffable: every mix arm
+// parses to numeric leaves (so `benchdiff BENCH_serve.json <new>` works),
+// and the headline dedupe-heavy speedup is present and sane.
+func TestParseCommittedServeBaseline(t *testing.T) {
+	m, _, err := parseFile("../../BENCH_serve.json")
+	if err != nil {
+		t.Fatalf("BENCH_serve.json unparseable: %v", err)
+	}
+	for _, key := range []metricKey{
+		{"dedupe_heavy.baseline", "rps"},
+		{"dedupe_heavy.coalesced", "rps"},
+		{"dedupe_heavy.coalesced", "p99_ms"},
+		{"dedupe_heavy.coalesced", "shed_rate"},
+		{"dedupe_heavy", "speedup_rps"},
+		{"dedupe_free.baseline", "rps"},
+		{"dedupe_free.coalesced", "rps"},
+		{"config", "batch"},
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("BENCH_serve.json missing metric %v.%v", key.bench, key.unit)
+		}
+	}
+	if sp := m[metricKey{"dedupe_heavy", "speedup_rps"}]; sp < 5 {
+		t.Fatalf("recorded dedupe-heavy speedup %.2fx below the 5x claim", sp)
+	}
+	if rps := m[metricKey{"dedupe_heavy.coalesced", "rps"}]; rps <= 0 {
+		t.Fatalf("recorded coalesced rps %v", rps)
+	}
+}

@@ -1,0 +1,509 @@
+// getm-load drives sustained simulation traffic against the getm-serve HTTP
+// service and reports client-side throughput and latency — the committed
+// evidence (BENCH_serve.json) behind the serve path's throughput claims,
+// and the SLO gate `make load-gate` runs on every check.
+//
+// Usage:
+//
+//	getm-load [-url http://host:port] [-compare] [-mix dedupe-heavy|dedupe-free]
+//	          [-duration 3s] [-clients 4] [-batch 16] [-keys 8] [-zipf 1.2]
+//	          [-scale 0.02] [-protocol getm] [-benchmark ht-h]
+//	          [-slo-p99 0] [-slo-shed -1] [-out FILE] [-baseline] [-seed 1]
+//
+// Two traffic mixes:
+//
+//   - dedupe-heavy: every request draws its seed from a zipfian distribution
+//     over -keys distinct values (warmed up first), so steady-state traffic
+//     is repeat requests for completed cells. This is the serving fast path
+//     — admission dedupe, cached rendering, write coalescing — and the mix
+//     the ≥5x throughput claim is made on.
+//   - dedupe-free: every request carries a globally unique seed, so every
+//     request simulates. Throughput is simulation-bound by construction;
+//     the mix pins down the harness overhead floor, not a speedup.
+//
+// Without -url, getm-load spawns a getm-serve instance in-process (fresh
+// temp store; -baseline selects the per-request-write control arm). With
+// -compare it runs each mix twice — against a baseline server and a
+// coalesced one — and records the speedup; that JSON is BENCH_serve.json.
+//
+// -slo-p99 and -slo-shed turn the run into a gate: exit 1 if the measured
+// p99 latency exceeds the bound or the shed rate exceeds the fraction.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"getm/internal/serve"
+	"getm/internal/store"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// loadCfg is one measurement's parameters.
+type loadCfg struct {
+	mix       string
+	duration  time.Duration
+	clients   int
+	batch     int
+	keys      int
+	zipfS     float64
+	scale     float64
+	protocol  string
+	benchmark string
+	seed      int64
+}
+
+// mixResult is one measurement, all-float64 leaves so cmd/benchdiff can walk
+// the committed JSON.
+type mixResult struct {
+	Requests  float64 `json:"requests"`
+	Posts     float64 `json:"posts"`
+	OK        float64 `json:"ok"`
+	Shed      float64 `json:"shed"`
+	Errors    float64 `json:"errors"`
+	DurationS float64 `json:"duration_s"`
+	RPS       float64 `json:"rps"`
+	P50MS     float64 `json:"p50_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MeanMS    float64 `json:"mean_ms"`
+	ShedRate  float64 `json:"shed_rate"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("getm-load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	url := fs.String("url", "", "target server base URL (empty = spawn a server in-process)")
+	compare := fs.Bool("compare", false, "measure each mix against baseline AND coalesced in-process servers")
+	mix := fs.String("mix", "dedupe-heavy", "traffic mix: dedupe-heavy or dedupe-free")
+	duration := fs.Duration("duration", 3*time.Second, "measurement length per mix")
+	clients := fs.Int("clients", 4, "concurrent closed-loop clients")
+	batch := fs.Int("batch", 16, "specs per POST (1 = single-run endpoint)")
+	keys := fs.Int("keys", 8, "distinct seeds in the dedupe-heavy key set")
+	zipfS := fs.Float64("zipf", 1.2, "zipf skew for dedupe-heavy key choice (s > 1)")
+	scale := fs.Float64("scale", 0.02, "workload scale per request")
+	protocol := fs.String("protocol", "getm", "protocol under test")
+	benchmark := fs.String("benchmark", "ht-h", "benchmark under test")
+	sloP99 := fs.Duration("slo-p99", 0, "fail (exit 1) if p99 latency exceeds this (0 = no bound)")
+	sloShed := fs.Float64("slo-shed", -1, "fail (exit 1) if shed fraction exceeds this (negative = no bound)")
+	out := fs.String("out", "", "write the result JSON here (empty = stdout)")
+	baseline := fs.Bool("baseline", false, "spawn the baseline (per-request-write) server instead of the coalesced one")
+	seed := fs.Int64("seed", 1, "load-generator RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cfg := loadCfg{
+		mix: *mix, duration: *duration, clients: *clients, batch: *batch,
+		keys: *keys, zipfS: *zipfS, scale: *scale,
+		protocol: *protocol, benchmark: *benchmark, seed: *seed,
+	}
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 2
+	}
+
+	var doc any
+	gateRes := make([]mixResult, 0, 2)
+	if *compare {
+		if *url != "" {
+			fmt.Fprintln(stderr, "error: -compare spawns its own servers; drop -url")
+			return 2
+		}
+		cmpDoc, coalesced, err := runCompare(cfg, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		doc = cmpDoc
+		gateRes = coalesced
+	} else {
+		target := *url
+		var shutdown func()
+		if target == "" {
+			var err error
+			target, shutdown, err = spawnServer(*baseline, stderr)
+			if err != nil {
+				fmt.Fprintln(stderr, "error:", err)
+				return 1
+			}
+		}
+		res, err := runMix(target, cfg, stderr)
+		if shutdown != nil {
+			shutdown()
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		doc = res
+		gateRes = append(gateRes, res)
+	}
+
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	b = append(b, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 1
+		}
+		fmt.Fprintln(stderr, "wrote", *out)
+	} else {
+		stdout.Write(b)
+	}
+
+	code := 0
+	for _, res := range gateRes {
+		if *sloP99 > 0 && res.P99MS > float64(*sloP99)/float64(time.Millisecond) {
+			fmt.Fprintf(stderr, "SLO VIOLATION: p99 %.2fms > %s\n", res.P99MS, *sloP99)
+			code = 1
+		}
+		if *sloShed >= 0 && res.ShedRate > *sloShed {
+			fmt.Fprintf(stderr, "SLO VIOLATION: shed rate %.4f > %.4f\n", res.ShedRate, *sloShed)
+			code = 1
+		}
+	}
+	if code == 0 && (*sloP99 > 0 || *sloShed >= 0) {
+		fmt.Fprintln(stderr, "SLOs met")
+	}
+	return code
+}
+
+func (c *loadCfg) validate() error {
+	switch c.mix {
+	case "dedupe-heavy", "dedupe-free":
+	default:
+		return fmt.Errorf("unknown -mix %q (want dedupe-heavy or dedupe-free)", c.mix)
+	}
+	if c.clients < 1 {
+		return fmt.Errorf("-clients %d must be >= 1", c.clients)
+	}
+	if c.batch < 1 || c.batch > 256 {
+		return fmt.Errorf("-batch %d out of range [1, 256]", c.batch)
+	}
+	if c.keys < 1 {
+		return fmt.Errorf("-keys %d must be >= 1", c.keys)
+	}
+	if c.zipfS <= 1 {
+		return fmt.Errorf("-zipf %g must be > 1", c.zipfS)
+	}
+	if c.duration <= 0 {
+		return fmt.Errorf("-duration %s must be positive", c.duration)
+	}
+	return nil
+}
+
+// spawnServer starts a getm-serve instance in-process on a loopback port
+// with a fresh temp store, returning its base URL and a shutdown func.
+func spawnServer(baseline bool, stderr io.Writer) (string, func(), error) {
+	dir, err := os.MkdirTemp("", "getm-load-store-*")
+	if err != nil {
+		return "", nil, err
+	}
+	s := serve.New(serve.Config{
+		Workers:    runtime.GOMAXPROCS(0),
+		QueueDepth: 256,
+		MaxScale:   1.0,
+		Store:      store.Open(dir),
+		Baseline:   baseline,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: s}
+	go httpSrv.Serve(ln)
+	shutdown := func() {
+		s.Drain(10 * time.Second)
+		httpSrv.Close()
+		os.RemoveAll(dir)
+	}
+	arm := "coalesced"
+	if baseline {
+		arm = "baseline"
+	}
+	fmt.Fprintf(stderr, "spawned %s server on %s\n", arm, ln.Addr())
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// compareDoc is the shape committed as BENCH_serve.json.
+type compareDoc struct {
+	Schema int                `json:"schema"`
+	Config map[string]float64 `json:"config"`
+	Heavy  compareMix         `json:"dedupe_heavy"`
+	Free   compareMix         `json:"dedupe_free"`
+}
+
+type compareMix struct {
+	Baseline   mixResult `json:"baseline"`
+	Coalesced  mixResult `json:"coalesced"`
+	SpeedupRPS float64   `json:"speedup_rps"`
+}
+
+// runCompare measures both mixes against both server arms and returns the
+// document plus the coalesced-arm results (the ones SLOs apply to).
+func runCompare(cfg loadCfg, stderr io.Writer) (*compareDoc, []mixResult, error) {
+	doc := &compareDoc{
+		Schema: 1,
+		Config: map[string]float64{
+			"duration_s": cfg.duration.Seconds(),
+			"clients":    float64(cfg.clients),
+			"batch":      float64(cfg.batch),
+			"keys":       float64(cfg.keys),
+			"zipf_s":     cfg.zipfS,
+			"scale":      cfg.scale,
+		},
+	}
+	coalesced := make([]mixResult, 0, 2)
+	for _, mix := range []string{"dedupe-heavy", "dedupe-free"} {
+		mcfg := cfg
+		mcfg.mix = mix
+		var arms [2]mixResult
+		for i, baseline := range []bool{true, false} {
+			acfg := mcfg
+			if baseline {
+				// The baseline serving surface (PR 5 discipline) has no batch
+				// endpoint — admission batching is part of the work under
+				// measurement — so the control arm drives single POSTs.
+				acfg.batch = 1
+			}
+			url, shutdown, err := spawnServer(baseline, stderr)
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := runMix(url, acfg, stderr)
+			shutdown()
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s baseline=%v: %w", mix, baseline, err)
+			}
+			arms[i] = res
+		}
+		cm := compareMix{Baseline: arms[0], Coalesced: arms[1]}
+		if arms[0].RPS > 0 {
+			cm.SpeedupRPS = arms[1].RPS / arms[0].RPS
+		}
+		if mix == "dedupe-heavy" {
+			doc.Heavy = cm
+			coalesced = append(coalesced, arms[1])
+		} else {
+			doc.Free = cm
+		}
+		fmt.Fprintf(stderr, "%s: baseline %.0f rps, coalesced %.0f rps (%.1fx)\n",
+			mix, arms[0].RPS, arms[1].RPS, cm.SpeedupRPS)
+	}
+	return doc, coalesced, nil
+}
+
+// runMix drives one sustained measurement against url.
+func runMix(url string, cfg loadCfg, stderr io.Writer) (mixResult, error) {
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.clients * 2,
+		MaxIdleConnsPerHost: cfg.clients * 2,
+	}
+	client := &http.Client{Transport: transport, Timeout: 2 * time.Minute}
+	defer transport.CloseIdleConnections()
+
+	if cfg.mix == "dedupe-heavy" {
+		if err := warmKeys(client, url, cfg); err != nil {
+			return mixResult{}, fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	var uniqueSeed atomic.Uint64
+	uniqueSeed.Store(1_000_000) // clear of the warmed dedupe-heavy key range
+
+	type clientStats struct {
+		ok, shed, errs int64
+		posts          int64
+		samples        []float64 // per-POST latency, ms
+	}
+	stats := make([]clientStats, cfg.clients)
+	deadline := time.Now().Add(cfg.duration)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for ci := 0; ci < cfg.clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			st := &stats[ci]
+			rng := rand.New(rand.NewSource(cfg.seed + int64(ci)*7919))
+			var zipf *rand.Zipf
+			if cfg.mix == "dedupe-heavy" {
+				zipf = rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.keys-1))
+			}
+			clientID := fmt.Sprintf("load-%d", ci)
+			for time.Now().Before(deadline) {
+				specs := make([]map[string]any, cfg.batch)
+				for i := range specs {
+					var seed uint64
+					if zipf != nil {
+						seed = 1 + zipf.Uint64()
+					} else {
+						seed = uniqueSeed.Add(1)
+					}
+					specs[i] = spec(cfg, seed)
+				}
+				t0 := time.Now()
+				ok, shed, errs := post(client, url, clientID, specs)
+				lat := time.Since(t0)
+				st.posts++
+				st.samples = append(st.samples, float64(lat)/float64(time.Millisecond))
+				st.ok += ok
+				st.shed += shed
+				st.errs += errs
+				if errs > 0 {
+					// A dead or erroring server: back off instead of hot-spinning.
+					time.Sleep(10 * time.Millisecond)
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var res mixResult
+	var all []float64
+	for i := range stats {
+		res.OK += float64(stats[i].ok)
+		res.Shed += float64(stats[i].shed)
+		res.Errors += float64(stats[i].errs)
+		res.Posts += float64(stats[i].posts)
+		all = append(all, stats[i].samples...)
+	}
+	res.Requests = res.OK + res.Shed + res.Errors
+	res.DurationS = elapsed.Seconds()
+	if res.DurationS > 0 {
+		res.RPS = res.Requests / res.DurationS
+	}
+	if res.Requests > 0 {
+		res.ShedRate = res.Shed / res.Requests
+	}
+	sort.Float64s(all)
+	res.P50MS = quantile(all, 0.50)
+	res.P99MS = quantile(all, 0.99)
+	res.MeanMS = mean(all)
+	if res.Errors > 0 {
+		fmt.Fprintf(stderr, "warning: %s saw %.0f request errors\n", cfg.mix, res.Errors)
+	}
+	return res, nil
+}
+
+// warmKeys completes every seed in the dedupe-heavy key set once — chunked
+// batch POSTs, or single POSTs when the run drives the single-run endpoint
+// (the baseline surface has no batch endpoint) — so the timed window
+// measures steady-state repeat traffic, not first-time simulations.
+func warmKeys(client *http.Client, url string, cfg loadCfg) error {
+	chunk := 256
+	if cfg.batch == 1 {
+		chunk = 1
+	}
+	for lo := 0; lo < cfg.keys; lo += chunk {
+		hi := lo + chunk
+		if hi > cfg.keys {
+			hi = cfg.keys
+		}
+		specs := make([]map[string]any, 0, hi-lo)
+		for k := lo; k < hi; k++ {
+			specs = append(specs, spec(cfg, uint64(1+k)))
+		}
+		ok, shed, errs := post(client, url, "load-warmup", specs)
+		if errs > 0 || shed > 0 {
+			return fmt.Errorf("warming %d keys: %d ok, %d shed, %d errors", cfg.keys, ok, shed, errs)
+		}
+	}
+	return nil
+}
+
+func spec(cfg loadCfg, seed uint64) map[string]any {
+	return map[string]any{
+		"protocol":  cfg.protocol,
+		"benchmark": cfg.benchmark,
+		"scale":     cfg.scale,
+		"seed":      seed,
+	}
+}
+
+// post submits specs (batch endpoint for >1, single otherwise) and
+// classifies every logical request as ok, shed, or error. Bodies are
+// drained, not parsed — shed counts ride on the status code or the
+// X-Getm-Shed header.
+func post(client *http.Client, url, clientID string, specs []map[string]any) (ok, shed, errs int64) {
+	n := int64(len(specs))
+	var body []byte
+	var path string
+	if len(specs) == 1 {
+		body, _ = json.Marshal(specs[0])
+		path = url + "/v1/runs"
+	} else {
+		body, _ = json.Marshal(specs)
+		path = url + "/v1/runs/batch"
+	}
+	req, err := http.NewRequest("POST", path, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, n
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", clientID)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, n
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		hdrShed := int64(0)
+		if v := resp.Header.Get("X-Getm-Shed"); v != "" {
+			if parsed, perr := strconv.ParseInt(v, 10, 64); perr == nil {
+				hdrShed = parsed
+			}
+		}
+		return n - hdrShed, hdrShed, 0
+	case resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode == http.StatusServiceUnavailable:
+		return 0, n, 0
+	default:
+		return 0, 0, n
+	}
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

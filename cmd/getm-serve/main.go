@@ -5,15 +5,26 @@
 //
 //	getm-serve [-addr 127.0.0.1:8344] [-workers N] [-queue 64] [-store DIR]
 //	           [-max-scale 1.0] [-request-timeout 60s] [-drain-timeout 30s]
+//	           [-quota-rps N] [-quota-burst N] [-client-header X-Client-ID]
+//	           [-client-weights a=2,b=5] [-per-client-queue N]
+//	           [-flush-interval 100ms] [-flush-highwater 64] [-baseline]
 //	           [-verbose]
 //
 // POST /v1/runs accepts a JSON RunSpec (protocol, benchmark, scale, seed,
 // conc, cores, cycle_budget, timeout_ms, async) and simulates it on a fixed
-// worker pool behind a bounded wait queue; when the queue is full the request
-// is refused with 429 and a Retry-After hint instead of buffering without
-// bound. Identical concurrent requests collapse onto one simulation, and
-// with -store completed results persist to a crash-safe store that answers
-// repeat traffic — across restarts too — with a disk read.
+// worker pool behind a bounded weighted-fair wait queue; when the queue is
+// full the request is refused with 429 and a Retry-After hint instead of
+// buffering without bound. POST /v1/runs/batch takes a JSON array of specs
+// in one round trip. Identical concurrent requests collapse onto one
+// simulation, and with -store completed results accumulate in a write-behind
+// coalescer and persist in batched fsync'd commits to a crash-safe store
+// that answers repeat traffic — across restarts too — with a disk read.
+//
+// -quota-rps imposes a per-client token-bucket admission rate (clients are
+// keyed by -client-header, falling back to remote host); -client-weights
+// biases the fair dequeue order; -per-client-queue caps one client's share
+// of the wait queue. -baseline restores the PR 5 per-request-write serving
+// discipline as a benchmarking control arm.
 //
 // GET /v1/runs/{id} reports a run durably (completed ids resolve from the
 // store even after a restart). /healthz is liveness, /readyz flips to 503
@@ -35,6 +46,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +57,26 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// parseWeights parses "-client-weights a=2,b=5" into a weight map.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	w := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("bad -client-weights entry %q (want client=weight)", pair)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad weight %q for client %q (want integer >= 1)", v, k)
+		}
+		w[k] = n
+	}
+	return w, nil
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -56,8 +89,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxScale := fs.Float64("max-scale", 1.0, "largest workload scale a request may ask for")
 	requestTimeout := fs.Duration("request-timeout", 60*time.Second, "default and cap for each request's wall-clock deadline")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight runs")
+	quotaRPS := fs.Float64("quota-rps", 0, "per-client admission rate limit in requests/sec (0 = unlimited)")
+	quotaBurst := fs.Int("quota-burst", 0, "per-client token-bucket burst (0 = one second of -quota-rps)")
+	clientHeader := fs.String("client-header", "X-Client-ID", "request header naming the client for quotas and fair queueing")
+	clientWeights := fs.String("client-weights", "", "fair-dequeue weights as client=weight pairs, e.g. batch=1,interactive=4")
+	perClientQueue := fs.Int("per-client-queue", 0, "cap on one client's share of the wait queue (0 = no per-client cap)")
+	flushInterval := fs.Duration("flush-interval", 100*time.Millisecond, "write-behind store flush cadence")
+	flushHighWater := fs.Int("flush-highwater", 64, "pending results forcing an immediate store flush")
+	baseline := fs.Bool("baseline", false, "serve with the per-request-write discipline (benchmark control arm)")
 	verbose := fs.Bool("verbose", false, "log progress lines to stderr")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	weights, err := parseWeights(*clientWeights)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
 		return 2
 	}
 
@@ -66,6 +112,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		QueueDepth:     *queue,
 		MaxScale:       *maxScale,
 		RequestTimeout: *requestTimeout,
+		QuotaRPS:       *quotaRPS,
+		QuotaBurst:     *quotaBurst,
+		ClientHeader:   *clientHeader,
+		ClientWeights:  weights,
+		PerClientQueue: *perClientQueue,
+		FlushInterval:  *flushInterval,
+		FlushHighWater: *flushHighWater,
+		Baseline:       *baseline,
 	}
 	if *storeDir != "" {
 		st := store.Open(*storeDir)

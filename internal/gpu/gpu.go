@@ -314,4 +314,3 @@ func RunContext(ctx context.Context, cfg Config, k *Kernel) (*Result, error) {
 	}
 	return res, nil
 }
-

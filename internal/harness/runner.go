@@ -60,20 +60,29 @@ type Runner struct {
 	// store is write-only: records are refreshed but never trusted — the
 	// CLIs' `-resume=false`.
 	StoreReuse bool
+	// Persist, if set, replaces the direct Store.Put for completed
+	// simulations: the runner hands (storeKey, jobKey, metrics) to the hook
+	// and moves on. A serving stack points this at a write-behind coalescer
+	// so the simulation path never blocks on an fsync; the hook owner then
+	// guarantees durability on its own schedule (flush interval, high-water
+	// mark, graceful drain). Reads still go through Store directly, so the
+	// hook must front the same store the runner consults — any record it has
+	// not flushed yet is still covered by the runner's in-memory tier.
+	Persist func(storeKey, desc string, m *stats.Metrics) error
 	// Shards is the default Job.Shards for jobs that leave it zero: 0 runs
 	// every cell on the serial engine; > 0 runs shardable cells on the
 	// parallel engine with that many workers (non-shardable cells fall back
 	// to serial). See Job.Shards for the cache-identity rules.
 	Shards int
 
-	mu        sync.Mutex
-	cache     map[string]*stats.Metrics
-	errCache  map[string]error
-	inflight  map[string]*inflightRun
-	optC      map[string]int
-	errs      []error
-	simCount  int // simulations actually executed (not cache or store hits)
-	diskHits  int // results served from the on-disk store
+	mu       sync.Mutex
+	cache    map[string]*stats.Metrics
+	errCache map[string]error
+	inflight map[string]*inflightRun
+	optC     map[string]int
+	errs     []error
+	simCount int // simulations actually executed (not cache or store hits)
+	diskHits int // results served from the on-disk store
 
 	// simulate replaces runJob in tests (counting stubs, failure injection).
 	simulate func(context.Context, Job, float64, uint64) (*stats.Metrics, error)
@@ -252,12 +261,23 @@ func (r *Runner) runE(ctx context.Context, j Job) (*stats.Metrics, error) {
 			ctx = context.Background()
 		}
 		c.m, c.err = sim(ctx, j, r.Scale, r.Seed)
-		if c.err == nil && c.m != nil && !c.m.Truncated && r.Store != nil {
-			// Persist before publishing; a crash after this point costs
-			// nothing on resume. Put is atomic, so a concurrent process
-			// writing the same (deterministic) record is harmless.
-			if err := r.Store.Put(r.storeKey(j), key, c.m); err != nil && r.Verbose != nil {
-				r.Verbose("store: " + err.Error())
+		if c.err == nil && c.m != nil && !c.m.Truncated {
+			switch {
+			case r.Persist != nil:
+				// Write-behind: the hook accumulates the record and flushes
+				// on its own schedule; the simulation path never waits on
+				// disk. Durability until the next flush is the hook's
+				// contract (e.g. a final flush inside a graceful drain).
+				if err := r.Persist(r.storeKey(j), key, c.m); err != nil && r.Verbose != nil {
+					r.Verbose("store: " + err.Error())
+				}
+			case r.Store != nil:
+				// Persist before publishing; a crash after this point costs
+				// nothing on resume. Put is atomic, so a concurrent process
+				// writing the same (deterministic) record is harmless.
+				if err := r.Store.Put(r.storeKey(j), key, c.m); err != nil && r.Verbose != nil {
+					r.Verbose("store: " + err.Error())
+				}
 			}
 		}
 	}

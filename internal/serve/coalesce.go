@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"getm/internal/stats"
+	"getm/internal/store"
+)
+
+// coalescer is the write-behind persistence tier between the runners and
+// the on-disk store: completed results accumulate in an in-memory delta map
+// and hit the disk as one batched, fsync'd commit per flush — triggered by
+// the flush interval, the high-water mark, or the final flush inside a
+// graceful drain. Self-canceling work collapses in the map: N puts of one
+// key in a flush window cost one disk write (the absorbed counter records
+// the other N-1), and a burst of distinct results costs one clustered batch
+// of syncs instead of one synchronous fsync per simulation on the serving
+// path.
+//
+// Durability contract: an acknowledged result is on disk after the next
+// flush, and Server.Drain always runs a final flush — so a SIGTERM'd server
+// never loses an acknowledged run (the restart test pins this). A hard kill
+// can lose at most the last flush window; the store's content addressing
+// makes that loss benign — the cell just re-simulates.
+type coalescer struct {
+	st        *store.Store
+	interval  time.Duration
+	highWater int
+	verbose   func(string)
+
+	mu      sync.Mutex
+	pending map[string]store.Record
+
+	kick     chan struct{} // high-water signal, capacity 1
+	quit     chan struct{}
+	quitOnce sync.Once
+	wg       sync.WaitGroup
+
+	flushes  atomic.Int64 // batched commits issued
+	flushed  atomic.Int64 // records written across all commits
+	absorbed atomic.Int64 // puts merged into a pending record (write saved)
+}
+
+func newCoalescer(st *store.Store, interval time.Duration, highWater int, verbose func(string)) *coalescer {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	if highWater <= 0 {
+		highWater = 64
+	}
+	c := &coalescer{
+		st:        st,
+		interval:  interval,
+		highWater: highWater,
+		verbose:   verbose,
+		pending:   make(map[string]store.Record),
+		kick:      make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.loop()
+	return c
+}
+
+// put accumulates one completed result; it is the Runner.Persist hook, so
+// it must never block on disk. Truncated metrics are refused exactly as
+// store.Put refuses them — the backstop stays local to every write path.
+func (c *coalescer) put(key, desc string, m *stats.Metrics) error {
+	if m == nil {
+		return nil
+	}
+	if m.Truncated {
+		return fmt.Errorf("store: refusing to persist truncated metrics for %s", key)
+	}
+	c.mu.Lock()
+	if _, dup := c.pending[key]; dup {
+		c.absorbed.Add(1)
+	}
+	c.pending[key] = store.Record{Key: key, Desc: desc, Metrics: m}
+	n := len(c.pending)
+	c.mu.Unlock()
+	if n >= c.highWater {
+		select {
+		case c.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+func (c *coalescer) loop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.flush()
+		case <-c.kick:
+			c.flush()
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+// flush swaps the pending map out and commits it as one batch. Safe to call
+// from any goroutine; concurrent flushes each take whatever deltas exist
+// when they swap.
+func (c *coalescer) flush() error {
+	c.mu.Lock()
+	if len(c.pending) == 0 {
+		c.mu.Unlock()
+		return nil
+	}
+	batch := c.pending
+	c.pending = make(map[string]store.Record, len(batch))
+	c.mu.Unlock()
+
+	recs := make([]store.Record, 0, len(batch))
+	for _, rec := range batch {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+	err := c.st.PutBatch(recs)
+	c.flushes.Add(1)
+	c.flushed.Add(int64(len(recs)))
+	if err != nil && c.verbose != nil {
+		c.verbose("store flush: " + err.Error())
+	}
+	return err
+}
+
+// pendingCount returns the records awaiting the next flush.
+func (c *coalescer) pendingCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// close stops the flush loop and runs the final flush — the graceful-drain
+// step that makes every acknowledged result durable before exit.
+func (c *coalescer) close() error {
+	c.quitOnce.Do(func() { close(c.quit) })
+	c.wg.Wait()
+	return c.flush()
+}

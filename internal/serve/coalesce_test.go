@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"getm/internal/stats"
+	"getm/internal/store"
+)
+
+func testMetrics(cycles uint64) *stats.Metrics {
+	m := stats.NewMetrics()
+	m.TotalCycles = cycles
+	m.Commits = 7
+	return m
+}
+
+func TestCoalescerFlushesOnInterval(t *testing.T) {
+	st := store.Open(t.TempDir())
+	c := newCoalescer(st, 5*time.Millisecond, 1000, nil)
+	defer c.close()
+
+	if err := c.put("key1", "desc", testMetrics(100)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := st.Get("key1"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval flush never persisted the record")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m, _ := st.Get("key1")
+	if m.TotalCycles != 100 {
+		t.Fatalf("persisted TotalCycles %d, want 100", m.TotalCycles)
+	}
+}
+
+func TestCoalescerAbsorbsDuplicateWrites(t *testing.T) {
+	st := store.Open(t.TempDir())
+	// Huge interval: nothing flushes until close, so all puts coalesce.
+	c := newCoalescer(st, time.Hour, 1000, nil)
+
+	for i := 0; i < 10; i++ {
+		c.put("dup", "desc", testMetrics(uint64(i)))
+	}
+	if n := c.pendingCount(); n != 1 {
+		t.Fatalf("10 puts of one key left %d pending records, want 1", n)
+	}
+	if n := c.absorbed.Load(); n != 9 {
+		t.Fatalf("absorbed %d writes, want 9", n)
+	}
+	if err := c.close(); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := st.Get("dup")
+	if !ok {
+		t.Fatal("close did not flush the pending record")
+	}
+	if m.TotalCycles != 9 {
+		t.Fatalf("persisted TotalCycles %d, want the last put (9)", m.TotalCycles)
+	}
+	if n := c.flushed.Load(); n != 1 {
+		t.Fatalf("flushed %d records for 10 puts of one key, want 1", n)
+	}
+}
+
+func TestCoalescerHighWaterForcesFlush(t *testing.T) {
+	st := store.Open(t.TempDir())
+	c := newCoalescer(st, time.Hour, 4, nil) // interval never fires; high water does
+	defer c.close()
+
+	for i := 0; i < 4; i++ {
+		c.put("hw"+string(rune('a'+i)), "desc", testMetrics(uint64(i)))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for c.flushes.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("high-water mark never triggered a flush")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := st.Get("hwa"); !ok {
+		t.Fatal("high-water flush did not persist")
+	}
+}
+
+func TestCoalescerRefusesTruncated(t *testing.T) {
+	st := store.Open(t.TempDir())
+	c := newCoalescer(st, time.Hour, 1000, nil)
+	defer c.close()
+
+	m := testMetrics(1)
+	m.Truncated = true
+	err := c.put("trunc", "desc", m)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated metrics accepted (err=%v); the store backstop must hold on every write path", err)
+	}
+	if c.pendingCount() != 0 {
+		t.Fatal("refused record still pending")
+	}
+}
+
+func TestCoalescerCloseIsFinalAndIdempotent(t *testing.T) {
+	st := store.Open(t.TempDir())
+	c := newCoalescer(st, time.Hour, 1000, nil)
+	c.put("k", "desc", testMetrics(5))
+	if err := c.close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get("k"); !ok {
+		t.Fatal("close lost the pending record")
+	}
+	if err := c.close(); err != nil {
+		t.Fatalf("second close errored: %v", err)
+	}
+}
+
+func TestCoalescerConcurrentPuts(t *testing.T) {
+	st := store.Open(t.TempDir())
+	c := newCoalescer(st, time.Millisecond, 16, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := "k" + string(rune('0'+i%10))
+				c.put(key, "desc", testMetrics(uint64(i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := c.close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		key := "k" + string(rune('0'+i))
+		if _, ok := st.Get(key); !ok {
+			t.Fatalf("key %s missing after concurrent puts + close", key)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// Admission errors returned by fairQueue.push. Both surface to clients as
+// 429 + Retry-After: the queue sheds load instead of buffering it.
+var (
+	errQueueFull  = errors.New("queue full")
+	errClientFull = errors.New("client backlog full")
+	errQueueDone  = errors.New("queue closed")
+)
+
+// fairQueue is the bounded wait queue between admission and the worker
+// pool, replacing the PR 5 channel with per-client FIFOs dequeued by
+// weighted round-robin. The bound still sheds load globally, but the
+// dequeue order is fair: a tenant with ten thousand queued requests gets
+// the same turn (scaled by its weight) as a tenant with one, so a hot
+// client saturating the queue delays — never starves — the cold ones. An
+// optional per-client backlog cap sheds the hot client's overflow before it
+// can monopolize the global bound.
+//
+// Weighted round-robin: clients with pending work sit in a ring; each turn
+// a client dequeues up to weight(client) requests before the cursor moves
+// on. Weight 1 for everyone is plain round-robin; a weight-3 client drains
+// three requests per turn. Per-client order stays FIFO.
+type fairQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int // global bound across all clients
+	perCap   int // per-client backlog bound
+	weightOf func(string) int
+
+	size    int
+	clients map[string]*clientQ
+	ring    []*clientQ // clients with pending items, in arrival order
+	cursor  int
+	closed  bool
+}
+
+// clientQ is one client's FIFO plus its round-robin state.
+type clientQ struct {
+	key       string
+	items     []*jobState
+	head      int // pop index; the slice compacts when fully drained
+	remaining int // dequeues left in the current turn
+	inRing    bool
+}
+
+func newFairQueue(capacity, perClient int, weightOf func(string) int) *fairQueue {
+	if perClient <= 0 || perClient > capacity {
+		perClient = capacity
+	}
+	q := &fairQueue{
+		capacity: capacity,
+		perCap:   perClient,
+		weightOf: weightOf,
+		clients:  make(map[string]*clientQ),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues one job for client, or reports why it must be shed.
+func (q *fairQueue) push(client string, js *jobState) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueDone
+	}
+	if q.size >= q.capacity {
+		return errQueueFull
+	}
+	cq := q.clients[client]
+	if cq == nil {
+		cq = &clientQ{key: client}
+		q.clients[client] = cq
+	}
+	if len(cq.items)-cq.head >= q.perCap {
+		return errClientFull
+	}
+	cq.items = append(cq.items, js)
+	if !cq.inRing {
+		cq.inRing = true
+		q.ring = append(q.ring, cq)
+	}
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available and returns it, choosing clients by
+// weighted round-robin. After close it keeps draining the backlog and then
+// returns ok=false — the worker-exit signal.
+func (q *fairQueue) pop() (*jobState, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+	if q.cursor >= len(q.ring) {
+		q.cursor = 0
+	}
+	cq := q.ring[q.cursor]
+	if cq.remaining <= 0 {
+		cq.remaining = q.weight(cq.key)
+	}
+	js := cq.items[cq.head]
+	cq.items[cq.head] = nil
+	cq.head++
+	cq.remaining--
+	q.size--
+	if cq.head == len(cq.items) {
+		// Drained: leave the ring (order-preserving removal so round-robin
+		// position is stable for everyone else) and forget the client — its
+		// state is recreated on the next push, so the map stays bounded by
+		// the set of clients with work.
+		cq.items, cq.head, cq.remaining, cq.inRing = nil, 0, 0, false
+		q.ring = append(q.ring[:q.cursor], q.ring[q.cursor+1:]...)
+		delete(q.clients, cq.key)
+		if q.cursor >= len(q.ring) {
+			q.cursor = 0
+		}
+	} else if cq.remaining == 0 {
+		q.cursor++
+		if q.cursor >= len(q.ring) {
+			q.cursor = 0
+		}
+	}
+	return js, true
+}
+
+func (q *fairQueue) weight(client string) int {
+	if q.weightOf == nil {
+		return 1
+	}
+	if w := q.weightOf(client); w > 1 {
+		return w
+	}
+	return 1
+}
+
+// len returns the number of queued jobs across all clients.
+func (q *fairQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// clientCount returns the number of clients with queued work.
+func (q *fairQueue) clientCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.clients)
+}
+
+// close stops accepting pushes and wakes every blocked pop; queued jobs
+// keep draining until the queue is empty.
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mkJob(id string) *jobState {
+	return &jobState{id: id, done: make(chan struct{})}
+}
+
+// drainOrder pops every queued job and returns the client order implied by
+// the job ids (tests encode the client in the id prefix).
+func drainOrder(q *fairQueue) []string {
+	var order []string
+	for q.len() > 0 {
+		js, ok := q.pop()
+		if !ok {
+			break
+		}
+		order = append(order, js.id)
+	}
+	return order
+}
+
+func TestFairQueueRoundRobinInterleavesClients(t *testing.T) {
+	q := newFairQueue(16, 0, nil)
+	// Client a floods first; b and c each queue one request afterward.
+	for i := 0; i < 4; i++ {
+		if err := q.push("a", mkJob(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.push("b", mkJob("b0"))
+	q.push("c", mkJob("c0"))
+
+	got := drainOrder(q)
+	want := []string{"a0", "b0", "c0", "a1", "a2", "a3"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("dequeue order %v, want %v (hot client must not starve cold ones)", got, want)
+	}
+}
+
+func TestFairQueueWeightsBiasTurns(t *testing.T) {
+	weights := map[string]int{"a": 2}
+	q := newFairQueue(16, 0, func(c string) int { return weights[c] })
+	for i := 0; i < 4; i++ {
+		q.push("a", mkJob(fmt.Sprintf("a%d", i)))
+	}
+	q.push("b", mkJob("b0"))
+	q.push("c", mkJob("c0"))
+
+	got := drainOrder(q)
+	// Weight 2: a drains two per turn before the cursor moves on.
+	want := []string{"a0", "a1", "b0", "c0", "a2", "a3"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("dequeue order %v, want %v", got, want)
+	}
+}
+
+func TestFairQueuePerClientFIFO(t *testing.T) {
+	q := newFairQueue(8, 0, nil)
+	for i := 0; i < 5; i++ {
+		q.push("a", mkJob(fmt.Sprintf("a%d", i)))
+	}
+	got := drainOrder(q)
+	want := []string{"a0", "a1", "a2", "a3", "a4"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("single-client order %v, want FIFO %v", got, want)
+	}
+}
+
+func TestFairQueueGlobalBound(t *testing.T) {
+	q := newFairQueue(2, 0, nil)
+	if err := q.push("a", mkJob("a0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push("b", mkJob("b0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push("c", mkJob("c0")); err != errQueueFull {
+		t.Fatalf("push over capacity: got %v, want errQueueFull", err)
+	}
+}
+
+func TestFairQueuePerClientBound(t *testing.T) {
+	q := newFairQueue(8, 2, nil)
+	q.push("a", mkJob("a0"))
+	q.push("a", mkJob("a1"))
+	if err := q.push("a", mkJob("a2")); err != errClientFull {
+		t.Fatalf("push over per-client cap: got %v, want errClientFull", err)
+	}
+	// Other clients still have headroom while a is capped.
+	if err := q.push("b", mkJob("b0")); err != nil {
+		t.Fatalf("other client shed alongside the hot one: %v", err)
+	}
+}
+
+func TestFairQueueCloseDrainsBacklogThenStops(t *testing.T) {
+	q := newFairQueue(8, 0, nil)
+	q.push("a", mkJob("a0"))
+	q.push("a", mkJob("a1"))
+	q.close()
+
+	if err := q.push("a", mkJob("a2")); err != errQueueDone {
+		t.Fatalf("push after close: got %v, want errQueueDone", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := q.pop(); !ok {
+			t.Fatalf("pop %d after close: queue dropped its backlog", i)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop on closed empty queue returned a job")
+	}
+}
+
+func TestFairQueuePopBlocksUntilPush(t *testing.T) {
+	q := newFairQueue(8, 0, nil)
+	got := make(chan string, 1)
+	go func() {
+		js, ok := q.pop()
+		if ok {
+			got <- js.id
+		} else {
+			got <- "!closed"
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.push("a", mkJob("a0"))
+	select {
+	case id := <-got:
+		if id != "a0" {
+			t.Fatalf("blocked pop returned %q", id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not wake on push")
+	}
+}
+
+func TestFairQueueConcurrentPushersAndPoppers(t *testing.T) {
+	const clients, perClient = 8, 50
+	q := newFairQueue(clients*perClient, 0, nil)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				for q.push(fmt.Sprintf("c%d", c), mkJob(fmt.Sprintf("c%d-%d", c, i))) != nil {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(c)
+	}
+	popped := make(chan int, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			n := 0
+			for {
+				if _, ok := q.pop(); !ok {
+					popped <- n
+					return
+				}
+				n++
+			}
+		}()
+	}
+	wg.Wait()
+	for q.len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	q.close()
+	total := 0
+	for w := 0; w < 4; w++ {
+		total += <-popped
+	}
+	if total != clients*perClient {
+		t.Fatalf("popped %d jobs, pushed %d", total, clients*perClient)
+	}
+	if n := q.clientCount(); n != 0 {
+		t.Fatalf("drained queue still tracks %d clients", n)
+	}
+}

@@ -10,17 +10,31 @@ import (
 	"getm/internal/stats"
 )
 
-// latencyBuckets sizes the request-latency histogram: one bucket per
+// latencyBuckets sizes the run-latency histogram: one bucket per
 // millisecond, clamped at ~16s. Simulations at serving scale complete well
 // inside the range; anything clamped still lands in the right tail.
 const latencyBuckets = 1 << 14
 
+// httpLatencyBuckets and httpLatencyUnit size the HTTP-request histogram:
+// 10µs resolution (the admission fast path completes in tens of µs) up to
+// ~327ms; slower requests clamp into the right tail.
+const (
+	httpLatencyBuckets = 1 << 15
+	httpLatencyUnit    = 10 * time.Microsecond
+	httpLatencyShards  = 8
+)
+
 // metricsSet is the server's observable state, exposed as a Prometheus-style
-// text exposition on /metrics. Counters are monotonic; the latency histogram
-// feeds the p50/p99 gauges via stats.Hist.Quantile.
+// text exposition on /metrics. Counters are monotonic; the latency
+// histograms feed the quantile gauges via stats.Hist.Quantile. The HTTP
+// histogram is sharded (stats.ShardedHist) so the serving hot path never
+// serializes on one latency mutex; /metrics merges the shards into the exact
+// single-histogram view at scrape time, so exposition stays exact.
 type metricsSet struct {
-	requests        atomic.Int64 // POST /v1/runs received
+	requests        atomic.Int64 // run submissions received (batch items count individually)
+	batches         atomic.Int64 // POST /v1/runs/batch calls received
 	rejected        atomic.Int64 // shed: 429 or 503-draining
+	quotaRejected   atomic.Int64 // shed specifically by per-client quota
 	deduped         atomic.Int64 // joined an identical live/completed job
 	completed       atomic.Int64 // runs finished without error
 	failed          atomic.Int64 // runs finished with error
@@ -28,11 +42,16 @@ type metricsSet struct {
 	storeStatusHits atomic.Int64 // GET /v1/runs/{id} answered from the store
 
 	mu  sync.Mutex
-	lat *stats.Hist // milliseconds
+	lat *stats.Hist // run latency, milliseconds
+
+	httpLat *stats.ShardedHist // HTTP request latency, 10µs units
 }
 
 func newMetricsSet() *metricsSet {
-	return &metricsSet{lat: stats.NewHist(latencyBuckets)}
+	return &metricsSet{
+		lat:     stats.NewHist(latencyBuckets),
+		httpLat: stats.NewShardedHist(httpLatencyShards, httpLatencyBuckets),
+	}
 }
 
 // observe records one finished run.
@@ -50,6 +69,12 @@ func (m *metricsSet) observe(d time.Duration, res *stats.Metrics, err error) {
 	m.mu.Unlock()
 }
 
+// observeHTTP records one served HTTP request (submit or batch), including
+// any time spent waiting on a synchronous run.
+func (m *metricsSet) observeHTTP(d time.Duration) {
+	m.httpLat.Add(int(d / httpLatencyUnit))
+}
+
 func (m *metricsSet) meanLatencyMS() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -57,14 +82,19 @@ func (m *metricsSet) meanLatencyMS() float64 {
 }
 
 // write renders the exposition. Gauges come from the pool (queue depth,
-// busy workers, runner aggregates); everything else from the counters.
-func (m *metricsSet) write(w io.Writer, p *pool) {
+// busy workers, runner aggregates), the coalescer, and the quota table;
+// everything else from the counters.
+func (m *metricsSet) write(w io.Writer, s *Server) {
+	p := s.pool
 	m.mu.Lock()
 	p50 := m.lat.Quantile(0.50)
 	p99 := m.lat.Quantile(0.99)
 	mean := m.lat.Mean()
 	samples := m.lat.Total()
 	m.mu.Unlock()
+
+	hh := m.httpLat.Merged()
+	unitMS := float64(httpLatencyUnit) / float64(time.Millisecond)
 
 	draining := 0
 	if p.draining.Load() {
@@ -78,13 +108,17 @@ func (m *metricsSet) write(w io.Writer, p *pool) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 
-	g("getm_serve_queue_depth", "requests waiting for a worker", len(p.queue))
-	g("getm_serve_queue_capacity", "wait-queue slots before load shedding", cap(p.queue))
+	g("getm_serve_queue_depth", "requests waiting for a worker", p.fq.len())
+	g("getm_serve_queue_capacity", "wait-queue slots before load shedding", p.fq.capacity)
 	g("getm_serve_workers", "worker pool size", p.s.cfg.Workers)
 	g("getm_serve_inflight", "workers executing a run right now", p.running.Load())
 	g("getm_serve_draining", "1 while a graceful drain is in progress", draining)
-	c("getm_serve_requests_total", "POST /v1/runs submissions received", m.requests.Load())
-	c("getm_serve_rejected_total", "submissions shed (queue full or draining)", m.rejected.Load())
+	g("getm_serve_fair_clients", "clients with queued work in the fair queue", p.fq.clientCount())
+	g("getm_serve_quota_clients", "client token buckets currently tracked", s.quotas.size())
+	c("getm_serve_requests_total", "run submissions received (batch items count individually)", m.requests.Load())
+	c("getm_serve_batches_total", "POST /v1/runs/batch calls received", m.batches.Load())
+	c("getm_serve_rejected_total", "submissions shed (quota, queue full, or draining)", m.rejected.Load())
+	c("getm_serve_quota_rejected_total", "submissions shed by per-client quota", m.quotaRejected.Load())
 	c("getm_serve_deduped_total", "submissions joined onto an identical job", m.deduped.Load())
 	c("getm_serve_completed_total", "runs finished without error", m.completed.Load())
 	c("getm_serve_failed_total", "runs finished with an error", m.failed.Load())
@@ -92,8 +126,18 @@ func (m *metricsSet) write(w io.Writer, p *pool) {
 	c("getm_serve_simulated_total", "simulations actually executed (cache and store hits excluded)", int64(p.simulated()))
 	c("getm_serve_store_hits_total", "results served from the on-disk store", int64(p.storeHits()))
 	c("getm_serve_store_status_hits_total", "GET /v1/runs answered durably from the store", m.storeStatusHits.Load())
+	if coal := s.coal; coal != nil {
+		g("getm_serve_coalesce_pending", "completed results awaiting the next batched store flush", coal.pendingCount())
+		c("getm_serve_coalesce_flushes_total", "batched store commits issued", coal.flushes.Load())
+		c("getm_serve_coalesce_flushed_total", "records written across all batched commits", coal.flushed.Load())
+		c("getm_serve_coalesce_absorbed_total", "store writes absorbed by in-memory coalescing", coal.absorbed.Load())
+	}
 	g("getm_serve_latency_ms_p50", "median run latency (ms)", p50)
 	g("getm_serve_latency_ms_p99", "p99 run latency (ms)", p99)
 	g("getm_serve_latency_ms_mean", "mean run latency (ms)", mean)
 	g("getm_serve_latency_samples", "finished runs in the latency histogram", samples)
+	g("getm_serve_http_latency_ms_p50", "median HTTP request latency (ms)", hh.Quantile(0.50)*unitMS)
+	g("getm_serve_http_latency_ms_p99", "p99 HTTP request latency (ms)", hh.Quantile(0.99)*unitMS)
+	g("getm_serve_http_latency_ms_mean", "mean HTTP request latency (ms)", hh.Mean()*unitMS)
+	g("getm_serve_http_latency_samples", "served HTTP requests in the latency histogram", hh.Total())
 }

@@ -16,21 +16,20 @@ import (
 type admitOutcome int
 
 const (
-	admitOK       admitOutcome = iota // admitted (or joined an existing job)
-	admitFull                         // queue full: shed with 429
-	admitDraining                     // server draining: refuse with 503
+	admitOK         admitOutcome = iota // admitted (or joined an existing job)
+	admitFull                           // queue full: shed with 429
+	admitClientFull                     // this client's backlog full: shed with 429
+	admitDraining                       // server draining: refuse with 503
 )
 
 // pool is the execution side of the server: a fixed worker set behind a
-// bounded wait queue, a job table deduplicating distinct requests, and one
-// harness.Runner per (scale, seed) sharing the durable store. Admission,
-// status, and drain all meet here.
+// bounded weighted-fair wait queue, a job table deduplicating distinct
+// requests, and one harness.Runner per (scale, seed) sharing the durable
+// store. Admission, status, and drain all meet here.
 type pool struct {
 	s *Server
 
-	queue    chan *jobState
-	quit     chan struct{}
-	quitOnce sync.Once
+	fq       *fairQueue
 	workerWG sync.WaitGroup
 	taskWG   sync.WaitGroup
 	draining atomic.Bool
@@ -40,6 +39,12 @@ type pool struct {
 	// drain runs out of patience.
 	baseCtx    context.Context
 	baseCancel context.CancelCauseFunc
+
+	// jobsFast mirrors jobs for lock-free reads: the admission fast path and
+	// the status endpoint load from it without touching mu. Writes happen
+	// under mu (store-after-insert), so a fast-path hit always sees a
+	// fully-initialized jobState.
+	jobsFast sync.Map // id -> *jobState
 
 	mu      sync.Mutex
 	jobs    map[string]*jobState
@@ -54,10 +59,14 @@ type runnerKey struct {
 }
 
 func newPool(s *Server) *pool {
+	var weightOf func(string) int
+	if len(s.cfg.ClientWeights) > 0 {
+		w := s.cfg.ClientWeights
+		weightOf = func(client string) int { return w[client] }
+	}
 	p := &pool{
 		s:       s,
-		queue:   make(chan *jobState, s.cfg.QueueDepth),
-		quit:    make(chan struct{}),
+		fq:      newFairQueue(s.cfg.QueueDepth, s.cfg.PerClientQueue, weightOf),
 		jobs:    make(map[string]*jobState),
 		runners: make(map[runnerKey]*harness.Runner),
 	}
@@ -69,11 +78,15 @@ func newPool(s *Server) *pool {
 	return p
 }
 
+// perClientCap reports the effective per-client backlog bound.
+func (p *pool) perClientCap() int { return p.fq.perCap }
+
 // admit places one validated spec: joining an identical live (or completed)
 // job, serving a completed cell from a cache tier without a queue slot, or
-// taking a queue slot — all atomically, so identical concurrent submissions
-// collapse onto one jobState.
-func (p *pool) admit(sp RunSpec) (*jobState, admitOutcome) {
+// taking a fair-queue slot under the submitting client's key — all
+// atomically, so identical concurrent submissions collapse onto one
+// jobState.
+func (p *pool) admit(sp RunSpec, client string) (*jobState, admitOutcome) {
 	if p.draining.Load() {
 		return nil, admitDraining
 	}
@@ -103,65 +116,58 @@ func (p *pool) admit(sp RunSpec) (*jobState, admitOutcome) {
 	// Serving it costs a map lookup or a disk read — never a queue slot, so
 	// repeat traffic cannot be shed even under saturation.
 	if m, ok := r.Lookup(job); ok && !m.Truncated {
-		js := &jobState{id: id, spec: sp, done: make(chan struct{}), m: m, source: "cache", status: statusDone}
+		js := &jobState{id: id, spec: sp, done: make(chan struct{}), m: m, source: "cache"}
+		js.setStatus(statusDone)
 		close(js.done)
-		p.jobs[id] = js
+		p.insertLocked(id, sp, js)
 		return js, admitOK
 	}
 
-	js := &jobState{id: id, spec: sp, done: make(chan struct{}), status: statusQueued}
-	select {
-	case p.queue <- js:
-		p.jobs[id] = js
+	js := &jobState{id: id, spec: sp, done: make(chan struct{})}
+	js.setStatus(statusQueued)
+	switch err := p.fq.push(client, js); err {
+	case nil:
+		p.insertLocked(id, sp, js)
 		p.taskWG.Add(1)
 		return js, admitOK
-	default:
+	case errClientFull:
+		return nil, admitClientFull
+	default: // errQueueFull, errQueueDone
 		return nil, admitFull
 	}
 }
 
-// lookup finds a live or completed job by id.
+// insertLocked publishes a jobState to the locked table, the lock-free
+// mirror, and the spec→id cache (in that order, so fast-path hits only see
+// published jobs). Caller holds p.mu.
+func (p *pool) insertLocked(id string, sp RunSpec, js *jobState) {
+	p.jobs[id] = js
+	p.jobsFast.Store(id, js)
+	p.s.idCache.Store(sp.cacheKey(), id)
+}
+
+// lookup finds a live or completed job by id, lock-free.
 func (p *pool) lookup(id string) (*jobState, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	js, ok := p.jobs[id]
-	return js, ok
-}
-
-func (p *pool) statusOf(js *jobState) jobStatus {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return js.status
-}
-
-func (p *pool) setStatus(js *jobState, st jobStatus) {
-	p.mu.Lock()
-	js.status = st
-	p.mu.Unlock()
+	v, ok := p.jobsFast.Load(id)
+	if !ok {
+		return nil, false
+	}
+	return v.(*jobState), true
 }
 
 // hasHeadroom reports whether the wait queue can absorb another request.
 func (p *pool) hasHeadroom() bool {
-	return len(p.queue) < cap(p.queue)
+	return p.fq.len() < p.fq.capacity
 }
 
 func (p *pool) worker() {
 	defer p.workerWG.Done()
 	for {
-		select {
-		case js := <-p.queue:
-			p.runTask(js)
-		case <-p.quit:
-			// Don't strand anything admitted before the stop signal.
-			for {
-				select {
-				case js := <-p.queue:
-					p.runTask(js)
-				default:
-					return
-				}
-			}
+		js, ok := p.fq.pop()
+		if !ok {
+			return
 		}
+		p.runTask(js)
 	}
 }
 
@@ -171,7 +177,7 @@ func (p *pool) runTask(js *jobState) {
 	defer p.taskWG.Done()
 	p.running.Add(1)
 	defer p.running.Add(-1)
-	p.setStatus(js, statusRunning)
+	js.setStatus(statusRunning)
 
 	timeout := p.s.cfg.RequestTimeout
 	if t := time.Duration(js.spec.TimeoutMS) * time.Millisecond; t > 0 && t < timeout {
@@ -184,15 +190,13 @@ func (p *pool) runTask(js *jobState) {
 	elapsed := time.Since(start)
 
 	p.s.met.observe(elapsed, m, err)
-	p.mu.Lock()
 	js.m, js.source, js.err = m, source, err
 	js.elapsedMS = elapsed.Milliseconds()
 	if err != nil {
-		js.status = statusFailed
+		js.setStatus(statusFailed)
 	} else {
-		js.status = statusDone
+		js.setStatus(statusDone)
 	}
-	p.mu.Unlock()
 	close(js.done)
 }
 
@@ -218,6 +222,11 @@ func (p *pool) runnerFor(sp RunSpec) *harness.Runner {
 	r.Store = p.s.cfg.Store
 	r.StoreReuse = true
 	r.Verbose = p.s.cfg.Verbose
+	if p.s.coal != nil {
+		// Write-behind: completed cells accumulate in the coalescer and hit
+		// the disk as batched commits instead of one fsync per simulation.
+		r.Persist = p.s.coal.put
+	}
 	p.runners[k] = r
 	return r
 }
@@ -275,7 +284,7 @@ func (p *pool) drain(timeout time.Duration) error {
 			return errors.New("drain: tasks still running after cancellation grace period")
 		}
 	}
-	p.quitOnce.Do(func() { close(p.quit) })
+	p.fq.close()
 	p.workerWG.Wait()
 	return err
 }

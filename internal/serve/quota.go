@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// quotaMaxClients bounds the bucket table; when a new client would exceed
+// it, full/stale buckets are evicted first (evicting a full bucket loses
+// nothing — it refills to the same state on recreation).
+const quotaMaxClients = 8192
+
+// quotas is the per-client token-bucket admission filter ahead of the wait
+// queue: each client key earns rps tokens per second up to burst, and a
+// request without a token is shed with 429 + Retry-After before it can
+// touch the queue. The fair queue makes dequeue order fair; the quota makes
+// admission itself fair, so a client flooding faster than its rate cannot
+// even consume queue slots.
+type quotas struct {
+	rps   float64
+	burst float64
+
+	mu sync.Mutex
+	m  map[string]*bucket
+}
+
+// bucket is one client's token state, refilled lazily on access.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(rps float64, burst int) *quotas {
+	if rps <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		// Default: one second's worth of rate, at least one request.
+		burst = int(math.Max(1, math.Ceil(rps)))
+	}
+	return &quotas{rps: rps, burst: float64(burst), m: make(map[string]*bucket)}
+}
+
+// allow spends one token for client if available. When the bucket is empty
+// it returns ok=false and the wait until the next token accrues — the
+// Retry-After hint.
+func (q *quotas) allow(client string, now time.Time) (ok bool, retry time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.m[client]
+	if b == nil {
+		if len(q.m) >= quotaMaxClients {
+			q.evictLocked(now)
+		}
+		b = &bucket{tokens: q.burst, last: now}
+		q.m[client] = b
+	}
+	// Lazy refill. Concurrent callers can observe now values out of order;
+	// only a forward step accrues tokens, so accounting never double-counts.
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(q.burst, b.tokens+dt*q.rps)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / q.rps * float64(time.Second))
+}
+
+// evictLocked drops buckets that carry no information: full (would refill
+// to the same state) or idle past a minute. If every bucket is hot, one
+// arbitrary entry goes — 8192 concurrently-hot clients exceeding their
+// quota is a load the fair queue behind us still bounds.
+func (q *quotas) evictLocked(now time.Time) {
+	for k, b := range q.m {
+		full := b.tokens+now.Sub(b.last).Seconds()*q.rps >= q.burst
+		if full || now.Sub(b.last) > time.Minute {
+			delete(q.m, k)
+		}
+	}
+	if len(q.m) >= quotaMaxClients {
+		for k := range q.m {
+			delete(q.m, k)
+			break
+		}
+	}
+}
+
+// size returns the tracked client count.
+func (q *quotas) size() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.m)
+}
+
+// retryAfterSecs renders a wait as a Retry-After value: whole seconds,
+// rounded up, clamped to [1, 600]. The clamp to 1 matters — sub-second
+// waits must never round down to "Retry-After: 0", which clients read as
+// "immediately" and turn into a tight retry loop.
+func retryAfterSecs(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 600 {
+		return 600
+	}
+	return secs
+}

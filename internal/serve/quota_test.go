@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQuotaDisabledWhenRateZero(t *testing.T) {
+	if q := newQuotas(0, 10); q != nil {
+		t.Fatal("rps 0 must disable quotas (nil)")
+	}
+	var q *quotas
+	if q.size() != 0 {
+		t.Fatal("nil quotas size must be 0")
+	}
+}
+
+func TestQuotaBurstThenRefill(t *testing.T) {
+	q := newQuotas(10, 2) // 10 tokens/s, burst 2
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.allow("a", now); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, retry := q.allow("a", now)
+	if ok {
+		t.Fatal("request over burst admitted")
+	}
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("retry hint %v, want (0, 100ms] for 10 rps", retry)
+	}
+	// 100ms accrues exactly one token at 10 rps.
+	if ok, _ := q.allow("a", now.Add(100*time.Millisecond)); !ok {
+		t.Fatal("refilled token refused")
+	}
+	if ok, _ := q.allow("a", now.Add(100*time.Millisecond)); ok {
+		t.Fatal("second request admitted on one refilled token")
+	}
+}
+
+func TestQuotaClientsIndependent(t *testing.T) {
+	q := newQuotas(1, 1)
+	now := time.Unix(1000, 0)
+	if ok, _ := q.allow("a", now); !ok {
+		t.Fatal("a's first request refused")
+	}
+	if ok, _ := q.allow("a", now); ok {
+		t.Fatal("a's second request admitted over quota")
+	}
+	if ok, _ := q.allow("b", now); !ok {
+		t.Fatal("b shed by a's consumption — buckets must be per-client")
+	}
+}
+
+func TestQuotaDefaultBurst(t *testing.T) {
+	q := newQuotas(2.5, 0)
+	if q.burst != 3 {
+		t.Fatalf("default burst %v, want ceil(rps)=3", q.burst)
+	}
+	q = newQuotas(0.1, 0)
+	if q.burst != 1 {
+		t.Fatalf("default burst %v, want at least 1", q.burst)
+	}
+}
+
+// TestQuotaConcurrentExactness hammers one bucket from many goroutines (run
+// under -race in serve-gate): with a near-zero refill rate and burst 10,
+// exactly 10 requests may be admitted no matter the interleaving.
+func TestQuotaConcurrentExactness(t *testing.T) {
+	q := newQuotas(1e-9, 10)
+	start := time.Unix(1000, 0)
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				// Slightly skewed clocks across goroutines: refill math must
+				// never double-count out-of-order now values.
+				now := start.Add(time.Duration(g*50+i) * time.Microsecond)
+				if ok, _ := q.allow("hot", now); ok {
+					admitted.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := admitted.Load(); n != 10 {
+		t.Fatalf("admitted %d requests from a burst-10 bucket, want exactly 10", n)
+	}
+}
+
+// TestQuotaConcurrentManyClients races bucket creation and eviction.
+func TestQuotaConcurrentManyClients(t *testing.T) {
+	q := newQuotas(100, 5)
+	start := time.Unix(1000, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				q.allow(fmt.Sprintf("client-%d", i%37), start.Add(time.Duration(i)*time.Millisecond))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := q.size(); n == 0 || n > 37 {
+		t.Fatalf("tracked %d clients, want (0, 37]", n)
+	}
+}
+
+func TestQuotaEvictionBoundsTable(t *testing.T) {
+	q := newQuotas(1, 1)
+	now := time.Unix(1000, 0)
+	for i := 0; i < quotaMaxClients+100; i++ {
+		q.allow(fmt.Sprintf("c%d", i), now)
+		now = now.Add(time.Microsecond)
+	}
+	if n := q.size(); n > quotaMaxClients {
+		t.Fatalf("table grew to %d clients, cap is %d", n, quotaMaxClients)
+	}
+}
+
+func TestRetryAfterSecsNeverZero(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1}, // sub-second must clamp UP to 1, never round to 0
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1001 * time.Millisecond, 2}, // partial seconds round up
+		{90 * time.Second, 90},
+		{2 * time.Hour, 600}, // absurd hints clamp to 10 minutes
+		{-5 * time.Second, 1},
+	}
+	for _, c := range cases {
+		if got := retryAfterSecs(c.d); got != c.want {
+			t.Errorf("retryAfterSecs(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

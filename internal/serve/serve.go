@@ -2,27 +2,35 @@
 // simulation requests become bounded, deduplicated, cancellable work items.
 //
 // The serving discipline, in one paragraph: every POST /v1/runs is admitted
-// onto a bounded wait queue feeding a fixed worker pool, or refused
-// immediately with 429 + Retry-After when the queue is full — the server
-// sheds load instead of buffering it without bound. Each admitted request
-// runs under its own wall-clock deadline (gpu.RunContext stops the engine
-// within one chunk of simulated cycles). Identical concurrent requests
-// collapse onto a single simulation twice over: at the queue (one job entry
-// per distinct request) and in harness.Runner's singleflight map. Completed
-// results persist to the crash-safe result store, so repeat traffic — across
-// restarts too — is a disk read, never a simulation. SIGTERM triggers a
-// graceful drain: stop accepting, finish (or, past the drain timeout,
-// cancel) everything in flight, exit clean.
+// through a per-client token-bucket quota onto a bounded fair queue feeding
+// a fixed worker pool, or refused immediately with 429 + Retry-After — the
+// server sheds load instead of buffering it without bound, and one hot
+// tenant can neither starve the dequeue order (weighted round-robin across
+// clients) nor flood admission (quota). Each admitted request runs under
+// its own wall-clock deadline (gpu.RunContext stops the engine within one
+// chunk of simulated cycles). Identical requests collapse onto a single
+// simulation three times over: a lock-free fast path joins repeat traffic
+// onto the live jobState in one transition (no pool lock, no queue slot),
+// the job table deduplicates admissions, and harness.Runner's singleflight
+// map deduplicates executions. Completed results accumulate in a
+// write-behind coalescer and persist to the crash-safe store as one batched
+// fsync'd commit per flush, so repeat traffic — across restarts too — is a
+// disk read, never a simulation. SIGTERM triggers a graceful drain: stop
+// accepting, finish (or, past the drain timeout, cancel) everything in
+// flight, flush the coalescer, exit clean.
 //
 // Endpoints:
 //
 //	POST /v1/runs        submit a RunSpec; sync by default, 202 + id when async
+//	POST /v1/runs/batch  submit a JSON array of RunSpecs in one round trip;
+//	                     the response is the matching array of run responses
+//	                     (admission batching for high-throughput clients)
 //	GET  /v1/runs/{id}   durable job status: pending states in memory,
 //	                     completed results from the store
 //	GET  /healthz        liveness (200 while the process runs)
 //	GET  /readyz         readiness (200 only with queue headroom, 503 draining)
 //	GET  /metrics        text exposition: queue depth, in-flight workers,
-//	                     store hits, simulated count, p50/p99 latency
+//	                     store hits, simulated count, latency quantiles
 package serve
 
 import (
@@ -30,15 +38,21 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"getm/internal/gpu"
 	"getm/internal/stats"
 	"getm/internal/store"
 )
+
+// maxBatch caps one POST /v1/runs/batch submission.
+const maxBatch = 256
 
 // Config sizes the service. Zero values select the documented defaults.
 type Config struct {
@@ -57,6 +71,43 @@ type Config struct {
 	Store *store.Store
 	// Verbose, if set, receives progress lines.
 	Verbose func(string)
+
+	// QuotaRPS is the per-client admission rate (requests per second)
+	// enforced by a token bucket ahead of the queue; a client submitting
+	// faster is shed with 429 + Retry-After before it can consume a queue
+	// slot (0 = no quota).
+	QuotaRPS float64
+	// QuotaBurst is the token-bucket depth (default: one second of QuotaRPS,
+	// at least 1).
+	QuotaBurst int
+	// ClientHeader names the request header carrying the client key used
+	// for quotas and fair queueing (default "X-Client-ID"; requests without
+	// it key by remote host).
+	ClientHeader string
+	// ClientWeights assigns fair-dequeue weights per client key; a weight-w
+	// client drains up to w queued requests per round-robin turn (absent or
+	// < 1 = weight 1).
+	ClientWeights map[string]int
+	// PerClientQueue caps one client's share of the wait queue; its excess
+	// is shed with 429 while other clients still have headroom
+	// (0 = QueueDepth, i.e. no per-client cap).
+	PerClientQueue int
+
+	// FlushInterval is the write-behind cadence of the store coalescer:
+	// completed results accumulate in memory and commit as one batched
+	// fsync'd write per interval (default 100ms). Server.Drain always runs
+	// a final flush, so a graceful shutdown loses nothing.
+	FlushInterval time.Duration
+	// FlushHighWater forces an immediate flush when this many records are
+	// pending (default 64).
+	FlushHighWater int
+
+	// Baseline restores the PR 5 per-request-write discipline: no write
+	// coalescing (every completed simulation fsyncs synchronously on the
+	// worker), no lock-free admission fast path, no cached response
+	// rendering. It exists as the control arm for cmd/getm-load
+	// before/after measurements.
+	Baseline bool
 }
 
 func (c Config) withDefaults() Config {
@@ -72,18 +123,34 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 60 * time.Second
 	}
+	if c.ClientHeader == "" {
+		c.ClientHeader = "X-Client-ID"
+	}
 	return c
 }
 
 // jobStatus is the lifecycle of one admitted run.
-type jobStatus string
+type jobStatus int32
 
 const (
-	statusQueued  jobStatus = "queued"
-	statusRunning jobStatus = "running"
-	statusDone    jobStatus = "done"
-	statusFailed  jobStatus = "failed"
+	statusQueued jobStatus = iota
+	statusRunning
+	statusDone
+	statusFailed
 )
+
+func (s jobStatus) String() string {
+	switch s {
+	case statusQueued:
+		return "queued"
+	case statusRunning:
+		return "running"
+	case statusDone:
+		return "done"
+	default:
+		return "failed"
+	}
+}
 
 // jobState is the unit the queue carries and the job table tracks: one
 // distinct request, shared by every client that submitted it.
@@ -99,13 +166,23 @@ type jobState struct {
 	elapsedMS int64
 	source    string // cache | store | run
 
-	// status is guarded by Server.mu until done closes.
-	status jobStatus
+	// status is atomic so status reads never touch the pool lock.
+	status atomic.Int32
+
+	// rendered caches the run's JSON response bytes once it completes
+	// successfully; repeat traffic writes the cached bytes instead of
+	// re-encoding the metrics per request.
+	rendered atomic.Pointer[[]byte]
 }
 
-// Response is the JSON shape of both POST and GET run endpoints.
+func (js *jobState) setStatus(s jobStatus) { js.status.Store(int32(s)) }
+func (js *jobState) getStatus() jobStatus  { return jobStatus(js.status.Load()) }
+
+// Response is the JSON shape of both POST and GET run endpoints. In a
+// batch response, shed or invalid submissions carry Status "shed" or
+// "invalid" with the reason in Error.
 type Response struct {
-	ID        string         `json:"id"`
+	ID        string         `json:"id,omitempty"`
 	Status    string         `json:"status"`
 	Source    string         `json:"source,omitempty"`
 	Truncated bool           `json:"truncated,omitempty"`
@@ -120,8 +197,15 @@ type Server struct {
 	cfg Config
 	mux *http.ServeMux
 
-	pool *pool
-	met  *metricsSet
+	pool   *pool
+	met    *metricsSet
+	coal   *coalescer // nil without a store or in baseline mode
+	quotas *quotas    // nil without a quota
+
+	// idCache maps a spec's identity (spec.cacheKey) to its run id so the
+	// admission fast path never recomputes the content address — the
+	// SHA-256 over the canonical config — per request.
+	idCache sync.Map
 
 	// execute runs one admitted job; tests substitute a stub.
 	execute func(ctx context.Context, js *jobState) (*stats.Metrics, string, error)
@@ -131,8 +215,13 @@ type Server struct {
 func New(cfg Config) *Server {
 	s := &Server{cfg: cfg.withDefaults(), mux: http.NewServeMux(), met: newMetricsSet()}
 	s.execute = s.simulate
+	if s.cfg.Store != nil && !s.cfg.Baseline {
+		s.coal = newCoalescer(s.cfg.Store, s.cfg.FlushInterval, s.cfg.FlushHighWater, s.cfg.Verbose)
+	}
+	s.quotas = newQuotas(s.cfg.QuotaRPS, s.cfg.QuotaBurst)
 	s.pool = newPool(s)
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/runs/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -145,12 +234,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Drain gracefully stops the service: new submissions are refused with 503,
 // queued and in-flight runs get until timeout to finish, anything still
 // running past it is canceled (the engines stop within one chunk of cycles),
-// and the worker pool exits. Drain returns nil when everything completed in
-// time and an error describing the cut-short work otherwise; either way the
-// pool is fully stopped on return.
+// the worker pool exits, and the write-behind coalescer runs its final flush
+// — every acknowledged result is durable before Drain returns. Drain
+// returns nil when everything completed in time and an error describing the
+// cut-short work otherwise; either way the pool is fully stopped and the
+// store flushed on return.
 func (s *Server) Drain(timeout time.Duration) error {
 	s.log("draining: refusing new work, waiting up to " + timeout.String())
-	return s.pool.drain(timeout)
+	err := s.pool.drain(timeout)
+	if s.coal != nil {
+		if ferr := s.coal.close(); ferr != nil {
+			err = errors.Join(err, ferr)
+		}
+	}
+	return err
 }
 
 // Draining reports whether Drain has been called.
@@ -162,9 +259,51 @@ func (s *Server) log(msg string) {
 	}
 }
 
-// handleSubmit admits one run request: fast-path cache/store hit, then a
-// bounded-queue slot, then 429.
+// clientKey identifies the requesting tenant: the configured client header
+// when present, else the remote host.
+func (s *Server) clientKey(r *http.Request) string {
+	if v := r.Header.Get(s.cfg.ClientHeader); v != "" {
+		return v
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// fastJoin is the lock-free dedupe path: a spec whose id is already cached
+// and whose jobState is live (or completed successfully) joins it in one
+// sync.Map transition — no pool lock, no queue slot, no key recomputation.
+// Failed jobs fall through to the slow path so a fresh submission gets a
+// fresh attempt, exactly like the locked path.
+func (s *Server) fastJoin(sp *RunSpec) (*jobState, bool) {
+	if s.cfg.Baseline {
+		return nil, false
+	}
+	idv, ok := s.idCache.Load(sp.cacheKey())
+	if !ok {
+		return nil, false
+	}
+	v, ok := s.pool.jobsFast.Load(idv.(string))
+	if !ok {
+		return nil, false
+	}
+	js := v.(*jobState)
+	select {
+	case <-js.done:
+		if js.err != nil {
+			return nil, false
+		}
+	default:
+	}
+	return js, true
+}
+
+// handleSubmit admits one run request: quota, then the lock-free dedupe
+// fast path, then a bounded fair-queue slot, then 429.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.met.observeHTTP(time.Since(start)) }()
 	s.met.requests.Add(1)
 	var sp RunSpec
 	if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
@@ -177,7 +316,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	js, outcome := s.pool.admit(sp)
+	if s.quotas != nil {
+		if ok, retry := s.quotas.allow(s.clientKey(r), time.Now()); !ok {
+			s.met.rejected.Add(1)
+			s.met.quotaRejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(retry)))
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("over per-client quota (%g req/s); retry later", s.cfg.QuotaRPS))
+			return
+		}
+	}
+
+	if js, ok := s.fastJoin(&sp); ok {
+		s.met.deduped.Add(1)
+		s.finishSubmit(w, r, js, sp.Async)
+		return
+	}
+
+	js, outcome := s.pool.admit(sp, s.clientKey(r))
 	switch outcome {
 	case admitDraining:
 		s.met.rejected.Add(1)
@@ -190,42 +346,173 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Errorf("queue full (%d waiting, %d running); retry later", s.cfg.QueueDepth, s.cfg.Workers))
 		return
+	case admitClientFull:
+		s.met.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("client backlog full (%d queued); retry later", s.pool.perClientCap()))
+		return
 	}
+	s.finishSubmit(w, r, js, sp.Async)
+}
 
-	if sp.Async {
+// finishSubmit writes the submission response: 202 immediately when async,
+// else the run's outcome once it completes (bounded by its own deadline
+// inside the pool) or nothing if the client goes away first. An abandoned
+// wait does not cancel the shared run — other clients may be waiting on the
+// same jobState.
+func (s *Server) finishSubmit(w http.ResponseWriter, r *http.Request, js *jobState, async bool) {
+	if async {
 		writeStatusJSON(w, http.StatusAccepted, s.snapshot(js))
 		return
 	}
-
-	// Sync: wait for the run (bounded by its own deadline inside the pool)
-	// or for the client to go away. An abandoned wait does not cancel the
-	// shared run — other clients may be waiting on the same jobState.
 	select {
 	case <-js.done:
-		resp := s.snapshot(js)
 		if js.err != nil {
-			writeStatusJSON(w, httpStatusFor(js.err), resp)
+			writeStatusJSON(w, httpStatusFor(js.err), s.snapshot(js))
 			return
 		}
-		writeJSON(w, resp)
+		s.writeDone(w, js)
 	case <-r.Context().Done():
 		// Client disconnected; nothing useful to write.
 	}
 }
 
-// handleStatus reports one run: live states from the job table, completed
-// unbudgeted runs durably from the store (so ids survive restarts).
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if js, ok := s.pool.lookup(id); ok {
+// handleBatch is the admission-batching endpoint: one POST carries a JSON
+// array of RunSpecs, the specs are admitted in one pass (sharing the quota,
+// fast path, and fair queue of single submissions), the sync ones are
+// awaited, and one response array comes back. N logical requests cost one
+// HTTP round trip and — for repeat traffic — N lock-free joins. The
+// X-Getm-Shed header counts the entries shed by quota or queue pressure so
+// load generators can track shed rate without parsing the body.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Baseline {
+		// The control arm reproduces the pre-batching serve surface: the
+		// batch endpoint is part of the throughput work under measurement.
+		writeError(w, http.StatusNotFound, errors.New("batch endpoint disabled in baseline mode"))
+		return
+	}
+	start := time.Now()
+	defer func() { s.met.observeHTTP(time.Since(start)) }()
+	s.met.batches.Add(1)
+	var specs []RunSpec
+	if err := json.NewDecoder(r.Body).Decode(&specs); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(specs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(specs) > maxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds limit %d", len(specs), maxBatch))
+		return
+	}
+	s.met.requests.Add(int64(len(specs)))
+	if s.pool.draining.Load() {
+		s.met.rejected.Add(int64(len(specs)))
+		w.Header().Set("Connection", "close")
+		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	client := s.clientKey(r)
+
+	// Admission pass: every spec gets either a jobState or an immediate
+	// terminal response.
+	jobs := make([]*jobState, len(specs))
+	resps := make([]*Response, len(specs))
+	shed := 0
+	for i := range specs {
+		sp := &specs[i]
+		sp.normalize()
+		if err := sp.validate(s.cfg.MaxScale); err != nil {
+			resps[i] = &Response{Status: "invalid", Error: err.Error()}
+			continue
+		}
+		if s.quotas != nil {
+			if ok, _ := s.quotas.allow(client, time.Now()); !ok {
+				s.met.rejected.Add(1)
+				s.met.quotaRejected.Add(1)
+				resps[i] = &Response{Status: "shed", Error: "over per-client quota"}
+				shed++
+				continue
+			}
+		}
+		if js, ok := s.fastJoin(sp); ok {
+			s.met.deduped.Add(1)
+			jobs[i] = js
+			continue
+		}
+		js, outcome := s.pool.admit(*sp, client)
+		switch outcome {
+		case admitOK:
+			jobs[i] = js
+		case admitDraining:
+			s.met.rejected.Add(1)
+			resps[i] = &Response{Status: "shed", Error: "server is draining"}
+			shed++
+		default: // admitFull, admitClientFull
+			s.met.rejected.Add(1)
+			resps[i] = &Response{Status: "shed", Error: "queue full"}
+			shed++
+		}
+	}
+
+	// Wait pass: sync entries block until their shared run completes; async
+	// entries snapshot immediately.
+	for i, js := range jobs {
+		if js == nil || specs[i].Async {
+			continue
+		}
 		select {
 		case <-js.done:
-			resp := s.snapshot(js)
+		case <-r.Context().Done():
+			return // client gone; nothing useful to write
+		}
+	}
+
+	w.Header().Set("X-Getm-Shed", strconv.Itoa(shed))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	// Render the array splicing cached response bytes where available, so a
+	// batch of repeat traffic costs memory copies, not JSON encoding.
+	w.Write([]byte("["))
+	for i := range specs {
+		if i > 0 {
+			w.Write([]byte(","))
+		}
+		switch {
+		case resps[i] != nil:
+			b, err := json.Marshal(resps[i])
+			if err != nil {
+				b = []byte(`{"status":"failed","error":"encode error"}`)
+			}
+			w.Write(b)
+		case specs[i].Async:
+			b, _ := json.Marshal(s.snapshot(jobs[i]))
+			w.Write(b)
+		default:
+			w.Write(s.doneBytes(jobs[i]))
+		}
+	}
+	w.Write([]byte("]\n"))
+}
+
+// handleStatus reports one run: live states from the job table (lock-free),
+// completed unbudgeted runs durably from the store (so ids survive
+// restarts).
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if v, ok := s.pool.jobsFast.Load(id); ok {
+		js := v.(*jobState)
+		select {
+		case <-js.done:
 			if js.err != nil {
-				writeStatusJSON(w, http.StatusOK, resp) // the job failed, not this request
+				// The job failed, not this request.
+				writeStatusJSON(w, http.StatusOK, s.snapshot(js))
 				return
 			}
-			writeJSON(w, resp)
+			s.writeDone(w, js)
 		default:
 			writeJSON(w, s.snapshot(js))
 		}
@@ -234,7 +521,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Store != nil {
 		if m, ok := s.cfg.Store.Get(baseID(id)); ok {
 			s.met.storeStatusHits.Add(1)
-			writeJSON(w, Response{ID: id, Status: string(statusDone), Source: "store", Metrics: m})
+			writeJSON(w, Response{ID: id, Status: statusDone.String(), Source: "store", Metrics: m})
 			return
 		}
 	}
@@ -265,17 +552,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w, s.pool)
+	s.met.write(w, s)
 }
 
 // snapshot renders a job's current state (done fields are stable after the
-// close; live states read under the pool lock).
+// close; pending states read the atomic status).
 func (s *Server) snapshot(js *jobState) Response {
 	select {
 	case <-js.done:
-		resp := Response{ID: js.id, Status: string(statusDone), Source: js.source, ElapsedMS: js.elapsedMS}
+		resp := Response{ID: js.id, Status: statusDone.String(), Source: js.source, ElapsedMS: js.elapsedMS}
 		if js.err != nil {
-			resp.Status = string(statusFailed)
+			resp.Status = statusFailed.String()
 			resp.Error = js.err.Error()
 		}
 		if js.m != nil {
@@ -284,25 +571,50 @@ func (s *Server) snapshot(js *jobState) Response {
 		}
 		return resp
 	default:
-		return Response{ID: js.id, Status: string(s.pool.statusOf(js))}
+		return Response{ID: js.id, Status: js.getStatus().String()}
 	}
 }
 
+// doneBytes returns the rendered JSON for a successfully completed job,
+// encoding it exactly once per job (repeat traffic gets the cached bytes).
+// Baseline mode re-encodes every time — the per-request cost the cache
+// exists to remove.
+func (s *Server) doneBytes(js *jobState) []byte {
+	if !s.cfg.Baseline {
+		if bp := js.rendered.Load(); bp != nil {
+			return *bp
+		}
+	}
+	resp := s.snapshot(js)
+	b, err := json.Marshal(resp)
+	if err != nil {
+		return []byte(`{"status":"failed","error":"encode error"}`)
+	}
+	if !s.cfg.Baseline && js.err == nil {
+		js.rendered.Store(&b)
+	}
+	return b
+}
+
+// writeDone writes a completed successful run: cached bytes when available.
+func (s *Server) writeDone(w http.ResponseWriter, js *jobState) {
+	b := s.doneBytes(js)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+	w.Write([]byte("\n"))
+}
+
 // retryAfterSeconds estimates when a queue slot will free up: the queue's
-// drain time at the recent mean latency, floored at one second.
+// drain time at the recent mean latency. The result is clamped to at least
+// one second — sub-second mean latencies must never produce
+// "Retry-After: 0", which clients read as "retry immediately".
 func (s *Server) retryAfterSeconds() int {
 	meanMS := s.met.meanLatencyMS()
 	if meanMS <= 0 {
 		return 1
 	}
-	secs := int(float64(s.cfg.QueueDepth) * meanMS / float64(s.cfg.Workers) / 1000)
-	if secs < 1 {
-		return 1
-	}
-	if secs > 600 {
-		return 600
-	}
-	return secs
+	return retryAfterSecs(time.Duration(float64(s.cfg.QueueDepth) * meanMS / float64(s.cfg.Workers) * float64(time.Millisecond)))
 }
 
 // httpStatusFor maps a run error to a response code: a deadline/cancel is
@@ -322,7 +634,6 @@ func writeStatusJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
 	enc.Encode(v)
 }
 

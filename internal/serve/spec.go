@@ -91,6 +91,16 @@ func (sp *RunSpec) validate(maxScale float64) error {
 	return nil
 }
 
+// cacheKey is the spec's identity on the admission fast path: every field
+// that shapes the run id, none of the per-request knobs (Async, TimeoutMS).
+// Two specs with equal cacheKeys map to the same run id, so the server can
+// join repeat traffic onto a live job without recomputing the content
+// address (a canonical-JSON marshal plus a SHA-256) per request.
+func (sp *RunSpec) cacheKey() string {
+	return fmt.Sprintf("%s|%s|%g|%d|c%d|n%d|b%d",
+		sp.Protocol, sp.Benchmark, sp.Scale, sp.Seed, sp.Conc, sp.Cores, sp.CycleBudget)
+}
+
 // job translates the spec into the harness's cell identity.
 func (sp *RunSpec) job() harness.Job {
 	return harness.Job{

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestShardedHistMatchesSingleHist: the merged view is exactly the histogram
+// a single Hist would have produced from the same Add stream.
+func TestShardedHistMatchesSingleHist(t *testing.T) {
+	const buckets = 64
+	sh := NewShardedHist(8, buckets)
+	var ref Hist
+	ref.Buckets = make([]uint64, buckets)
+	for i := 0; i < 10_000; i++ {
+		v := (i * 7) % 80 // includes values clamping into the last bucket
+		sh.Add(v)
+		ref.Add(v)
+	}
+	got := sh.Merged()
+	if got.Total() != ref.Total() {
+		t.Fatalf("total %d, want %d", got.Total(), ref.Total())
+	}
+	for b := range ref.Buckets {
+		if got.Buckets[b] != ref.Buckets[b] {
+			t.Fatalf("bucket %d: %d, want %d", b, got.Buckets[b], ref.Buckets[b])
+		}
+	}
+	if got.Mean() != ref.Mean() || got.Quantile(0.99) != ref.Quantile(0.99) {
+		t.Fatalf("quantiles diverge: mean %v vs %v, p99 %v vs %v",
+			got.Mean(), ref.Mean(), got.Quantile(0.99), ref.Quantile(0.99))
+	}
+}
+
+// TestShardedHistConcurrentExact: hammered from many goroutines (run under
+// -race in `make race`), no Add is lost and the merge is exact.
+func TestShardedHistConcurrentExact(t *testing.T) {
+	const goroutines, perG = 16, 5000
+	sh := NewShardedHist(8, 128)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sh.Add((g*perG + i) % 128)
+			}
+		}(g)
+	}
+	wg.Wait()
+	got := sh.Merged()
+	if got.Total() != goroutines*perG {
+		t.Fatalf("merged total %d, want %d (adds lost)", got.Total(), goroutines*perG)
+	}
+	// Each value 0..127 appears exactly goroutines*perG/128 times.
+	want := uint64(goroutines * perG / 128)
+	for b, n := range got.Buckets {
+		if n != want {
+			t.Fatalf("bucket %d count %d, want %d", b, n, want)
+		}
+	}
+}
+
+func TestShardedHistShardClamp(t *testing.T) {
+	sh := NewShardedHist(0, 8) // clamps to 1 shard
+	sh.Add(3)
+	m := sh.Merged()
+	if got := m.Total(); got != 1 {
+		t.Fatalf("total %d, want 1", got)
+	}
+}

@@ -1,0 +1,126 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPutBatchRoundTripExact(t *testing.T) {
+	dir := t.TempDir()
+	s := Open(dir)
+
+	recs := make([]Record, 0, 8)
+	for i := 0; i < 8; i++ {
+		recs = append(recs, Record{
+			Key:     fmt.Sprintf("batchkey-%d", i),
+			Desc:    fmt.Sprintf("cell %d", i),
+			Metrics: sampleMetrics(uint64(i)),
+		})
+	}
+	if err := s.PutBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range recs {
+		got, ok := s.Get(rec.Key)
+		if !ok {
+			t.Fatalf("record %d missing after PutBatch", i)
+		}
+		if !reflect.DeepEqual(got, rec.Metrics) {
+			t.Fatalf("record %d round trip not exact:\nput %+v\ngot %+v", i, rec.Metrics, got)
+		}
+	}
+}
+
+func TestPutBatchMatchesPutBytes(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, b := Open(dirA), Open(dirB)
+	m := sampleMetrics(7)
+
+	if err := a.Put("samekey", "desc", m); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PutBatch([]Record{{Key: "samekey", Desc: "desc", Metrics: m}}); err != nil {
+		t.Fatal(err)
+	}
+	ba, err := os.ReadFile(filepath.Join(dirA, "samekey.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(filepath.Join(dirB, "samekey.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ba) != string(bb) {
+		t.Fatal("PutBatch produced different on-disk bytes than Put for the same record")
+	}
+}
+
+func TestPutBatchSkipsNilRefusesTruncatedKeepsRest(t *testing.T) {
+	s := Open(t.TempDir())
+	trunc := sampleMetrics(1)
+	trunc.Truncated = true
+	err := s.PutBatch([]Record{
+		{Key: "good1", Desc: "a", Metrics: sampleMetrics(2)},
+		{Key: "nilrec", Desc: "b", Metrics: nil},
+		{Key: "truncrec", Desc: "c", Metrics: trunc},
+		{Key: "good2", Desc: "d", Metrics: sampleMetrics(3)},
+	})
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated record accepted (err=%v)", err)
+	}
+	for _, key := range []string{"good1", "good2"} {
+		if _, ok := s.Get(key); !ok {
+			t.Fatalf("good record %s dropped because a sibling failed", key)
+		}
+	}
+	for _, key := range []string{"nilrec", "truncrec"} {
+		if _, ok := s.Get(key); ok {
+			t.Fatalf("record %s persisted when it must not be", key)
+		}
+	}
+}
+
+func TestPutBatchEmptyAndDegraded(t *testing.T) {
+	s := Open(t.TempDir())
+	if err := s.PutBatch(nil); err != nil {
+		t.Fatalf("empty batch errored: %v", err)
+	}
+	// A degraded store swallows writes exactly like Put does.
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o700)
+	deg := Open(filepath.Join(dir, "sub"))
+	if deg.Degraded() == nil {
+		t.Skip("running as a user unaffected by directory permissions")
+	}
+	if err := deg.PutBatch([]Record{{Key: "k", Desc: "d", Metrics: sampleMetrics(1)}}); err != nil {
+		t.Fatalf("degraded PutBatch errored instead of no-op: %v", err)
+	}
+}
+
+func TestPutBatchLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := Open(dir)
+	recs := []Record{
+		{Key: "t1", Desc: "a", Metrics: sampleMetrics(1)},
+		{Key: "t2", Desc: "b", Metrics: sampleMetrics(2)},
+	}
+	if err := s.PutBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".put-") {
+			t.Fatalf("stray temp file %s after a successful batch", e.Name())
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -177,6 +178,91 @@ func (s *Store) Put(key, desc string, m *stats.Metrics) error {
 		return fmt.Errorf("store: commit %s: %w", key, err)
 	}
 	return nil
+}
+
+// PutBatch persists a set of records as one batched commit: every record's
+// temp file is written first, then all are fsynced together, then all are
+// renamed into place, and finally the directory itself is synced so the
+// renames are durable. Each individual record keeps the Put crash-safety
+// contract (a reader only ever sees a complete, checksummed file); the batch
+// merely clusters the expensive syncs so a write-behind caller pays for them
+// once per flush instead of once per result. Records with nil metrics are
+// skipped; truncated metrics are refused like Put refuses them. Failures are
+// per-record and joined — one bad record does not abort the rest.
+func (s *Store) PutBatch(recs []Record) error {
+	if s.err != nil || len(recs) == 0 {
+		return nil
+	}
+	type staged struct {
+		f   *os.File
+		tmp string
+		key string
+	}
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	stagedRecs := make([]staged, 0, len(recs))
+
+	// Phase 1: write every temp file (buffered, no sync yet).
+	for _, rec := range recs {
+		if rec.Metrics == nil {
+			continue
+		}
+		if rec.Metrics.Truncated {
+			fail("store: refusing to persist truncated metrics for %s", rec.Key)
+			continue
+		}
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			fail("store: encode %s: %w", rec.Key, err)
+			continue
+		}
+		sum := sha256.Sum256(payload)
+		f, err := os.CreateTemp(s.dir, ".put-*")
+		if err != nil {
+			fail("store: %w", err)
+			continue
+		}
+		w := bufio.NewWriter(f)
+		fmt.Fprintf(w, "%s %d %s\n", magic, SchemaVersion, hex.EncodeToString(sum[:]))
+		w.Write(payload)
+		if err := w.Flush(); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			fail("store: write %s: %w", rec.Key, err)
+			continue
+		}
+		stagedRecs = append(stagedRecs, staged{f: f, tmp: f.Name(), key: rec.Key})
+	}
+
+	// Phase 2+3: sync all staged files back to back, then rename them into
+	// place. Issuing the syncs together lets the kernel coalesce the flushes.
+	committed := 0
+	for _, st := range stagedRecs {
+		err := st.f.Sync()
+		if cerr := st.f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(st.tmp, s.path(st.key))
+		}
+		if err != nil {
+			os.Remove(st.tmp)
+			fail("store: commit %s: %w", st.key, err)
+			continue
+		}
+		committed++
+	}
+
+	// Phase 4: one directory sync makes every rename in the batch durable.
+	if committed > 0 {
+		if d, err := os.Open(s.dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Get returns the stored metrics for key, or ok=false on any miss: no
