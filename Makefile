@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench benchcmp trace-gate store-gate serve-gate par-gate load-gate bench-serve
+.PHONY: check vet build test race short bench benchcmp trace-gate store-gate serve-gate par-gate load-gate obs-gate bench-serve
 
-check: vet build race short trace-gate store-gate serve-gate par-gate load-gate
+check: vet build race short trace-gate store-gate serve-gate par-gate load-gate obs-gate
 
 vet:
 	$(GO) vet ./...
@@ -74,11 +74,26 @@ load-gate:
 	$(GO) run ./cmd/getm-load -mix dedupe-heavy -duration 1500ms -clients 4 \
 		-batch 16 -keys 8 -scale 0.02 -slo-p99 250ms -slo-shed 0.01 -out /dev/null
 
+# Observability gate: spans disabled must cost zero allocations on the
+# serving hot path (the nil-recorder pointer compare, stage accounting, and
+# per-client counters are all alloc-gated); the live /metrics scrape must
+# pass the Prometheus-conventions lint and pin its Content-Type; the
+# X-Getm-Timings header must round-trip against /v1/runs/{id}/timings; the
+# span recorder must lose nothing under -race; and getm-top must render a
+# frame from a canned scrape.
+obs-gate:
+	$(GO) test -run 'TestSpanDisabledZeroAlloc|TestSpanEnabledEmitZeroAlloc|TestMetricsLintConventions|TestMetricsContentType|TestTimingsHeader|TestSpanExportFormats|TestSpanInternBounded' ./internal/serve/
+	$(GO) test -race -run 'TestSpanRecorderConcurrentNoLoss' ./internal/serve/
+	$(GO) test -run 'TestPrecomputeProgress|TestRunnerTraceSink' ./internal/harness/
+	$(GO) test ./cmd/getm-top/
+
 # Serve-path throughput baselines (recorded in BENCH_serve.json): both
 # traffic mixes against the per-request-write baseline server and the
 # coalesced one, with the dedupe-heavy speedup as the headline number.
+# -spans adds the server's own stage breakdown (server_*_ms) next to the
+# client-observed latency in the coalesced arms.
 bench-serve:
-	$(GO) run ./cmd/getm-load -compare -duration 3s -clients 4 -batch 16 \
+	$(GO) run ./cmd/getm-load -compare -spans -duration 3s -clients 4 -batch 16 \
 		-keys 8 -scale 0.02 -out BENCH_serve.json
 
 # Parallel-engine timings (recorded in BENCH_parallel.json).

@@ -171,7 +171,40 @@ func parseBenchJSON(path string) (map[metricKey]float64, []string, error) {
 	out := map[metricKey]float64{}
 	var order []string
 	seen := map[string]bool{}
+	leaf := func(prefix, field string, v float64) {
+		bench := prefix
+		if bench == "" {
+			bench = "(top)"
+		}
+		out[metricKey{bench, field}] = v
+		if !seen[bench] {
+			seen[bench] = true
+			order = append(order, bench)
+		}
+	}
+	join := func(prefix, k string) string {
+		if prefix == "" {
+			return k
+		}
+		return prefix + "." + k
+	}
 	var walk func(prefix string, node map[string]any)
+	var walkArr func(prefix string, arr []any)
+	// Array elements key by position — "series[3]" — so two baselines with
+	// the same series lengths line up element by element; a numeric element
+	// is a leaf whose unit is its index.
+	walkArr = func(prefix string, arr []any) {
+		for i, e := range arr {
+			switch v := e.(type) {
+			case float64:
+				leaf(prefix, fmt.Sprintf("[%d]", i), v)
+			case map[string]any:
+				walk(fmt.Sprintf("%s[%d]", prefix, i), v)
+			case []any:
+				walkArr(fmt.Sprintf("%s[%d]", prefix, i), v)
+			}
+		}
+	}
 	walk = func(prefix string, node map[string]any) {
 		keys := make([]string, 0, len(node))
 		for k := range node {
@@ -181,21 +214,11 @@ func parseBenchJSON(path string) (map[metricKey]float64, []string, error) {
 		for _, k := range keys {
 			switch v := node[k].(type) {
 			case float64:
-				bench := prefix
-				if bench == "" {
-					bench = "(top)"
-				}
-				out[metricKey{bench, k}] = v
-				if !seen[bench] {
-					seen[bench] = true
-					order = append(order, bench)
-				}
+				leaf(prefix, k, v)
 			case map[string]any:
-				p := k
-				if prefix != "" {
-					p = prefix + "." + k
-				}
-				walk(p, v)
+				walk(join(prefix, k), v)
+			case []any:
+				walkArr(join(prefix, k), v)
 			}
 		}
 	}

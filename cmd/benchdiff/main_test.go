@@ -105,6 +105,44 @@ func TestParseBenchJSON(t *testing.T) {
 	}
 }
 
+// Arrays flatten too: numeric elements key by index, object elements by
+// positional path, so per-stage series recorded as JSON arrays diff
+// element by element against a same-shape baseline.
+func TestParseBenchJSONArrays(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	body := `{
+  "series": [10, 20, 30],
+  "stages": [
+    {"name": "queue", "p99_ms": 1.5},
+    {"name": "sim", "p99_ms": 9.9}
+  ],
+  "grid": [[1, 2], [3, 4]]
+}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[metricKey]float64{
+		{"series", "[0]"}:       10,
+		{"series", "[2]"}:       30,
+		{"stages[0]", "p99_ms"}: 1.5,
+		{"stages[1]", "p99_ms"}: 9.9,
+		{"grid[1]", "[0]"}:      3,
+	}
+	for key, want := range checks {
+		got, ok := m[key]
+		if !ok || got != want {
+			t.Errorf("%v.%v = %v (present=%v), want %v", key.bench, key.unit, got, ok, want)
+		}
+	}
+	if _, ok := m[metricKey{"stages[0]", "name"}]; ok {
+		t.Fatal("string array element leaked into metrics")
+	}
+}
+
 // The committed serve-path baseline must stay diffable: every mix arm
 // parses to numeric leaves (so `benchdiff BENCH_serve.json <new>` works),
 // and the headline dedupe-heavy speedup is present and sane.
@@ -118,6 +156,9 @@ func TestParseCommittedServeBaseline(t *testing.T) {
 		{"dedupe_heavy.coalesced", "rps"},
 		{"dedupe_heavy.coalesced", "p99_ms"},
 		{"dedupe_heavy.coalesced", "shed_rate"},
+		{"dedupe_heavy.coalesced", "server_p99_ms"},
+		{"dedupe_heavy.coalesced", "server_sim_p99_ms"},
+		{"dedupe_heavy.coalesced", "timings_n"},
 		{"dedupe_heavy", "speedup_rps"},
 		{"dedupe_free.baseline", "rps"},
 		{"dedupe_free.coalesced", "rps"},
@@ -132,5 +173,10 @@ func TestParseCommittedServeBaseline(t *testing.T) {
 	}
 	if rps := m[metricKey{"dedupe_heavy.coalesced", "rps"}]; rps <= 0 {
 		t.Fatalf("recorded coalesced rps %v", rps)
+	}
+	// The recorded baseline must carry the server-reported side of the
+	// side-by-side comparison (bench-serve runs with -spans).
+	if n := m[metricKey{"dedupe_heavy.coalesced", "timings_n"}]; n <= 0 {
+		t.Fatalf("recorded baseline has no server-reported timings (timings_n %v)", n)
 	}
 }

@@ -161,10 +161,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if par != 1 {
 		// Fill the cache with a worker pool; each simulation is
 		// deterministic and deduplicated, so only wall-clock time changes.
+		// The runner's Progress hook drives a throttled progress/ETA line —
+		// a full-scale grid runs for minutes, and a silent terminal is
+		// indistinguishable from a hung one.
 		start := time.Now()
+		var progMu sync.Mutex
+		var lastLine time.Time
+		r.Progress = func(done, total int) {
+			progMu.Lock()
+			defer progMu.Unlock()
+			now := time.Now()
+			if done < total && now.Sub(lastLine) < time.Second {
+				return
+			}
+			lastLine = now
+			elapsed := time.Since(start)
+			eta := time.Duration(0)
+			if done > 0 {
+				eta = elapsed / time.Duration(done) * time.Duration(total-done)
+			}
+			fmt.Fprintf(stderr, "precompute %d/%d (%.0f%%) elapsed %s eta %s\n",
+				done, total, 100*float64(done)/float64(total),
+				elapsed.Round(time.Second), eta.Round(time.Second))
+		}
 		if err := harness.Precompute(r, par); err != nil {
 			fmt.Fprintln(stderr, "precompute:", err)
 		}
+		r.Progress = nil
 		fmt.Fprintf(stderr, "precomputed run grid on %d workers (%.1fs)\n", par, time.Since(start).Seconds())
 	}
 

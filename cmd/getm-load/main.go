@@ -8,7 +8,8 @@
 //	getm-load [-url http://host:port] [-compare] [-mix dedupe-heavy|dedupe-free]
 //	          [-duration 3s] [-clients 4] [-batch 16] [-keys 8] [-zipf 1.2]
 //	          [-scale 0.02] [-protocol getm] [-benchmark ht-h]
-//	          [-slo-p99 0] [-slo-shed -1] [-out FILE] [-baseline] [-seed 1]
+//	          [-slo-p99 0] [-slo-shed -1] [-out FILE] [-baseline] [-spans]
+//	          [-seed 1]
 //
 // Two traffic mixes:
 //
@@ -28,6 +29,13 @@
 //
 // -slo-p99 and -slo-shed turn the run into a gate: exit 1 if the measured
 // p99 latency exceeds the bound or the shed rate exceeds the fraction.
+//
+// -spans runs spawned servers with lifecycle spans on, so every timed POST
+// carries an X-Getm-Timings header; results then report the server's own
+// stage breakdown (queue/sim/persist p99) side by side with the
+// client-observed p99, both in the summary line and in the JSON
+// (server_*_ms fields). Targets named with -url report server timings
+// whenever that server was started with -spans.
 package main
 
 import (
@@ -43,6 +51,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,10 +76,17 @@ type loadCfg struct {
 	protocol  string
 	benchmark string
 	seed      int64
+	spans     bool
 }
 
 // mixResult is one measurement, all-float64 leaves so cmd/benchdiff can walk
-// the committed JSON.
+// the committed JSON. The server_* fields are populated from X-Getm-Timings
+// response headers when the target server runs with spans enabled: the
+// server's own account of each answered run's stage costs, reported side by
+// side with the client-observed latency. Timings are per-run, not per-POST —
+// a deduped hit reports the stage costs of the execution that produced the
+// cell — so on dedupe-heavy mixes the server columns describe the runs being
+// served while the client columns describe the serving itself.
 type mixResult struct {
 	Requests  float64 `json:"requests"`
 	Posts     float64 `json:"posts"`
@@ -83,6 +99,13 @@ type mixResult struct {
 	P99MS     float64 `json:"p99_ms"`
 	MeanMS    float64 `json:"mean_ms"`
 	ShedRate  float64 `json:"shed_rate"`
+
+	TimingsN           float64 `json:"timings_n"`
+	ServerP50MS        float64 `json:"server_p50_ms"`
+	ServerP99MS        float64 `json:"server_p99_ms"`
+	ServerQueueP99MS   float64 `json:"server_queue_p99_ms"`
+	ServerSimP99MS     float64 `json:"server_sim_p99_ms"`
+	ServerPersistP99MS float64 `json:"server_persist_p99_ms"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -103,6 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sloShed := fs.Float64("slo-shed", -1, "fail (exit 1) if shed fraction exceeds this (negative = no bound)")
 	out := fs.String("out", "", "write the result JSON here (empty = stdout)")
 	baseline := fs.Bool("baseline", false, "spawn the baseline (per-request-write) server instead of the coalesced one")
+	spans := fs.Bool("spans", false, "enable lifecycle spans on spawned servers so results carry server-reported stage timings")
 	seed := fs.Int64("seed", 1, "load-generator RNG seed")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -110,7 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := loadCfg{
 		mix: *mix, duration: *duration, clients: *clients, batch: *batch,
 		keys: *keys, zipfS: *zipfS, scale: *scale,
-		protocol: *protocol, benchmark: *benchmark, seed: *seed,
+		protocol: *protocol, benchmark: *benchmark, seed: *seed, spans: *spans,
 	}
 	if err := cfg.validate(); err != nil {
 		fmt.Fprintln(stderr, "error:", err)
@@ -136,7 +160,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		var shutdown func()
 		if target == "" {
 			var err error
-			target, shutdown, err = spawnServer(*baseline, stderr)
+			target, shutdown, err = spawnServer(*baseline, *spans, stderr)
 			if err != nil {
 				fmt.Fprintln(stderr, "error:", err)
 				return 1
@@ -213,7 +237,7 @@ func (c *loadCfg) validate() error {
 
 // spawnServer starts a getm-serve instance in-process on a loopback port
 // with a fresh temp store, returning its base URL and a shutdown func.
-func spawnServer(baseline bool, stderr io.Writer) (string, func(), error) {
+func spawnServer(baseline, spans bool, stderr io.Writer) (string, func(), error) {
 	dir, err := os.MkdirTemp("", "getm-load-store-*")
 	if err != nil {
 		return "", nil, err
@@ -224,6 +248,7 @@ func spawnServer(baseline bool, stderr io.Writer) (string, func(), error) {
 		MaxScale:   1.0,
 		Store:      store.Open(dir),
 		Baseline:   baseline,
+		Spans:      spans,
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -286,7 +311,7 @@ func runCompare(cfg loadCfg, stderr io.Writer) (*compareDoc, []mixResult, error)
 				// measurement — so the control arm drives single POSTs.
 				acfg.batch = 1
 			}
-			url, shutdown, err := spawnServer(baseline, stderr)
+			url, shutdown, err := spawnServer(baseline, cfg.spans, stderr)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -334,7 +359,11 @@ func runMix(url string, cfg loadCfg, stderr io.Writer) (mixResult, error) {
 	type clientStats struct {
 		ok, shed, errs int64
 		posts          int64
-		samples        []float64 // per-POST latency, ms
+		samples        []float64 // per-POST client-observed latency, ms
+		srvTotal       []float64 // per-POST server-reported queue+sim+persist, ms
+		srvQueue       []float64
+		srvSim         []float64
+		srvPersist     []float64
 	}
 	stats := make([]clientStats, cfg.clients)
 	deadline := time.Now().Add(cfg.duration)
@@ -364,10 +393,16 @@ func runMix(url string, cfg loadCfg, stderr io.Writer) (mixResult, error) {
 					specs[i] = spec(cfg, seed)
 				}
 				t0 := time.Now()
-				ok, shed, errs := post(client, url, clientID, specs)
+				ok, shed, errs, tm := post(client, url, clientID, specs)
 				lat := time.Since(t0)
 				st.posts++
 				st.samples = append(st.samples, float64(lat)/float64(time.Millisecond))
+				if tm != nil {
+					st.srvTotal = append(st.srvTotal, tm.queueMS+tm.simMS+tm.persistMS)
+					st.srvQueue = append(st.srvQueue, tm.queueMS)
+					st.srvSim = append(st.srvSim, tm.simMS)
+					st.srvPersist = append(st.srvPersist, tm.persistMS)
+				}
 				st.ok += ok
 				st.shed += shed
 				st.errs += errs
@@ -382,13 +417,17 @@ func runMix(url string, cfg loadCfg, stderr io.Writer) (mixResult, error) {
 	elapsed := time.Since(start)
 
 	var res mixResult
-	var all []float64
+	var all, srvTotal, srvQueue, srvSim, srvPersist []float64
 	for i := range stats {
 		res.OK += float64(stats[i].ok)
 		res.Shed += float64(stats[i].shed)
 		res.Errors += float64(stats[i].errs)
 		res.Posts += float64(stats[i].posts)
 		all = append(all, stats[i].samples...)
+		srvTotal = append(srvTotal, stats[i].srvTotal...)
+		srvQueue = append(srvQueue, stats[i].srvQueue...)
+		srvSim = append(srvSim, stats[i].srvSim...)
+		srvPersist = append(srvPersist, stats[i].srvPersist...)
 	}
 	res.Requests = res.OK + res.Shed + res.Errors
 	res.DurationS = elapsed.Seconds()
@@ -402,6 +441,21 @@ func runMix(url string, cfg loadCfg, stderr io.Writer) (mixResult, error) {
 	res.P50MS = quantile(all, 0.50)
 	res.P99MS = quantile(all, 0.99)
 	res.MeanMS = mean(all)
+	if len(srvTotal) > 0 {
+		sort.Float64s(srvTotal)
+		sort.Float64s(srvQueue)
+		sort.Float64s(srvSim)
+		sort.Float64s(srvPersist)
+		res.TimingsN = float64(len(srvTotal))
+		res.ServerP50MS = quantile(srvTotal, 0.50)
+		res.ServerP99MS = quantile(srvTotal, 0.99)
+		res.ServerQueueP99MS = quantile(srvQueue, 0.99)
+		res.ServerSimP99MS = quantile(srvSim, 0.99)
+		res.ServerPersistP99MS = quantile(srvPersist, 0.99)
+		fmt.Fprintf(stderr, "%s: p99 client %.2fms vs server %.2fms (queue %.2f, sim %.2f, persist %.2f; %d timed posts)\n",
+			cfg.mix, res.P99MS, res.ServerP99MS,
+			res.ServerQueueP99MS, res.ServerSimP99MS, res.ServerPersistP99MS, len(srvTotal))
+	}
 	if res.Errors > 0 {
 		fmt.Fprintf(stderr, "warning: %s saw %.0f request errors\n", cfg.mix, res.Errors)
 	}
@@ -426,7 +480,7 @@ func warmKeys(client *http.Client, url string, cfg loadCfg) error {
 		for k := lo; k < hi; k++ {
 			specs = append(specs, spec(cfg, uint64(1+k)))
 		}
-		ok, shed, errs := post(client, url, "load-warmup", specs)
+		ok, shed, errs, _ := post(client, url, "load-warmup", specs)
 		if errs > 0 || shed > 0 {
 			return fmt.Errorf("warming %d keys: %d ok, %d shed, %d errors", cfg.keys, ok, shed, errs)
 		}
@@ -443,11 +497,49 @@ func spec(cfg loadCfg, seed uint64) map[string]any {
 	}
 }
 
+// stageTimings is one POST's server-reported stage breakdown, decoded from
+// the X-Getm-Timings header (present when the server runs with spans on).
+type stageTimings struct {
+	queueMS, simMS, persistMS float64
+}
+
+// parseTimingsHeader decodes "queue=<µs>;sim=<µs>;persist=<µs>" into
+// milliseconds. Returns nil on an empty or malformed header — an absent
+// sample, never a zero one.
+func parseTimingsHeader(v string) *stageTimings {
+	if v == "" {
+		return nil
+	}
+	var tm stageTimings
+	for _, part := range strings.Split(v, ";") {
+		k, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil
+		}
+		us, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return nil
+		}
+		ms := float64(us) / 1e3
+		switch k {
+		case "queue":
+			tm.queueMS = ms
+		case "sim":
+			tm.simMS = ms
+		case "persist":
+			tm.persistMS = ms
+		default:
+			return nil
+		}
+	}
+	return &tm
+}
+
 // post submits specs (batch endpoint for >1, single otherwise) and
 // classifies every logical request as ok, shed, or error. Bodies are
 // drained, not parsed — shed counts ride on the status code or the
-// X-Getm-Shed header.
-func post(client *http.Client, url, clientID string, specs []map[string]any) (ok, shed, errs int64) {
+// X-Getm-Shed header, and the server's stage breakdown on X-Getm-Timings.
+func post(client *http.Client, url, clientID string, specs []map[string]any) (ok, shed, errs int64, tm *stageTimings) {
 	n := int64(len(specs))
 	var body []byte
 	var path string
@@ -460,13 +552,13 @@ func post(client *http.Client, url, clientID string, specs []map[string]any) (ok
 	}
 	req, err := http.NewRequest("POST", path, bytes.NewReader(body))
 	if err != nil {
-		return 0, 0, n
+		return 0, 0, n, nil
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Client-ID", clientID)
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, 0, n
+		return 0, 0, n, nil
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
@@ -480,12 +572,13 @@ func post(client *http.Client, url, clientID string, specs []map[string]any) (ok
 				hdrShed = parsed
 			}
 		}
-		return n - hdrShed, hdrShed, 0
+		tm = parseTimingsHeader(resp.Header.Get("X-Getm-Timings"))
+		return n - hdrShed, hdrShed, 0, tm
 	case resp.StatusCode == http.StatusTooManyRequests,
 		resp.StatusCode == http.StatusServiceUnavailable:
-		return 0, n, 0
+		return 0, n, 0, nil
 	default:
-		return 0, 0, n
+		return 0, 0, n, nil
 	}
 }
 

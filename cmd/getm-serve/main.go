@@ -8,7 +8,8 @@
 //	           [-quota-rps N] [-quota-burst N] [-client-header X-Client-ID]
 //	           [-client-weights a=2,b=5] [-per-client-queue N]
 //	           [-flush-interval 100ms] [-flush-highwater 64] [-baseline]
-//	           [-verbose]
+//	           [-spans] [-span-ring N] [-pprof] [-slo-p99 250ms]
+//	           [-slo-shed 0.01] [-verbose]
 //
 // POST /v1/runs accepts a JSON RunSpec (protocol, benchmark, scale, seed,
 // conc, cores, cycle_budget, timeout_ms, async) and simulates it on a fixed
@@ -29,7 +30,18 @@
 // GET /v1/runs/{id} reports a run durably (completed ids resolve from the
 // store even after a restart). /healthz is liveness, /readyz flips to 503
 // when the queue has no headroom or a drain is in progress, and /metrics is
-// a Prometheus-style text exposition of the serving counters.
+// a Prometheus-style text exposition of the serving counters, per-stage
+// latency summaries, per-client accounting, and SLO burn counters (poll it
+// live with getm-top).
+//
+// -spans turns on request-scoped observability: every request leaves
+// fixed-size lifecycle records (receive, quota, queue, dedupe, simulate,
+// persist, flush, respond) exported via GET /v1/spans?format=perfetto|csv|
+// text — the Perfetto document also embeds sim-level engine traces for
+// recently executed runs, so a request span and the engine events it
+// triggered share one timeline. Responses gain an X-Getm-Timings header
+// (queue/sim/persist µs) and GET /v1/runs/{id}/timings reports the same
+// breakdown. -pprof mounts the standard profiling endpoints.
 //
 // SIGTERM or SIGINT triggers a graceful drain: new work is refused, in-flight
 // runs get -drain-timeout to finish (then are canceled), and the process
@@ -97,6 +109,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flushInterval := fs.Duration("flush-interval", 100*time.Millisecond, "write-behind store flush cadence")
 	flushHighWater := fs.Int("flush-highwater", 64, "pending results forcing an immediate store flush")
 	baseline := fs.Bool("baseline", false, "serve with the per-request-write discipline (benchmark control arm)")
+	spans := fs.Bool("spans", false, "record request lifecycle spans (GET /v1/spans, X-Getm-Timings) and sim traces for executed runs")
+	spanRing := fs.Int("span-ring", 0, "lifecycle span ring capacity in records (0 = 16384; power of two)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	sloP99 := fs.Duration("slo-p99", 250*time.Millisecond, "p99 run-latency objective feeding the SLO burn counters")
+	sloShed := fs.Float64("slo-shed", 0.01, "shed-ratio objective exposed for burn-rate dashboards")
 	verbose := fs.Bool("verbose", false, "log progress lines to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -120,6 +137,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		FlushInterval:  *flushInterval,
 		FlushHighWater: *flushHighWater,
 		Baseline:       *baseline,
+		Spans:          *spans,
+		SpanRing:       *spanRing,
+		Pprof:          *pprofOn,
+		SLOP99:         *sloP99,
+		SLOShedTarget:  *sloShed,
 	}
 	if *storeDir != "" {
 		st := store.Open(*storeDir)

@@ -1,0 +1,314 @@
+// getm-top is a live terminal dashboard over a running getm-serve instance.
+// It polls GET /metrics on an interval and renders throughput, queue
+// pressure, per-stage latency quantiles, SLO burn, and a per-client
+// accounting table — the serving counters getm-serve already exposes,
+// turned into something a human can watch during a load run.
+//
+// Usage:
+//
+//	getm-top [-url http://127.0.0.1:8344] [-interval 1s] [-frames 0]
+//	         [-clients 8] [-plain]
+//
+// Each frame redraws in place with ANSI control codes; -plain appends
+// frames instead (for logs, pipes, and tests). -frames N exits after N
+// renders (0 = run until interrupted). Rates (req/s, shed/s, span
+// records/s) are first-difference over the poll interval, so the first
+// frame shows totals only.
+//
+// getm-top needs nothing beyond /metrics: it works against any getm-serve,
+// though the stage-latency rows and span counters only move when the server
+// is doing work (and spans only exist when it runs with -spans).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// scrape is one /metrics exposition, keyed by full series name including
+// its label set, e.g. `getm_serve_stage_latency_seconds{stage="sim",quantile="0.99"}`.
+type scrape map[string]float64
+
+// parseScrape reads a Prometheus text exposition. Comment and blank lines
+// are skipped; each sample line is split at the last space into series and
+// value. Unparseable values are skipped rather than fatal — a dashboard
+// should degrade, not die, on a family it doesn't know.
+func parseScrape(r io.Reader) (scrape, error) {
+	s := make(scrape)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		s[strings.TrimSpace(line[:i])] = v
+	}
+	return s, sc.Err()
+}
+
+func fetch(client *http.Client, url string) (scrape, error) {
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	return parseScrape(resp.Body)
+}
+
+func (s scrape) v(key string) float64 { return s[key] }
+
+// rate is the first-difference of a counter between two scrapes, per
+// second. Zero when there is no previous frame or the counter reset.
+func rate(prev, cur scrape, key string, dt float64) float64 {
+	if prev == nil || dt <= 0 {
+		return 0
+	}
+	d := cur.v(key) - prev.v(key)
+	if d < 0 {
+		return 0
+	}
+	return d / dt
+}
+
+// fmtDur renders a duration in seconds with an adaptive unit.
+func fmtDur(sec float64) string {
+	switch {
+	case sec <= 0:
+		return "0"
+	case sec < 1e-3:
+		return fmt.Sprintf("%.0fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.2fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", sec)
+	}
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}
+
+// clientRow is one client's accounting, pulled from the labeled
+// per-client counter families.
+type clientRow struct {
+	name           string
+	requests, shed float64
+	rps            float64
+}
+
+const clientReqPrefix = `getm_serve_client_requests_total{client="`
+
+// clientRows extracts the per-client table from a scrape, sorted by request
+// count descending.
+func clientRows(prev, cur scrape, dt float64) []clientRow {
+	var rows []clientRow
+	for k, v := range cur {
+		if !strings.HasPrefix(k, clientReqPrefix) || !strings.HasSuffix(k, `"}`) {
+			continue
+		}
+		esc := k[len(clientReqPrefix) : len(k)-2]
+		name := esc
+		if u, err := strconv.Unquote(`"` + esc + `"`); err == nil {
+			name = u
+		}
+		rows = append(rows, clientRow{
+			name:     name,
+			requests: v,
+			shed:     cur.v(`getm_serve_client_shed_total{client="` + esc + `"}`),
+			rps:      rate(prev, cur, k, dt),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].requests != rows[j].requests {
+			return rows[i].requests > rows[j].requests
+		}
+		return rows[i].name < rows[j].name
+	})
+	return rows
+}
+
+// stageRow names one latency summary's series for the stage table.
+type stageRow struct {
+	label string
+	key   string // series name with label set, sans quantile
+}
+
+var stageRows = []stageRow{
+	{"queue", `getm_serve_stage_latency_seconds{stage="queue",`},
+	{"sim", `getm_serve_stage_latency_seconds{stage="sim",`},
+	{"persist", `getm_serve_stage_latency_seconds{stage="persist",`},
+}
+
+// render produces one dashboard frame from two consecutive scrapes. It is a
+// pure function of its inputs so tests can drive it with canned expositions.
+func render(prev, cur scrape, dt float64, header string, topClients int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", header)
+
+	reqRate := rate(prev, cur, "getm_serve_requests_total", dt)
+	doneRate := rate(prev, cur, "getm_serve_completed_total", dt)
+	simRate := rate(prev, cur, "getm_serve_simulated_total", dt)
+	dedupeRate := rate(prev, cur, "getm_serve_deduped_total", dt) +
+		rate(prev, cur, "getm_serve_store_hits_total", dt)
+	shedTotal := cur.v("getm_serve_rejected_total") + cur.v("getm_serve_quota_rejected_total")
+	shedRate := rate(prev, cur, "getm_serve_rejected_total", dt) +
+		rate(prev, cur, "getm_serve_quota_rejected_total", dt)
+	fmt.Fprintf(&b, "rate      %8.1f req/s   %8.1f done/s   %8.1f sim/s   %8.1f dedupe/s   %8.1f shed/s\n",
+		reqRate, doneRate, simRate, dedupeRate, shedRate)
+
+	req := cur.v("getm_serve_requests_total")
+	shedRatio := 0.0
+	if req > 0 {
+		shedRatio = shedTotal / req
+	}
+	fmt.Fprintf(&b, "totals    %8.0f req      %8.0f done     %8.0f failed   %8.0f shed (%.2f%%)\n",
+		req, cur.v("getm_serve_completed_total"), cur.v("getm_serve_failed_total"),
+		shedTotal, shedRatio*100)
+
+	draining := "no"
+	if cur.v("getm_serve_draining") > 0 {
+		draining = "YES"
+	}
+	fmt.Fprintf(&b, "pool      queue %.0f/%.0f   inflight %.0f/%.0f workers   coalesce pending %.0f   draining %s\n",
+		cur.v("getm_serve_queue_depth"), cur.v("getm_serve_queue_capacity"),
+		cur.v("getm_serve_inflight"), cur.v("getm_serve_workers"),
+		cur.v("getm_serve_coalesce_pending"), draining)
+
+	spans := "off"
+	spanLine := ""
+	if cur.v("getm_serve_spans_enabled") > 0 {
+		spans = "on"
+		spanLine = fmt.Sprintf("   span records %.0f (+%.0f/s, dropped %.0f)",
+			cur.v("getm_serve_span_records_total"),
+			rate(prev, cur, "getm_serve_span_records_total", dt),
+			cur.v("getm_serve_span_dropped_total"))
+	}
+	fmt.Fprintf(&b, "runtime   goroutines %.0f   heap %s   spans %s%s\n",
+		cur.v("getm_serve_goroutines"), fmtBytes(cur.v("getm_serve_heap_alloc_bytes")),
+		spans, spanLine)
+
+	fmt.Fprintf(&b, "SLO       p99 target %s   slow runs %.0f (+%.1f/s)   shed target %.2f%%   shed now %.2f%%\n\n",
+		fmtDur(cur.v("getm_serve_slo_latency_target_seconds")),
+		cur.v("getm_serve_slo_slow_runs_total"),
+		rate(prev, cur, "getm_serve_slo_slow_runs_total", dt),
+		cur.v("getm_serve_slo_shed_target_ratio")*100, shedRatio*100)
+
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s\n", "stage", "p50", "p90", "p99", "count")
+	for _, st := range stageRows {
+		countKey := strings.TrimSuffix(strings.Replace(st.key, "_seconds{", "_seconds_count{", 1), ",") + "}"
+		fmt.Fprintf(&b, "%-10s %10s %10s %10s %10.0f\n", st.label,
+			fmtDur(cur.v(st.key+`quantile="0.5"}`)),
+			fmtDur(cur.v(st.key+`quantile="0.9"}`)),
+			fmtDur(cur.v(st.key+`quantile="0.99"}`)),
+			cur.v(countKey))
+	}
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10.0f\n", "run (e2e)",
+		fmtDur(cur.v(`getm_serve_run_latency_seconds{quantile="0.5"}`)),
+		fmtDur(cur.v(`getm_serve_run_latency_seconds{quantile="0.9"}`)),
+		fmtDur(cur.v(`getm_serve_run_latency_seconds{quantile="0.99"}`)),
+		cur.v("getm_serve_run_latency_seconds_count"))
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10.0f\n", "http",
+		fmtDur(cur.v(`getm_serve_http_latency_seconds{quantile="0.5"}`)),
+		fmtDur(cur.v(`getm_serve_http_latency_seconds{quantile="0.9"}`)),
+		fmtDur(cur.v(`getm_serve_http_latency_seconds{quantile="0.99"}`)),
+		cur.v("getm_serve_http_latency_seconds_count"))
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10.0f\n", "flush",
+		fmtDur(cur.v(`getm_serve_coalesce_flush_latency_seconds{quantile="0.5"}`)),
+		fmtDur(cur.v(`getm_serve_coalesce_flush_latency_seconds{quantile="0.9"}`)),
+		fmtDur(cur.v(`getm_serve_coalesce_flush_latency_seconds{quantile="0.99"}`)),
+		cur.v("getm_serve_coalesce_flush_latency_seconds_count"))
+
+	rows := clientRows(prev, cur, dt)
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "\n%-20s %10s %10s %10s\n", "client", "requests", "req/s", "shed")
+		for i, r := range rows {
+			if i >= topClients {
+				fmt.Fprintf(&b, "  … %d more\n", len(rows)-i)
+				break
+			}
+			fmt.Fprintf(&b, "%-20s %10.0f %10.1f %10.0f\n", r.name, r.requests, r.rps, r.shed)
+		}
+	}
+	return b.String()
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("getm-top", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	url := fs.String("url", "http://127.0.0.1:8344", "getm-serve base URL")
+	interval := fs.Duration("interval", time.Second, "poll interval")
+	frames := fs.Int("frames", 0, "frames to render before exiting (0 = run until interrupted)")
+	topClients := fs.Int("clients", 8, "client table rows before folding the tail")
+	plain := fs.Bool("plain", false, "append frames instead of redrawing in place (no ANSI codes)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *interval <= 0 {
+		fmt.Fprintln(stderr, "error: -interval must be positive")
+		return 2
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	var prev scrape
+	var prevAt time.Time
+	for frame := 1; *frames == 0 || frame <= *frames; frame++ {
+		if frame > 1 {
+			time.Sleep(*interval)
+		}
+		now := time.Now()
+		cur, err := fetch(client, *url)
+		if err != nil {
+			fmt.Fprintln(stderr, "scrape error:", err)
+			if prev == nil {
+				return 1
+			}
+			continue
+		}
+		dt := now.Sub(prevAt).Seconds()
+		header := fmt.Sprintf("getm-top — %s — %s (frame %d)",
+			*url, now.Format("15:04:05"), frame)
+		if !*plain {
+			fmt.Fprint(stdout, "\x1b[H\x1b[2J")
+		}
+		fmt.Fprint(stdout, render(prev, cur, dt, header, *topClients))
+		if *plain {
+			fmt.Fprintln(stdout)
+		}
+		prev, prevAt = cur, now
+	}
+	return 0
+}

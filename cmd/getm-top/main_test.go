@@ -1,0 +1,217 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// cannedScrape is a representative /metrics exposition: the families
+// getm-top renders, with label sets exactly as internal/serve emits them.
+const cannedScrape = `# HELP getm_serve_requests_total run submissions received
+# TYPE getm_serve_requests_total counter
+getm_serve_requests_total 1000
+# TYPE getm_serve_completed_total counter
+getm_serve_completed_total 900
+# TYPE getm_serve_failed_total counter
+getm_serve_failed_total 1
+# TYPE getm_serve_rejected_total counter
+getm_serve_rejected_total 40
+# TYPE getm_serve_quota_rejected_total counter
+getm_serve_quota_rejected_total 10
+# TYPE getm_serve_simulated_total counter
+getm_serve_simulated_total 300
+# TYPE getm_serve_deduped_total counter
+getm_serve_deduped_total 500
+# TYPE getm_serve_store_hits_total counter
+getm_serve_store_hits_total 100
+# TYPE getm_serve_queue_depth gauge
+getm_serve_queue_depth 3
+# TYPE getm_serve_queue_capacity gauge
+getm_serve_queue_capacity 64
+# TYPE getm_serve_workers gauge
+getm_serve_workers 4
+# TYPE getm_serve_inflight gauge
+getm_serve_inflight 2
+# TYPE getm_serve_draining gauge
+getm_serve_draining 0
+# TYPE getm_serve_coalesce_pending gauge
+getm_serve_coalesce_pending 5
+# TYPE getm_serve_goroutines gauge
+getm_serve_goroutines 23
+# TYPE getm_serve_heap_alloc_bytes gauge
+getm_serve_heap_alloc_bytes 13631488
+# TYPE getm_serve_spans_enabled gauge
+getm_serve_spans_enabled 1
+# TYPE getm_serve_span_records_total counter
+getm_serve_span_records_total 4321
+# TYPE getm_serve_span_dropped_total counter
+getm_serve_span_dropped_total 0
+# TYPE getm_serve_slo_latency_target_seconds gauge
+getm_serve_slo_latency_target_seconds 0.25
+# TYPE getm_serve_slo_shed_target_ratio gauge
+getm_serve_slo_shed_target_ratio 0.01
+# TYPE getm_serve_slo_slow_runs_total counter
+getm_serve_slo_slow_runs_total 2
+# TYPE getm_serve_stage_latency_seconds summary
+getm_serve_stage_latency_seconds{stage="queue",quantile="0.5"} 0.00012
+getm_serve_stage_latency_seconds{stage="queue",quantile="0.9"} 0.00045
+getm_serve_stage_latency_seconds{stage="queue",quantile="0.99"} 0.0012
+getm_serve_stage_latency_seconds_sum{stage="queue"} 0.06
+getm_serve_stage_latency_seconds_count{stage="queue"} 300
+getm_serve_stage_latency_seconds{stage="sim",quantile="0.5"} 0.0081
+getm_serve_stage_latency_seconds{stage="sim",quantile="0.9"} 0.009
+getm_serve_stage_latency_seconds{stage="sim",quantile="0.99"} 0.0099
+getm_serve_stage_latency_seconds_sum{stage="sim"} 2.5
+getm_serve_stage_latency_seconds_count{stage="sim"} 300
+getm_serve_stage_latency_seconds{stage="persist",quantile="0.5"} 1e-05
+getm_serve_stage_latency_seconds{stage="persist",quantile="0.9"} 2e-05
+getm_serve_stage_latency_seconds{stage="persist",quantile="0.99"} 0.0004
+getm_serve_stage_latency_seconds_sum{stage="persist"} 0.005
+getm_serve_stage_latency_seconds_count{stage="persist"} 300
+# TYPE getm_serve_run_latency_seconds summary
+getm_serve_run_latency_seconds{quantile="0.5"} 0.0083
+getm_serve_run_latency_seconds{quantile="0.9"} 0.0092
+getm_serve_run_latency_seconds{quantile="0.99"} 0.0102
+getm_serve_run_latency_seconds_sum 2.6
+getm_serve_run_latency_seconds_count 300
+# TYPE getm_serve_http_latency_seconds summary
+getm_serve_http_latency_seconds{quantile="0.5"} 0.0001
+getm_serve_http_latency_seconds{quantile="0.9"} 0.0003
+getm_serve_http_latency_seconds{quantile="0.99"} 0.0009
+getm_serve_http_latency_seconds_sum 0.2
+getm_serve_http_latency_seconds_count 1000
+# TYPE getm_serve_coalesce_flush_latency_seconds summary
+getm_serve_coalesce_flush_latency_seconds{quantile="0.5"} 0.001
+getm_serve_coalesce_flush_latency_seconds{quantile="0.9"} 0.002
+getm_serve_coalesce_flush_latency_seconds{quantile="0.99"} 0.003
+getm_serve_coalesce_flush_latency_seconds_sum 0.06
+getm_serve_coalesce_flush_latency_seconds_count 56
+# TYPE getm_serve_client_requests_total counter
+getm_serve_client_requests_total{client="load-0"} 600
+getm_serve_client_requests_total{client="load-1"} 400
+# TYPE getm_serve_client_shed_total counter
+getm_serve_client_shed_total{client="load-0"} 30
+getm_serve_client_shed_total{client="load-1"} 20
+`
+
+func mustParse(t *testing.T, text string) scrape {
+	t.Helper()
+	s, err := parseScrape(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parseScrape: %v", err)
+	}
+	return s
+}
+
+func TestParseScrape(t *testing.T) {
+	s := mustParse(t, cannedScrape)
+	checks := map[string]float64{
+		"getm_serve_requests_total": 1000,
+		`getm_serve_stage_latency_seconds{stage="sim",quantile="0.99"}`: 0.0099,
+		`getm_serve_client_requests_total{client="load-0"}`:             600,
+		"getm_serve_run_latency_seconds_count":                          300,
+	}
+	for k, want := range checks {
+		if got := s.v(k); got != want {
+			t.Errorf("%s = %v, want %v", k, got, want)
+		}
+	}
+}
+
+// TestRenderSmoke drives render with two canned frames and checks the
+// dashboard surfaces every section: rates, pool state, SLO, stage table,
+// and the client table with computed req/s.
+func TestRenderSmoke(t *testing.T) {
+	prev := mustParse(t, cannedScrape)
+	cur := mustParse(t, cannedScrape)
+	// Advance the counters by one second of traffic.
+	cur["getm_serve_requests_total"] += 120
+	cur["getm_serve_completed_total"] += 110
+	cur[`getm_serve_client_requests_total{client="load-0"}`] += 80
+
+	out := render(prev, cur, 1.0, "getm-top — test — 00:00:01 (frame 2)", 8)
+
+	for _, want := range []string{
+		"120.0 req/s",
+		"110.0 done/s",
+		"queue 3/64",
+		"inflight 2/4 workers",
+		"goroutines 23",
+		"13.0MiB",
+		"spans on",
+		"span records 4321",
+		"p99 target 250.00ms",
+		"slow runs 2",
+		"queue", "sim", "persist", "run (e2e)", "http", "flush",
+		"9.90ms",  // sim p99
+		"10.20ms", // run p99
+		"load-0",
+		"80.0", // load-0 req/s over dt=1
+		"load-1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q\n%s", want, out)
+		}
+	}
+	// Stage counts resolve through the labeled _count series.
+	if !strings.Contains(out, "300") {
+		t.Errorf("stage count 300 missing from frame:\n%s", out)
+	}
+}
+
+// TestRenderFirstFrame: with no previous scrape all rates are zero but the
+// totals and latency table still render.
+func TestRenderFirstFrame(t *testing.T) {
+	cur := mustParse(t, cannedScrape)
+	out := render(nil, cur, 0, "hdr", 8)
+	if !strings.Contains(out, "0.0 req/s") {
+		t.Errorf("first frame should show zero rates:\n%s", out)
+	}
+	if !strings.Contains(out, "1000 req") {
+		t.Errorf("first frame should show request total:\n%s", out)
+	}
+}
+
+// TestRunAgainstCannedServer exercises the full poll loop — fetch, parse,
+// render, frame cadence — against an httptest server replaying the canned
+// exposition.
+func TestRunAgainstCannedServer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(cannedScrape))
+	}))
+	defer srv.Close()
+
+	var out, errw strings.Builder
+	code := run([]string{"-url", srv.URL, "-frames", "2", "-interval", "10ms", "-plain"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exit %d, stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	if strings.Count(got, "getm-top — ") != 2 {
+		t.Errorf("expected 2 frames, got:\n%s", got)
+	}
+	if strings.Contains(got, "\x1b[") {
+		t.Errorf("-plain output must not contain ANSI escapes")
+	}
+	if !strings.Contains(got, "frame 2") {
+		t.Errorf("second frame header missing:\n%s", got)
+	}
+}
+
+func TestRunScrapeErrorFirstFrame(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-url", "http://127.0.0.1:1", "-frames", "1"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("unreachable server should exit 1, got %d", code)
+	}
+	if !strings.Contains(errw.String(), "scrape error") {
+		t.Errorf("stderr should mention the scrape error: %s", errw.String())
+	}
+}

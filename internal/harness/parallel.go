@@ -5,9 +5,11 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"getm/internal/gpu"
 	"getm/internal/stats"
+	"getm/internal/trace"
 	"getm/internal/workloads"
 )
 
@@ -77,6 +79,8 @@ func (r *Runner) runParallel(jobs []Job, workers int) error {
 	}
 
 	var wg sync.WaitGroup
+	var done atomic.Int64
+	total := len(pending)
 	errCh := make(chan error, len(pending))
 	ch := make(chan Job)
 	for w := 0; w < workers; w++ {
@@ -86,6 +90,9 @@ func (r *Runner) runParallel(jobs []Job, workers int) error {
 			for j := range ch {
 				if _, err := r.RunE(j); err != nil {
 					errCh <- err
+				}
+				if r.Progress != nil {
+					r.Progress(int(done.Add(1)), total)
 				}
 			}
 		}()
@@ -117,4 +124,24 @@ func runJob(ctx context.Context, j Job, scale float64, seed uint64) (*stats.Metr
 		return nil, err
 	}
 	return res.Metrics, nil
+}
+
+// runJobTraced is runJob with a trace recorder attached: same workload, same
+// config, plus cfg.Trace. Tracing is cycle-neutral by the trace layer's
+// contract, so the metrics are identical to runJob's; the recorder rides back
+// so the caller can key it by run id and export it on request.
+func runJobTraced(ctx context.Context, j Job, scale float64, seed uint64, opts *trace.Options) (*stats.Metrics, *trace.Recorder, error) {
+	variant := workloads.TM
+	if j.Proto == gpu.ProtoFGLock {
+		variant = workloads.FGLock
+	}
+	k := workloads.MustBuild(j.Bench, variant, workloads.Params{Scale: scale, Seed: seed})
+	cfg := j.config()
+	o := *opts
+	cfg.Trace = &o
+	res, err := gpu.RunContext(ctx, cfg, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Metrics, res.Trace, nil
 }

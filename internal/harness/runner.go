@@ -17,6 +17,7 @@ import (
 	"getm/internal/sim"
 	"getm/internal/stats"
 	"getm/internal/store"
+	"getm/internal/trace"
 	"getm/internal/workloads"
 )
 
@@ -74,6 +75,22 @@ type Runner struct {
 	// parallel engine with that many workers (non-shardable cells fall back
 	// to serial). See Job.Shards for the cache-identity rules.
 	Shards int
+	// Trace, if set, attaches a trace recorder to every simulation this
+	// runner actually executes (cache and store hits never trace — there is
+	// no simulation to observe). Tracing never changes results: the engine
+	// contract from the trace layer is that traced runs are cycle-identical
+	// to untraced ones, so cached metrics stay byte-identical either way.
+	Trace *trace.Options
+	// TraceSink receives each executed simulation's recorder, keyed by the
+	// job's store key (the durable run id a serving front end hands out).
+	// Called from whichever goroutine ran the simulation, after the metrics
+	// are final but before they are published; must not block for long.
+	TraceSink func(storeKey string, rec *trace.Recorder)
+	// Progress, if set, is called after every batch job completes with the
+	// running done count and the batch total — the hook a sweep CLI uses for
+	// live progress and ETA lines. Invoked from worker goroutines; must be
+	// safe for concurrent use.
+	Progress func(done, total int)
 
 	mu       sync.Mutex
 	cache    map[string]*stats.Metrics
@@ -254,13 +271,21 @@ func (r *Runner) runE(ctx context.Context, j Job) (*stats.Metrics, error) {
 		}
 	}
 	if !fromDisk {
-		if sim == nil {
-			sim = runJob
-		}
 		if ctx == nil {
 			ctx = context.Background()
 		}
-		c.m, c.err = sim(ctx, j, r.Scale, r.Seed)
+		switch {
+		case sim != nil:
+			c.m, c.err = sim(ctx, j, r.Scale, r.Seed)
+		case r.Trace != nil:
+			var rec *trace.Recorder
+			c.m, rec, c.err = runJobTraced(ctx, j, r.Scale, r.Seed, r.Trace)
+			if c.err == nil && rec != nil && r.TraceSink != nil {
+				r.TraceSink(r.storeKey(j), rec)
+			}
+		default:
+			c.m, c.err = runJob(ctx, j, r.Scale, r.Seed)
+		}
 		if c.err == nil && c.m != nil && !c.m.Truncated {
 			switch {
 			case r.Persist != nil:

@@ -43,6 +43,12 @@ type coalescer struct {
 	flushes  atomic.Int64 // batched commits issued
 	flushed  atomic.Int64 // records written across all commits
 	absorbed atomic.Int64 // puts merged into a pending record (write saved)
+
+	// onFlush, if set, observes each non-empty commit (duration, record
+	// count) — the server wires it to the flush-latency histogram and the
+	// lifecycle span timeline. Set before the first put; called from the
+	// flushing goroutine.
+	onFlush func(d time.Duration, records int)
 }
 
 func newCoalescer(st *store.Store, interval time.Duration, highWater int, verbose func(string)) *coalescer {
@@ -126,9 +132,13 @@ func (c *coalescer) flush() error {
 		recs = append(recs, rec)
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+	t0 := time.Now()
 	err := c.st.PutBatch(recs)
 	c.flushes.Add(1)
 	c.flushed.Add(int64(len(recs)))
+	if c.onFlush != nil {
+		c.onFlush(time.Since(t0), len(recs))
+	}
 	if err != nil && c.verbose != nil {
 		c.verbose("store flush: " + err.Error())
 	}

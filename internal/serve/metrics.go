@@ -3,6 +3,9 @@ package serve
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,12 +27,33 @@ const (
 	httpLatencyShards  = 8
 )
 
+// clientCardinality bounds the per-client counter table; clients beyond the
+// bound aggregate under the "_other" label so an id-cardinality attack
+// cannot grow the exposition (or server memory) without bound.
+const clientCardinality = 64
+
+// clientOverflow is the label absorbing clients beyond clientCardinality.
+const clientOverflow = "_other"
+
+// clientStat is one client's request accounting.
+type clientStat struct {
+	requests int64
+	shed     int64
+}
+
 // metricsSet is the server's observable state, exposed as a Prometheus-style
-// text exposition on /metrics. Counters are monotonic; the latency
-// histograms feed the quantile gauges via stats.Hist.Quantile. The HTTP
-// histogram is sharded (stats.ShardedHist) so the serving hot path never
-// serializes on one latency mutex; /metrics merges the shards into the exact
-// single-histogram view at scrape time, so exposition stays exact.
+// text exposition on /metrics. Names follow the Prometheus conventions the
+// lint test enforces: counters end in _total, durations are base-unit
+// seconds, sizes are bytes, and every family carries HELP and TYPE. Latency
+// distributions are exposed as summaries (quantile-labeled series plus _sum
+// and _count), computed at scrape time from in-process histograms: the
+// end-to-end run and HTTP histograms from PR 5/7, and the per-stage
+// (queue/sim/persist) and coalescer-flush histograms introduced with the
+// observability layer — all fixed-size, so the serving hot path records a
+// sample without allocating. The HTTP histogram is sharded
+// (stats.ShardedHist) so the hot path never serializes on one latency mutex;
+// /metrics merges the shards into the exact single-histogram view at scrape
+// time.
 type metricsSet struct {
 	requests        atomic.Int64 // run submissions received (batch items count individually)
 	batches         atomic.Int64 // POST /v1/runs/batch calls received
@@ -40,17 +64,29 @@ type metricsSet struct {
 	failed          atomic.Int64 // runs finished with error
 	truncated       atomic.Int64 // runs returning partial (truncated) metrics
 	storeStatusHits atomic.Int64 // GET /v1/runs/{id} answered from the store
+	sloSlow         atomic.Int64 // runs slower than the p99 objective
 
-	mu  sync.Mutex
-	lat *stats.Hist // run latency, milliseconds
+	// sloP99 is the latency objective the burn counter compares against.
+	sloP99 time.Duration
+
+	mu       sync.Mutex
+	lat      *stats.Hist   // run latency, milliseconds
+	queueLat stats.LogHist // fair-queue wait, µs
+	simLat   stats.LogHist // execute (simulate or cache/store load), µs
+	persLat  stats.LogHist // persist hook, µs
+	flushLat stats.LogHist // coalescer batched commit, µs
 
 	httpLat *stats.ShardedHist // HTTP request latency, 10µs units
+
+	clientMu sync.Mutex
+	clients  map[string]*clientStat
 }
 
 func newMetricsSet() *metricsSet {
 	return &metricsSet{
 		lat:     stats.NewHist(latencyBuckets),
 		httpLat: stats.NewShardedHist(httpLatencyShards, httpLatencyBuckets),
+		clients: make(map[string]*clientStat),
 	}
 }
 
@@ -64,8 +100,29 @@ func (m *metricsSet) observe(d time.Duration, res *stats.Metrics, err error) {
 	if res != nil && res.Truncated {
 		m.truncated.Add(1)
 	}
+	if m.sloP99 > 0 && d > m.sloP99 {
+		m.sloSlow.Add(1)
+	}
 	m.mu.Lock()
 	m.lat.Add(int(d.Milliseconds()))
+	m.mu.Unlock()
+}
+
+// observeStages records one finished run's per-stage breakdown. The
+// histograms are fixed-size log-bucketed structs, so the call allocates
+// nothing.
+func (m *metricsSet) observeStages(queue, sim, persist time.Duration) {
+	m.mu.Lock()
+	m.queueLat.Add(queue.Microseconds())
+	m.simLat.Add(sim.Microseconds())
+	m.persLat.Add(persist.Microseconds())
+	m.mu.Unlock()
+}
+
+// observeFlush records one coalescer commit.
+func (m *metricsSet) observeFlush(d time.Duration) {
+	m.mu.Lock()
+	m.flushLat.Add(d.Microseconds())
 	m.mu.Unlock()
 }
 
@@ -75,26 +132,98 @@ func (m *metricsSet) observeHTTP(d time.Duration) {
 	m.httpLat.Add(int(d / httpLatencyUnit))
 }
 
+// clientStatFor resolves (creating if the table has room) a client's row;
+// overflow collapses onto the "_other" row. Existing clients cost a map
+// lookup under a short lock — no allocation.
+func (m *metricsSet) clientStatFor(client string) *clientStat {
+	cs, ok := m.clients[client]
+	if !ok {
+		if len(m.clients) >= clientCardinality {
+			client = clientOverflow
+			if cs, ok = m.clients[client]; ok {
+				return cs
+			}
+		}
+		cs = &clientStat{}
+		m.clients[client] = cs
+	}
+	return cs
+}
+
+// clientRequest counts n received submissions for the client.
+func (m *metricsSet) clientRequest(client string, n int64) {
+	m.clientMu.Lock()
+	m.clientStatFor(client).requests += n
+	m.clientMu.Unlock()
+}
+
+// clientShed counts n shed submissions for the client.
+func (m *metricsSet) clientShed(client string, n int64) {
+	m.clientMu.Lock()
+	m.clientStatFor(client).shed += n
+	m.clientMu.Unlock()
+}
+
 func (m *metricsSet) meanLatencyMS() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.lat.Mean()
 }
 
+// labelEscape escapes a Prometheus label value.
+func labelEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// summaryQuantiles are the quantile labels every latency summary exposes.
+var summaryQuantiles = []float64{0.5, 0.9, 0.99}
+
+// summaryStat is one pre-scaled summary series: quantile values, sum, and
+// count, all in the exposition's base unit (seconds).
+type summaryStat struct {
+	label string // extra label pair, e.g. `stage="queue"` (may be empty)
+	q     [3]float64
+	sum   float64
+	count uint64
+}
+
+// logHistSummary converts a µs LogHist into a seconds summaryStat.
+func logHistSummary(label string, h *stats.LogHist) summaryStat {
+	s := summaryStat{label: label, count: h.Total()}
+	for i, q := range summaryQuantiles {
+		s.q[i] = h.Quantile(q) / 1e6
+	}
+	s.sum = h.Mean() * float64(h.Total()) / 1e6
+	return s
+}
+
 // write renders the exposition. Gauges come from the pool (queue depth,
-// busy workers, runner aggregates), the coalescer, and the quota table;
-// everything else from the counters.
+// busy workers, runner aggregates), the coalescer, the quota table, and the
+// Go runtime; summaries from the scrape-time histogram reads; everything
+// else from the counters.
 func (m *metricsSet) write(w io.Writer, s *Server) {
 	p := s.pool
 	m.mu.Lock()
-	p50 := m.lat.Quantile(0.50)
-	p99 := m.lat.Quantile(0.99)
-	mean := m.lat.Mean()
-	samples := m.lat.Total()
+	run := summaryStat{count: uint64(m.lat.Total())}
+	for i, q := range summaryQuantiles {
+		run.q[i] = m.lat.Quantile(q) / 1e3
+	}
+	run.sum = m.lat.Mean() * float64(m.lat.Total()) / 1e3
+	queue := logHistSummary(`stage="queue"`, &m.queueLat)
+	simS := logHistSummary(`stage="sim"`, &m.simLat)
+	pers := logHistSummary(`stage="persist"`, &m.persLat)
+	flush := logHistSummary("", &m.flushLat)
 	m.mu.Unlock()
 
 	hh := m.httpLat.Merged()
-	unitMS := float64(httpLatencyUnit) / float64(time.Millisecond)
+	unitSec := float64(httpLatencyUnit) / float64(time.Second)
+	httpS := summaryStat{count: uint64(hh.Total())}
+	for i, q := range summaryQuantiles {
+		httpS.q[i] = hh.Quantile(q) * unitSec
+	}
+	httpS.sum = hh.Mean() * float64(hh.Total()) * unitSec
 
 	draining := 0
 	if p.draining.Load() {
@@ -107,6 +236,24 @@ func (m *metricsSet) write(w io.Writer, s *Server) {
 	c := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
+	summary := func(name, help string, stats ...summaryStat) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
+		for _, st := range stats {
+			sep := ""
+			if st.label != "" {
+				sep = ","
+			}
+			for i, q := range summaryQuantiles {
+				fmt.Fprintf(w, "%s{%s%squantile=\"%v\"} %v\n", name, st.label, sep, q, st.q[i])
+			}
+			brace := ""
+			if st.label != "" {
+				brace = "{" + st.label + "}"
+			}
+			fmt.Fprintf(w, "%s_sum%s %v\n", name, brace, st.sum)
+			fmt.Fprintf(w, "%s_count%s %d\n", name, brace, st.count)
+		}
+	}
 
 	g("getm_serve_queue_depth", "requests waiting for a worker", p.fq.len())
 	g("getm_serve_queue_capacity", "wait-queue slots before load shedding", p.fq.capacity)
@@ -115,6 +262,10 @@ func (m *metricsSet) write(w io.Writer, s *Server) {
 	g("getm_serve_draining", "1 while a graceful drain is in progress", draining)
 	g("getm_serve_fair_clients", "clients with queued work in the fair queue", p.fq.clientCount())
 	g("getm_serve_quota_clients", "client token buckets currently tracked", s.quotas.size())
+	g("getm_serve_goroutines", "goroutines in the serving process", runtime.NumGoroutine())
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	g("getm_serve_heap_alloc_bytes", "bytes of allocated heap objects (runtime.MemStats.HeapAlloc)", ms.HeapAlloc)
 	c("getm_serve_requests_total", "run submissions received (batch items count individually)", m.requests.Load())
 	c("getm_serve_batches_total", "POST /v1/runs/batch calls received", m.batches.Load())
 	c("getm_serve_rejected_total", "submissions shed (quota, queue full, or draining)", m.rejected.Load())
@@ -131,13 +282,48 @@ func (m *metricsSet) write(w io.Writer, s *Server) {
 		c("getm_serve_coalesce_flushes_total", "batched store commits issued", coal.flushes.Load())
 		c("getm_serve_coalesce_flushed_total", "records written across all batched commits", coal.flushed.Load())
 		c("getm_serve_coalesce_absorbed_total", "store writes absorbed by in-memory coalescing", coal.absorbed.Load())
+		summary("getm_serve_coalesce_flush_latency_seconds", "batched store commit latency", flush)
 	}
-	g("getm_serve_latency_ms_p50", "median run latency (ms)", p50)
-	g("getm_serve_latency_ms_p99", "p99 run latency (ms)", p99)
-	g("getm_serve_latency_ms_mean", "mean run latency (ms)", mean)
-	g("getm_serve_latency_samples", "finished runs in the latency histogram", samples)
-	g("getm_serve_http_latency_ms_p50", "median HTTP request latency (ms)", hh.Quantile(0.50)*unitMS)
-	g("getm_serve_http_latency_ms_p99", "p99 HTTP request latency (ms)", hh.Quantile(0.99)*unitMS)
-	g("getm_serve_http_latency_ms_mean", "mean HTTP request latency (ms)", hh.Mean()*unitMS)
-	g("getm_serve_http_latency_samples", "served HTTP requests in the latency histogram", hh.Total())
+	summary("getm_serve_run_latency_seconds", "end-to-end run latency (dequeue to completion)", run)
+	summary("getm_serve_http_latency_seconds", "HTTP request latency (submit and batch, including sync waits)", httpS)
+	summary("getm_serve_stage_latency_seconds", "per-stage run latency: fair-queue wait, execute, persist hook", queue, simS, pers)
+
+	// Per-client accounting, bounded at clientCardinality rows plus the
+	// overflow bucket; rows render in sorted order so scrapes are stable.
+	m.clientMu.Lock()
+	names := make([]string, 0, len(m.clients))
+	for name := range m.clients {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rows := make([]clientStat, len(names))
+	for i, name := range names {
+		rows[i] = *m.clients[name]
+	}
+	m.clientMu.Unlock()
+	fmt.Fprintf(w, "# HELP getm_serve_client_requests_total run submissions received per client\n# TYPE getm_serve_client_requests_total counter\n")
+	for i, name := range names {
+		fmt.Fprintf(w, "getm_serve_client_requests_total{client=\"%s\"} %d\n", labelEscape(name), rows[i].requests)
+	}
+	fmt.Fprintf(w, "# HELP getm_serve_client_shed_total submissions shed per client (quota, queue, or draining)\n# TYPE getm_serve_client_shed_total counter\n")
+	for i, name := range names {
+		fmt.Fprintf(w, "getm_serve_client_shed_total{client=\"%s\"} %d\n", labelEscape(name), rows[i].shed)
+	}
+
+	// SLO surface: targets as gauges, burn as counters — a dashboard derives
+	// burn rate from (slow or shed) deltas over the request delta without
+	// hard-coding objectives.
+	g("getm_serve_slo_latency_target_seconds", "p99 run-latency objective the burn counter compares against", m.sloP99.Seconds())
+	g("getm_serve_slo_shed_target_ratio", "shed-ratio objective (shed/requests) for burn-rate dashboards", s.cfg.SLOShedTarget)
+	c("getm_serve_slo_slow_runs_total", "runs slower than the p99 latency objective", m.sloSlow.Load())
+
+	spansEnabled := 0
+	if s.spans != nil {
+		spansEnabled = 1
+	}
+	g("getm_serve_spans_enabled", "1 while the request-lifecycle span recorder is on", spansEnabled)
+	if s.spans != nil {
+		c("getm_serve_span_records_total", "lifecycle span records emitted", int64(s.spans.total()))
+		c("getm_serve_span_dropped_total", "lifecycle span records overwritten by the ring", int64(s.spans.dropped()))
+	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"getm/internal/harness"
 	"getm/internal/stats"
+	"getm/internal/trace"
 )
 
 // admitOutcome is the queue's verdict on one submission.
@@ -116,19 +117,22 @@ func (p *pool) admit(sp RunSpec, client string) (*jobState, admitOutcome) {
 	// Serving it costs a map lookup or a disk read — never a queue slot, so
 	// repeat traffic cannot be shed even under saturation.
 	if m, ok := r.Lookup(job); ok && !m.Truncated {
-		js := &jobState{id: id, spec: sp, done: make(chan struct{}), m: m, source: "cache"}
+		js := &jobState{id: id, spec: sp, client: client, done: make(chan struct{}), m: m, source: "cache"}
 		js.setStatus(statusDone)
 		close(js.done)
 		p.insertLocked(id, sp, js)
+		p.s.span(stageJoin, client, id, 0, 0)
 		return js, admitOK
 	}
 
-	js := &jobState{id: id, spec: sp, done: make(chan struct{})}
+	js := &jobState{id: id, spec: sp, client: client, done: make(chan struct{}), queuedAt: time.Now()}
 	js.setStatus(statusQueued)
 	switch err := p.fq.push(client, js); err {
 	case nil:
 		p.insertLocked(id, sp, js)
 		p.taskWG.Add(1)
+		p.s.span(stageMiss, client, id, 0, 0)
+		p.s.span(stageEnqueue, client, id, 0, 0)
 		return js, admitOK
 	case errClientFull:
 		return nil, admitClientFull
@@ -178,18 +182,29 @@ func (p *pool) runTask(js *jobState) {
 	p.running.Add(1)
 	defer p.running.Add(-1)
 	js.setStatus(statusRunning)
+	wait := time.Since(js.queuedAt)
+	js.queueUS = wait.Microseconds()
+	p.s.span(stageDequeue, js.client, js.id, uint64(js.queueUS), 0)
 
 	timeout := p.s.cfg.RequestTimeout
 	if t := time.Duration(js.spec.TimeoutMS) * time.Millisecond; t > 0 && t < timeout {
 		timeout = t
 	}
 	ctx, cancel := context.WithTimeout(p.baseCtx, timeout)
+	p.s.span(stageSimStart, js.client, js.id, 0, 0)
 	start := time.Now()
 	m, source, err := p.s.execute(ctx, js)
 	cancel()
 	elapsed := time.Since(start)
+	js.simUS = elapsed.Microseconds()
+	var cycles uint64
+	if m != nil {
+		cycles = m.TotalCycles
+	}
+	p.s.span(stageSimFinish, js.client, js.id, uint64(js.simUS), cycles)
 
 	p.s.met.observe(elapsed, m, err)
+	p.s.met.observeStages(wait, elapsed, time.Duration(js.persistUS.Load())*time.Microsecond)
 	js.m, js.source, js.err = m, source, err
 	js.elapsedMS = elapsed.Milliseconds()
 	if err != nil {
@@ -222,13 +237,50 @@ func (p *pool) runnerFor(sp RunSpec) *harness.Runner {
 	r.Store = p.s.cfg.Store
 	r.StoreReuse = true
 	r.Verbose = p.s.cfg.Verbose
-	if p.s.coal != nil {
+	switch {
+	case p.s.coal != nil:
 		// Write-behind: completed cells accumulate in the coalescer and hit
 		// the disk as batched commits instead of one fsync per simulation.
-		r.Persist = p.s.coal.put
+		r.Persist = p.timedPersist(p.s.coal.put)
+	case p.s.cfg.Store != nil:
+		// Baseline (or coalescer-less) arm: the synchronous per-simulation
+		// Store.Put discipline, routed through the timing wrapper so stage
+		// timings cover both arms.
+		st := p.s.cfg.Store
+		r.Persist = p.timedPersist(func(key, desc string, m *stats.Metrics) error {
+			return st.Put(key, desc, m)
+		})
+	}
+	if p.s.traces != nil {
+		// Span capture extends to the engine: executed runs carry a sim-level
+		// recorder, retained in a bounded LRU keyed by run id so /v1/spans
+		// can put the request span and its engine events on one timeline.
+		r.Trace = &trace.Options{RingSize: simTraceRing}
+		r.TraceSink = p.s.traces.put
 	}
 	p.runners[k] = r
 	return r
+}
+
+// simTraceRing sizes the per-run sim recorder rings under span capture:
+// small enough that eight retained runs stay cheap, large enough to hold the
+// tail of a serving-scale simulation.
+const simTraceRing = 1 << 12
+
+// timedPersist wraps a Persist hook with stage timing: the measured duration
+// lands on the owning jobState (resolved by store key — the run id), in the
+// persist-stage histogram via runTask's observe, and on the span timeline.
+func (p *pool) timedPersist(inner func(string, string, *stats.Metrics) error) func(string, string, *stats.Metrics) error {
+	return func(storeKey, desc string, m *stats.Metrics) error {
+		t0 := time.Now()
+		err := inner(storeKey, desc, m)
+		d := time.Since(t0)
+		if v, ok := p.jobsFast.Load(storeKey); ok {
+			v.(*jobState).persistUS.Store(d.Microseconds())
+		}
+		p.s.span(stagePersist, "", storeKey, uint64(d.Microseconds()), 0)
+		return err
+	}
 }
 
 // simulated and storeHits aggregate the runner instrumentation across every

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
@@ -102,6 +103,35 @@ type Config struct {
 	// pending (default 64).
 	FlushHighWater int
 
+	// Spans enables request-scoped observability: the lifecycle span
+	// recorder (GET /v1/spans), the X-Getm-Timings response header, and
+	// sim-level trace capture for executed runs (a bounded LRU of
+	// trace.Recorders keyed by run id, merged into the /v1/spans Perfetto
+	// export). Disabled — the default — the serve hot path pays one pointer
+	// compare per emit site and allocates zero extra bytes per request;
+	// results are identical either way (tracing is cycle-neutral by the
+	// trace layer's contract). Ignored in Baseline mode: the control arm
+	// keeps the PR 5 surface exactly.
+	Spans bool
+	// SpanRing is the lifecycle ring capacity in records, rounded up to a
+	// power of two (default 16384). When the ring fills, the oldest records
+	// are overwritten.
+	SpanRing int
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the server's mux.
+	// Off by default: profiling endpoints are a diagnostic surface, not part
+	// of the serving API.
+	Pprof bool
+
+	// SLOP99 is the p99 run-latency objective the burn-rate counters are
+	// derived from: every run slower than this increments
+	// getm_serve_slo_slow_requests_total (default 250ms — the load-gate
+	// target).
+	SLOP99 time.Duration
+	// SLOShedTarget is the shed-ratio objective exposed as a gauge next to
+	// the shed counters, so a dashboard computes burn rate without
+	// hard-coding the target (default 0.01).
+	SLOShedTarget float64
+
 	// Baseline restores the PR 5 per-request-write discipline: no write
 	// coalescing (every completed simulation fsyncs synchronously on the
 	// worker), no lock-free admission fast path, no cached response
@@ -125,6 +155,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ClientHeader == "" {
 		c.ClientHeader = "X-Client-ID"
+	}
+	if c.SLOP99 <= 0 {
+		c.SLOP99 = 250 * time.Millisecond
+	}
+	if c.SLOShedTarget <= 0 {
+		c.SLOShedTarget = 0.01
 	}
 	return c
 }
@@ -155,8 +191,12 @@ func (s jobStatus) String() string {
 // jobState is the unit the queue carries and the job table tracks: one
 // distinct request, shared by every client that submitted it.
 type jobState struct {
-	id   string
-	spec RunSpec
+	id     string
+	spec   RunSpec
+	client string // first submitter's client key (fair-queue lane)
+
+	// queuedAt stamps admission; the worker derives queue wait from it.
+	queuedAt time.Time
 
 	// done closes when the run finishes (either way); the fields below are
 	// written before the close and read-only after it.
@@ -165,6 +205,16 @@ type jobState struct {
 	err       error
 	elapsedMS int64
 	source    string // cache | store | run
+
+	// Per-stage wall time (µs), the request-scoped breakdown behind
+	// X-Getm-Timings and GET /v1/runs/{id}/timings. queueUS and simUS are
+	// written by the executing worker before done closes; persistUS is
+	// atomic because the persist hook resolves jobs by store key, and a
+	// budgeted sibling completing within budget may attribute its persist to
+	// the unbudgeted jobState concurrently.
+	queueUS   int64
+	simUS     int64
+	persistUS atomic.Int64
 
 	// status is atomic so status reads never touch the pool lock.
 	status atomic.Int32
@@ -202,6 +252,13 @@ type Server struct {
 	coal   *coalescer // nil without a store or in baseline mode
 	quotas *quotas    // nil without a quota
 
+	// spans is the lifecycle recorder; nil when disabled, and every emit
+	// site guards with exactly one pointer compare (Server.span).
+	spans *spanRecorder
+	// traces retains sim recorders for recently executed runs (only with
+	// spans enabled).
+	traces *traceKeeper
+
 	// idCache maps a spec's identity (spec.cacheKey) to its run id so the
 	// admission fast path never recomputes the content address — the
 	// SHA-256 over the canonical config — per request.
@@ -214,19 +271,41 @@ type Server struct {
 // New builds a server (workers started immediately).
 func New(cfg Config) *Server {
 	s := &Server{cfg: cfg.withDefaults(), mux: http.NewServeMux(), met: newMetricsSet()}
+	s.met.sloP99 = s.cfg.SLOP99
 	s.execute = s.simulate
 	if s.cfg.Store != nil && !s.cfg.Baseline {
 		s.coal = newCoalescer(s.cfg.Store, s.cfg.FlushInterval, s.cfg.FlushHighWater, s.cfg.Verbose)
+		s.coal.onFlush = s.observeFlush
+	}
+	if s.cfg.Spans && !s.cfg.Baseline {
+		s.spans = newSpanRecorder(s.cfg.SpanRing)
+		s.traces = newTraceKeeper()
 	}
 	s.quotas = newQuotas(s.cfg.QuotaRPS, s.cfg.QuotaBurst)
 	s.pool = newPool(s)
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("POST /v1/runs/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/runs/{id}/timings", s.handleTimings)
+	s.mux.HandleFunc("GET /v1/spans", s.handleSpans)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// observeFlush is the coalescer's commit hook: it feeds the flush-latency
+// histogram and (when enabled) emits a flush lifecycle span.
+func (s *Server) observeFlush(d time.Duration, records int) {
+	s.met.observeFlush(d)
+	s.span(stageFlush, "", "", uint64(d.Microseconds()), uint64(records))
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -305,6 +384,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.met.observeHTTP(time.Since(start)) }()
 	s.met.requests.Add(1)
+	client := s.clientKey(r)
+	s.met.clientRequest(client, 1)
+	s.span(stageReceive, client, "", 0, 0)
 	var sp RunSpec
 	if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
@@ -317,9 +399,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if s.quotas != nil {
-		if ok, retry := s.quotas.allow(s.clientKey(r), time.Now()); !ok {
+		if ok, retry := s.quotas.allow(client, time.Now()); !ok {
 			s.met.rejected.Add(1)
 			s.met.quotaRejected.Add(1)
+			s.met.clientShed(client, 1)
+			s.span(stageQuota, client, "", 0, 0)
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(retry)))
 			writeError(w, http.StatusTooManyRequests,
 				fmt.Errorf("over per-client quota (%g req/s); retry later", s.cfg.QuotaRPS))
@@ -329,31 +413,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	if js, ok := s.fastJoin(&sp); ok {
 		s.met.deduped.Add(1)
-		s.finishSubmit(w, r, js, sp.Async)
+		s.span(stageJoin, client, js.id, 0, 0)
+		s.finishSubmit(w, r, js, sp.Async, client, start)
 		return
 	}
 
-	js, outcome := s.pool.admit(sp, s.clientKey(r))
+	js, outcome := s.pool.admit(sp, client)
 	switch outcome {
 	case admitDraining:
 		s.met.rejected.Add(1)
+		s.met.clientShed(client, 1)
 		w.Header().Set("Connection", "close")
 		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
 		return
 	case admitFull:
 		s.met.rejected.Add(1)
+		s.met.clientShed(client, 1)
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Errorf("queue full (%d waiting, %d running); retry later", s.cfg.QueueDepth, s.cfg.Workers))
 		return
 	case admitClientFull:
 		s.met.rejected.Add(1)
+		s.met.clientShed(client, 1)
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Errorf("client backlog full (%d queued); retry later", s.pool.perClientCap()))
 		return
 	}
-	s.finishSubmit(w, r, js, sp.Async)
+	s.finishSubmit(w, r, js, sp.Async, client, start)
 }
 
 // finishSubmit writes the submission response: 202 immediately when async,
@@ -361,9 +449,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // inside the pool) or nothing if the client goes away first. An abandoned
 // wait does not cancel the shared run — other clients may be waiting on the
 // same jobState.
-func (s *Server) finishSubmit(w http.ResponseWriter, r *http.Request, js *jobState, async bool) {
+func (s *Server) finishSubmit(w http.ResponseWriter, r *http.Request, js *jobState, async bool, client string, start time.Time) {
 	if async {
 		writeStatusJSON(w, http.StatusAccepted, s.snapshot(js))
+		s.span(stageRespond, client, js.id, uint64(time.Since(start).Microseconds()), 0)
 		return
 	}
 	select {
@@ -372,10 +461,24 @@ func (s *Server) finishSubmit(w http.ResponseWriter, r *http.Request, js *jobSta
 			writeStatusJSON(w, httpStatusFor(js.err), s.snapshot(js))
 			return
 		}
+		if s.spans != nil {
+			setTimingsHeader(w.Header(), js.queueUS, js.simUS, js.persistUS.Load())
+		}
 		s.writeDone(w, js)
+		s.span(stageRespond, client, js.id, uint64(time.Since(start).Microseconds()), 0)
 	case <-r.Context().Done():
 		// Client disconnected; nothing useful to write.
 	}
+}
+
+// setTimingsHeader writes the server-side stage breakdown (µs) so a load
+// harness can put client-observed and server-reported latency side by side
+// without a second request. Format: "queue=<µs>;sim=<µs>;persist=<µs>".
+func setTimingsHeader(h http.Header, queueUS, simUS, persistUS int64) {
+	h.Set("X-Getm-Timings",
+		"queue="+strconv.FormatInt(queueUS, 10)+
+			";sim="+strconv.FormatInt(simUS, 10)+
+			";persist="+strconv.FormatInt(persistUS, 10))
 }
 
 // handleBatch is the admission-batching endpoint: one POST carries a JSON
@@ -409,13 +512,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.requests.Add(int64(len(specs)))
+	client := s.clientKey(r)
+	s.met.clientRequest(client, int64(len(specs)))
+	s.span(stageReceive, client, "", uint64(len(specs)), 0)
 	if s.pool.draining.Load() {
 		s.met.rejected.Add(int64(len(specs)))
+		s.met.clientShed(client, int64(len(specs)))
 		w.Header().Set("Connection", "close")
 		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
 		return
 	}
-	client := s.clientKey(r)
 
 	// Admission pass: every spec gets either a jobState or an immediate
 	// terminal response.
@@ -433,6 +539,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if ok, _ := s.quotas.allow(client, time.Now()); !ok {
 				s.met.rejected.Add(1)
 				s.met.quotaRejected.Add(1)
+				s.met.clientShed(client, 1)
+				s.span(stageQuota, client, "", 0, 0)
 				resps[i] = &Response{Status: "shed", Error: "over per-client quota"}
 				shed++
 				continue
@@ -440,6 +548,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		if js, ok := s.fastJoin(sp); ok {
 			s.met.deduped.Add(1)
+			s.span(stageJoin, client, js.id, 0, 0)
 			jobs[i] = js
 			continue
 		}
@@ -449,10 +558,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			jobs[i] = js
 		case admitDraining:
 			s.met.rejected.Add(1)
+			s.met.clientShed(client, 1)
 			resps[i] = &Response{Status: "shed", Error: "server is draining"}
 			shed++
 		default: // admitFull, admitClientFull
 			s.met.rejected.Add(1)
+			s.met.clientShed(client, 1)
 			resps[i] = &Response{Status: "shed", Error: "queue full"}
 			shed++
 		}
@@ -471,6 +582,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if s.spans != nil {
+		// Per-stage maxima across the awaited jobs: the batch's critical
+		// path, which is what the submitter actually waited on.
+		var q, sim, per int64
+		for i, js := range jobs {
+			if js == nil || specs[i].Async {
+				continue
+			}
+			q = max(q, js.queueUS)
+			sim = max(sim, js.simUS)
+			per = max(per, js.persistUS.Load())
+		}
+		setTimingsHeader(w.Header(), q, sim, per)
+	}
 	w.Header().Set("X-Getm-Shed", strconv.Itoa(shed))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
@@ -496,6 +621,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Write([]byte("]\n"))
+	s.span(stageRespond, client, "", uint64(time.Since(start).Microseconds()), uint64(len(specs)))
 }
 
 // handleStatus reports one run: live states from the job table (lock-free),
@@ -526,6 +652,77 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeError(w, http.StatusNotFound, fmt.Errorf("unknown run id %q", id))
+}
+
+// Timings is the JSON shape of GET /v1/runs/{id}/timings: the per-stage
+// wall-clock breakdown of one run this process executed. Stage timings live
+// on the in-memory jobState, so ids served purely from the durable store 404
+// here — the store holds results, not request histories.
+type Timings struct {
+	ID        string `json:"id"`
+	Status    string `json:"status"`
+	Source    string `json:"source,omitempty"`
+	QueueUS   int64  `json:"queue_us"`
+	SimUS     int64  `json:"sim_us"`
+	PersistUS int64  `json:"persist_us"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+// handleTimings reports the per-stage breakdown for a run held in the job
+// table. Pending runs report the stages reached so far (zeroes beyond).
+func (s *Server) handleTimings(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	js, ok := s.pool.lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no stage timings for run id %q (not executed by this process)", id))
+		return
+	}
+	t := Timings{ID: js.id, Status: js.getStatus().String(), PersistUS: js.persistUS.Load()}
+	select {
+	case <-js.done:
+		t.Status = statusDone.String()
+		if js.err != nil {
+			t.Status = statusFailed.String()
+		}
+		t.Source = js.source
+		t.QueueUS, t.SimUS, t.ElapsedMS = js.queueUS, js.simUS, js.elapsedMS
+	default:
+	}
+	writeJSON(w, t)
+}
+
+// handleSpans exports the lifecycle span ring — plus the retained sim
+// recorders — in the trace layer's format set (?format=perfetto|csv|text,
+// default perfetto). 404 unless the server runs with spans enabled.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if s.spans == nil {
+		writeError(w, http.StatusNotFound, errors.New("spans disabled (start the server with -spans)"))
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "perfetto"
+	}
+	var err error
+	switch format {
+	case "perfetto":
+		w.Header().Set("Content-Type", "application/json")
+		err = s.writeSpansPerfetto(w)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		err = s.writeSpansCSV(w)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		err = s.writeSpansText(w)
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown format %q (want perfetto, csv, or text)", format))
+		return
+	}
+	if err != nil {
+		s.log("spans export: " + err.Error())
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -371,11 +371,12 @@ func TestMetricsExposition(t *testing.T) {
 		"getm_serve_rejected_total 0",
 		"getm_serve_simulated_total",
 		"getm_serve_store_hits_total",
-		"getm_serve_latency_ms_p50",
-		"getm_serve_latency_ms_p99",
-		"getm_serve_latency_samples 1",
+		`getm_serve_run_latency_seconds{quantile="0.5"}`,
+		`getm_serve_run_latency_seconds{quantile="0.99"}`,
+		"getm_serve_run_latency_seconds_count 1",
 		"# TYPE getm_serve_queue_depth gauge",
 		"# TYPE getm_serve_requests_total counter",
+		"# TYPE getm_serve_run_latency_seconds summary",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)

@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"getm/internal/trace"
+)
+
+// spanStage enumerates the request-lifecycle stages the serve layer records.
+// Together they tile a request's wall-clock life: receive → quota verdict →
+// fair-queue enqueue/dequeue (the wait) → dedupe join or miss → simulate
+// start/finish → persist → coalescer flush → response write.
+type spanStage uint8
+
+const (
+	stageReceive  spanStage = iota // request arrived (submit or one batch item)
+	stageQuota                     // shed by the per-client token bucket
+	stageEnqueue                   // took a fair-queue slot
+	stageDequeue                   // worker picked it up; A = queue wait µs
+	stageJoin                      // dedupe hit: joined a live/completed job
+	stageMiss                      // dedupe miss: fresh admission
+	stageSimStart                  // execute began on a worker
+	stageSimFinish                 // execute returned; A = µs, B = total cycles
+	stagePersist                   // persist hook ran; A = µs
+	stageFlush                     // coalescer batch committed; A = µs, B = records
+	stageRespond                   // response written; A = end-to-end µs
+	numSpanStages
+)
+
+var spanStageNames = [numSpanStages]string{
+	"receive", "quota_shed", "enqueue", "dequeue", "join", "miss",
+	"sim_start", "sim_finish", "persist", "flush", "respond",
+}
+
+func (st spanStage) String() string {
+	if int(st) < len(spanStageNames) {
+		return spanStageNames[st]
+	}
+	return "unknown"
+}
+
+// spanRecord is one fixed-size binary lifecycle record — the serve-layer
+// sibling of trace.Event. Strings never live in the record: client and run
+// ids are interned to small indices in bounded side tables, so a record is
+// 40 bytes flat and emitting one allocates nothing.
+type spanRecord struct {
+	US     int64  // µs since the recorder's epoch (wall clock)
+	Seq    uint64 // global emission order
+	A, B   uint64 // per-stage payload (see spanStage)
+	Stage  spanStage
+	Client uint32 // interned client key (0 = unknown/overflow)
+	Run    uint32 // interned run id (0 = none)
+}
+
+// spanInternCap bounds each intern table; ids beyond the cap collapse onto
+// index 0 so a client-id cardinality attack cannot grow server memory.
+const spanInternCap = 1024
+
+// spanRecorder retains lifecycle records in a power-of-two ring, oldest
+// overwritten first — the trace.Recorder discipline applied to the serve
+// layer. Disabled cost is one pointer compare at every emit site (the
+// Server.spans field is nil); enabled cost is one short critical section and
+// zero allocations for known client/run ids.
+type spanRecorder struct {
+	epoch time.Time
+
+	mu      sync.Mutex
+	buf     []spanRecord
+	n       uint64 // records ever written
+	seq     uint64
+	clients *internTable
+	runs    *internTable
+}
+
+// internTable maps strings to dense uint32 indices, bounded at spanInternCap.
+// Index 0 is the overflow/unknown sentinel.
+type internTable struct {
+	idx map[string]uint32
+	rev []string
+}
+
+func newInternTable() *internTable {
+	return &internTable{idx: make(map[string]uint32), rev: []string{""}}
+}
+
+// get interns s, returning 0 once the table is full. Caller holds the
+// recorder lock.
+func (t *internTable) get(s string) uint32 {
+	if s == "" {
+		return 0
+	}
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	if len(t.rev) >= spanInternCap {
+		return 0
+	}
+	i := uint32(len(t.rev))
+	t.idx[s] = i
+	t.rev = append(t.rev, s)
+	return i
+}
+
+func (t *internTable) name(i uint32) string {
+	if int(i) < len(t.rev) {
+		return t.rev[i]
+	}
+	return ""
+}
+
+// defaultSpanRing is the lifecycle ring capacity when Config.SpanRing is 0:
+// at two records per request (receive + respond) plus the stage records of
+// executed runs, 16k records cover several thousand in-flight request lives.
+const defaultSpanRing = 1 << 14
+
+func newSpanRecorder(ringSize int) *spanRecorder {
+	if ringSize <= 0 {
+		ringSize = defaultSpanRing
+	}
+	size := 1
+	for size < ringSize {
+		size <<= 1
+	}
+	return &spanRecorder{
+		epoch:   time.Now(),
+		buf:     make([]spanRecord, size),
+		clients: newInternTable(),
+		runs:    newInternTable(),
+	}
+}
+
+// emit appends one record. The hot-path contract mirrors trace.Recorder.Emit:
+// no allocation for interned ids, one bounded critical section, records
+// written in place into the preallocated ring.
+func (r *spanRecorder) emit(stage spanStage, client, run string, a, b uint64) {
+	us := time.Since(r.epoch).Microseconds()
+	r.mu.Lock()
+	rec := &r.buf[r.n&uint64(len(r.buf)-1)]
+	rec.US = us
+	rec.Seq = r.seq
+	rec.A, rec.B = a, b
+	rec.Stage = stage
+	rec.Client = r.clients.get(client)
+	rec.Run = r.runs.get(run)
+	r.n++
+	r.seq++
+	r.mu.Unlock()
+}
+
+// snapshot copies the retained records (oldest first) plus the intern tables.
+func (r *spanRecorder) snapshot() (recs []spanRecord, clients, runs []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := uint64(len(r.buf))
+	count := r.n
+	if count > size {
+		count = size
+	}
+	recs = make([]spanRecord, 0, count)
+	for i := r.n - count; i < r.n; i++ {
+		recs = append(recs, r.buf[i&(size-1)])
+	}
+	clients = append([]string(nil), r.clients.rev...)
+	runs = append([]string(nil), r.runs.rev...)
+	return recs, clients, runs
+}
+
+// total and dropped mirror the trace.Recorder accounting: records ever
+// emitted, and how many the ring has overwritten.
+func (r *spanRecorder) total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+func (r *spanRecorder) dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n > uint64(len(r.buf)) {
+		return r.n - uint64(len(r.buf))
+	}
+	return 0
+}
+
+// span is the emit guard every serve-path site calls: with spans disabled it
+// is one pointer compare, exactly the nil-Recorder discipline of the sim
+// trace layer.
+func (s *Server) span(stage spanStage, client, run string, a, b uint64) {
+	if sr := s.spans; sr != nil {
+		sr.emit(stage, client, run, a, b)
+	}
+}
+
+// servePid is the Perfetto process id carrying serve lifecycle tracks
+// (distinct from the sim recorder pid ranges added at simTracePidBase).
+const (
+	servePid        = 200
+	simTracePidBase = 1000
+	simTracePidStep = 200
+)
+
+// spanDur reports the payload-carried duration of duration-bearing stages
+// (µs), or -1 for instant stages.
+func spanDur(rec spanRecord) int64 {
+	switch rec.Stage {
+	case stageDequeue, stageSimFinish, stagePersist, stageFlush, stageRespond:
+		return int64(rec.A)
+	}
+	return -1
+}
+
+// writeSpansPerfetto renders the lifecycle records — and the retained sim
+// recorders for run ids the server actually executed — into one Chrome
+// trace-event document. One serve process with one thread per client; each
+// sim recorder lands in its own pid range, its process names prefixed by the
+// (shortened) run id, so a request span and the engine events it triggered
+// sit on a single timeline.
+func (s *Server) writeSpansPerfetto(w io.Writer) error {
+	recs, clients, runs := s.spans.snapshot()
+	tl := trace.NewTimeline()
+	tl.Process(servePid, "serve")
+	named := make([]bool, len(clients))
+	for _, rec := range recs {
+		tid := int(rec.Client)
+		if int(rec.Client) < len(named) && !named[rec.Client] {
+			named[rec.Client] = true
+			name := clients[rec.Client]
+			if name == "" {
+				name = "(unattributed)"
+			}
+			tl.Thread(servePid, tid, "client "+name)
+		}
+		args := map[string]any{"seq": rec.Seq}
+		if rec.Run != 0 && int(rec.Run) < len(runs) {
+			args["run"] = runs[rec.Run]
+		}
+		switch {
+		case rec.Stage == stageSimFinish:
+			args["cycles"] = rec.B
+		case rec.Stage == stageFlush:
+			args["records"] = rec.B
+		}
+		ts := uint64(rec.US)
+		if d := spanDur(rec); d >= 0 {
+			// Duration-bearing records are emitted at completion; the span
+			// starts dur earlier.
+			dur := uint64(d)
+			start := ts
+			if dur <= ts {
+				start = ts - dur
+			} else {
+				start, dur = 0, ts
+			}
+			tl.Span(servePid, tid, rec.Stage.String(), start, dur, args)
+		} else {
+			tl.Instant(servePid, tid, rec.Stage.String(), ts, args)
+		}
+	}
+	for i, tr := range s.simTraces() {
+		label := tr.id
+		if len(label) > 12 {
+			label = label[:12]
+		}
+		tl.AddRecorder(simTracePidBase+i*simTracePidStep, tr.rec, "run "+label)
+	}
+	return tl.Write(w)
+}
+
+// writeSpansCSV renders the lifecycle records as a flat CSV table.
+func (s *Server) writeSpansCSV(w io.Writer) error {
+	recs, clients, runs := s.spans.snapshot()
+	bw := bufio.NewWriter(w)
+	bw.WriteString("us,seq,stage,client,run,a,b\n")
+	for _, rec := range recs {
+		client, run := "", ""
+		if int(rec.Client) < len(clients) {
+			client = clients[rec.Client]
+		}
+		if int(rec.Run) < len(runs) {
+			run = runs[rec.Run]
+		}
+		fmt.Fprintf(bw, "%d,%d,%s,%s,%s,%d,%d\n",
+			rec.US, rec.Seq, rec.Stage, client, run, rec.A, rec.B)
+	}
+	return bw.Flush()
+}
+
+// writeSpansText renders a human-readable log, one record per line.
+func (s *Server) writeSpansText(w io.Writer) error {
+	recs, clients, runs := s.spans.snapshot()
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		client, run := "-", "-"
+		if int(rec.Client) < len(clients) && clients[rec.Client] != "" {
+			client = clients[rec.Client]
+		}
+		if int(rec.Run) < len(runs) && runs[rec.Run] != "" {
+			run = runs[rec.Run]
+		}
+		fmt.Fprintf(bw, "%10d  %-10s client=%s run=%s", rec.US, rec.Stage, client, run)
+		if d := spanDur(rec); d >= 0 {
+			fmt.Fprintf(bw, " dur_us=%d", d)
+		}
+		if rec.Stage == stageSimFinish {
+			fmt.Fprintf(bw, " cycles=%d", rec.B)
+		}
+		if rec.Stage == stageFlush {
+			fmt.Fprintf(bw, " records=%d", rec.B)
+		}
+		bw.WriteByte('\n')
+	}
+	if d := s.spans.dropped(); d > 0 {
+		fmt.Fprintf(bw, "# %s lifecycle records overwritten (ring too small; raise -span-ring)\n",
+			strconv.FormatUint(d, 10))
+	}
+	return bw.Flush()
+}
+
+// simTrace pairs a retained sim recorder with its run id.
+type simTrace struct {
+	id  string
+	rec *trace.Recorder
+}
+
+// simTraceCap bounds how many executed runs keep their sim recorder alive: a
+// recorder retains per-source rings, so the retention set is a small LRU,
+// not a per-run archive.
+const simTraceCap = 8
+
+// traceKeeper is the bounded LRU behind harness.Runner.TraceSink.
+type traceKeeper struct {
+	mu    sync.Mutex
+	order []string
+	byID  map[string]*trace.Recorder
+}
+
+func newTraceKeeper() *traceKeeper {
+	return &traceKeeper{byID: make(map[string]*trace.Recorder)}
+}
+
+func (k *traceKeeper) put(id string, rec *trace.Recorder) {
+	if rec == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, ok := k.byID[id]; !ok {
+		k.order = append(k.order, id)
+		if len(k.order) > simTraceCap {
+			evict := k.order[0]
+			k.order = k.order[1:]
+			delete(k.byID, evict)
+		}
+	}
+	k.byID[id] = rec
+}
+
+func (k *traceKeeper) get(id string) (*trace.Recorder, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	rec, ok := k.byID[id]
+	return rec, ok
+}
+
+func (k *traceKeeper) all() []simTrace {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]simTrace, 0, len(k.order))
+	for _, id := range k.order {
+		out = append(out, simTrace{id: id, rec: k.byID[id]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// simTraces returns the retained sim recorders (empty without span capture).
+func (s *Server) simTraces() []simTrace {
+	if s.traces == nil {
+		return nil
+	}
+	return s.traces.all()
+}

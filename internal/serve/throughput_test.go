@@ -274,17 +274,39 @@ func TestDrainFlushesCoalescerNoAcknowledgedRunLost(t *testing.T) {
 	}
 }
 
-// promSample is one parsed exposition line.
+// promSample is one parsed exposition series (name includes its label set).
 type promSample struct {
-	name  string
-	value float64
-	typ   string // from the preceding # TYPE line
+	name   string // full series name, labels included
+	family string // metric family owning the HELP/TYPE comments
+	value  float64
+	typ    string // from the preceding # TYPE line
+}
+
+// promFamily resolves a sample's metric family: the bare name with any label
+// set stripped, and — for summary families — the _sum/_count suffixes folded
+// back onto the base family, exactly as the exposition format defines them.
+func promFamily(name string, types map[string]string) string {
+	base := name
+	if i := strings.IndexByte(base, '{'); i >= 0 {
+		base = base[:i]
+	}
+	if _, ok := types[base]; ok {
+		return base
+	}
+	for _, suf := range []string{"_sum", "_count"} {
+		if fam, found := strings.CutSuffix(base, suf); found {
+			if types[fam] == "summary" {
+				return fam
+			}
+		}
+	}
+	return base
 }
 
 // parseProm strictly parses the Prometheus text exposition format used by
-// /metrics: every non-comment line must be "name value" with a float value,
-// every metric must carry # HELP and # TYPE comments, and names must be
-// unique.
+// /metrics: every non-comment line must be `name[{labels}] value` with a
+// float value, every family must carry # HELP and # TYPE comments (counter,
+// gauge, or summary), and series names (labels included) must be unique.
 func parseProm(t *testing.T, body string) map[string]promSample {
 	t.Helper()
 	out := make(map[string]promSample)
@@ -304,7 +326,7 @@ func parseProm(t *testing.T, body string) map[string]promSample {
 		}
 		if strings.HasPrefix(line, "# TYPE ") {
 			parts := strings.Fields(line[len("# TYPE "):])
-			if len(parts) != 2 || (parts[1] != "counter" && parts[1] != "gauge") {
+			if len(parts) != 2 || (parts[1] != "counter" && parts[1] != "gauge" && parts[1] != "summary") {
 				t.Fatalf("line %d: malformed TYPE %q", ln+1, line)
 			}
 			types[parts[0]] = parts[1]
@@ -322,17 +344,21 @@ func parseProm(t *testing.T, body string) map[string]promSample {
 			t.Fatalf("line %d: value %q not a float: %v", ln+1, fields[1], err)
 		}
 		name := fields[0]
-		if _, dup := out[name]; dup {
-			t.Fatalf("line %d: duplicate metric %s", ln+1, name)
+		if i := strings.IndexByte(name, '{'); i >= 0 && !strings.HasSuffix(name, "}") {
+			t.Fatalf("line %d: malformed label set in %q", ln+1, name)
 		}
-		if !helps[name] {
+		if _, dup := out[name]; dup {
+			t.Fatalf("line %d: duplicate series %s", ln+1, name)
+		}
+		family := promFamily(name, types)
+		if !helps[family] {
 			t.Fatalf("line %d: %s has no # HELP", ln+1, name)
 		}
-		typ, ok := types[name]
+		typ, ok := types[family]
 		if !ok {
 			t.Fatalf("line %d: %s has no # TYPE", ln+1, name)
 		}
-		out[name] = promSample{name: name, value: v, typ: typ}
+		out[name] = promSample{name: name, family: family, value: v, typ: typ}
 	}
 	return out
 }
@@ -360,8 +386,10 @@ func TestMetricsStrictFormatAndMonotoneCounters(t *testing.T) {
 	for _, name := range []string{
 		"getm_serve_requests_total", "getm_serve_batches_total",
 		"getm_serve_quota_rejected_total", "getm_serve_deduped_total",
-		"getm_serve_http_latency_samples", "getm_serve_fair_clients",
-		"getm_serve_quota_clients",
+		"getm_serve_http_latency_seconds_count", "getm_serve_fair_clients",
+		"getm_serve_quota_clients", "getm_serve_goroutines",
+		"getm_serve_heap_alloc_bytes", "getm_serve_slo_slow_runs_total",
+		`getm_serve_stage_latency_seconds{stage="queue",quantile="0.5"}`,
 	} {
 		if _, ok := prev[name]; !ok {
 			t.Errorf("exposition missing %s", name)

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// LogHist is a log-bucketed histogram for values with a wide dynamic range —
+// stage latencies in microseconds span five orders of magnitude between an
+// admission fast-path join and a full simulation, which a value-indexed Hist
+// cannot cover without either losing the left edge or allocating gigabuckets.
+//
+// Layout: values below 2^(sub+1) get one exact bucket each; every octave
+// [2^e, 2^(e+1)) above that is split into 2^sub sub-buckets, bounding the
+// relative quantile error at 2^-sub (~1.6% with the default sub = 6). The
+// struct is fixed-size and self-contained (no pointers), so a zero value is
+// ready to use and embedding it costs one allocation never.
+type LogHist struct {
+	counts [logHistBuckets]uint64
+	total  uint64
+	sum    float64
+	max    uint64
+}
+
+// logHistSub is the sub-bucket resolution: 2^logHistSub sub-buckets per
+// octave.
+const logHistSub = 6
+
+const (
+	logHistExact   = 1 << (logHistSub + 1) // values < this are exact
+	logHistPerOct  = 1 << logHistSub
+	logHistBuckets = logHistExact + (64-logHistSub-1)*logHistPerOct
+)
+
+// logHistIndex maps a value to its bucket.
+func logHistIndex(v uint64) int {
+	if v < logHistExact {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // >= logHistSub+1
+	sub := (v - 1<<exp) >> (exp - logHistSub)
+	return logHistExact + (exp-logHistSub-1)*logHistPerOct + int(sub)
+}
+
+// logHistLower returns the smallest value mapping to bucket b.
+func logHistLower(b int) uint64 {
+	if b < logHistExact {
+		return uint64(b)
+	}
+	rel := b - logHistExact
+	exp := logHistSub + 1 + rel/logHistPerOct
+	sub := uint64(rel % logHistPerOct)
+	return 1<<exp + sub<<(exp-logHistSub)
+}
+
+// Add records one sample. Negative values clamp to zero.
+func (h *LogHist) Add(v int64) {
+	u := uint64(0)
+	if v > 0 {
+		u = uint64(v)
+	}
+	h.counts[logHistIndex(u)]++
+	h.total++
+	h.sum += float64(u)
+	if u > h.max {
+		h.max = u
+	}
+}
+
+// Total returns the number of recorded samples.
+func (h *LogHist) Total() uint64 { return h.total }
+
+// Mean returns the exact average of recorded samples (0 if none) — the sum
+// is tracked alongside the buckets, so Mean carries no bucketing error.
+func (h *LogHist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the exact largest recorded sample (0 if none).
+func (h *LogHist) Max() uint64 { return h.max }
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1): the midpoint
+// of the bucket holding the q-th sample, within 2^-logHistSub of the true
+// value. With no samples it returns 0.
+func (h *LogHist) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	if q < 0 || math.IsNaN(q) {
+		q = 0
+	}
+	need := uint64(math.Ceil(q * float64(h.total)))
+	if need == 0 {
+		need = 1
+	}
+	var seen uint64
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= need {
+			lo := logHistLower(b)
+			if b < logHistExact {
+				return float64(lo)
+			}
+			hi := logHistLower(b + 1)
+			return float64(lo+hi) / 2
+		}
+	}
+	return float64(h.max)
+}
+
+// Merge folds other into h.
+func (h *LogHist) Merge(other *LogHist) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	for b, c := range other.counts {
+		h.counts[b] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestLogHistIndexRoundTrip(t *testing.T) {
+	// Every bucket's lower bound must map back to that bucket, and bucket
+	// boundaries must be monotone.
+	prev := uint64(0)
+	for b := 0; b < logHistBuckets; b++ {
+		lo := logHistLower(b)
+		if b > 0 && lo <= prev && !(b == 1 && lo == 1) {
+			if lo <= prev {
+				t.Fatalf("bucket %d lower %d not > previous %d", b, lo, prev)
+			}
+		}
+		if got := logHistIndex(lo); got != b {
+			t.Fatalf("logHistIndex(lower(%d)=%d) = %d", b, lo, got)
+		}
+		prev = lo
+	}
+	// Exact range is exact.
+	for v := uint64(0); v < logHistExact; v++ {
+		if got := logHistIndex(v); got != int(v) {
+			t.Fatalf("logHistIndex(%d) = %d, want exact", v, got)
+		}
+	}
+	// Extremes don't go out of range.
+	if got := logHistIndex(math.MaxUint64); got >= logHistBuckets {
+		t.Fatalf("logHistIndex(max) = %d out of %d buckets", got, logHistBuckets)
+	}
+}
+
+func TestLogHistQuantileBoundedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h LogHist
+	var vals []float64
+	for i := 0; i < 20_000; i++ {
+		// Log-uniform over ~6 orders of magnitude, like latencies in µs.
+		v := int64(math.Exp(rng.Float64() * 14))
+		h.Add(v)
+		vals = append(vals, float64(v))
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)-1))]
+		got := h.Quantile(q)
+		if exact == 0 {
+			continue
+		}
+		if rel := math.Abs(got-exact) / exact; rel > 0.05 {
+			t.Errorf("q=%g: got %.1f want ~%.1f (rel err %.3f > 0.05)", q, got, exact, rel)
+		}
+	}
+}
+
+func TestLogHistExactStats(t *testing.T) {
+	var h LogHist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Total() != 0 {
+		t.Fatal("zero-value LogHist must report zeros")
+	}
+	for _, v := range []int64{3, 5, 7, 1000, -4} {
+		h.Add(v)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", h.Total())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("Max = %d, want 1000", h.Max())
+	}
+	if want := (3 + 5 + 7 + 1000 + 0) / 5.0; h.Mean() != want {
+		t.Fatalf("Mean = %g, want %g", h.Mean(), want)
+	}
+	// Small values are exact.
+	if got := h.Quantile(0.2); got != 0 {
+		t.Fatalf("Quantile(0.2) = %g, want 0 (the clamped -4)", got)
+	}
+	if got := h.Quantile(0.6); got != 5 {
+		t.Fatalf("Quantile(0.6) = %g, want 5", got)
+	}
+}
+
+func TestLogHistMerge(t *testing.T) {
+	var a, b, whole LogHist
+	for i := int64(1); i <= 1000; i++ {
+		whole.Add(i * 17)
+		if i%2 == 0 {
+			a.Add(i * 17)
+		} else {
+			b.Add(i * 17)
+		}
+	}
+	a.Merge(&b)
+	a.Merge(nil)
+	if a.Total() != whole.Total() || a.Mean() != whole.Mean() || a.Max() != whole.Max() {
+		t.Fatalf("merge mismatch: total %d/%d mean %g/%g max %d/%d",
+			a.Total(), whole.Total(), a.Mean(), whole.Mean(), a.Max(), whole.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q=%g: merged %g != whole %g", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}

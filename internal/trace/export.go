@@ -2,7 +2,6 @@ package trace
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -66,52 +65,13 @@ const samplePid = 100
 // WritePerfetto renders the trace as Chrome trace-event JSON: one process
 // per source, one thread per hardware unit (core/VU/port/partition), spans
 // for duration-carrying kinds, instants for the rest, and one counter track
-// per interval-sample series.
+// per interval-sample series. It is AddRecorder on a fresh Timeline; callers
+// combining several producers (e.g. serve lifecycle spans plus the sim
+// recorders they triggered) build the Timeline themselves.
 func WritePerfetto(w io.Writer, r *Recorder) error {
-	var out pfTrace
-	out.DisplayTimeUnit = "ms"
-
-	for s := Source(0); s < NumSources; s++ {
-		evs := r.Events(s)
-		if len(evs) == 0 {
-			continue
-		}
-		out.TraceEvents = append(out.TraceEvents, pfEvent{
-			Name: "process_name", Ph: "M", Pid: int(s),
-			Args: map[string]any{"name": s.String()},
-		})
-		namedTids := map[int32]bool{}
-		for _, e := range evs {
-			if !namedTids[e.Unit] {
-				namedTids[e.Unit] = true
-				out.TraceEvents = append(out.TraceEvents, pfEvent{
-					Name: "thread_name", Ph: "M", Pid: int(s), Tid: int(e.Unit),
-					Args: map[string]any{"name": fmt.Sprintf("%s %d", unitLabels[s], e.Unit)},
-				})
-			}
-			out.TraceEvents = append(out.TraceEvents, toPf(e))
-		}
-	}
-
-	cycles, rows := r.Samples()
-	if len(cycles) > 0 {
-		out.TraceEvents = append(out.TraceEvents, pfEvent{
-			Name: "process_name", Ph: "M", Pid: samplePid,
-			Args: map[string]any{"name": "samples"},
-		})
-		names := r.SeriesNames()
-		for i, cyc := range cycles {
-			for j, name := range names {
-				out.TraceEvents = append(out.TraceEvents, pfEvent{
-					Name: name, Ph: "C", Ts: cyc, Pid: samplePid,
-					Args: map[string]any{"value": rows[i][j]},
-				})
-			}
-		}
-	}
-
-	enc := json.NewEncoder(w)
-	return enc.Encode(&out)
+	tl := NewTimeline()
+	tl.AddRecorder(0, r, "")
+	return tl.Write(w)
 }
 
 // toPf converts one event record using its kind-table metadata.

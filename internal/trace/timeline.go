@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Timeline assembles one Chrome trace-event document from heterogeneous
+// producers: simulation recorders (cycle-stamped, one process per source) and
+// external span emitters such as the serve layer's request lifecycle records
+// (wall-clock µs). Perfetto renders every producer as its own process on a
+// shared timeline, which is what lets a serve-request span and the sim events
+// it triggered be inspected in one view.
+//
+// Timestamps are raw uint64 microsecond ticks; each producer picks its own
+// epoch (simulated cycle 0, or wall-clock µs since process start) and its own
+// pid range. WritePerfetto is now a thin wrapper over AddRecorder + Write, so
+// every exporter path renders through the same machinery.
+type Timeline struct {
+	events []pfEvent
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Process names the process with the given pid.
+func (t *Timeline) Process(pid int, name string) {
+	t.events = append(t.events, pfEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Thread names one thread (pid, tid).
+func (t *Timeline) Thread(pid, tid int, name string) {
+	t.events = append(t.events, pfEvent{
+		Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Span appends a complete-event span [ts, ts+dur). A zero dur renders as 1
+// tick so the span stays visible.
+func (t *Timeline) Span(pid, tid int, name string, ts, dur uint64, args map[string]any) {
+	if dur == 0 {
+		dur = 1
+	}
+	t.events = append(t.events, pfEvent{
+		Name: name, Ph: "X", Ts: ts, Dur: dur, Pid: pid, Tid: tid, Args: args,
+	})
+}
+
+// Instant appends a thread-scoped instant event.
+func (t *Timeline) Instant(pid, tid int, name string, ts uint64, args map[string]any) {
+	t.events = append(t.events, pfEvent{
+		Name: name, Ph: "i", S: "t", Ts: ts, Pid: pid, Tid: tid, Args: args,
+	})
+}
+
+// Counter appends one sample of a counter track.
+func (t *Timeline) Counter(pid int, name string, ts uint64, value float64) {
+	t.events = append(t.events, pfEvent{
+		Name: name, Ph: "C", Ts: ts, Pid: pid,
+		Args: map[string]any{"value": value},
+	})
+}
+
+// AddRecorder renders a simulation recorder's retained events into the
+// timeline: one process per source at pidBase+Source, one thread per hardware
+// unit, spans for duration-carrying kinds, instants for the rest, and one
+// counter track per interval-sample series at pidBase+samplePid. label, if
+// non-empty, prefixes the process names so several recorders stay
+// distinguishable in one document.
+func (t *Timeline) AddRecorder(pidBase int, r *Recorder, label string) {
+	for s := Source(0); s < NumSources; s++ {
+		evs := r.Events(s)
+		if len(evs) == 0 {
+			continue
+		}
+		name := s.String()
+		if label != "" {
+			name = label + " " + name
+		}
+		t.Process(pidBase+int(s), name)
+		namedTids := map[int32]bool{}
+		for _, e := range evs {
+			if !namedTids[e.Unit] {
+				namedTids[e.Unit] = true
+				t.Thread(pidBase+int(s), int(e.Unit), fmt.Sprintf("%s %d", unitLabels[s], e.Unit))
+			}
+			pf := toPf(e)
+			pf.Pid += pidBase
+			t.events = append(t.events, pf)
+		}
+	}
+
+	cycles, rows := r.Samples()
+	if len(cycles) > 0 {
+		name := "samples"
+		if label != "" {
+			name = label + " samples"
+		}
+		t.Process(pidBase+samplePid, name)
+		names := r.SeriesNames()
+		for i, cyc := range cycles {
+			for j, series := range names {
+				t.Counter(pidBase+samplePid, series, cyc, rows[i][j])
+			}
+		}
+	}
+}
+
+// Write renders the document as Chrome trace-event JSON.
+func (t *Timeline) Write(w io.Writer) error {
+	out := pfTrace{TraceEvents: t.events, DisplayTimeUnit: "ms"}
+	if out.TraceEvents == nil {
+		out.TraceEvents = []pfEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
