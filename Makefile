@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench benchcmp trace-gate store-gate serve-gate par-gate load-gate obs-gate bench-serve
+.PHONY: check vet build test race short bench benchcmp trace-gate store-gate serve-gate par-gate load-gate obs-gate policy-gate bench-serve
 
-check: vet build race short trace-gate store-gate serve-gate par-gate load-gate obs-gate
+check: vet build race short trace-gate store-gate serve-gate par-gate load-gate obs-gate policy-gate
 
 vet:
 	$(GO) vet ./...
@@ -86,6 +86,20 @@ obs-gate:
 	$(GO) test -race -run 'TestSpanRecorderConcurrentNoLoss' ./internal/serve/
 	$(GO) test -run 'TestPrecomputeProgress|TestRunnerTraceSink' ./internal/harness/
 	$(GO) test ./cmd/getm-top/
+
+# Policy-matrix gate: the four paper protocols selected as matrix presets
+# must stay bit-identical to name selection (golden fingerprints, seed
+# differential, golden store addresses), every invalid combination must be
+# rejected on all three surfaces (API errors.Is, CLI exit 2, serve 400),
+# and the assembled lifecycle engine must stay race-clean.
+policy-gate:
+	$(GO) test -short ./internal/policy/
+	$(GO) test -race -run 'TestPresetFingerprints|TestNonPresetPointsRun' ./internal/policy/
+	$(GO) test -run 'TestKeyStabilityAcrossPolicyRedesign|TestKeyNonPresetPolicies' ./internal/store/
+	$(GO) test -run 'TestPoliciesEnumeration|TestParsePolicy|TestRunInvalidPolicy|TestRunExperimentInvalidPolicy|TestRunPolicyPresetIdentity' .
+	$(GO) test -run 'TestPolicyFlag|TestPolicyPresetSharesStoreRecord' ./cmd/getm-sim/
+	$(GO) test -run 'TestPolicyGrid|TestPolicyFlagErrors' ./cmd/getm-sweep/
+	$(GO) test -run 'TestSubmitPolicy|TestPolicyMetricsLabel' ./internal/serve/
 
 # Serve-path throughput baselines (recorded in BENCH_serve.json): both
 # traffic mixes against the per-request-write baseline server and the

@@ -12,18 +12,18 @@ import (
 	"getm/internal/workloads"
 )
 
-// Protocol names accepted by Options.Protocol.
-const (
-	GETM     = "getm"      // the paper's contribution: eager conflict detection
-	WarpTM   = "warptm"    // lazy-lazy baseline with value-based validation
-	WarpTMEL = "warptm-el" // idealized eager-lazy WarpTM variant
-	EAPG     = "eapg"      // idealized EarlyAbort/Pause-n-Go baseline
-	FGLock   = "fglock"    // hand-tuned fine-grained locks
-)
+// FGLock is the protocol name of the hand-tuned fine-grained-lock variant.
+// It is the one synchronization mechanism that is not a transactional-memory
+// policy, so it has no matrix preset — select it by name. The TM protocols
+// are Policy presets instead: GETM(), WarpTM(), WarpTMEL(), EAPG() (their
+// names — "getm", "warptm", "warptm-el", "eapg" — are still accepted by
+// Options.Protocol; see doc.go for migration notes).
+const FGLock = "fglock"
 
-// Protocols lists the supported synchronization mechanisms.
+// Protocols lists the supported synchronization mechanisms by name: the
+// four TM policy presets plus fglock.
 func Protocols() []string {
-	return []string{GETM, WarpTM, WarpTMEL, EAPG, FGLock}
+	return []string{"getm", "warptm", "warptm-el", "eapg", FGLock}
 }
 
 // Benchmarks lists the TM workloads from the paper's Table III.
@@ -39,8 +39,15 @@ func Benchmarks() []string { return workloads.Names() }
 // The normalization happens on a copy inside Run/RunContext; the caller's
 // Options value is never modified.
 type Options struct {
-	// Protocol is one of the Protocol constants (default GETM).
+	// Protocol names the synchronization mechanism: one of Protocols()
+	// (default "getm"). Ignored when Policy is set.
 	Protocol string
+	// Policy, when non-zero, selects the protocol-matrix point directly and
+	// takes precedence over Protocol. The presets (GETM(), WarpTM(),
+	// WarpTMEL(), EAPG()) reproduce the named protocols bit-for-bit; any
+	// other point from Policies() explores the matrix beyond the paper.
+	// Invalid combinations fail with an error matching ErrInvalidPolicy.
+	Policy Policy
 	// Benchmark is one of Benchmarks() (default "atm").
 	Benchmark string
 	// Concurrency limits transactional warps per core; 0 means unlimited.
@@ -59,8 +66,16 @@ type Options struct {
 }
 
 func (o Options) normalize() Options {
-	if o.Protocol == "" {
-		o.Protocol = GETM
+	if !o.Policy.IsZero() {
+		// Policy drives; keep Protocol coherent where a preset names it so
+		// e.g. the fglock workload-variant check stays name-based.
+		if name, ok := policyPresetName(o.Policy); ok {
+			o.Protocol = name
+		} else {
+			o.Protocol = ""
+		}
+	} else if o.Protocol == "" {
+		o.Protocol = "getm"
 	}
 	if o.Benchmark == "" {
 		o.Benchmark = "atm"
@@ -92,20 +107,27 @@ func (o Options) config() gpu.Config {
 	if o.GranularityBytes > 0 {
 		cfg.GETM.GranularityBytes = o.GranularityBytes
 	}
+	cfg.Policy = o.Policy.internal()
 	return cfg
 }
 
 // validate checks the enumerable fields up front so bad options fail with
 // the typed sentinels before any simulation work.
 func (o Options) validate() error {
-	okProto := false
-	for _, p := range Protocols() {
-		if o.Protocol == p {
-			okProto = true
+	if !o.Policy.IsZero() {
+		if err := o.Policy.Validate(); err != nil {
+			return err
 		}
-	}
-	if !okProto {
-		return fmt.Errorf("%w %q (want one of %v)", ErrUnknownProtocol, o.Protocol, Protocols())
+	} else {
+		okProto := false
+		for _, p := range Protocols() {
+			if o.Protocol == p {
+				okProto = true
+			}
+		}
+		if !okProto {
+			return fmt.Errorf("%w %q (want one of %v)", ErrUnknownProtocol, o.Protocol, Protocols())
+		}
 	}
 	okBench := false
 	for _, b := range Benchmarks() {

@@ -43,7 +43,7 @@ func TestRunAllProtocolsViaAPI(t *testing.T) {
 }
 
 func TestRunDeterministicViaAPI(t *testing.T) {
-	o := Options{Protocol: GETM, Benchmark: "atm", Scale: 0.05}
+	o := Options{Policy: GETM(), Benchmark: "atm", Scale: 0.05}
 	a, err := Run(o)
 	if err != nil {
 		t.Fatal(err)

@@ -21,6 +21,7 @@ type expConfig struct {
 	storeDir string
 	resume   bool
 	shards   int
+	policy   Policy
 }
 
 // Option configures RunExperimentContext.
@@ -72,6 +73,19 @@ func WithShards(n int) Option {
 	}
 }
 
+// WithPolicy pins every transactional simulation cell of the experiment
+// grid to one protocol-matrix point (the fglock cells are untouched — locks
+// are not a TM policy). Pinning a preset — WithPolicy(GETM()) and so on —
+// changes nothing versus the protocol's name-based cells, including store
+// content addresses; pinning any other point from Policies() re-runs the
+// experiment's protocol rows under that point, which collapses
+// protocol-comparison experiments to a single behaviour by design. Invalid
+// combinations fail RunExperimentContext with an error matching
+// ErrInvalidPolicy.
+func WithPolicy(p Policy) Option {
+	return func(c *expConfig) { c.policy = p }
+}
+
 // RunExperimentContext regenerates one of the paper's figures or tables
 // (see Experiments) and returns the rendered report, honouring ctx: a cancel
 // or deadline stops in-flight simulations within one chunk of simulated
@@ -87,10 +101,16 @@ func RunExperimentContext(ctx context.Context, id string, opts ...Option) (strin
 	if !ok {
 		return "", fmt.Errorf("%w %q (want one of %v)", ErrUnknownExperiment, id, experimentIDs())
 	}
+	if !c.policy.IsZero() {
+		if err := c.policy.Validate(); err != nil {
+			return "", fmt.Errorf("getm: experiment %s: %w", id, err)
+		}
+	}
 
 	r := harness.NewRunner(c.scale)
 	r.Ctx = ctx
 	r.Shards = c.shards
+	r.Policy = c.policy.internal()
 	if c.storeDir != "" {
 		r.Store = store.Open(c.storeDir)
 		r.StoreReuse = c.resume

@@ -44,7 +44,7 @@ func TestRunContextPreCanceled(t *testing.T) {
 }
 
 func TestRunContextMatchesRun(t *testing.T) {
-	o := getm.Options{Protocol: getm.GETM, Benchmark: "atm", Concurrency: 4, Scale: 0.05}
+	o := getm.Options{Policy: getm.GETM(), Benchmark: "atm", Concurrency: 4, Scale: 0.05}
 	m1, err1 := getm.Run(o)
 	m2, err2 := getm.RunContext(context.Background(), o)
 	if err1 != nil || err2 != nil {

@@ -32,6 +32,16 @@
 //	getm-bench -scale 0.25 -store runs/tuned all
 //	benchdiff runs/base runs/tuned
 //
+// Store-dir diffs can be narrowed to one protocol-policy point with
+// -policy (a preset name like "getm" or an axis list like
+// "vm=lazy,cd=eager,res=fww,arb=ring"): only cells whose description names
+// that point are compared, so a matrix campaign diffs one policy at a time:
+//
+//	getm-sweep -policy-grid -store runs/base
+//	# ...make changes...
+//	getm-sweep -policy-grid -store runs/tuned
+//	benchdiff -policy vm=lazy,cd=eager,res=fww,arb=ring runs/base runs/tuned
+//
 // Finally it diffs the repo's recorded perf baselines (BENCH_*.json): a file
 // whose first byte is "{" is parsed as JSON, every numeric leaf becomes a
 // metric keyed by its object path, and strings (descriptions, hostnames,
@@ -45,12 +55,14 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 
+	"getm/internal/policy"
 	"getm/internal/store"
 )
 
@@ -229,8 +241,9 @@ func parseBenchJSON(path string) (map[metricKey]float64, []string, error) {
 // parseStoreDir reduces every record of a result store to its headline
 // metrics, keyed by the record's description (the runner's job key or the
 // CLI's proto/bench label). Corrupt records are skipped by LoadDir, exactly
-// as the runners themselves would skip them.
-func parseStoreDir(dir string) (map[metricKey]float64, []string, error) {
+// as the runners themselves would skip them. A non-empty polFilter keeps
+// only cells whose description names that policy point (see matchesPolicy).
+func parseStoreDir(dir, polFilter string) (map[metricKey]float64, []string, error) {
 	recs, err := store.LoadDir(dir)
 	if err != nil {
 		return nil, nil, err
@@ -241,6 +254,9 @@ func parseStoreDir(dir string) (map[metricKey]float64, []string, error) {
 		name := rec.Desc
 		if name == "" {
 			name = rec.Key
+		}
+		if polFilter != "" && !matchesPolicy(name, polFilter) {
+			continue
 		}
 		m := rec.Metrics
 		out[metricKey{name, "cycles"}] = float64(m.TotalCycles)
@@ -281,26 +297,66 @@ func unitRank(unit string) int {
 	return 3
 }
 
+// matchesPolicy reports whether a store record's description names the given
+// policy point. Descriptions are segment-structured — harness job keys are
+// "|"-separated ("getm|ht-h|c8|…", with the canonical tuple as its own
+// segment for non-preset points), CLI descriptions "/"-separated
+// ("getm/ht-h", "vm=…,arb=ring/atm") — so the filter compares whole
+// segments, never substrings: "-policy warptm" cannot match a warptm-el
+// cell.
+func matchesPolicy(desc, needle string) bool {
+	for _, seg := range strings.FieldsFunc(desc, func(r rune) bool { return r == '|' || r == '/' }) {
+		if seg == needle {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintf(os.Stderr, "usage: %s <old-bench-output|store-dir> <new-bench-output|store-dir>\n", os.Args[0])
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	policyFlag := fs.String("policy", "", "store-dir mode: compare only cells of this protocol-matrix point (preset name or axis list)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-policy POINT] <old-bench-output|store-dir> <new-bench-output|store-dir>\n", os.Args[0])
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	oldDir, newDir := isDir(os.Args[1]), isDir(os.Args[2])
+	args := fs.Args()
+	if len(args) != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	polFilter := ""
+	if *policyFlag != "" {
+		p, err := policy.Parse(*policyFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		polFilter = p.String()
+	}
+	oldDir, newDir := isDir(args[0]), isDir(args[1])
 	if oldDir != newDir {
 		fmt.Fprintln(os.Stderr, "benchdiff: cannot compare a store directory against a file")
 		os.Exit(2)
 	}
-	parse := parseFile
-	if oldDir {
-		parse = parseStoreDir
+	if polFilter != "" && !oldDir {
+		fmt.Fprintln(os.Stderr, "benchdiff: -policy filters result-store cells; both arguments must be store directories")
+		os.Exit(2)
 	}
-	oldM, oldOrder, err := parse(os.Args[1])
+	parse := func(path string) (map[metricKey]float64, []string, error) { return parseFile(path) }
+	if oldDir {
+		parse = func(path string) (map[metricKey]float64, []string, error) { return parseStoreDir(path, polFilter) }
+	}
+	oldM, oldOrder, err := parse(args[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
-	newM, newOrder, err := parse(os.Args[2])
+	newM, newOrder, err := parse(args[1])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)

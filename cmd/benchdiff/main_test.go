@@ -35,7 +35,7 @@ func TestParseStoreDir(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	got, order, err := parseStoreDir(dir)
+	got, order, err := parseStoreDir(dir, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,5 +178,60 @@ func TestParseCommittedServeBaseline(t *testing.T) {
 	// side-by-side comparison (bench-serve runs with -spans).
 	if n := m[metricKey{"dedupe_heavy.coalesced", "timings_n"}]; n <= 0 {
 		t.Fatalf("recorded baseline has no server-reported timings (timings_n %v)", n)
+	}
+}
+
+// -policy narrows a store-dir diff by whole description segments: "warptm"
+// must not match a "warptm-el" cell, and canonical tuples match exactly.
+func TestMatchesPolicy(t *testing.T) {
+	cases := []struct {
+		desc, needle string
+		want         bool
+	}{
+		{"warptm/ht-h", "warptm", true},
+		{"warptm-el/ht-h", "warptm", false},
+		{"warptm/ht-h", "warptm-el", false},
+		{"getm|ht-h|c8|n16|m4|g4|b64|s42", "getm", true},
+		{"eapg|ht-h|c8|n16|m4|g4|b64|s42", "getm", false},
+		{"vm=lazy,cd=eager,res=fww,arb=ring/atm", "vm=lazy,cd=eager,res=fww,arb=ring", true},
+		{"vm=lazy,cd=eager,res=fww,arb=ring/atm", "vm=lazy,cd=eager,res=fww,arb=local", false},
+		{"getm/ht-h", "ht-h", true}, // segments, not positions: benches filter too
+	}
+	for _, c := range cases {
+		if got := matchesPolicy(c.desc, c.needle); got != c.want {
+			t.Errorf("matchesPolicy(%q, %q) = %v, want %v", c.desc, c.needle, got, c.want)
+		}
+	}
+}
+
+// parseStoreDir with a policy filter keeps only matching cells.
+func TestParseStoreDirPolicyFilter(t *testing.T) {
+	dir := t.TempDir()
+	st := store.Open(dir)
+	if err := st.Degraded(); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(cycles uint64) *stats.Metrics {
+		m := stats.NewMetrics()
+		m.TotalCycles = cycles
+		m.Commits = 100
+		return m
+	}
+	if err := st.Put("aaaa", "warptm/ht-h", mk(5000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("bbbb", "warptm-el/ht-h", mk(6000)); err != nil {
+		t.Fatal(err)
+	}
+
+	got, order, err := parseStoreDir(dir, "warptm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 1 || order[0] != "warptm/ht-h" {
+		t.Fatalf("filtered cells = %v, want [warptm/ht-h]", order)
+	}
+	if v := got[metricKey{"warptm/ht-h", "cycles"}]; v != 5000 {
+		t.Fatalf("cycles = %v, want 5000", v)
 	}
 }

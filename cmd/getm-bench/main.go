@@ -9,6 +9,8 @@
 //	getm-bench -list               # list experiment ids
 //	getm-bench -cpuprofile cpu.pb  # profile the run (also -memprofile)
 //	getm-bench -trace run.json     # also record a traced reference run
+//	getm-bench -policy vm=lazy,cd=eager fig11
+//	                               # pin every TM cell to one matrix point
 //
 // With -trace, one designated simulation (ht-h on GETM at the chosen -scale
 // and -seed) is run with the machine-wide recorder attached and exported to
@@ -45,6 +47,7 @@ import (
 
 	"getm/internal/gpu"
 	"getm/internal/harness"
+	"getm/internal/policy"
 	"getm/internal/report"
 	"getm/internal/store"
 	"getm/internal/trace"
@@ -75,12 +78,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	resume := fs.Bool("resume", true, "with -store, reuse existing records instead of re-simulating")
 	timeout := fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = none)")
 	shards := fs.Int("shards", 0, "run shardable cells (getm/fglock) on the parallel engine with this many workers (0 = serial)")
+	policyFlag := fs.String("policy", "", "pin every TM cell to one protocol-matrix point (preset name or axis list; fglock cells unaffected)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if explicitFlag(fs, "resume") && *storeDir == "" {
 		fmt.Fprintln(stderr, "error: -resume requires -store (there is no store to resume from)")
 		return 2
+	}
+	var pol policy.Policy
+	if *policyFlag != "" {
+		p, err := policy.Parse(*policyFlag)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 2
+		}
+		pol = p
 	}
 
 	if *list {
@@ -133,6 +146,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	r := harness.NewRunner(*scale)
 	r.Seed = *seed
 	r.Shards = *shards
+	r.Policy = pol
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()

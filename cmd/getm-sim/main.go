@@ -31,6 +31,7 @@ import (
 	"sort"
 
 	"getm/internal/gpu"
+	"getm/internal/policy"
 	"getm/internal/stats"
 	"getm/internal/store"
 	"getm/internal/trace"
@@ -46,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	bench := fs.String("bench", "ht-h", "benchmark name ("+fmt.Sprint(workloads.Names())+")")
 	proto := fs.String("proto", "getm", "protocol: getm, warptm, warptm-el, eapg, fglock")
+	policyFlag := fs.String("policy", "", "protocol-matrix point: a preset name or an axis list like vm=eager,cd=eager,res=timestamp (overrides -proto)")
 	conc := fs.Int("conc", 0, "max concurrent tx warps per core (0 = unlimited)")
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
 	cores := fs.Int("cores", 15, "SIMT core count (15 or 56 for the paper's configs)")
@@ -66,6 +68,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "error: -resume requires -store (there is no store to resume from)")
 		return 2
 	}
+	// -policy overrides -proto: a preset behaves exactly like naming the
+	// protocol (same config, same store key); an invalid point is a usage
+	// error, like any other bad flag value.
+	var pol policy.Policy
+	if *policyFlag != "" {
+		p, err := policy.Parse(*policyFlag)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 2
+		}
+		pol = p
+		*proto = p.String()
+	}
 
 	var cfg gpu.Config
 	if *cores == 56 {
@@ -76,6 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg.Core.MaxTxWarps = *conc
 	cfg.Shards = *shards
+	cfg.Policy = pol
 
 	if *traceFile != "" {
 		mask, err := trace.ParseSources(*traceFilter)

@@ -213,3 +213,55 @@ func TestTruncatedNoteOnStderr(t *testing.T) {
 		t.Errorf("TRUNCATED note missing from stderr:\n%s", stderr.String())
 	}
 }
+
+// -policy must reject invalid matrix points as a usage error (exit 2)
+// before any simulation, and accept every spelling of a valid one.
+func TestPolicyFlag(t *testing.T) {
+	for _, bad := range []string{
+		"vm=eager,cd=lazy",       // eager VM has nothing to validate lazily
+		"vm=eager,res=requester", // reservation holder cannot lose
+		"vm=lazy,res=timestamp",  // no timestamps under value validation
+		"mesi",                   // unknown preset
+		"speed=fast",             // unknown axis
+	} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-policy", bad, "-bench", "atm", "-scale", "0.01"}, &stdout, &stderr)
+		if code != 2 {
+			t.Errorf("-policy %q exited %d, want 2", bad, code)
+		}
+		if !strings.Contains(stderr.String(), "invalid policy") {
+			t.Errorf("-policy %q stderr missing diagnosis: %s", bad, stderr.String())
+		}
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-policy", "vm=lazy,cd=eager,res=fww,arb=ring", "-bench", "atm", "-scale", "0.01"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("valid non-preset point exited %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "commits") {
+		t.Errorf("run produced no metrics:\n%s", stdout.String())
+	}
+}
+
+// A preset selected with -policy must hit the same store record a -proto
+// run wrote: matrix spelling is key-invisible for the paper's protocols.
+func TestPolicyPresetSharesStoreRecord(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "results")
+	args := []string{"-bench", "atm", "-scale", "0.05", "-store", dir}
+
+	var out1, err1 bytes.Buffer
+	if code := run(append([]string{"-proto", "getm"}, args...), &out1, &err1); code != 0 {
+		t.Fatalf("-proto run exited %d\nstderr: %s", code, err1.String())
+	}
+	var out2, err2 bytes.Buffer
+	if code := run(append([]string{"-policy", "getm"}, args...), &out2, &err2); code != 0 {
+		t.Fatalf("-policy run exited %d\nstderr: %s", code, err2.String())
+	}
+	if !strings.Contains(err2.String(), "loaded from store") {
+		t.Errorf("-policy getm re-simulated instead of loading the -proto getm record:\n%s", err2.String())
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("metrics differ between -proto and -policy spellings:\n--- proto ---\n%s--- policy ---\n%s",
+			out1.String(), out2.String())
+	}
+}

@@ -24,6 +24,18 @@
 // errors and never persisted. Tables only ever contain complete runs, and
 // stdout carries nothing but the table: diagnostics (store counts, warnings,
 // per-point errors) go to stderr.
+//
+// Two flags open the protocol policy matrix:
+//
+//	getm-sweep -policy vm=lazy,cd=eager,arb=local -knob conc -values 1,4,16
+//	getm-sweep -policy-grid -bench ht-h,atm -scale 0.1
+//
+// -policy pins the swept protocol to one matrix point (preset name or axis
+// list; overrides -proto; invalid points are a usage error). -policy-grid
+// replaces the knob sweep entirely: every implementable matrix point (12 of
+// the 24 combinations) runs on each listed benchmark (-bench becomes a
+// comma-separated list, default "ht-h,atm"), and the table reports cycles,
+// commit throughput, and abort rate per (policy, benchmark) cell.
 package main
 
 import (
@@ -37,8 +49,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"getm/internal/gpu"
+	"getm/internal/policy"
 	"getm/internal/report"
 	"getm/internal/stats"
 	"getm/internal/store"
@@ -54,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	bench := fs.String("bench", "ht-h", "benchmark to sweep")
 	proto := fs.String("proto", "getm", "protocol: getm, warptm, warptm-el, eapg, fglock")
+	policyFlag := fs.String("policy", "", "protocol-matrix point: a preset name or an axis list like vm=eager,cd=eager,res=timestamp (overrides -proto)")
+	policyGrid := fs.Bool("policy-grid", false, "sweep the full policy matrix instead of a knob: every valid point on each -bench workload")
 	knob := fs.String("knob", "conc", "parameter to sweep: conc, gran, meta, stall, backoff, inflight, cores")
 	values := fs.String("values", "1,2,4,8,16", "comma-separated knob values")
 	scale := fs.Float64("scale", 1.0, "workload scale")
@@ -71,6 +87,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if explicitFlag(fs, "resume") && *storeDir == "" {
 		fmt.Fprintln(stderr, "error: -resume requires -store (there is no store to resume from)")
 		return 2
+	}
+	var pol policy.Policy
+	if *policyFlag != "" {
+		p, err := policy.Parse(*policyFlag)
+		if err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 2
+		}
+		pol = p
+		*proto = p.String()
+	}
+	if *policyGrid {
+		if *policyFlag != "" {
+			fmt.Fprintln(stderr, "error: -policy-grid sweeps every valid point; it cannot be combined with -policy")
+			return 2
+		}
+		return runPolicyGrid(stdout, stderr, gridOpts{
+			benches: *bench, scale: *scale, seed: *seed, conc: *conc,
+			format: *format, workers: *workers, storeDir: *storeDir,
+			resume: *resume, timeout: *timeout,
+			explicitBench: explicitFlag(fs, "bench"),
+		})
 	}
 
 	var vals []int
@@ -97,6 +135,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg := gpu.DefaultConfig(gpu.Protocol(*proto))
 		cfg.Core.MaxTxWarps = *conc
 		cfg.Shards = *shards
+		cfg.Policy = pol
 		switch *knob {
 		case "conc":
 			cfg.Core.MaxTxWarps = v
@@ -218,6 +257,151 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, tab.BarChart("cycles", 40))
 	}
+	return 0
+}
+
+// gridOpts carries the sweep flags the policy-grid mode shares with the
+// knob mode.
+type gridOpts struct {
+	benches       string
+	scale         float64
+	seed          uint64
+	conc          int
+	format        string
+	workers       int
+	storeDir      string
+	resume        bool
+	timeout       time.Duration
+	explicitBench bool
+}
+
+// runPolicyGrid sweeps the full protocol policy matrix: every implementable
+// point (policy.Valid — the four presets plus the eight unexplored valid
+// combinations) on every listed benchmark, reporting commit throughput and
+// abort rate per cell. Cells are independent deterministic simulations and
+// run on the same bounded worker pool as knob sweeps; with -store each cell
+// persists under its canonicalized policy key, so preset rows share records
+// with name-based runs and a resumed grid re-runs only the missing cells.
+func runPolicyGrid(stdout, stderr io.Writer, o gridOpts) int {
+	benchList := []string{"ht-h", "atm"}
+	if o.explicitBench {
+		benchList = nil
+		for _, b := range strings.Split(o.benches, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				benchList = append(benchList, b)
+			}
+		}
+	}
+	points := policy.Valid()
+
+	type cell struct {
+		pol   policy.Policy
+		bench string
+	}
+	var cells []cell
+	for _, p := range points {
+		for _, b := range benchList {
+			cells = append(cells, cell{p, b})
+		}
+	}
+
+	ctx := context.Background()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+	var st *store.Store
+	if o.storeDir != "" {
+		st = store.Open(o.storeDir)
+		if err := st.Degraded(); err != nil {
+			fmt.Fprintln(stderr, "warning: store degraded (results will not persist):", err)
+		}
+	}
+
+	par := o.workers
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	metrics := make([]*stats.Metrics, len(cells))
+	errs := make([]error, len(cells))
+	var simulated, reused atomic.Int64
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i := range cells {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := gpu.DefaultConfig(gpu.Protocol(cells[i].pol.String()))
+			cfg.Core.MaxTxWarps = o.conc
+			cfg.Policy = cells[i].pol
+			var key string
+			if st != nil {
+				key = store.Key(cfg, cells[i].bench, o.scale, o.seed)
+				if o.resume {
+					if m, ok := st.Get(key); ok {
+						metrics[i] = m
+						reused.Add(1)
+						return
+					}
+				}
+			}
+			k, err := workloads.Build(cells[i].bench, workloads.TM, workloads.Params{Scale: o.scale, Seed: o.seed})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := gpu.RunContext(ctx, cfg, k)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if res.Truncated || res.Metrics.Truncated {
+				errs[i] = fmt.Errorf("truncated at cycle %d (partial metrics discarded)", res.TruncatedAt)
+				return
+			}
+			metrics[i] = res.Metrics
+			simulated.Add(1)
+			if st != nil {
+				desc := cells[i].pol.String() + "/" + cells[i].bench
+				if perr := st.Put(key, desc, res.Metrics); perr != nil {
+					fmt.Fprintln(stderr, "warning: store:", perr)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st != nil {
+		fmt.Fprintf(stderr, "%d simulated, %d reused from store\n", simulated.Load(), reused.Load())
+	}
+
+	tab := report.NewTable("policy-grid",
+		fmt.Sprintf("policy matrix (%d points) × {%s}, scale %g",
+			len(points), strings.Join(benchList, ","), o.scale),
+		"policy", "bench", "cycles", "commits", "aborts/1K", "commits/Kcyc")
+	for i, c := range cells {
+		if errs[i] != nil {
+			fmt.Fprintf(stderr, "error at %s/%s: %v\n", c.pol, c.bench, errs[i])
+			return 1
+		}
+		m := metrics[i]
+		throughput := 0.0
+		if m.TotalCycles > 0 {
+			throughput = float64(m.Commits) * 1000 / float64(m.TotalCycles)
+		}
+		tab.AddRow(
+			report.Str(c.pol.String()),
+			report.Str(c.bench),
+			report.Int(m.TotalCycles),
+			report.Int(m.Commits),
+			report.Num(m.AbortsPer1KCommits(), 0),
+			report.Num(throughput, 2),
+		)
+	}
+	fmt.Fprint(stdout, tab.Render(report.Format(o.format)))
 	return 0
 }
 

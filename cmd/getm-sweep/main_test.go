@@ -82,3 +82,59 @@ func TestTimeoutPointIsError(t *testing.T) {
 		t.Errorf("stderr does not report the failed point:\n%s", stderr.String())
 	}
 }
+
+// The policy grid is the ISSUE's deliverable: every valid matrix point (12,
+// presets first) on each workload, one row per cell, every cell committing
+// work. CSV keeps the assertion parse-light.
+func TestPolicyGrid(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-policy-grid", "-scale", "0.05", "-format", "csv"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("policy-grid exited %d\nstderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if lines[0] != "policy,bench,cycles,commits,aborts/1K,commits/Kcyc" {
+		t.Fatalf("unexpected header %q", lines[0])
+	}
+	rows := lines[1:]
+	if len(rows) != 24 {
+		t.Fatalf("%d grid rows, want 24 (12 valid points x 2 workloads)", len(rows))
+	}
+	points := map[string]int{}
+	for _, ln := range rows {
+		f := strings.Split(ln, ",")
+		if len(f) < 6 {
+			t.Fatalf("malformed row %q", ln)
+		}
+		// The policy column may itself contain commas (canonical axis
+		// tuples); commits is always the 4th field from the end.
+		commits := f[len(f)-3]
+		if commits == "0" {
+			t.Errorf("cell %q committed nothing", ln)
+		}
+		points[strings.Join(f[:len(f)-5], ",")]++
+	}
+	if len(points) != 12 {
+		t.Errorf("%d distinct policy points, want 12 (%v)", len(points), points)
+	}
+	for p, n := range points {
+		if n != 2 {
+			t.Errorf("point %s has %d rows, want one per workload", p, n)
+		}
+	}
+}
+
+// -policy pins every knob-sweep cell to one matrix point; combining it with
+// -policy-grid is contradictory and must be a usage error, as must an
+// invalid point.
+func TestPolicyFlagErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"grid plus point": {"-policy-grid", "-policy", "getm"},
+		"invalid point":   {"-policy", "vm=eager,cd=lazy", "-bench", "ht-h", "-scale", "0.05", "-values", "1"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s exited %d, want 2 (stderr: %s)", name, code, stderr.String())
+		}
+	}
+}

@@ -161,6 +161,41 @@ func clientRows(prev, cur scrape, dt float64) []clientRow {
 	return rows
 }
 
+// policyRow is one protocol-policy point's accounting, pulled from the
+// bounded getm_serve_policy_requests_total family. The label is the full
+// policy tuple ("vm=…,cd=…,res=…,arb=…") or "fglock".
+type policyRow struct {
+	name     string
+	requests float64
+	rps      float64
+}
+
+const policyReqPrefix = `getm_serve_policy_requests_total{policy="`
+
+// policyRows extracts the per-policy table from a scrape, sorted by request
+// count descending.
+func policyRows(prev, cur scrape, dt float64) []policyRow {
+	var rows []policyRow
+	for k, v := range cur {
+		if !strings.HasPrefix(k, policyReqPrefix) || !strings.HasSuffix(k, `"}`) {
+			continue
+		}
+		esc := k[len(policyReqPrefix) : len(k)-2]
+		name := esc
+		if u, err := strconv.Unquote(`"` + esc + `"`); err == nil {
+			name = u
+		}
+		rows = append(rows, policyRow{name: name, requests: v, rps: rate(prev, cur, k, dt)})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].requests != rows[j].requests {
+			return rows[i].requests > rows[j].requests
+		}
+		return rows[i].name < rows[j].name
+	})
+	return rows
+}
+
 // stageRow names one latency summary's series for the stage table.
 type stageRow struct {
 	label string
@@ -261,6 +296,16 @@ func render(prev, cur scrape, dt float64, header string, topClients int) string 
 				break
 			}
 			fmt.Fprintf(&b, "%-20s %10.0f %10.1f %10.0f\n", r.name, r.requests, r.rps, r.shed)
+		}
+	}
+
+	// The per-policy table is bounded by construction (12 matrix points plus
+	// fglock plus the overflow row), so it renders in full.
+	prows := policyRows(prev, cur, dt)
+	if len(prows) > 0 {
+		fmt.Fprintf(&b, "\n%-44s %10s %10s\n", "policy", "requests", "req/s")
+		for _, r := range prows {
+			fmt.Fprintf(&b, "%-44s %10.0f %10.1f\n", r.name, r.requests, r.rps)
 		}
 	}
 	return b.String()

@@ -10,6 +10,27 @@
 // a CACTI-calibrated area/power model, and a harness regenerating every
 // figure and table of the paper's evaluation.
 //
+// # Protocol selection and the policy matrix
+//
+// Protocols are points in a four-axis policy matrix (version management,
+// conflict detection, resolution, arbitration); the paper's four protocols
+// are the presets GETM(), WarpTM(), WarpTMEL(), and EAPG(). Select one via
+// Options.Policy or explore the rest of Policies() the same way:
+//
+//	m, err := getm.Run(getm.Options{Policy: getm.GETM(), Benchmark: "atm"})
+//
+// Migration notes: earlier releases exposed the protocol names as string
+// constants (getm.GETM, getm.WarpTM, getm.WarpTMEL, getm.EAPG) used as
+// Options.Protocol values. Those constants are replaced by the preset
+// functions above — change Options{Protocol: getm.GETM} to
+// Options{Policy: getm.GETM()}, or keep the stringly-typed form with a
+// literal: Options{Protocol: "getm"}. The name strings themselves
+// ("getm", "warptm", "warptm-el", "eapg") remain accepted by
+// Options.Protocol indefinitely, and a preset Policy is bit-identical to
+// its name — same results, same result-store content addresses. Only
+// FGLock survives as a string constant because fine-grained locking is not
+// a TM policy and has no matrix point.
+//
 // See README.md for a quickstart, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmark entry points
 // live in bench_test.go (one per paper figure/table):

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"getm/internal/gpu"
+	"getm/internal/policy"
 )
 
 // Typed errors for the public API, usable with errors.Is. The v2 surface
@@ -16,6 +17,12 @@ var (
 	ErrUnknownBenchmark = errors.New("getm: unknown benchmark")
 	// ErrUnknownExperiment reports an experiment id outside Experiments().
 	ErrUnknownExperiment = errors.New("getm: unknown experiment")
+	// ErrInvalidPolicy reports a Policy combination outside Policies(): an
+	// axis value outside its enumeration, or an unimplementable composition
+	// (eager version management with lazy detection or requester-wins
+	// resolution; lazy version management with timestamp-order resolution).
+	// Every policy validation failure — API, CLI, or serve — wraps it.
+	ErrInvalidPolicy = policy.ErrInvalid
 	// ErrCanceled reports a run cut short by context cancellation or a
 	// deadline. The context's own cause is joined into the returned error,
 	// so errors.Is(err, context.Canceled) or context.DeadlineExceeded also

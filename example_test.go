@@ -12,7 +12,7 @@ import (
 // booleans are stable enough to show in a testable example.
 func ExampleRun() {
 	m, err := getm.Run(getm.Options{
-		Protocol:    getm.GETM,
+		Policy:      getm.GETM(),
 		Benchmark:   "atm",
 		Concurrency: 4,
 		Scale:       0.05, // tiny demo workload
@@ -32,9 +32,9 @@ func ExampleRun() {
 func ExampleRun_comparison() {
 	opts := getm.Options{Benchmark: "ht-h", Concurrency: 8, Scale: 0.05}
 
-	opts.Protocol = getm.GETM
+	opts.Policy = getm.GETM()
 	eager, _ := getm.Run(opts)
-	opts.Protocol = getm.WarpTM
+	opts.Policy = getm.WarpTM()
 	lazy, _ := getm.Run(opts)
 
 	fmt.Println("both committed the same transaction count:", eager.Commits == lazy.Commits)

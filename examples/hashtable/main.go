@@ -22,11 +22,11 @@ func main() {
 			fmt.Printf(" %9d", c)
 		}
 		fmt.Println()
-		for _, proto := range []string{getm.WarpTM, getm.GETM} {
-			fmt.Printf("%-10s", proto)
+		for _, pol := range []getm.Policy{getm.WarpTM(), getm.GETM()} {
+			fmt.Printf("%-10s", pol)
 			for _, conc := range concLevels {
 				m, err := getm.Run(getm.Options{
-					Protocol:    proto,
+					Policy:      pol,
 					Benchmark:   bench,
 					Concurrency: conc,
 					Scale:       scale,

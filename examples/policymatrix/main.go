@@ -1,0 +1,61 @@
+// Policy-matrix axis study: hold WarpTM's lazy version management fixed and
+// sweep the other axes one at a time, isolating what each buys. The paper
+// compares four complete protocols; the matrix makes the in-between points
+// runnable, so the contribution of a single design decision — eager vs lazy
+// detection, requester-wins vs first-writer-wins, local vs ring commit
+// arbitration — shows up as one row-to-row delta instead of being entangled
+// in a whole-protocol swap.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"getm"
+)
+
+func main() {
+	bench := flag.String("bench", "ht-h", "benchmark to sweep on")
+	scale := flag.Float64("scale", 0.25, "workload scale")
+	flag.Parse()
+
+	// Start from the WarpTM preset and vary one axis per row. Every point
+	// here is in getm.Policies(); an out-of-matrix combination would fail
+	// with getm.ErrInvalidPolicy before any simulation ran.
+	base := getm.WarpTM()
+	points := []struct {
+		label string
+		pol   getm.Policy
+	}{
+		{"baseline (warptm)", base},
+		{"cd: lazy → eager", with(base, func(p *getm.Policy) { p.ConflictDetect = getm.CDEager })},
+		{"res: requester → fww", with(base, func(p *getm.Policy) { p.Resolution = getm.ResFirstWriterWins })},
+		{"arb: ring → local", with(base, func(p *getm.Policy) { p.Arbitration = getm.ArbLocal })},
+	}
+
+	fmt.Printf("one axis at a time from %v on %s\n\n", base, *bench)
+	fmt.Printf("%-22s %-44s %10s %10s %12s\n", "variation", "policy", "cycles", "commits", "aborts/1K")
+	for _, pt := range points {
+		m, err := getm.Run(getm.Options{
+			Policy:      pt.pol,
+			Benchmark:   *bench,
+			Concurrency: 8,
+			Scale:       *scale,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %-44s %10d %10d %12.0f\n",
+			pt.label, pt.pol, m.TotalCycles, m.Commits, m.AbortsPer1KCommits())
+	}
+	fmt.Println("\nEach delta against the baseline row is one axis's contribution; the")
+	fmt.Println("full 12-point grid is `getm-sweep -policy-grid`.")
+}
+
+// with copies a policy and applies one mutation — the sweep's single-axis
+// discipline in function form.
+func with(p getm.Policy, f func(*getm.Policy)) getm.Policy {
+	f(&p)
+	return p
+}

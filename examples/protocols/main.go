@@ -1,6 +1,8 @@
 // Protocol head-to-head: run every synchronization mechanism on one
 // benchmark and compare runtime, abort behaviour, and traffic — a compact
-// version of the paper's Figs 10-12.
+// version of the paper's Figs 10-12. The four TM protocols are selected as
+// policy-matrix presets; fglock is the one name-only mechanism (locks are
+// not a TM policy).
 package main
 
 import (
@@ -17,15 +19,30 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "workload scale")
 	flag.Parse()
 
+	// The presets plus the lock baseline; a zero Policy falls back to the
+	// name in Protocol.
+	mechanisms := []struct {
+		name   string
+		policy getm.Policy
+		proto  string
+	}{
+		{"getm", getm.GETM(), ""},
+		{"warptm", getm.WarpTM(), ""},
+		{"warptm-el", getm.WarpTMEL(), ""},
+		{"eapg", getm.EAPG(), ""},
+		{"fglock", getm.Policy{}, getm.FGLock},
+	}
+
 	type row struct {
 		proto  string
 		m      getm.Metrics
 		topCay string
 	}
 	var rows []row
-	for _, p := range getm.Protocols() {
+	for _, mech := range mechanisms {
 		m, err := getm.Run(getm.Options{
-			Protocol:    p,
+			Policy:      mech.policy,
+			Protocol:    mech.proto,
 			Benchmark:   *bench,
 			Concurrency: 8,
 			Scale:       *scale,
@@ -47,7 +64,7 @@ func main() {
 		if len(causes) > 0 && causes[0].v > 0 {
 			top = fmt.Sprintf("%s (%d)", causes[0].k, causes[0].v)
 		}
-		rows = append(rows, row{p, m, top})
+		rows = append(rows, row{mech.name, m, top})
 	}
 
 	base := rows[0].m.TotalCycles // first protocol (getm) as reference

@@ -11,7 +11,7 @@ import (
 
 func main() {
 	metrics, err := getm.Run(getm.Options{
-		Protocol:    getm.GETM,
+		Policy:      getm.GETM(),
 		Benchmark:   "atm",
 		Concurrency: 4,   // transactional warps allowed per SIMT core
 		Scale:       0.5, // half-size workload for a fast demo

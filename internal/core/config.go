@@ -52,6 +52,18 @@ type Config struct {
 	// retry backoff for aborted transactions (cycles).
 	BackoffBase uint64
 	BackoffCap  uint64
+
+	// FirstWriterWins switches the resolution policy of the Fig 6 flowchart:
+	// instead of queueing a younger requester in the stall buffer while the
+	// granule is write-reserved (paper GETM, timestamp order), the holder of
+	// the reservation wins outright and the requester aborts. Policy-matrix
+	// knob; excluded from JSON so store content addresses are unchanged.
+	FirstWriterWins bool `json:"-"`
+	// RingArb makes commit a ring-arbitrated round trip: the warp resumes
+	// only after every partition's commit unit has acknowledged its slice of
+	// the write log, instead of GETM's off-critical-path fire-and-forget
+	// commit. Policy-matrix knob; excluded from JSON (see FirstWriterWins).
+	RingArb bool `json:"-"`
 }
 
 // DefaultConfig returns the paper's Table II settings.

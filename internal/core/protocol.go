@@ -316,7 +316,8 @@ type commitLog struct {
 	part      int
 	core      int
 	entries   []CommitEntry
-	batchNext *commitLog // chains the partitions of one commit
+	batchNext *commitLog   // chains the partitions of one commit
+	batch     *commitBatch // ring arbitration: batch awaiting this log's ack
 	submit    func()
 	ack       func() // commit-unit callback; hops home via AckHop when set
 	done      func()
@@ -338,11 +339,20 @@ func (p *Protocol) getCommitLog(part, core int) *commitLog {
 		cl.done = func() {
 			q := cl.p
 			q.pendingLogs--
+			// Capture the ring-arbitration fields before recycling: the pool
+			// may hand this object to another commit from inside a callback.
+			b, part, core := cl.batch, cl.part, cl.core
+			cl.batch = nil
 			cl.entries = cl.entries[:0]
 			cl.next = q.logPool
 			q.logPool = cl
 			q.maybeFinishDrain()
 			q.maybeNotifyIdle()
+			if b != nil {
+				// Ring arbitration: the ack travels back to the core; the
+				// warp resumes only when every partition has acknowledged.
+				q.trans.ToCore(part, core, tm.HeaderBytes, b.ackFn)
+			}
 		}
 	} else {
 		p.logPool = cl.next
@@ -354,11 +364,13 @@ func (p *Protocol) getCommitLog(part, core int) *commitLog {
 // commitBatch is one commit's deferred transmit step (after write-log
 // serialization). Pooled with a prebuilt callback like the access objects.
 type commitBatch struct {
-	p      *Protocol
-	head   *commitLog
-	resume func(tm.CommitOutcome)
-	runFn  func()
-	next   *commitBatch
+	p        *Protocol
+	head     *commitLog
+	resume   func(tm.CommitOutcome)
+	acksLeft int // ring arbitration: partition acks outstanding
+	runFn    func()
+	ackFn    func()
+	next     *commitBatch
 }
 
 func (p *Protocol) getBatch(head *commitLog, resume func(tm.CommitOutcome)) *commitBatch {
@@ -367,6 +379,7 @@ func (p *Protocol) getBatch(head *commitLog, resume func(tm.CommitOutcome)) *com
 		b = &commitBatch{p: p}
 		b.runFn = func() {
 			q := b.p
+			n := 0
 			for cl := b.head; cl != nil; {
 				next := cl.batchNext
 				cl.batchNext = nil
@@ -378,14 +391,40 @@ func (p *Protocol) getBatch(head *commitLog, resume func(tm.CommitOutcome)) *com
 						bytes += tm.CleanupEntryBytes
 					}
 				}
+				if q.cfg.RingArb {
+					cl.batch = b
+				}
 				q.pendingLogs++
 				q.trans.ToPartition(cl.core, cl.part, bytes, cl.submit)
 				cl = next
+				n++
+			}
+			if q.cfg.RingArb && n > 0 {
+				// Ring arbitration: hold the warp (and the batch) until every
+				// partition's commit unit has acknowledged; ackFn finishes.
+				b.acksLeft = n
+				b.head = nil
+				return
 			}
 			// Recycle before resume: the warp may begin its next transaction
 			// (and commit again) from inside the callback.
 			fin := b.resume
 			b.head, b.resume = nil, nil
+			b.next = q.batchPool
+			q.batchPool = b
+			q.activeTx--
+			q.maybeFinishDrain()
+			q.maybeNotifyIdle()
+			fin(tm.CommitOutcome{})
+		}
+		b.ackFn = func() {
+			b.acksLeft--
+			if b.acksLeft > 0 {
+				return
+			}
+			q := b.p
+			fin := b.resume
+			b.resume = nil
 			b.next = q.batchPool
 			q.batchPool = b
 			q.activeTx--
@@ -403,7 +442,9 @@ func (p *Protocol) getBatch(head *commitLog, resume func(tm.CommitOutcome)) *com
 // Commit implements tm.Protocol. The core serializes the warp's write log
 // (one entry per cycle), transmits per-partition commit/cleanup messages,
 // and resumes the warp immediately: eager detection guarantees the commit
-// succeeds, so nothing waits for acknowledgements.
+// succeeds, so nothing waits for acknowledgements. (Under cfg.RingArb the
+// resume instead waits for every partition's ack — ring arbitration puts
+// the commit back on the critical path.)
 func (p *Protocol) Commit(w *tm.WarpTx, commitMask, abortMask isa.LaneMask, resume func(tm.CommitOutcome)) {
 	total := 0
 	for _, e := range w.Log.Writes {

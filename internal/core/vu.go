@@ -240,6 +240,15 @@ func (v *VU) processLoad(op *vuOp, e *Entry, metaCycles sim.Cycle) {
 		v.replyLoad(op, metaCycles)
 	case req.Warpts >= e.WTS:
 		if e.Writes > 0 {
+			if v.cfg.FirstWriterWins {
+				// First-writer-wins resolution: the reservation holder wins;
+				// the requester aborts instead of waiting in the stall buffer.
+				v.AbortsWAR++
+				v.traceOutcome(req, trace.VUAbort, tm.CauseWAR, e)
+				op.rep = Reply{Status: StatusAbort, Cause: tm.CauseWAR, AbortTS: e.WTS}
+				v.eng.Schedule(metaCycles, op.replyFn)
+				return
+			}
 			// ⑦ Queue (RAW): locked by a logically older transaction.
 			v.queue(op, e, metaCycles)
 			return
@@ -272,6 +281,14 @@ func (v *VU) processStore(op *vuOp, e *Entry, metaCycles sim.Cycle) {
 		v.eng.Schedule(metaCycles, op.replyFn)
 	case req.Warpts >= e.WTS && req.Warpts >= e.RTS:
 		if e.Writes > 0 {
+			if v.cfg.FirstWriterWins {
+				// First-writer-wins resolution: abort rather than queue.
+				v.AbortsWAWRAW++
+				v.traceOutcome(req, trace.VUAbort, tm.CauseWAWRAW, e)
+				op.rep = Reply{Status: StatusAbort, Cause: tm.CauseWAWRAW, AbortTS: maxU64(e.WTS, e.RTS)}
+				v.eng.Schedule(metaCycles, op.replyFn)
+				return
+			}
 			// ⑦ Queue (WAW): reserved by a logically older transaction.
 			v.queue(op, e, metaCycles)
 			return

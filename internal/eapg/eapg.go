@@ -83,7 +83,9 @@ var (
 	_ tm.AsyncAborter = (*Protocol)(nil)
 )
 
-// New wraps a WarpTM protocol instance (cfg.Eager must be false).
+// New wraps a WarpTM protocol instance. The paper's EAPG baseline wraps
+// plain lazy WarpTM; the policy matrix also composes it over the eager-check
+// variant (cfg.Eager), in which case intra-warp conflicts resolve eagerly too.
 func New(inner *warptm.Protocol, eng *sim.Engine, trans tm.Transport, cores int) *Protocol {
 	return &Protocol{
 		inner:      inner,
@@ -98,8 +100,9 @@ func New(inner *warptm.Protocol, eng *sim.Engine, trans tm.Transport, cores int)
 // Name implements tm.Protocol.
 func (p *Protocol) Name() string { return "eapg" }
 
-// EagerIntraWarp matches WarpTM (commit-time intra-warp resolution).
-func (p *Protocol) EagerIntraWarp() bool { return false }
+// EagerIntraWarp matches the wrapped machinery: commit-time intra-warp
+// resolution for plain WarpTM, access-time for the eager-check variant.
+func (p *Protocol) EagerIntraWarp() bool { return p.inner.EagerIntraWarp() }
 
 // SetAbortSink implements tm.AsyncAborter.
 func (p *Protocol) SetAbortSink(fn func(tm.AbortNotice)) { p.abortSink = fn }

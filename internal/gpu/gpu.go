@@ -13,6 +13,7 @@ import (
 	"getm/internal/core"
 	"getm/internal/isa"
 	"getm/internal/mem"
+	"getm/internal/policy"
 	"getm/internal/sim"
 	"getm/internal/simt"
 	"getm/internal/stats"
@@ -42,7 +43,14 @@ const (
 
 // Config describes one machine configuration.
 type Config struct {
-	Protocol   Protocol
+	Protocol Protocol
+	// Policy, when non-zero, selects the protocol-matrix point directly and
+	// takes precedence over Protocol's name-based preset lookup (the four
+	// presets reproduce the legacy protocols bit-for-bit; see
+	// internal/policy). Excluded from JSON so existing store content
+	// addresses are unchanged — store.Key canonicalizes the policy into the
+	// Protocol name instead.
+	Policy     policy.Policy `json:"-"`
 	Cores      int
 	Partitions int
 	Core       simt.Config
@@ -170,6 +178,18 @@ func RunContext(ctx context.Context, cfg Config, k *Kernel) (*Result, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("gpu: kernel %q: %w", k.Name, errors.Join(ErrCanceled, err))
+	}
+	if !cfg.Policy.IsZero() {
+		if err := cfg.Policy.Validate(); err != nil {
+			return nil, fmt.Errorf("gpu: kernel %q: %w", k.Name, err)
+		}
+		// Keep the name-based paths (sharding class, diagnostics) coherent
+		// with the effective matrix point.
+		if name, ok := policy.PresetName(cfg.Policy); ok {
+			cfg.Protocol = Protocol(name)
+		} else {
+			cfg.Protocol = Protocol("policy:" + cfg.Policy.Canonical())
+		}
 	}
 	if cfg.Shards > 0 && Shardable(cfg) {
 		return runShardedContext(ctx, cfg, k)

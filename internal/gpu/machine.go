@@ -7,6 +7,7 @@ import (
 	"getm/internal/eapg"
 	"getm/internal/isa"
 	"getm/internal/mem"
+	"getm/internal/policy"
 	"getm/internal/sim"
 	"getm/internal/simt"
 	"getm/internal/stats"
@@ -52,42 +53,39 @@ func newMachine(eng *sim.Engine, img *mem.Image, cfg Config, rec *trace.Recorder
 	trans := &transport{m: m}
 	rng := sim.NewRNG(cfg.Seed ^ 0xC0FFEE)
 
-	switch cfg.Protocol {
-	case ProtoGETM:
-		m.stall = &core.OccTracker{}
-		var vus []*core.VU
-		var cus []*core.CU
-		for i, p := range m.partitions {
-			vu := core.NewVU(cfg.GETM, eng, p,
-				cfg.GETM.PreciseEntries/cfg.Partitions, cfg.GETM.ApproxEntries/cfg.Partitions,
-				rng.Fork(uint64(i)))
-			vu.Stall.SetTracker(m.stall)
-			vus = append(vus, vu)
-			cus = append(cus, core.NewCU(cfg.GETM, eng, p, vu))
-		}
-		m.getmVU = vus
-		m.getmCU = cus
-		m.getm = core.NewProtocol(cfg.GETM, eng, m.amap, trans, vus, cus)
-		m.getm.Record = cfg.Record
-		m.protocol = m.getm
-	case ProtoWarpTM, ProtoWarpTMEL, ProtoEAPG:
-		wcfg := cfg.WarpTM
-		wcfg.Eager = cfg.Protocol == ProtoWarpTMEL
-		var vus []*warptm.VU
-		for i, p := range m.partitions {
-			vus = append(vus, warptm.NewVU(wcfg, eng, p, rng.Fork(uint64(100+i))))
-		}
-		m.wtm = warptm.NewProtocol(wcfg, eng, m.amap, trans, vus, img)
-		m.wtm.Record = cfg.Record
-		m.protocol = m.wtm
-		if cfg.Protocol == ProtoEAPG {
-			m.eapg = eapg.New(m.wtm, eng, trans, cfg.Cores)
-			m.protocol = m.eapg
-		}
-	case ProtoFGLock:
+	// One lifecycle engine serves every TM protocol: the effective matrix
+	// point (cfg.Policy, or the preset named by cfg.Protocol) parameterizes
+	// policy.Build. fglock is not a TM protocol and keeps its stub.
+	if cfg.Protocol == ProtoFGLock && cfg.Policy.IsZero() {
 		m.protocol = lockStub{}
-	default:
-		panic(fmt.Sprintf("gpu: unknown protocol %q", cfg.Protocol))
+	} else {
+		pol := cfg.Policy
+		if pol.IsZero() {
+			var ok bool
+			pol, ok = policy.Preset(string(cfg.Protocol))
+			if !ok {
+				panic(fmt.Sprintf("gpu: unknown protocol %q", cfg.Protocol))
+			}
+		}
+		e, err := policy.Build(pol, policy.Deps{
+			Eng:        eng,
+			AMap:       m.amap,
+			Trans:      trans,
+			Partitions: m.partitions,
+			Img:        img,
+			Cores:      cfg.Cores,
+			RNG:        rng,
+			Record:     cfg.Record,
+			GETM:       cfg.GETM,
+			WarpTM:     cfg.WarpTM,
+		})
+		if err != nil {
+			// RunContext validates cfg.Policy before assembly.
+			panic(fmt.Sprintf("gpu: %v", err))
+		}
+		m.protocol = e.Protocol
+		m.getm, m.getmVU, m.getmCU, m.stall = e.GETM, e.GETMVU, e.GETMCU, e.Stall
+		m.wtm, m.eapg = e.WarpTM, e.EAPG
 	}
 	if rec != nil {
 		m.pair.SetTrace(rec)

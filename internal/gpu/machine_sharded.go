@@ -9,6 +9,7 @@ import (
 	"getm/internal/core"
 	"getm/internal/isa"
 	"getm/internal/mem"
+	"getm/internal/policy"
 	"getm/internal/sim"
 	"getm/internal/simt"
 	"getm/internal/stats"
@@ -43,6 +44,12 @@ import (
 // Callers that key results by configuration (the store) use it to decide
 // which semantics class a run with Shards > 0 actually executed.
 func Shardable(cfg Config) bool {
+	if !cfg.Policy.IsZero() && cfg.Policy != policy.GETM() {
+		// Only the exact GETM preset keeps the sharded machine's semantics:
+		// the ring-arbitrated and first-writer-wins matrix points route
+		// commit acks through the serial transport, so they run serially.
+		return false
+	}
 	return (cfg.Protocol == ProtoGETM || cfg.Protocol == ProtoFGLock) &&
 		!cfg.Record && cfg.Trace == nil && cfg.Xbar.Latency > 0
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"getm/internal/gpu"
+	"getm/internal/policy"
 	"getm/internal/report"
 	"getm/internal/sim"
 	"getm/internal/stats"
@@ -75,6 +76,12 @@ type Runner struct {
 	// parallel engine with that many workers (non-shardable cells fall back
 	// to serial). See Job.Shards for the cache-identity rules.
 	Shards int
+	// Policy, when non-zero, pins every transactional cell (every protocol
+	// but fglock) to one protocol-matrix point; jobs carrying their own
+	// Policy keep it. The v2 API's WithPolicy option sets this. Preset
+	// points collapse to their legacy protocol name during normalization,
+	// so pinning a preset changes no cache or store identity.
+	Policy policy.Policy
 	// Trace, if set, attaches a trace recorder to every simulation this
 	// runner actually executes (cache and store hits never trace — there is
 	// no simulation to observe). Tracing never changes results: the engine
@@ -147,11 +154,21 @@ type Job struct {
 	// physical, not semantic), so cache identity uses only the semantics
 	// class (serial vs sharded), never the worker count.
 	Shards int
+	// Policy, when non-zero, pins the cell to one protocol-matrix point
+	// (gpu.Config.Policy). Preset points are collapsed to their legacy
+	// protocol name by normalization, so a preset job shares cache and
+	// store identity with the equivalent name-based job; non-preset points
+	// extend the cache key with the canonical axis tuple.
+	Policy policy.Policy
 }
 
 func (j Job) key() string {
-	return fmt.Sprintf("%s|%s|c%d|n%d|m%d|g%d|b%d|s%d",
+	k := fmt.Sprintf("%s|%s|c%d|n%d|m%d|g%d|b%d|s%d",
 		j.Proto, j.Bench, j.Conc, j.Cores, j.MetaEntries, j.Granularity, j.CycleBudget, j.shardClass())
+	if !j.Policy.IsZero() {
+		k += "|" + j.Policy.Canonical()
+	}
+	return k
 }
 
 // shardClass collapses Shards to the cell's semantics class: 0 when the run
@@ -183,6 +200,7 @@ func (j Job) config() gpu.Config {
 	}
 	cfg.CycleBudget = sim.Cycle(j.CycleBudget)
 	cfg.Shards = j.Shards
+	cfg.Policy = j.Policy
 	return cfg
 }
 
@@ -220,6 +238,17 @@ func (r *Runner) RunECtx(ctx context.Context, j Job) (*stats.Metrics, error) {
 func (r *Runner) norm(j Job) Job {
 	if j.Shards == 0 {
 		j.Shards = r.Shards
+	}
+	if j.Policy.IsZero() && !r.Policy.IsZero() && j.Proto != gpu.ProtoFGLock {
+		j.Policy = r.Policy
+	}
+	if !j.Policy.IsZero() {
+		if name, ok := policy.PresetName(j.Policy); ok {
+			// Preset points ARE the legacy protocols: collapse to the name so
+			// cache and store identity (and warm sweeps) are unchanged.
+			j.Proto = gpu.Protocol(name)
+			j.Policy = policy.Policy{}
+		}
 	}
 	return j
 }

@@ -1,0 +1,296 @@
+// Package policy defines the composable protocol policy matrix: four
+// orthogonal axes — version management, conflict detection, conflict
+// resolution, and commit arbitration — whose points parameterize a single
+// transaction-lifecycle engine (Build). The four paper protocols are named
+// presets in the matrix:
+//
+//	getm      = {vm:eager, cd:eager, res:timestamp, arb:local}
+//	warptm    = {vm:lazy,  cd:lazy,  res:requester, arb:ring}
+//	warptm-el = {vm:lazy,  cd:eager, res:requester, arb:ring}
+//	eapg      = {vm:lazy,  cd:lazy,  res:fww,       arb:ring}
+//
+// Not every combination is implementable: eager version management acquires
+// write reservations at access time, so its conflicts must be detected
+// eagerly (cd=lazy is invalid) and the reservation holder cannot lose to a
+// requester (res=requester is invalid); lazy version management has no
+// logical timestamps to order by (res=timestamp is invalid). That leaves 12
+// valid points out of 24 (Valid enumerates them); everything else reports
+// ErrInvalid.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrInvalid is the sentinel wrapped by every invalid-policy error (the
+// public API re-exports it as getm.ErrInvalidPolicy).
+var ErrInvalid = errors.New("invalid policy")
+
+// VersionMgmt selects where speculative writes live until commit.
+type VersionMgmt string
+
+// ConflictDetect selects when conflicts are discovered.
+type ConflictDetect string
+
+// Resolution selects who survives a detected conflict.
+type Resolution string
+
+// Arbitration selects how commits are ordered globally.
+type Arbitration string
+
+// Axis values.
+const (
+	// VMEager acquires per-granule write reservations at access time (GETM
+	// machinery): a transaction reaching commit is guaranteed to succeed.
+	VMEager VersionMgmt = "eager"
+	// VMLazy buffers writes in a redo log and applies them at commit
+	// (KiloTM/WarpTM machinery).
+	VMLazy VersionMgmt = "lazy"
+
+	// CDEager checks every transactional access as it happens.
+	CDEager ConflictDetect = "eager"
+	// CDLazy defers detection to commit-time value validation.
+	CDLazy ConflictDetect = "lazy"
+
+	// ResRequesterWins lets the committing requester win: its writes
+	// invalidate conflicting readers, which fail their own validation later.
+	ResRequesterWins Resolution = "requester"
+	// ResFirstWriterWins lets the first writer win outright: under eager VM
+	// a requester hitting a reservation aborts instead of queueing; under
+	// lazy VM committing write sets are broadcast so doomed transactions
+	// abort early (EAPG).
+	ResFirstWriterWins Resolution = "fww"
+	// ResTimestampOrder resolves by logical age: younger conflicting
+	// requesters abort or queue behind older reservations (paper GETM).
+	ResTimestampOrder Resolution = "timestamp"
+
+	// ArbLocal decides commits locally, off the global critical path.
+	ArbLocal Arbitration = "local"
+	// ArbRing serializes commit decisions globally: eager VM waits for every
+	// partition's commit ack; lazy VM retires commits in global id order.
+	ArbRing Arbitration = "ring"
+)
+
+// Policy is one point in the protocol matrix. The zero value is "unset" and
+// means the legacy protocol-name dispatch applies.
+type Policy struct {
+	VersionMgmt    VersionMgmt    `json:"vm"`
+	ConflictDetect ConflictDetect `json:"cd"`
+	Resolution     Resolution     `json:"res"`
+	Arbitration    Arbitration    `json:"arb"`
+}
+
+// IsZero reports whether no axis has been set.
+func (p Policy) IsZero() bool { return p == Policy{} }
+
+// Canonical renders the policy in the fixed axis order accepted by Parse.
+func (p Policy) Canonical() string {
+	return fmt.Sprintf("vm=%s,cd=%s,res=%s,arb=%s",
+		p.VersionMgmt, p.ConflictDetect, p.Resolution, p.Arbitration)
+}
+
+// String implements fmt.Stringer: the preset name when the point is one of
+// the four paper protocols, the canonical tuple otherwise.
+func (p Policy) String() string {
+	if name, ok := PresetName(p); ok {
+		return name
+	}
+	return p.Canonical()
+}
+
+// Presets, in the repo's conventional protocol order.
+func GETM() Policy {
+	return Policy{VMEager, CDEager, ResTimestampOrder, ArbLocal}
+}
+func WarpTM() Policy {
+	return Policy{VMLazy, CDLazy, ResRequesterWins, ArbRing}
+}
+func WarpTMEL() Policy {
+	return Policy{VMLazy, CDEager, ResRequesterWins, ArbRing}
+}
+func EAPG() Policy {
+	return Policy{VMLazy, CDLazy, ResFirstWriterWins, ArbRing}
+}
+
+// presetOrder pairs each preset with its legacy protocol name.
+var presetOrder = []struct {
+	Name   string
+	Policy Policy
+}{
+	{"getm", GETM()},
+	{"warptm", WarpTM()},
+	{"warptm-el", WarpTMEL()},
+	{"eapg", EAPG()},
+}
+
+// Preset resolves a legacy protocol name to its matrix point.
+func Preset(name string) (Policy, bool) {
+	for _, pr := range presetOrder {
+		if pr.Name == name {
+			return pr.Policy, true
+		}
+	}
+	return Policy{}, false
+}
+
+// PresetName is the reverse lookup: the legacy protocol name of a preset
+// point, if p is one.
+func PresetName(p Policy) (string, bool) {
+	for _, pr := range presetOrder {
+		if pr.Policy == p {
+			return pr.Name, true
+		}
+	}
+	return "", false
+}
+
+// Validate reports nil for the 12 implementable points and an
+// ErrInvalid-wrapping error (with the reason) for everything else.
+func (p Policy) Validate() error {
+	switch p.VersionMgmt {
+	case VMEager, VMLazy:
+	default:
+		return fmt.Errorf("%w: vm=%q (want eager or lazy)", ErrInvalid, p.VersionMgmt)
+	}
+	switch p.ConflictDetect {
+	case CDEager, CDLazy:
+	default:
+		return fmt.Errorf("%w: cd=%q (want eager or lazy)", ErrInvalid, p.ConflictDetect)
+	}
+	switch p.Resolution {
+	case ResRequesterWins, ResFirstWriterWins, ResTimestampOrder:
+	default:
+		return fmt.Errorf("%w: res=%q (want requester, fww, or timestamp)", ErrInvalid, p.Resolution)
+	}
+	switch p.Arbitration {
+	case ArbLocal, ArbRing:
+	default:
+		return fmt.Errorf("%w: arb=%q (want local or ring)", ErrInvalid, p.Arbitration)
+	}
+	if p.VersionMgmt == VMEager {
+		if p.ConflictDetect == CDLazy {
+			return fmt.Errorf("%w: vm=eager requires cd=eager (write reservations are acquired by the eager metadata checks; there is nothing to validate lazily)", ErrInvalid)
+		}
+		if p.Resolution == ResRequesterWins {
+			return fmt.Errorf("%w: vm=eager cannot use res=requester (the reservation holder cannot be aborted by a requester; use res=timestamp or res=fww)", ErrInvalid)
+		}
+	} else if p.Resolution == ResTimestampOrder {
+		return fmt.Errorf("%w: vm=lazy cannot use res=timestamp (value-based validation has no logical timestamps; use res=requester or res=fww)", ErrInvalid)
+	}
+	return nil
+}
+
+// Valid enumerates the implementable points in deterministic order: the
+// four presets first, then the remaining points grouped by version
+// management.
+func Valid() []Policy {
+	var out []Policy
+	seen := map[Policy]bool{}
+	for _, pr := range presetOrder {
+		out = append(out, pr.Policy)
+		seen[pr.Policy] = true
+	}
+	for _, vm := range []VersionMgmt{VMEager, VMLazy} {
+		for _, cd := range []ConflictDetect{CDEager, CDLazy} {
+			for _, res := range []Resolution{ResRequesterWins, ResFirstWriterWins, ResTimestampOrder} {
+				for _, arb := range []Arbitration{ArbLocal, ArbRing} {
+					p := Policy{vm, cd, res, arb}
+					if seen[p] || p.Validate() != nil {
+						continue
+					}
+					out = append(out, p)
+					seen[p] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// All enumerates every syntactically well-formed point, valid or not
+// (invalid-combination table tests).
+func All() []Policy {
+	var out []Policy
+	for _, vm := range []VersionMgmt{VMEager, VMLazy} {
+		for _, cd := range []ConflictDetect{CDEager, CDLazy} {
+			for _, res := range []Resolution{ResRequesterWins, ResFirstWriterWins, ResTimestampOrder} {
+				for _, arb := range []Arbitration{ArbLocal, ArbRing} {
+					out = append(out, Policy{vm, cd, res, arb})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Parse reads a policy from its CLI/serve syntax: either a preset name
+// ("getm", "warptm", "warptm-el", "eapg") or a comma-separated axis list
+// ("vm=eager,cd=eager,res=timestamp,arb=local", any order). Omitted axes
+// default to the machinery's native choice for the given vm (and vm itself
+// defaults to eager, the paper's protocol). The result is validated.
+func Parse(s string) (Policy, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Policy{}, fmt.Errorf("%w: empty policy", ErrInvalid)
+	}
+	if p, ok := Preset(s); ok {
+		return p, nil
+	}
+	var p Policy
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Policy{}, fmt.Errorf("%w: %q is neither a preset name nor an axis=value pair", ErrInvalid, kv)
+		}
+		switch k {
+		case "vm":
+			p.VersionMgmt = VersionMgmt(v)
+		case "cd":
+			p.ConflictDetect = ConflictDetect(v)
+		case "res":
+			p.Resolution = Resolution(v)
+		case "arb":
+			p.Arbitration = Arbitration(v)
+		default:
+			return Policy{}, fmt.Errorf("%w: unknown axis %q (want vm, cd, res, or arb)", ErrInvalid, k)
+		}
+	}
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return Policy{}, err
+	}
+	return p, nil
+}
+
+// withDefaults fills unset axes with the native choice for the (possibly
+// defaulted) version-management machinery.
+func (p Policy) withDefaults() Policy {
+	if p.VersionMgmt == "" {
+		p.VersionMgmt = VMEager
+	}
+	if p.ConflictDetect == "" {
+		if p.VersionMgmt == VMEager {
+			p.ConflictDetect = CDEager
+		} else {
+			p.ConflictDetect = CDLazy
+		}
+	}
+	if p.Resolution == "" {
+		if p.VersionMgmt == VMEager {
+			p.Resolution = ResTimestampOrder
+		} else {
+			p.Resolution = ResRequesterWins
+		}
+	}
+	if p.Arbitration == "" {
+		if p.VersionMgmt == VMEager {
+			p.Arbitration = ArbLocal
+		} else {
+			p.Arbitration = ArbRing
+		}
+	}
+	return p
+}

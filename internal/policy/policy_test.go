@@ -1,0 +1,196 @@
+package policy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The matrix has exactly 24 syntactic points, of which exactly 12 are
+// implementable; Valid must list the presets first and agree with Validate
+// point by point.
+func TestMatrixEnumeration(t *testing.T) {
+	all := All()
+	if len(all) != 24 {
+		t.Fatalf("All() has %d points, want 24", len(all))
+	}
+	valid := Valid()
+	if len(valid) != 12 {
+		t.Fatalf("Valid() has %d points, want 12", len(valid))
+	}
+
+	wantFirst := []Policy{GETM(), WarpTM(), WarpTMEL(), EAPG()}
+	for i, w := range wantFirst {
+		if valid[i] != w {
+			t.Errorf("Valid()[%d] = %v, want preset %v", i, valid[i], w)
+		}
+	}
+
+	seen := map[Policy]bool{}
+	for _, p := range valid {
+		if seen[p] {
+			t.Errorf("Valid() repeats %v", p)
+		}
+		seen[p] = true
+		if err := p.Validate(); err != nil {
+			t.Errorf("Valid() point %v fails Validate: %v", p, err)
+		}
+	}
+
+	// Every point of All is either in Valid or fails Validate — no third
+	// category, and the counts must tie out.
+	invalid := 0
+	for _, p := range all {
+		err := p.Validate()
+		if seen[p] != (err == nil) {
+			t.Errorf("point %v: Valid-membership %v but Validate err %v", p, seen[p], err)
+		}
+		if err != nil {
+			invalid++
+		}
+	}
+	if invalid != 12 {
+		t.Errorf("%d invalid points, want 12", invalid)
+	}
+}
+
+// The three composition rules, spelled out: each invalid combination must
+// fail with an error wrapping ErrInvalid and naming the offending axis pair.
+func TestValidateInvalidTable(t *testing.T) {
+	cases := []struct {
+		p    Policy
+		want string // substring the error must carry
+	}{
+		// vm=eager + cd=lazy: 6 points (3 res × 2 arb).
+		{Policy{VMEager, CDLazy, ResRequesterWins, ArbLocal}, "vm=eager requires cd=eager"},
+		{Policy{VMEager, CDLazy, ResRequesterWins, ArbRing}, "vm=eager requires cd=eager"},
+		{Policy{VMEager, CDLazy, ResFirstWriterWins, ArbLocal}, "vm=eager requires cd=eager"},
+		{Policy{VMEager, CDLazy, ResFirstWriterWins, ArbRing}, "vm=eager requires cd=eager"},
+		{Policy{VMEager, CDLazy, ResTimestampOrder, ArbLocal}, "vm=eager requires cd=eager"},
+		{Policy{VMEager, CDLazy, ResTimestampOrder, ArbRing}, "vm=eager requires cd=eager"},
+		// vm=eager + res=requester (with cd=eager): 2 points.
+		{Policy{VMEager, CDEager, ResRequesterWins, ArbLocal}, "res=requester"},
+		{Policy{VMEager, CDEager, ResRequesterWins, ArbRing}, "res=requester"},
+		// vm=lazy + res=timestamp: 4 points (2 cd × 2 arb).
+		{Policy{VMLazy, CDEager, ResTimestampOrder, ArbLocal}, "res=timestamp"},
+		{Policy{VMLazy, CDEager, ResTimestampOrder, ArbRing}, "res=timestamp"},
+		{Policy{VMLazy, CDLazy, ResTimestampOrder, ArbLocal}, "res=timestamp"},
+		{Policy{VMLazy, CDLazy, ResTimestampOrder, ArbRing}, "res=timestamp"},
+	}
+	if len(cases) != 12 {
+		t.Fatalf("table has %d cases, want all 12 invalid points", len(cases))
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if err == nil {
+			t.Errorf("%v validated, want error", c.p)
+			continue
+		}
+		if !errors.Is(err, ErrInvalid) {
+			t.Errorf("%v error %v does not wrap ErrInvalid", c.p, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%v error %q missing %q", c.p, err, c.want)
+		}
+	}
+
+	// Malformed axis values are invalid too, before any composition rule.
+	for _, p := range []Policy{
+		{},
+		{"eager", "eager", "timestamp", "token"},
+		{"eager", "eager", "oldest", "local"},
+		{"eagre", "eager", "timestamp", "local"},
+	} {
+		if err := p.Validate(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%v: err %v, want ErrInvalid", p, err)
+		}
+	}
+}
+
+// Parse accepts preset names, canonical tuples, axis lists in any order,
+// and partial lists with machinery-native defaults — and rejects the rest.
+func TestParse(t *testing.T) {
+	ok := []struct {
+		in   string
+		want Policy
+	}{
+		{"getm", GETM()},
+		{"warptm", WarpTM()},
+		{"warptm-el", WarpTMEL()},
+		{"eapg", EAPG()},
+		{"vm=eager,cd=eager,res=timestamp,arb=local", GETM()},
+		{"arb=ring, res=requester, cd=lazy, vm=lazy", WarpTM()}, // any order, spaces ok
+		{"vm=eager", GETM()},  // defaults fill the rest
+		{"vm=lazy", WarpTM()}, // lazy defaults are WarpTM's
+		{"vm=lazy,cd=eager", WarpTMEL()},
+		{"vm=lazy,res=fww", EAPG()},
+		{"res=fww", Policy{VMEager, CDEager, ResFirstWriterWins, ArbLocal}},
+		{"", Policy{}}, // sentinel: expect error, checked below
+	}
+	for _, c := range ok[:len(ok)-1] {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+
+	for _, in := range []string{
+		"",
+		"mesi",                   // unknown preset
+		"vm=eager,cd=lazy",       // invalid composition
+		"vm=lazy,res=timestamp",  // invalid composition
+		"vm=eager,res=requester", // invalid composition
+		"speed=fast",             // unknown axis
+		"vm",                     // not axis=value
+		"vm=eager,cd",            // trailing bare token
+	} {
+		if _, err := Parse(in); !errors.Is(err, ErrInvalid) {
+			t.Errorf("Parse(%q): err %v, want ErrInvalid", in, err)
+		}
+	}
+
+	// Every valid point round-trips through its canonical form.
+	for _, p := range Valid() {
+		got, err := Parse(p.Canonical())
+		if err != nil || got != p {
+			t.Errorf("Parse(Canonical(%v)) = %v, %v", p, got, err)
+		}
+	}
+}
+
+// Preset naming must round-trip, and String must prefer the name.
+func TestPresetNames(t *testing.T) {
+	names := map[string]Policy{
+		"getm":      GETM(),
+		"warptm":    WarpTM(),
+		"warptm-el": WarpTMEL(),
+		"eapg":      EAPG(),
+	}
+	for name, p := range names {
+		got, ok := Preset(name)
+		if !ok || got != p {
+			t.Errorf("Preset(%q) = %v, %v", name, got, ok)
+		}
+		gotName, ok := PresetName(p)
+		if !ok || gotName != name {
+			t.Errorf("PresetName(%v) = %q, %v", p, gotName, ok)
+		}
+		if p.String() != name {
+			t.Errorf("String(%v) = %q, want preset name %q", p, p.String(), name)
+		}
+	}
+	if _, ok := Preset("fglock"); ok {
+		t.Error("fglock resolved as a policy preset (locks are not a TM policy)")
+	}
+	np := Policy{VMLazy, CDEager, ResFirstWriterWins, ArbLocal}
+	if _, ok := PresetName(np); ok {
+		t.Errorf("non-preset %v claims a preset name", np)
+	}
+	if got := np.String(); got != np.Canonical() {
+		t.Errorf("non-preset String = %q, want canonical %q", got, np.Canonical())
+	}
+}

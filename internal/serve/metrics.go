@@ -35,6 +35,12 @@ const clientCardinality = 64
 // clientOverflow is the label absorbing clients beyond clientCardinality.
 const clientOverflow = "_other"
 
+// policyCardinality bounds the per-policy counter table. The valid label set
+// is small by construction — the 12 implementable matrix points plus fglock —
+// but the table keeps the same defensive overflow discipline as the client
+// table so no future label source can grow the exposition without bound.
+const policyCardinality = 16
+
 // clientStat is one client's request accounting.
 type clientStat struct {
 	requests int64
@@ -80,13 +86,17 @@ type metricsSet struct {
 
 	clientMu sync.Mutex
 	clients  map[string]*clientStat
+
+	policyMu sync.Mutex
+	policies map[string]int64 // valid submissions per full policy tuple
 }
 
 func newMetricsSet() *metricsSet {
 	return &metricsSet{
-		lat:     stats.NewHist(latencyBuckets),
-		httpLat: stats.NewShardedHist(httpLatencyShards, httpLatencyBuckets),
-		clients: make(map[string]*clientStat),
+		lat:      stats.NewHist(latencyBuckets),
+		httpLat:  stats.NewShardedHist(httpLatencyShards, httpLatencyBuckets),
+		clients:  make(map[string]*clientStat),
+		policies: make(map[string]int64),
 	}
 }
 
@@ -155,6 +165,16 @@ func (m *metricsSet) clientRequest(client string, n int64) {
 	m.clientMu.Lock()
 	m.clientStatFor(client).requests += n
 	m.clientMu.Unlock()
+}
+
+// policyRequest counts n valid submissions for the policy tuple label.
+func (m *metricsSet) policyRequest(label string, n int64) {
+	m.policyMu.Lock()
+	if _, ok := m.policies[label]; !ok && len(m.policies) >= policyCardinality {
+		label = clientOverflow
+	}
+	m.policies[label] += n
+	m.policyMu.Unlock()
 }
 
 // clientShed counts n shed submissions for the client.
@@ -308,6 +328,24 @@ func (m *metricsSet) write(w io.Writer, s *Server) {
 	fmt.Fprintf(w, "# HELP getm_serve_client_shed_total submissions shed per client (quota, queue, or draining)\n# TYPE getm_serve_client_shed_total counter\n")
 	for i, name := range names {
 		fmt.Fprintf(w, "getm_serve_client_shed_total{client=\"%s\"} %d\n", labelEscape(name), rows[i].shed)
+	}
+
+	// Per-policy accounting: every valid submission counted under its full
+	// matrix tuple (or "fglock"), bounded at policyCardinality rows.
+	m.policyMu.Lock()
+	pnames := make([]string, 0, len(m.policies))
+	for name := range m.policies {
+		pnames = append(pnames, name)
+	}
+	sort.Strings(pnames)
+	pcounts := make([]int64, len(pnames))
+	for i, name := range pnames {
+		pcounts[i] = m.policies[name]
+	}
+	m.policyMu.Unlock()
+	fmt.Fprintf(w, "# HELP getm_serve_policy_requests_total valid run submissions received per protocol policy point\n# TYPE getm_serve_policy_requests_total counter\n")
+	for i, name := range pnames {
+		fmt.Fprintf(w, "getm_serve_policy_requests_total{policy=\"%s\"} %d\n", labelEscape(name), pcounts[i])
 	}
 
 	// SLO surface: targets as gauges, burn as counters — a dashboard derives

@@ -397,6 +397,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.met.policyRequest(sp.policyLabel(), 1)
 
 	if s.quotas != nil {
 		if ok, retry := s.quotas.allow(client, time.Now()); !ok {
@@ -535,6 +536,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resps[i] = &Response{Status: "invalid", Error: err.Error()}
 			continue
 		}
+		s.met.policyRequest(sp.policyLabel(), 1)
 		if s.quotas != nil {
 			if ok, _ := s.quotas.allow(client, time.Now()); !ok {
 				s.met.rejected.Add(1)

@@ -7,6 +7,7 @@ import (
 
 	"getm/internal/gpu"
 	"getm/internal/harness"
+	"getm/internal/policy"
 	"getm/internal/workloads"
 )
 
@@ -14,8 +15,16 @@ import (
 // values of Scale and Seed select the library's documented sentinels (1.0
 // and 42), so the minimal request is just {"protocol": ..., "benchmark": ...}.
 type RunSpec struct {
-	// Protocol is one of getm, warptm, warptm-el, eapg, fglock.
+	// Protocol is one of getm, warptm, warptm-el, eapg, fglock. Ignored
+	// when Policy is set.
 	Protocol string `json:"protocol"`
+	// Policy selects a protocol-matrix point directly: a preset name
+	// ("getm", "warptm", "warptm-el", "eapg") or an axis list such as
+	// "vm=eager,cd=eager,res=timestamp,arb=local". It takes precedence over
+	// Protocol; a preset point is indistinguishable from naming the protocol
+	// (same run id, same store record). Invalid combinations are refused
+	// with 400.
+	Policy string `json:"policy,omitempty"`
 	// Benchmark is one of the paper's workloads (see workloads.Names).
 	Benchmark string `json:"benchmark"`
 	// Scale shrinks the workload (0 = 1.0, the full reproduction scale).
@@ -39,6 +48,12 @@ type RunSpec struct {
 	// Async makes POST return 202 with the run id immediately; poll
 	// GET /v1/runs/{id} for the durable job status and result.
 	Async bool `json:"async,omitempty"`
+
+	// pol holds the parsed non-preset matrix point after validate. Preset
+	// policies collapse onto Protocol instead, so the invariant after a
+	// successful validate is: pol zero and Protocol a known name, or pol a
+	// valid non-preset point and Protocol empty.
+	pol policy.Policy
 }
 
 var protocols = map[string]bool{
@@ -60,9 +75,25 @@ func (sp *RunSpec) normalize() {
 }
 
 // validate checks a normalized spec against static limits; maxScale is the
-// server's admission ceiling.
+// server's admission ceiling. A spec carrying a Policy is parsed here:
+// presets collapse onto the equivalent Protocol name (so policy and
+// protocol spellings of the same point share one run id), non-preset points
+// land in sp.pol, and invalid ones fail — the caller maps the error to 400.
 func (sp *RunSpec) validate(maxScale float64) error {
-	if !protocols[sp.Protocol] {
+	if sp.Policy != "" {
+		p, err := policy.Parse(sp.Policy)
+		if err != nil {
+			return err
+		}
+		if name, ok := policy.PresetName(p); ok {
+			sp.Protocol = name
+			sp.pol = policy.Policy{}
+		} else {
+			sp.Protocol = ""
+			sp.pol = p
+		}
+	}
+	if sp.pol.IsZero() && !protocols[sp.Protocol] {
 		return fmt.Errorf("unknown protocol %q (want getm, warptm, warptm-el, eapg, fglock)", sp.Protocol)
 	}
 	names := workloads.Names()
@@ -91,6 +122,32 @@ func (sp *RunSpec) validate(maxScale float64) error {
 	return nil
 }
 
+// protoKey is the protocol's identity segment in cacheKey: the protocol name,
+// or the canonical axis tuple for a non-preset matrix point. Different
+// textual spellings of one point ("vm=lazy,arb=ring" with defaulted axes vs
+// the full tuple, a preset tuple vs its name) converge here, so they join the
+// same live job.
+func (sp *RunSpec) protoKey() string {
+	if !sp.pol.IsZero() {
+		return "policy:" + sp.pol.Canonical()
+	}
+	return sp.Protocol
+}
+
+// policyLabel is the bounded-cardinality /metrics label for the spec: the
+// full canonical policy tuple for TM runs (preset or not), "fglock" for the
+// lock variant. Only validated specs reach it, so the label set is the 12
+// valid matrix points plus fglock.
+func (sp *RunSpec) policyLabel() string {
+	if !sp.pol.IsZero() {
+		return sp.pol.Canonical()
+	}
+	if p, ok := policy.Preset(sp.Protocol); ok {
+		return p.Canonical()
+	}
+	return sp.Protocol
+}
+
 // cacheKey is the spec's identity on the admission fast path: every field
 // that shapes the run id, none of the per-request knobs (Async, TimeoutMS).
 // Two specs with equal cacheKeys map to the same run id, so the server can
@@ -98,13 +155,14 @@ func (sp *RunSpec) validate(maxScale float64) error {
 // address (a canonical-JSON marshal plus a SHA-256) per request.
 func (sp *RunSpec) cacheKey() string {
 	return fmt.Sprintf("%s|%s|%g|%d|c%d|n%d|b%d",
-		sp.Protocol, sp.Benchmark, sp.Scale, sp.Seed, sp.Conc, sp.Cores, sp.CycleBudget)
+		sp.protoKey(), sp.Benchmark, sp.Scale, sp.Seed, sp.Conc, sp.Cores, sp.CycleBudget)
 }
 
 // job translates the spec into the harness's cell identity.
 func (sp *RunSpec) job() harness.Job {
 	return harness.Job{
 		Proto:       gpu.Protocol(sp.Protocol),
+		Policy:      sp.pol,
 		Bench:       sp.Benchmark,
 		Conc:        sp.Conc,
 		Cores:       sp.Cores,

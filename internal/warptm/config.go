@@ -45,6 +45,12 @@ type Config struct {
 	// Eager enables the idealized WarpTM-EL variant: instant validation of
 	// the read log at every transactional access.
 	Eager bool
+	// LocalArb drops the global in-order commit retirement (the ring token):
+	// a core decides as soon as its own validation replies are in. The VU
+	// hazard windows still order conflicting commits, so commit-id order
+	// remains a valid serialization. Policy-matrix knob; excluded from JSON
+	// so store content addresses are unchanged.
+	LocalArb bool `json:"-"`
 }
 
 // DefaultConfig mirrors the paper's WarpTM setup.

@@ -450,6 +450,17 @@ func (p *Protocol) Commit(w *tm.WarpTx, commitMask, abortMask isa.LaneMask, resu
 // standard simulator simplification; the hazard window keeps overlapping
 // validations ordered either way.
 func (p *Protocol) finishCommit(w *tm.WarpTx, cid uint64, validating, failed isa.LaneMask, involved []int, resume func(tm.CommitOutcome)) {
+	if p.cfg.LocalArb {
+		// Local arbitration: decide immediately instead of waiting for the
+		// in-order retirement slot. Conflicting commits are still ordered —
+		// a validation whose footprint overlaps an unconfirmed write set
+		// stalls in the VU hazard window until that commit's confirmation —
+		// so commit-id order remains a valid serialization; p.decided becomes
+		// a count of decisions (an approximate horizon for silent commits).
+		p.decided++
+		p.decide(w, cid, validating, failed, involved, resume)
+		return
+	}
 	p.waiting[cid] = func() { p.decide(w, cid, validating, failed, involved, resume) }
 	for {
 		fn, ok := p.waiting[p.decided]

@@ -1,0 +1,170 @@
+package getm_test
+
+// Tests for the policy-matrix surface of the public API: preset
+// enumeration, parsing, and the invalid-combination contract (every
+// rejected point fails with errors.Is(err, ErrInvalidPolicy) on both the
+// v1 and v2 entry points).
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"getm"
+)
+
+// allCombos enumerates the 24 syntactic matrix points through the public
+// axis constants.
+func allCombos() []getm.Policy {
+	var out []getm.Policy
+	for _, vm := range []string{getm.VMEager, getm.VMLazy} {
+		for _, cd := range []string{getm.CDEager, getm.CDLazy} {
+			for _, res := range []string{getm.ResRequesterWins, getm.ResFirstWriterWins, getm.ResTimestampOrder} {
+				for _, arb := range []string{getm.ArbLocal, getm.ArbRing} {
+					out = append(out, getm.Policy{
+						VersionMgmt:    vm,
+						ConflictDetect: cd,
+						Resolution:     res,
+						Arbitration:    arb,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Policies must expose exactly the 12 implementable points, presets first,
+// and partition the 24 combinations cleanly with Validate.
+func TestPoliciesEnumeration(t *testing.T) {
+	pols := getm.Policies()
+	if len(pols) != 12 {
+		t.Fatalf("Policies() has %d points, want 12", len(pols))
+	}
+	wantFirst := []getm.Policy{getm.GETM(), getm.WarpTM(), getm.WarpTMEL(), getm.EAPG()}
+	for i, w := range wantFirst {
+		if pols[i] != w {
+			t.Errorf("Policies()[%d] = %v, want preset %v", i, pols[i], w)
+		}
+	}
+	valid := map[getm.Policy]bool{}
+	for _, p := range pols {
+		if err := p.Validate(); err != nil {
+			t.Errorf("listed policy %v fails Validate: %v", p, err)
+		}
+		valid[p] = true
+	}
+	invalid := 0
+	for _, p := range allCombos() {
+		if valid[p] {
+			continue
+		}
+		invalid++
+		if err := p.Validate(); !errors.Is(err, getm.ErrInvalidPolicy) {
+			t.Errorf("unlisted combo %v: Validate err %v, want ErrInvalidPolicy", p, err)
+		}
+	}
+	if invalid != 12 {
+		t.Errorf("%d combos outside Policies(), want 12", invalid)
+	}
+}
+
+// ParsePolicy must accept preset names and axis lists, and reject the rest
+// with ErrInvalidPolicy.
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]getm.Policy{
+		"getm":      getm.GETM(),
+		"warptm":    getm.WarpTM(),
+		"warptm-el": getm.WarpTMEL(),
+		"eapg":      getm.EAPG(),
+		"vm=lazy,cd=eager,res=fww,arb=ring": {
+			VersionMgmt:    getm.VMLazy,
+			ConflictDetect: getm.CDEager,
+			Resolution:     getm.ResFirstWriterWins,
+			Arbitration:    getm.ArbRing,
+		},
+	} {
+		got, err := getm.ParsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "fglock", "vm=eager,cd=lazy", "speed=fast"} {
+		if _, err := getm.ParsePolicy(in); !errors.Is(err, getm.ErrInvalidPolicy) {
+			t.Errorf("ParsePolicy(%q): err %v, want ErrInvalidPolicy", in, err)
+		}
+	}
+}
+
+// Every invalid combination must be rejected by Run before any simulation,
+// with an error matching ErrInvalidPolicy.
+func TestRunInvalidPolicy(t *testing.T) {
+	for _, p := range allCombos() {
+		if p.Validate() == nil {
+			continue
+		}
+		_, err := getm.Run(getm.Options{Policy: p, Benchmark: "atm", Scale: 0.02})
+		if !errors.Is(err, getm.ErrInvalidPolicy) {
+			t.Errorf("Run with %v: err %v, want ErrInvalidPolicy", p, err)
+		}
+	}
+}
+
+// The v2 experiment runner must reject an invalid policy the same way —
+// eagerly, before touching the experiment grid.
+func TestRunExperimentInvalidPolicy(t *testing.T) {
+	bad := getm.Policy{
+		VersionMgmt:    getm.VMEager,
+		ConflictDetect: getm.CDLazy,
+		Resolution:     getm.ResTimestampOrder,
+		Arbitration:    getm.ArbLocal,
+	}
+	_, err := getm.RunExperimentContext(context.Background(), "fig3", getm.WithPolicy(bad))
+	if !errors.Is(err, getm.ErrInvalidPolicy) {
+		t.Errorf("RunExperimentContext: err %v, want ErrInvalidPolicy", err)
+	}
+}
+
+// A preset policy and its protocol name must produce identical metrics
+// through the public Run — the user-visible half of the preset-identity
+// guarantee (the store-address half is pinned in internal/store).
+func TestRunPolicyPresetIdentity(t *testing.T) {
+	for _, c := range []struct {
+		name   string
+		policy getm.Policy
+	}{
+		{"getm", getm.GETM()},
+		{"warptm", getm.WarpTM()},
+	} {
+		byName, err := getm.Run(getm.Options{Protocol: c.name, Benchmark: "ht-h", Scale: 0.05, Concurrency: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		byPolicy, err := getm.Run(getm.Options{Policy: c.policy, Benchmark: "ht-h", Scale: 0.05, Concurrency: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(byName, byPolicy) {
+			t.Errorf("%s: metrics differ between name and preset selection:\nname:   %+v\npolicy: %+v",
+				c.name, byName, byPolicy)
+		}
+	}
+}
+
+// A valid non-preset point must run through the public API.
+func TestRunNonPresetPolicy(t *testing.T) {
+	p := getm.Policy{
+		VersionMgmt:    getm.VMLazy,
+		ConflictDetect: getm.CDEager,
+		Resolution:     getm.ResFirstWriterWins,
+		Arbitration:    getm.ArbRing,
+	}
+	m, err := getm.Run(getm.Options{Policy: p, Benchmark: "atm", Scale: 0.05, Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Commits == 0 {
+		t.Error("no commits from non-preset policy run")
+	}
+}
