@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench benchcmp trace-gate store-gate serve-gate par-gate load-gate obs-gate policy-gate bench-serve
+.PHONY: check vet build test race short bench benchcmp trace-gate store-gate serve-gate par-gate load-gate obs-gate policy-gate cluster-gate bench-serve
 
-check: vet build race short trace-gate store-gate serve-gate par-gate load-gate obs-gate policy-gate
+check: vet build race short trace-gate store-gate serve-gate par-gate load-gate obs-gate policy-gate cluster-gate
 
 vet:
 	$(GO) vet ./...
@@ -100,6 +100,16 @@ policy-gate:
 	$(GO) test -run 'TestPolicyFlag|TestPolicyPresetSharesStoreRecord' ./cmd/getm-sim/
 	$(GO) test -run 'TestPolicyGrid|TestPolicyFlagErrors' ./cmd/getm-sweep/
 	$(GO) test -run 'TestSubmitPolicy|TestPolicyMetricsLabel' ./internal/serve/
+
+# Cluster gate: the distributed sweep fabric under the race detector — an
+# in-process 3-node cluster (coordinator + workers) must shard a full paper
+# grid byte-identically to a single node, survive a worker killed mid-sweep
+# without re-simulating completed cells, hedge slow owners, fail over from
+# dead ones, steal from saturated ones, and sync store records across nodes;
+# plus the flag-level end-to-end run through cmd/getm-serve.
+cluster-gate:
+	$(GO) test -race -run 'TestCluster' ./internal/serve/
+	$(GO) test -race -run 'TestServeCluster' ./cmd/getm-serve/
 
 # Serve-path throughput baselines (recorded in BENCH_serve.json): both
 # traffic mixes against the per-request-write baseline server and the

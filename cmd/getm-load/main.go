@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	getm-load [-url http://host:port] [-compare] [-mix dedupe-heavy|dedupe-free]
+//	getm-load [-url http://host:port] [-targets URL,URL,...] [-compare]
+//	          [-mix dedupe-heavy|dedupe-free]
 //	          [-duration 3s] [-clients 4] [-batch 16] [-keys 8] [-zipf 1.2]
 //	          [-scale 0.02] [-protocol getm] [-benchmark ht-h]
 //	          [-slo-p99 0] [-slo-shed -1] [-out FILE] [-baseline] [-spans]
@@ -36,6 +37,16 @@
 // client-observed p99, both in the summary line and in the JSON
 // (server_*_ms fields). Targets named with -url report server timings
 // whenever that server was started with -spans.
+//
+// -targets takes a comma-separated list of base URLs for cluster-aware load:
+// each closed-loop client pins to targets[i mod n], so an N-node fabric
+// (coordinator plus workers, or workers addressed directly) sees the load
+// spread across its front doors while every client still measures one
+// stable connection. Aggregate results span all targets.
+//
+// -out writes are atomic (temp file + rename in the destination directory),
+// so a crashed or failed run never leaves a torn BENCH_serve.json behind —
+// the previous file survives intact until the new one is complete.
 package main
 
 import (
@@ -48,6 +59,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -112,6 +124,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("getm-load", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	url := fs.String("url", "", "target server base URL (empty = spawn a server in-process)")
+	targets := fs.String("targets", "", "comma-separated target base URLs; clients pin round-robin across them (cluster-aware load)")
 	compare := fs.Bool("compare", false, "measure each mix against baseline AND coalesced in-process servers")
 	mix := fs.String("mix", "dedupe-heavy", "traffic mix: dedupe-heavy or dedupe-free")
 	duration := fs.Duration("duration", 3*time.Second, "measurement length per mix")
@@ -140,12 +153,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "error:", err)
 		return 2
 	}
+	var targetList []string
+	if *targets != "" {
+		if *url != "" {
+			fmt.Fprintln(stderr, "error: -targets already names the servers; drop -url")
+			return 2
+		}
+		for _, u := range strings.Split(*targets, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				targetList = append(targetList, u)
+			}
+		}
+		if len(targetList) == 0 {
+			fmt.Fprintln(stderr, "error: -targets lists no URLs")
+			return 2
+		}
+	}
 
 	var doc any
 	gateRes := make([]mixResult, 0, 2)
 	if *compare {
-		if *url != "" {
-			fmt.Fprintln(stderr, "error: -compare spawns its own servers; drop -url")
+		if *url != "" || len(targetList) > 0 {
+			fmt.Fprintln(stderr, "error: -compare spawns its own servers; drop -url/-targets")
 			return 2
 		}
 		cmpDoc, coalesced, err := runCompare(cfg, stderr)
@@ -156,17 +185,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		doc = cmpDoc
 		gateRes = coalesced
 	} else {
-		target := *url
+		tg := targetList
 		var shutdown func()
-		if target == "" {
-			var err error
-			target, shutdown, err = spawnServer(*baseline, *spans, stderr)
+		if len(tg) == 0 && *url != "" {
+			tg = []string{*url}
+		}
+		if len(tg) == 0 {
+			target, sd, err := spawnServer(*baseline, *spans, stderr)
 			if err != nil {
 				fmt.Fprintln(stderr, "error:", err)
 				return 1
 			}
+			tg, shutdown = []string{target}, sd
 		}
-		res, err := runMix(target, cfg, stderr)
+		res, err := runMix(tg, cfg, stderr)
 		if shutdown != nil {
 			shutdown()
 		}
@@ -185,7 +217,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	b = append(b, '\n')
 	if *out != "" {
-		if err := os.WriteFile(*out, b, 0o644); err != nil {
+		if err := writeFileAtomic(*out, b); err != nil {
 			fmt.Fprintln(stderr, "error:", err)
 			return 1
 		}
@@ -209,6 +241,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "SLOs met")
 	}
 	return code
+}
+
+// atomicWriteFailAfter, when positive, aborts writeFileAtomic after that
+// many bytes — a test seam standing in for a crash or full disk mid-write.
+var atomicWriteFailAfter = 0
+
+// writeFileAtomic replaces path via a temp file and rename in the same
+// directory, so a reader (or a rerun after a crash) only ever sees the old
+// complete file or the new complete file, never a torn one.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if n := atomicWriteFailAfter; n > 0 && n < len(data) {
+		if _, werr := f.Write(data[:n]); werr != nil {
+			return fail(werr)
+		}
+		return fail(fmt.Errorf("write %s: canceled after %d bytes", path, n))
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 func (c *loadCfg) validate() error {
@@ -315,7 +389,7 @@ func runCompare(cfg loadCfg, stderr io.Writer) (*compareDoc, []mixResult, error)
 			if err != nil {
 				return nil, nil, err
 			}
-			res, err := runMix(url, acfg, stderr)
+			res, err := runMix([]string{url}, acfg, stderr)
 			shutdown()
 			if err != nil {
 				return nil, nil, fmt.Errorf("%s baseline=%v: %w", mix, baseline, err)
@@ -338,8 +412,10 @@ func runCompare(cfg loadCfg, stderr io.Writer) (*compareDoc, []mixResult, error)
 	return doc, coalesced, nil
 }
 
-// runMix drives one sustained measurement against url.
-func runMix(url string, cfg loadCfg, stderr io.Writer) (mixResult, error) {
+// runMix drives one sustained measurement against targets; each closed-loop
+// client pins to targets[ci mod n] so a multi-node fabric sees the load
+// across its front doors.
+func runMix(targets []string, cfg loadCfg, stderr io.Writer) (mixResult, error) {
 	transport := &http.Transport{
 		MaxIdleConns:        cfg.clients * 2,
 		MaxIdleConnsPerHost: cfg.clients * 2,
@@ -348,8 +424,13 @@ func runMix(url string, cfg loadCfg, stderr io.Writer) (mixResult, error) {
 	defer transport.CloseIdleConnections()
 
 	if cfg.mix == "dedupe-heavy" {
-		if err := warmKeys(client, url, cfg); err != nil {
-			return mixResult{}, fmt.Errorf("warmup: %w", err)
+		// Warm each target: in a cluster the nodes converge through routing
+		// and store sync, but the timed window should start with every front
+		// door's caches hot.
+		for _, url := range targets {
+			if err := warmKeys(client, url, cfg); err != nil {
+				return mixResult{}, fmt.Errorf("warmup %s: %w", url, err)
+			}
 		}
 	}
 
@@ -374,6 +455,7 @@ func runMix(url string, cfg loadCfg, stderr io.Writer) (mixResult, error) {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
+			url := targets[ci%len(targets)]
 			st := &stats[ci]
 			rng := rand.New(rand.NewSource(cfg.seed + int64(ci)*7919))
 			var zipf *rand.Zipf

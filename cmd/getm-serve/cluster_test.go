@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeClusterEndToEnd stands up two worker processes and a coordinator
+// (all in-process via run(), real HTTP between them) and drives a small
+// sweep through the coordinator: every cell completes, the coordinator
+// simulates nothing, the workers simulate each cell exactly once between
+// them, and the coordinator can answer GET /v1/runs/{id} for a cell it
+// never executed by store-syncing from the owning worker. One SIGTERM then
+// drains all three nodes cleanly.
+func TestServeClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node e2e in -short mode")
+	}
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	w1, _, done1 := startServer(t, "-store", dir1, "-role", "worker",
+		"-probe-interval", "25ms", "-flush-interval", "5ms")
+	w2, _, done2 := startServer(t, "-store", dir2, "-role", "worker",
+		"-probe-interval", "25ms", "-flush-interval", "5ms", "-peers", w1)
+	coord, _, done3 := startServer(t, "-store", t.TempDir(),
+		"-role", "coordinator", "-peers", w1+","+w2, "-probe-interval", "25ms")
+
+	// Give the coordinator's prober a beat to see both workers' headroom so
+	// the sweep shards by rendezvous rather than stealing off unprobed peers.
+	deadline := time.Now().Add(5 * time.Second)
+	for !time.Now().After(deadline) {
+		probed := 0
+		for _, line := range strings.Split(getText(t, coord+"/metrics"), "\n") {
+			if !strings.HasPrefix(line, "getm_serve_peer_headroom{") {
+				continue
+			}
+			if v, err := strconv.Atoi(line[strings.LastIndex(line, " ")+1:]); err == nil && v > 0 {
+				probed++
+			}
+		}
+		if probed == 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var ids []string
+	for _, bench := range []string{"ht-h", "ht-m", "ht-l", "atm"} {
+		spec := fmt.Sprintf(`{"protocol":"getm","benchmark":%q,"scale":0.02}`, bench)
+		resp, err := postSpec(coord, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out runResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || out.Status != "done" {
+			t.Fatalf("bench %s: status %d / %q (%s)", bench, resp.StatusCode, out.Status, out.Error)
+		}
+		ids = append(ids, out.ID)
+	}
+
+	simTotal := func(base string) int {
+		n, err := strconv.Atoi(metricValue(t, getText(t, base+"/metrics"), "getm_serve_simulated_total"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if n := simTotal(coord); n != 0 {
+		t.Errorf("coordinator simulated %d cells; it must only route", n)
+	}
+	if n := simTotal(w1) + simTotal(w2); n != len(ids) {
+		t.Errorf("workers simulated %d cells for %d submissions; each cell must run exactly once", n, len(ids))
+	}
+
+	// Wait until every record is durable on a worker's disk: the write-behind
+	// coalescer acknowledges "done" before flushing, and the peer store-sync
+	// source reads raw files, so a GET inside the flush window would be
+	// answered by proxying instead of a fill.
+	durable := func() int {
+		n := 0
+		for _, dir := range []string{dir1, dir2} {
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range ents {
+				if !e.IsDir() && !strings.HasPrefix(e.Name(), ".") && strings.HasSuffix(e.Name(), ".json") {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	flushDeadline := time.Now().Add(10 * time.Second)
+	for durable() < len(ids) {
+		if time.Now().After(flushDeadline) {
+			t.Fatalf("only %d of %d records flushed to worker stores", durable(), len(ids))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Any node answers any id: the coordinator's local store has never seen
+	// these cells, so this exercises the peer store fill.
+	for _, id := range ids {
+		resp, err := http.Get(coord + "/v1/runs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out runResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || out.Status != "done" {
+			t.Fatalf("coordinator GET %s: %d / %q", id, resp.StatusCode, out.Status)
+		}
+	}
+	coordMetrics := getText(t, coord+"/metrics")
+	if v := metricValue(t, coordMetrics, "getm_serve_cluster_peers"); v != "2" {
+		t.Errorf("getm_serve_cluster_peers = %s, want 2", v)
+	}
+	if v := metricValue(t, coordMetrics, "getm_serve_store_peer_fills_total"); v == "0" {
+		t.Error("coordinator answered by-id reads without any peer store fill")
+	}
+
+	// One SIGTERM drains every node in this process.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for i, done := range []chan int{done1, done2, done3} {
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Errorf("node %d exited %d after drain", i+1, code)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("node %d did not exit after SIGTERM", i+1)
+		}
+	}
+}
+
+// TestServeClusterBadFlags pins the exit-2 usage errors for cluster
+// misconfiguration.
+func TestServeClusterBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-role", "boss"},
+		{"-role", "coordinator"}, // nobody to route to
+		{"-role", "coordinator", "-peers", "not-a-url"},
+		{"-role", "worker", "-peers", "ftp://h:1"},
+	}
+	for _, args := range cases {
+		var out, errBuf syncBuf
+		if code := run(args, &out, &errBuf); code != 2 {
+			t.Errorf("run(%v) exited %d, want 2\nstderr:\n%s", args, code, errBuf.String())
+		}
+	}
+}

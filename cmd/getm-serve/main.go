@@ -10,6 +10,8 @@
 //	           [-flush-interval 100ms] [-flush-highwater 64] [-baseline]
 //	           [-spans] [-span-ring N] [-pprof] [-slo-p99 250ms]
 //	           [-slo-shed 0.01] [-verbose]
+//	           [-role worker|coordinator] [-peers URL,URL,...]
+//	           [-hedge-delay D] [-probe-interval 250ms]
 //
 // POST /v1/runs accepts a JSON RunSpec (protocol, benchmark, scale, seed,
 // conc, cores, cycle_budget, timeout_ms, async) and simulates it on a fixed
@@ -42,6 +44,17 @@
 // triggered share one timeline. Responses gain an X-Getm-Timings header
 // (queue/sim/persist µs) and GET /v1/runs/{id}/timings reports the same
 // breakdown. -pprof mounts the standard profiling endpoints.
+//
+// -role and -peers turn single servers into a sweep fabric. A coordinator
+// (-role coordinator -peers http://w1:8344,http://w2:8344) executes nothing
+// itself: every submission routes to the worker owning its content address
+// under rendezvous hashing, steals to the next-ranked worker when the owner
+// reports no queue headroom, and hedges a second request after -hedge-delay
+// (0 derives the delay from the observed forward p99) with the loser
+// canceled. Workers given -peers (their sibling workers) fill store misses
+// from each other over GET /v1/store/{key}, so any node answers
+// GET /v1/runs/{id} for any completed cell and a worker inheriting a dead
+// peer's cells re-simulates only what no surviving store holds.
 //
 // SIGTERM or SIGINT triggers a graceful drain: new work is refused, in-flight
 // runs get -drain-timeout to finish (then are canceled), and the process
@@ -115,6 +128,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sloP99 := fs.Duration("slo-p99", 250*time.Millisecond, "p99 run-latency objective feeding the SLO burn counters")
 	sloShed := fs.Float64("slo-shed", 0.01, "shed-ratio objective exposed for burn-rate dashboards")
 	verbose := fs.Bool("verbose", false, "log progress lines to stderr")
+	role := fs.String("role", "", "cluster role: worker or coordinator (empty = standalone)")
+	peers := fs.String("peers", "", "comma-separated peer base URLs (coordinator: routing targets; worker: store-sync sources)")
+	hedgeDelay := fs.Duration("hedge-delay", 0, "coordinator hedge delay before retrying a slow forward (0 = derive from forward p99)")
+	probeInterval := fs.Duration("probe-interval", 0, "peer health/headroom probe cadence (0 = 250ms)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -142,6 +159,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Pprof:          *pprofOn,
 		SLOP99:         *sloP99,
 		SLOShedTarget:  *sloShed,
+		Role:           *role,
+		HedgeDelay:     *hedgeDelay,
+		ProbeInterval:  *probeInterval,
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 2
 	}
 	if *storeDir != "" {
 		st := store.Open(*storeDir)

@@ -36,6 +36,12 @@
 // the 24 combinations) runs on each listed benchmark (-bench becomes a
 // comma-separated list, default "ht-h,atm"), and the table reports cycles,
 // commit throughput, and abort rate per (policy, benchmark) cell.
+//
+// -server URL submits every point to a running getm-serve instead of
+// simulating locally — point it at a cluster coordinator and the sweep
+// shards across the fabric's workers. Only the knobs a run request can
+// express (conc, cores) and -policy-grid work remotely; -store, -resume,
+// and -shards are the server's business and are refused with -server.
 package main
 
 import (
@@ -54,6 +60,7 @@ import (
 	"getm/internal/gpu"
 	"getm/internal/policy"
 	"getm/internal/report"
+	"getm/internal/serve"
 	"getm/internal/stats"
 	"getm/internal/store"
 	"getm/internal/workloads"
@@ -81,12 +88,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	resume := fs.Bool("resume", true, "with -store, reuse existing records instead of re-simulating")
 	timeout := fs.Duration("timeout", 0, "abort the sweep after this wall-clock duration (0 = none)")
 	shards := fs.Int("shards", 0, "run each point on the parallel engine with this many workers (0 = serial; getm/fglock only)")
+	server := fs.String("server", "", "submit sweep points to a running getm-serve (or cluster coordinator) at this base URL instead of simulating locally")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if explicitFlag(fs, "resume") && *storeDir == "" {
 		fmt.Fprintln(stderr, "error: -resume requires -store (there is no store to resume from)")
 		return 2
+	}
+	if *server != "" {
+		if *storeDir != "" || explicitFlag(fs, "resume") {
+			fmt.Fprintln(stderr, "error: -store/-resume cannot be combined with -server (persistence and resume belong to the server's store)")
+			return 2
+		}
+		if *shards != 0 {
+			fmt.Fprintln(stderr, "error: -shards cannot be combined with -server (the engine mode is the server's choice)")
+			return 2
+		}
 	}
 	var pol policy.Policy
 	if *policyFlag != "" {
@@ -106,9 +124,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runPolicyGrid(stdout, stderr, gridOpts{
 			benches: *bench, scale: *scale, seed: *seed, conc: *conc,
 			format: *format, workers: *workers, storeDir: *storeDir,
-			resume: *resume, timeout: *timeout,
+			resume: *resume, timeout: *timeout, server: *server,
 			explicitBench: explicitFlag(fs, "bench"),
 		})
+	}
+
+	if *server != "" && *knob != "conc" && *knob != "cores" {
+		fmt.Fprintf(stderr, "error: -server sweeps support only the conc and cores knobs (%q is simulator-internal and not expressible in a run request)\n", *knob)
+		return 2
 	}
 
 	var vals []int
@@ -192,6 +215,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if *server != "" {
+				sp := serverSweepSpec(*proto, *policyFlag, *bench, *scale, *seed, *conc, *knob, vals[i])
+				metrics[i], errs[i] = postPoint(ctx, *server, sp)
+				return
+			}
 			var key string
 			if st != nil {
 				key = store.Key(configs[i], *bench, *scale, *seed)
@@ -272,6 +300,7 @@ type gridOpts struct {
 	storeDir      string
 	resume        bool
 	timeout       time.Duration
+	server        string
 	explicitBench bool
 }
 
@@ -335,6 +364,17 @@ func runPolicyGrid(stdout, stderr io.Writer, o gridOpts) int {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if o.server != "" {
+				sp := serve.RunSpec{
+					Policy:    cells[i].pol.String(),
+					Benchmark: cells[i].bench,
+					Scale:     o.scale,
+					Seed:      o.seed,
+					Conc:      o.conc,
+				}
+				metrics[i], errs[i] = postPoint(ctx, o.server, sp)
+				return
+			}
 			cfg := gpu.DefaultConfig(gpu.Protocol(cells[i].pol.String()))
 			cfg.Core.MaxTxWarps = o.conc
 			cfg.Policy = cells[i].pol

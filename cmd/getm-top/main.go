@@ -196,6 +196,55 @@ func policyRows(prev, cur scrape, dt float64) []policyRow {
 	return rows
 }
 
+// peerRow is one cluster peer's routing accounting, pulled from the
+// per-peer counter families a coordinator (or store-syncing worker) exposes.
+type peerRow struct {
+	name                      string
+	healthy                   bool
+	headroom                  float64
+	forwarded, stolen, hedged float64
+	failed, fills             float64
+	fwdRate                   float64
+}
+
+const peerHealthyPrefix = `getm_serve_peer_healthy{peer="`
+
+// peerRows extracts the cluster peers table from a scrape, sorted by
+// forwarded count descending. Empty on a standalone server — the peer
+// families only exist when the node runs with peers.
+func peerRows(prev, cur scrape, dt float64) []peerRow {
+	var rows []peerRow
+	for k, v := range cur {
+		if !strings.HasPrefix(k, peerHealthyPrefix) || !strings.HasSuffix(k, `"}`) {
+			continue
+		}
+		esc := k[len(peerHealthyPrefix) : len(k)-2]
+		name := esc
+		if u, err := strconv.Unquote(`"` + esc + `"`); err == nil {
+			name = u
+		}
+		fwdKey := `getm_serve_peer_forwarded_total{peer="` + esc + `"}`
+		rows = append(rows, peerRow{
+			name:      name,
+			healthy:   v > 0,
+			headroom:  cur.v(`getm_serve_peer_headroom{peer="` + esc + `"}`),
+			forwarded: cur.v(fwdKey),
+			stolen:    cur.v(`getm_serve_peer_stolen_total{peer="` + esc + `"}`),
+			hedged:    cur.v(`getm_serve_peer_hedged_total{peer="` + esc + `"}`),
+			failed:    cur.v(`getm_serve_peer_failed_total{peer="` + esc + `"}`),
+			fills:     cur.v(`getm_serve_peer_fills_total{peer="` + esc + `"}`),
+			fwdRate:   rate(prev, cur, fwdKey, dt),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].forwarded != rows[j].forwarded {
+			return rows[i].forwarded > rows[j].forwarded
+		}
+		return rows[i].name < rows[j].name
+	})
+	return rows
+}
+
 // stageRow names one latency summary's series for the stage table.
 type stageRow struct {
 	label string
@@ -306,6 +355,22 @@ func render(prev, cur scrape, dt float64, header string, topClients int) string 
 		fmt.Fprintf(&b, "\n%-44s %10s %10s\n", "policy", "requests", "req/s")
 		for _, r := range prows {
 			fmt.Fprintf(&b, "%-44s %10.0f %10.1f\n", r.name, r.requests, r.rps)
+		}
+	}
+
+	// The peers table is bounded by the configured peer list, so it renders
+	// in full; absent entirely on a standalone server.
+	if perows := peerRows(prev, cur, dt); len(perows) > 0 {
+		fmt.Fprintf(&b, "\n%-24s %8s %9s %10s %8s %8s %8s %8s %8s\n",
+			"peer", "healthy", "headroom", "forwarded", "fwd/s", "stolen", "hedged", "failed", "fills")
+		for _, r := range perows {
+			health := "up"
+			if !r.healthy {
+				health = "DOWN"
+			}
+			fmt.Fprintf(&b, "%-24s %8s %9.0f %10.0f %8.1f %8.0f %8.0f %8.0f %8.0f\n",
+				r.name, health, r.headroom, r.forwarded, r.fwdRate,
+				r.stolen, r.hedged, r.failed, r.fills)
 		}
 	}
 	return b.String()

@@ -96,6 +96,37 @@ getm_serve_client_shed_total{client="load-0"} 30
 getm_serve_client_shed_total{client="load-1"} 20
 `
 
+// cannedClusterScrape is the per-peer block a coordinator appends to the
+// exposition, exactly as internal/serve emits it.
+const cannedClusterScrape = `# TYPE getm_serve_cluster_peers gauge
+getm_serve_cluster_peers 2
+# TYPE getm_serve_hedges_total counter
+getm_serve_hedges_total 3
+# TYPE getm_serve_store_peer_fills_total counter
+getm_serve_store_peer_fills_total 7
+# TYPE getm_serve_peer_healthy gauge
+getm_serve_peer_healthy{peer="127.0.0.1:9001"} 1
+getm_serve_peer_healthy{peer="127.0.0.1:9002"} 0
+# TYPE getm_serve_peer_headroom gauge
+getm_serve_peer_headroom{peer="127.0.0.1:9001"} 61
+getm_serve_peer_headroom{peer="127.0.0.1:9002"} 0
+# TYPE getm_serve_peer_forwarded_total counter
+getm_serve_peer_forwarded_total{peer="127.0.0.1:9001"} 640
+getm_serve_peer_forwarded_total{peer="127.0.0.1:9002"} 360
+# TYPE getm_serve_peer_stolen_total counter
+getm_serve_peer_stolen_total{peer="127.0.0.1:9001"} 12
+getm_serve_peer_stolen_total{peer="127.0.0.1:9002"} 0
+# TYPE getm_serve_peer_hedged_total counter
+getm_serve_peer_hedged_total{peer="127.0.0.1:9001"} 3
+getm_serve_peer_hedged_total{peer="127.0.0.1:9002"} 0
+# TYPE getm_serve_peer_failed_total counter
+getm_serve_peer_failed_total{peer="127.0.0.1:9001"} 0
+getm_serve_peer_failed_total{peer="127.0.0.1:9002"} 5
+# TYPE getm_serve_peer_fills_total counter
+getm_serve_peer_fills_total{peer="127.0.0.1:9001"} 7
+getm_serve_peer_fills_total{peer="127.0.0.1:9002"} 0
+`
+
 func mustParse(t *testing.T, text string) scrape {
 	t.Helper()
 	s, err := parseScrape(strings.NewReader(text))
@@ -108,7 +139,7 @@ func mustParse(t *testing.T, text string) scrape {
 func TestParseScrape(t *testing.T) {
 	s := mustParse(t, cannedScrape)
 	checks := map[string]float64{
-		"getm_serve_requests_total": 1000,
+		"getm_serve_requests_total":                                     1000,
 		`getm_serve_stage_latency_seconds{stage="sim",quantile="0.99"}`: 0.0099,
 		`getm_serve_client_requests_total{client="load-0"}`:             600,
 		"getm_serve_run_latency_seconds_count":                          300,
@@ -158,6 +189,38 @@ func TestRenderSmoke(t *testing.T) {
 	// Stage counts resolve through the labeled _count series.
 	if !strings.Contains(out, "300") {
 		t.Errorf("stage count 300 missing from frame:\n%s", out)
+	}
+}
+
+// TestRenderPeersTable drives render with the cluster block present: one
+// row per configured peer, health flags, and a forwarded rate computed from
+// consecutive frames. A standalone scrape must not grow a peers table.
+func TestRenderPeersTable(t *testing.T) {
+	prev := mustParse(t, cannedScrape+cannedClusterScrape)
+	cur := mustParse(t, cannedScrape+cannedClusterScrape)
+	cur[`getm_serve_peer_forwarded_total{peer="127.0.0.1:9001"}`] += 50
+
+	out := render(prev, cur, 1.0, "hdr", 8)
+	for _, want := range []string{
+		"peer", "headroom", "forwarded", "stolen", "hedged", "fills",
+		"127.0.0.1:9001", "127.0.0.1:9002",
+		"up", "DOWN", // per-peer health flags
+		"690",  // 9001 forwarded total after the delta
+		"50.0", // its fwd/s over dt=1
+		"61",   // 9001 headroom
+		"12",   // 9001 stolen
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("peers table missing %q\n%s", want, out)
+		}
+	}
+	// The busier peer sorts first.
+	if strings.Index(out, "127.0.0.1:9001") > strings.Index(out, "127.0.0.1:9002") {
+		t.Errorf("peers not sorted by forwarded desc:\n%s", out)
+	}
+
+	if solo := render(nil, mustParse(t, cannedScrape), 0, "hdr", 8); strings.Contains(solo, "headroom") {
+		t.Errorf("standalone scrape should not render a peers table:\n%s", solo)
 	}
 }
 

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"getm/internal/store"
+)
+
+// TestRetryAfterLiveOccupancy pins the Retry-After estimate to the work
+// actually waiting, on both shed paths. The regression: the estimate used
+// cfg.QueueDepth, so a client shed by its per-client cap in front of a
+// nearly-empty queue was told to back off as if the whole queue were full.
+func TestRetryAfterLiveOccupancy(t *testing.T) {
+	var execs atomic.Int64
+	release := make(chan struct{})
+
+	// Per-client-cap path: a deep shared queue (64) that stays nearly empty,
+	// a per-client backlog of 1, and a seeded 5s mean latency. The shed
+	// client's real wait is its one queued request plus its own slot — ~10s —
+	// not the 320s a full 64-deep queue would imply.
+	s := New(Config{Workers: 1, QueueDepth: 64, PerClientQueue: 1})
+	s.execute = blockingStub(&execs, release)
+	ts := httptest.NewServer(s)
+	defer func() {
+		close(release)
+		ts.Close()
+		s.Drain(time.Second)
+	}()
+	s.met.observe(5*time.Second, nil, nil) // mean latency: exactly 5000ms
+
+	post := func(seed int) *http.Response {
+		t.Helper()
+		return postRun(t, ts.URL, fmt.Sprintf(`{"protocol":"getm","benchmark":"ht-h","scale":0.1,"seed":%d,"async":true}`, seed))
+	}
+	post(1).Body.Close() // occupies the single worker
+	waitInflight(t, s, 1)
+	post(2).Body.Close() // the client's one allowed queue slot
+	resp := post(3)      // shed: client backlog full, shared queue 1/64 used
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("expected 429 on the per-client path, got %d", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("bad Retry-After %q: %v", resp.Header.Get("Retry-After"), err)
+	}
+	if ra != 10 {
+		t.Fatalf("per-client shed Retry-After = %ds, want 10s ((1 queued + 1)×5s mean); the old full-QueueDepth estimate gives 320s", ra)
+	}
+
+	// Queue-full path: occupancy equals capacity, so the live estimate is
+	// (capacity+1)×mean — the old behaviour was only correct here.
+	var execs2 atomic.Int64
+	release2 := make(chan struct{})
+	s2 := New(Config{Workers: 1, QueueDepth: 2})
+	s2.execute = blockingStub(&execs2, release2)
+	ts2 := httptest.NewServer(s2)
+	defer func() {
+		close(release2)
+		ts2.Close()
+		s2.Drain(time.Second)
+	}()
+	s2.met.observe(5*time.Second, nil, nil)
+	for seed := 1; seed <= 3; seed++ { // 1 running + 2 queued
+		r := postRun(t, ts2.URL, fmt.Sprintf(`{"protocol":"getm","benchmark":"ht-h","scale":0.1,"seed":%d,"async":true}`, seed))
+		r.Body.Close()
+		if seed == 1 {
+			waitInflight(t, s2, 1)
+		}
+	}
+	resp2 := postRun(t, ts2.URL, `{"protocol":"getm","benchmark":"ht-h","scale":0.1,"seed":9,"async":true}`)
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("expected 429 on the queue-full path, got %d", resp2.StatusCode)
+	}
+	ra2, _ := strconv.Atoi(resp2.Header.Get("Retry-After"))
+	if ra2 != 15 {
+		t.Fatalf("queue-full shed Retry-After = %ds, want 15s ((2 queued + 1)×5s mean)", ra2)
+	}
+}
+
+// waitInflight blocks until n workers report busy, so queue-occupancy
+// assertions are not racing admission.
+func waitInflight(t *testing.T, s *Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pool.running.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never picked up the run (inflight %d, want %d)", s.pool.running.Load(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestParseRunID pins the wire-shape validation of run ids.
+func TestParseRunID(t *testing.T) {
+	valid := strings.Repeat("0123456789abcdef", 4) // 64 hex chars
+	cases := []struct {
+		id   string
+		ok   bool
+		base string
+	}{
+		{valid, true, valid},
+		{valid + "-b1", true, valid},
+		{valid + "-b18446744073709551615", true, valid}, // max uint64
+		{"", false, ""},
+		{"abc", false, ""},
+		{valid[:63], false, ""},                          // truncated key
+		{valid + "0", false, ""},                         // 65 chars, no suffix marker
+		{strings.ToUpper(valid), false, ""},              // uppercase hex
+		{strings.Replace(valid, "0", "g", 1), false, ""}, // non-hex
+		{valid + "-", false, ""},                         // bare dash
+		{valid + "-b", false, ""},                        // suffix without digits
+		{valid + "-b0", false, ""},                       // zero budget never gets a suffix
+		{valid + "-b12x", false, ""},                     // trailing junk
+		{valid + "-b184467440737095516160", false, ""},   // uint64 overflow
+		{valid + "-c12", false, ""},                      // wrong suffix marker
+		{valid + "/timings", false, ""},
+		{"../../" + valid[:58], false, ""},
+		{strings.Repeat("a", 10_000), false, ""}, // over-long, all hex: no suffix marker
+	}
+	for _, c := range cases {
+		base, ok := parseRunID(c.id)
+		if ok != c.ok || base != c.base {
+			t.Errorf("parseRunID(%.80q) = (%q, %v), want (%q, %v)", c.id, base, ok, c.base, c.ok)
+		}
+	}
+}
+
+// TestStatusMalformedIDs hits GET /v1/runs/{id} (and /timings) with every
+// malformed-id shape: each must be a clean 404 — never a 500, a panic, or a
+// filesystem probe outside the store (the encoded-traversal case decodes to
+// a path-escaping id).
+func TestStatusMalformedIDs(t *testing.T) {
+	dir := t.TempDir()
+	var execs atomic.Int64
+	release := make(chan struct{})
+	close(release)
+	s := New(Config{Workers: 1, QueueDepth: 4, Store: store.Open(dir)})
+	s.execute = blockingStub(&execs, release)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer s.Drain(time.Second)
+
+	valid := strings.Repeat("ab", 32)
+	paths := []string{
+		"/v1/runs/%20",            // effectively-empty id
+		"/v1/runs/" + valid + "/", // trailing slash
+		"/v1/runs/abc",            // short
+		"/v1/runs/" + valid + "0", // over-long
+		"/v1/runs/" + strings.ToUpper(valid),
+		"/v1/runs/" + valid + "-b",                     // budget suffix without digits
+		"/v1/runs/" + valid + "-bb12",                  // doubled marker
+		"/v1/runs/" + valid + "-b99999999999999999999", // overflow
+		"/v1/runs/" + strings.Repeat("ff", 4096),       // very long
+		"/v1/runs/..%2F..%2F" + valid,                  // encoded traversal: id decodes to ../../<hex>
+		"/v1/runs/" + valid,                            // well-formed but unknown
+		"/v1/runs/" + valid + "-b123",                  // well-formed budgeted, unknown
+		"/v1/runs/" + valid + "/timings",               // timings for an unknown id
+		"/v1/store/" + valid,                           // store record endpoint, unknown key
+		"/v1/store/..%2F..%2Fescape",                   // store record endpoint, traversal
+	}
+	for _, p := range paths {
+		req, err := http.NewRequest("GET", ts.URL+p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", p, resp.StatusCode)
+		}
+	}
+}

@@ -71,6 +71,8 @@ type metricsSet struct {
 	truncated       atomic.Int64 // runs returning partial (truncated) metrics
 	storeStatusHits atomic.Int64 // GET /v1/runs/{id} answered from the store
 	sloSlow         atomic.Int64 // runs slower than the p99 objective
+	hedges          atomic.Int64 // hedge requests launched (coordinator)
+	storeFills      atomic.Int64 // store records filled from cluster peers
 
 	// sloP99 is the latency objective the burn counter compares against.
 	sloP99 time.Duration
@@ -354,6 +356,45 @@ func (m *metricsSet) write(w io.Writer, s *Server) {
 	g("getm_serve_slo_latency_target_seconds", "p99 run-latency objective the burn counter compares against", m.sloP99.Seconds())
 	g("getm_serve_slo_shed_target_ratio", "shed-ratio objective (shed/requests) for burn-rate dashboards", s.cfg.SLOShedTarget)
 	c("getm_serve_slo_slow_runs_total", "runs slower than the p99 latency objective", m.sloSlow.Load())
+
+	// Cluster surface: one row per configured peer, labels bounded by the
+	// peer list itself (set at startup, never grown by traffic).
+	if cl := s.cluster; cl != nil {
+		g("getm_serve_cluster_peers", "configured cluster peers", len(cl.peers))
+		c("getm_serve_hedges_total", "hedged forwards launched after the p99-derived delay", m.hedges.Load())
+		c("getm_serve_store_peer_fills_total", "store records filled from cluster peers on local misses", m.storeFills.Load())
+		peerGauge := func(name, help string, v func(*peer) int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, p := range cl.peers {
+				fmt.Fprintf(w, "%s{peer=\"%s\"} %d\n", name, labelEscape(p.name), v(p))
+			}
+		}
+		peerCounter := func(name, help string, v func(*peer) int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, p := range cl.peers {
+				fmt.Fprintf(w, "%s{peer=\"%s\"} %d\n", name, labelEscape(p.name), v(p))
+			}
+		}
+		peerGauge("getm_serve_peer_healthy", "1 while the peer answers health probes and is not draining",
+			func(p *peer) int64 {
+				if p.healthy.Load() {
+					return 1
+				}
+				return 0
+			})
+		peerGauge("getm_serve_peer_headroom", "queue slots the peer last reported free",
+			func(p *peer) int64 { return p.headroom.Load() })
+		peerCounter("getm_serve_peer_forwarded_total", "submissions routed to the peer",
+			func(p *peer) int64 { return p.forwarded.Load() })
+		peerCounter("getm_serve_peer_stolen_total", "submissions the peer absorbed because the rendezvous owner was saturated",
+			func(p *peer) int64 { return p.stolen.Load() })
+		peerCounter("getm_serve_peer_hedged_total", "hedge requests sent to the peer",
+			func(p *peer) int64 { return p.hedged.Load() })
+		peerCounter("getm_serve_peer_failed_total", "transport failures talking to the peer",
+			func(p *peer) int64 { return p.failed.Load() })
+		peerCounter("getm_serve_peer_fills_total", "store records fetched from the peer",
+			func(p *peer) int64 { return p.fills.Load() })
+	}
 
 	spansEnabled := 0
 	if s.spans != nil {

@@ -41,6 +41,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"runtime"
 	"strconv"
 	"sync"
@@ -138,6 +139,56 @@ type Config struct {
 	// rendering. It exists as the control arm for cmd/getm-load
 	// before/after measurements.
 	Baseline bool
+
+	// Role selects the node's cluster duty. "" and RoleWorker execute
+	// submissions locally; RoleCoordinator routes every submission across
+	// Peers by rendezvous hash of the store key and never simulates itself.
+	Role string
+	// Peers lists the base URLs of the other cluster nodes. On a
+	// coordinator they are the routing targets; on a worker they are the
+	// store-sync sources consulted (via GET /v1/store/{id}) when a result
+	// misses the local store. Empty disables clustering entirely.
+	Peers []string
+	// HedgeDelay is the fixed wait before a slow forwarded run is hedged to
+	// the next-ranked peer (coordinator only). 0 — the default — derives the
+	// delay from the observed forward-latency p99, falling back to 50ms
+	// until enough samples exist.
+	HedgeDelay time.Duration
+	// ProbeInterval is the peer health-probe cadence (default 250ms): each
+	// tick GETs every peer's /readyz and refreshes its liveness and queue
+	// headroom, the inputs to routing and work-stealing.
+	ProbeInterval time.Duration
+}
+
+// Cluster roles accepted by Config.Role.
+const (
+	RoleWorker      = "worker"
+	RoleCoordinator = "coordinator"
+)
+
+// Validate rejects cluster configurations that cannot work: an unknown
+// role, a coordinator with nobody to route to, or peer URLs that do not
+// parse. CLIs call it before New so misconfiguration is a startup error,
+// not a serving-time surprise.
+func (c Config) Validate() error {
+	switch c.Role {
+	case "", RoleWorker, RoleCoordinator:
+	default:
+		return fmt.Errorf("unknown role %q (want %q or %q)", c.Role, RoleWorker, RoleCoordinator)
+	}
+	if c.Role == RoleCoordinator && len(c.Peers) == 0 {
+		return errors.New("role coordinator requires at least one peer")
+	}
+	for _, p := range c.Peers {
+		u, err := url.Parse(p)
+		if err != nil {
+			return fmt.Errorf("peer %q: %w", p, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("peer %q: want an http(s) base URL like http://host:port", p)
+		}
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +212,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SLOShedTarget <= 0 {
 		c.SLOShedTarget = 0.01
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
 	}
 	return c
 }
@@ -252,6 +306,10 @@ type Server struct {
 	coal   *coalescer // nil without a store or in baseline mode
 	quotas *quotas    // nil without a quota
 
+	// cluster holds peer state — health, headroom, routing, hedging — and is
+	// nil unless Config.Peers is non-empty.
+	cluster *cluster
+
 	// spans is the lifecycle recorder; nil when disabled, and every emit
 	// site guards with exactly one pointer compare (Server.span).
 	spans *spanRecorder
@@ -283,10 +341,21 @@ func New(cfg Config) *Server {
 	}
 	s.quotas = newQuotas(s.cfg.QuotaRPS, s.cfg.QuotaBurst)
 	s.pool = newPool(s)
+	if len(s.cfg.Peers) > 0 {
+		s.cluster = newCluster(s)
+		if s.cfg.Store != nil {
+			// Store sync: a local store miss transparently fetches the record
+			// from the peer that owns (or executed) the cell and writes it
+			// through, so any node answers GET /v1/runs/{id} and no node ever
+			// re-simulates a cell the cluster already paid for.
+			s.cfg.Store.SetFill(s.cluster.fill)
+		}
+	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("POST /v1/runs/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/timings", s.handleTimings)
+	s.mux.HandleFunc("GET /v1/store/{key}", s.handleStoreRecord)
 	s.mux.HandleFunc("GET /v1/spans", s.handleSpans)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -320,6 +389,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // store flushed on return.
 func (s *Server) Drain(timeout time.Duration) error {
 	s.log("draining: refusing new work, waiting up to " + timeout.String())
+	if s.cluster != nil {
+		s.cluster.close()
+	}
 	err := s.pool.drain(timeout)
 	if s.coal != nil {
 		if ferr := s.coal.close(); ferr != nil {
@@ -410,6 +482,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("over per-client quota (%g req/s); retry later", s.cfg.QuotaRPS))
 			return
 		}
+	}
+
+	if s.routesRemotely(r) {
+		s.cluster.forwardRun(w, r, sp, client, start)
+		return
 	}
 
 	if js, ok := s.fastJoin(&sp); ok {
@@ -523,6 +600,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
 		return
 	}
+	if s.routesRemotely(r) {
+		s.cluster.forwardBatch(w, r, specs, client, start)
+		return
+	}
 
 	// Admission pass: every spec gets either a jobState or an immediate
 	// terminal response.
@@ -628,7 +709,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // handleStatus reports one run: live states from the job table (lock-free),
 // completed unbudgeted runs durably from the store (so ids survive
-// restarts).
+// restarts), and — in a cluster — runs held by a peer. Every request-derived
+// id is validated before it can reach a filesystem path: a malformed id is a
+// clean 404, identical to an unknown one.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if v, ok := s.pool.jobsFast.Load(id); ok {
@@ -646,12 +729,20 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	base, ok := parseRunID(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown run id %q", id))
+		return
+	}
 	if s.cfg.Store != nil {
-		if m, ok := s.cfg.Store.Get(baseID(id)); ok {
+		if m, ok := s.cfg.Store.Get(base); ok {
 			s.met.storeStatusHits.Add(1)
 			writeJSON(w, Response{ID: id, Status: statusDone.String(), Source: "store", Metrics: m})
 			return
 		}
+	}
+	if s.routesRemotely(r) && s.cluster.proxyStatus(w, r, id) {
+		return
 	}
 	writeError(w, http.StatusNotFound, fmt.Errorf("unknown run id %q", id))
 }
@@ -734,19 +825,46 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleReadyz flips to 503 when the queue has no headroom or the server is
 // draining — the signal a load balancer uses to steer traffic away before
-// requests start bouncing off 429s.
+// requests start bouncing off 429s. The X-Getm-Headroom header carries the
+// live queue headroom (slots left before shedding; 0 while draining) so a
+// cluster coordinator can grade peers instead of just bisecting ready/not.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	draining := s.pool.draining.Load()
+	headroom := s.pool.fq.capacity - s.pool.fq.len()
+	if draining || headroom < 0 {
+		headroom = 0
+	}
+	w.Header().Set(headerHeadroom, strconv.Itoa(headroom))
 	switch {
-	case s.pool.draining.Load():
+	case draining:
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
-	case !s.pool.hasHeadroom():
+	case headroom == 0:
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "saturated")
 	default:
 		fmt.Fprintln(w, "ready")
 	}
+}
+
+// handleStoreRecord serves the raw, self-verifying record file for one store
+// key — the cluster's store-sync source. Strictly local (Store.ReadRaw never
+// consults the peer-fill path), so two nodes fetching from each other cannot
+// recurse; a malformed key or absent record is a 404.
+func (s *Server) handleStoreRecord(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusNotFound, errors.New("no store configured"))
+		return
+	}
+	raw, ok := s.cfg.Store.ReadRaw(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no record for key %q", key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(raw)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -804,16 +922,20 @@ func (s *Server) writeDone(w http.ResponseWriter, js *jobState) {
 	w.Write([]byte("\n"))
 }
 
-// retryAfterSeconds estimates when a queue slot will free up: the queue's
-// drain time at the recent mean latency. The result is clamped to at least
-// one second — sub-second mean latencies must never produce
+// retryAfterSeconds estimates when a queue slot will free up: the drain time
+// of the work actually waiting right now, at the recent mean latency. Live
+// occupancy, not cfg.QueueDepth — a request shed by the per-client cap while
+// the shared queue sits nearly empty should come back after the real backlog
+// drains, not after a hypothetical full queue's worth. The result is clamped
+// to at least one second — sub-second mean latencies must never produce
 // "Retry-After: 0", which clients read as "retry immediately".
 func (s *Server) retryAfterSeconds() int {
 	meanMS := s.met.meanLatencyMS()
 	if meanMS <= 0 {
 		return 1
 	}
-	return retryAfterSecs(time.Duration(float64(s.cfg.QueueDepth) * meanMS / float64(s.cfg.Workers) * float64(time.Millisecond)))
+	waiting := s.pool.fq.len() + 1 // +1: the slot this request would need
+	return retryAfterSecs(time.Duration(float64(waiting) * meanMS / float64(s.cfg.Workers) * float64(time.Millisecond)))
 }
 
 // httpStatusFor maps a run error to a response code: a deadline/cancel is

@@ -19,17 +19,17 @@ import (
 type spanStage uint8
 
 const (
-	stageReceive  spanStage = iota // request arrived (submit or one batch item)
-	stageQuota                     // shed by the per-client token bucket
-	stageEnqueue                   // took a fair-queue slot
-	stageDequeue                   // worker picked it up; A = queue wait µs
-	stageJoin                      // dedupe hit: joined a live/completed job
-	stageMiss                      // dedupe miss: fresh admission
-	stageSimStart                  // execute began on a worker
-	stageSimFinish                 // execute returned; A = µs, B = total cycles
-	stagePersist                   // persist hook ran; A = µs
-	stageFlush                     // coalescer batch committed; A = µs, B = records
-	stageRespond                   // response written; A = end-to-end µs
+	stageReceive   spanStage = iota // request arrived (submit or one batch item)
+	stageQuota                      // shed by the per-client token bucket
+	stageEnqueue                    // took a fair-queue slot
+	stageDequeue                    // worker picked it up; A = queue wait µs
+	stageJoin                       // dedupe hit: joined a live/completed job
+	stageMiss                       // dedupe miss: fresh admission
+	stageSimStart                   // execute began on a worker
+	stageSimFinish                  // execute returned; A = µs, B = total cycles
+	stagePersist                    // persist hook ran; A = µs
+	stageFlush                      // coalescer batch committed; A = µs, B = records
+	stageRespond                    // response written; A = end-to-end µs
 	numSpanStages
 )
 

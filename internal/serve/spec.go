@@ -190,3 +190,37 @@ func baseID(id string) string {
 	}
 	return id
 }
+
+// storeKeyLen is the length of a content address: a hex-encoded SHA-256.
+const storeKeyLen = 64
+
+// parseRunID validates the wire shape of a run id — a 64-char lowercase-hex
+// store key, optionally followed by a "-b<cycles>" budget suffix whose
+// digits parse as a uint64 — and returns the base store key. Ids arrive on
+// URL paths and end up in filesystem paths and peer requests, so anything
+// else (empty, truncated, over-long, non-hex, a mangled suffix) is rejected
+// here and surfaces as a 404, never a panic or a path escape.
+func parseRunID(id string) (base string, ok bool) {
+	if len(id) < storeKeyLen {
+		return "", false
+	}
+	key := id[:storeKeyLen]
+	for i := 0; i < storeKeyLen; i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", false
+		}
+	}
+	rest := id[storeKeyLen:]
+	if rest == "" {
+		return key, true
+	}
+	if len(rest) < 3 || rest[0] != '-' || rest[1] != 'b' {
+		return "", false
+	}
+	n, err := strconv.ParseUint(rest[2:], 10, 64)
+	if err != nil || n == 0 {
+		return "", false
+	}
+	return key, true
+}

@@ -1,0 +1,123 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"getm/internal/gpu"
+)
+
+// TestStoreFillWriteThrough: a Get that misses locally consults the fill
+// source, verifies the bytes, returns the metrics, and commits the record
+// locally so the next Get is a pure local hit.
+func TestStoreFillWriteThrough(t *testing.T) {
+	remote := Open(t.TempDir())
+	want := sampleMetrics(3)
+	key := Key(gpu.DefaultConfig(gpu.ProtoGETM), "ht-h", 1.0, 9)
+	if err := remote.Put(key, "getm|ht-h", want); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := remote.ReadRaw(key)
+	if !ok {
+		t.Fatal("ReadRaw missed a record Put just committed")
+	}
+
+	local := Open(t.TempDir())
+	fills := 0
+	local.SetFill(func(k string) ([]byte, bool) {
+		fills++
+		if k != key {
+			t.Fatalf("fill asked for %q, want %q", k, key)
+		}
+		return raw, true
+	})
+
+	got, ok := local.Get(key)
+	if !ok {
+		t.Fatal("filled Get missed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("filled metrics differ:\ngot  %+v\nwant %+v", got, want)
+	}
+	if fills != 1 {
+		t.Fatalf("fill consulted %d times, want 1", fills)
+	}
+
+	// Write-through: the record is now local — a second Get must not touch
+	// the fill, and the on-disk bytes must match the remote's exactly.
+	if _, ok := local.Get(key); !ok {
+		t.Fatal("second Get missed after write-through")
+	}
+	if fills != 1 {
+		t.Fatalf("fill consulted %d times after write-through, want 1", fills)
+	}
+	localRaw, ok := local.ReadRaw(key)
+	if !ok {
+		t.Fatal("write-through left no verifiable local record")
+	}
+	if string(localRaw) != string(raw) {
+		t.Fatal("write-through bytes differ from the fill source's")
+	}
+}
+
+// TestStoreFillRejectsCorrupt: a fill source returning mangled bytes must
+// read as a miss and must not pollute the local directory.
+func TestStoreFillRejectsCorrupt(t *testing.T) {
+	remote := Open(t.TempDir())
+	key := Key(gpu.DefaultConfig(gpu.ProtoGETM), "ht-l", 1.0, 9)
+	if err := remote.Put(key, "getm|ht-l", sampleMetrics(1)); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := remote.ReadRaw(key)
+
+	local := Open(t.TempDir())
+	corrupt := append([]byte(nil), raw...)
+	corrupt[len(corrupt)-3] ^= 0x40
+	local.SetFill(func(string) ([]byte, bool) { return corrupt, true })
+	if _, ok := local.Get(key); ok {
+		t.Fatal("corrupt fill bytes returned as a hit")
+	}
+	ents, err := os.ReadDir(local.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".json" {
+			t.Fatalf("corrupt fill wrote %s through to disk", e.Name())
+		}
+	}
+
+	// A fill that reports a miss is just a miss.
+	local.SetFill(func(string) ([]byte, bool) { return nil, false })
+	if _, ok := local.Get(key); ok {
+		t.Fatal("fill miss returned as a hit")
+	}
+
+	// Clearing the fill restores local-only reads.
+	local.SetFill(nil)
+	if _, ok := local.Get(key); ok {
+		t.Fatal("cleared fill still serving records")
+	}
+}
+
+// TestStoreReadRawLocalOnly: ReadRaw never consults the fill source and
+// rejects malformed keys outright (it is the serving side of a peer fetch,
+// where the key arrives from the network).
+func TestStoreReadRawLocalOnly(t *testing.T) {
+	s := Open(t.TempDir())
+	s.SetFill(func(string) ([]byte, bool) {
+		t.Fatal("ReadRaw consulted the fill source")
+		return nil, false
+	})
+	key := Key(gpu.DefaultConfig(gpu.ProtoGETM), "atm", 1.0, 9)
+	if _, ok := s.ReadRaw(key); ok {
+		t.Fatal("ReadRaw hit on an empty store")
+	}
+	for _, bad := range []string{"", "../../etc/passwd", "ABCDEF", "0123zz", string(make([]byte, 4096))} {
+		if _, ok := s.ReadRaw(bad); ok {
+			t.Fatalf("ReadRaw accepted malformed key %q", bad)
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"getm/internal/gpu"
 	"getm/internal/policy"
@@ -65,12 +66,20 @@ type Record struct {
 	Metrics *stats.Metrics `json:"metrics"`
 }
 
+// FillFunc fetches the raw record file for a key from somewhere other than
+// the local directory (in practice: a cluster peer's /v1/store endpoint). It
+// returns the complete record bytes — header line plus payload — and whether
+// the fetch found anything. The bytes are verified exactly like a local file
+// before they are trusted, so a lying or corrupt source degrades to a miss.
+type FillFunc func(key string) ([]byte, bool)
+
 // Store is an on-disk result store rooted at one directory. The zero value
 // is not usable; call Open. All methods are safe for concurrent use from any
 // number of goroutines and processes sharing the directory.
 type Store struct {
-	dir string
-	err error // non-nil: degraded, all operations are no-ops
+	dir  string
+	err  error // non-nil: degraded, all operations are no-ops
+	fill atomic.Pointer[FillFunc]
 }
 
 // Open roots a store at dir, creating it if needed. Open never fails: if the
@@ -280,15 +289,112 @@ func (s *Store) PutBatch(recs []Record) error {
 	return errors.Join(errs...)
 }
 
+// SetFill installs a read-through fill source consulted when Get misses
+// locally. Filled bytes are verified like any record file and, on success,
+// written through to the local directory so the next read is local. A nil
+// fill (the default) restores plain local-only reads. Safe to call
+// concurrently with readers, though the usual pattern is to install the fill
+// once at startup.
+func (s *Store) SetFill(fill FillFunc) {
+	if fill == nil {
+		s.fill.Store(nil)
+		return
+	}
+	s.fill.Store(&fill)
+}
+
 // Get returns the stored metrics for key, or ok=false on any miss: no
 // record, degraded store, or a record that fails checksum/schema/shape
-// verification (corruption reads as a miss so the cell re-runs).
+// verification (corruption reads as a miss so the cell re-runs). When a fill
+// source is installed (SetFill), a local miss consults it before giving up;
+// a verified filled record is written through to the local directory.
 func (s *Store) Get(key string) (*stats.Metrics, bool) {
 	rec, err := s.load(key)
+	if err == nil {
+		return rec.Metrics, true
+	}
+	fp := s.fill.Load()
+	if fp == nil || s.err != nil || !validKey(key) {
+		return nil, false
+	}
+	raw, ok := (*fp)(key)
+	if !ok {
+		return nil, false
+	}
+	rec, err = decode(key, raw)
 	if err != nil {
 		return nil, false
 	}
+	// Write-through: commit the verified bytes locally with the same
+	// temp+fsync+rename discipline as Put, so the fill is paid once per node.
+	// A write failure is not a read failure — the record is already verified.
+	s.putRaw(key, raw)
 	return rec.Metrics, true
+}
+
+// ReadRaw returns the complete, verified raw record file for key — header
+// line plus payload — from the local directory only. It never consults the
+// fill source (it is the serving side of a fill, and must not recurse into
+// peer fetches). Malformed keys and unverifiable records read as misses.
+func (s *Store) ReadRaw(key string) ([]byte, bool) {
+	if s.err != nil || !validKey(key) {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	if _, err := decode(key, data); err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// putRaw atomically commits pre-encoded record bytes (already verified by
+// decode) under key, with the same temp-file + fsync + rename discipline as
+// Put.
+func (s *Store) putRaw(key string, data []byte) error {
+	if s.err != nil {
+		return nil
+	}
+	f, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: write %s: %w", key, err)
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: commit %s: %w", key, err)
+	}
+	return nil
+}
+
+// validKey reports whether key looks like a content address (lowercase hex,
+// no path metacharacters). It is the store-side backstop against a caller
+// passing request-derived strings into filesystem paths; serving layers
+// validate more strictly at the edge.
+func validKey(key string) bool {
+	if key == "" || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // load reads and verifies one record file.
